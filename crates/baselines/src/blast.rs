@@ -1,0 +1,218 @@
+//! Unresponsive constant-bit-rate senders and counting sinks.
+//!
+//! Figure 2 compares switch service models under *unresponsive* load:
+//! "many unresponsive flows converge on a 10 Gb/s link that can only
+//! support one of them". The sender here just clocks MTU-sized packets at
+//! a fixed rate forever; the sink counts untrimmed payload per flow so the
+//! experiment can compute each flow's share of fair goodput.
+
+use std::any::Any;
+
+use ndp_net::host::{Endpoint, EndpointCtx};
+use ndp_net::packet::{FlowId, HostId, Packet, PacketKind, HEADER_BYTES};
+use ndp_net::Host;
+use ndp_sim::{ComponentId, Speed, Time, World};
+
+const TICK: u8 = 1;
+
+/// Sends MTU packets at `rate` until stopped (never reacts to anything).
+pub struct BlastSender {
+    flow: FlowId,
+    dst: HostId,
+    mtu: u32,
+    rate: Speed,
+    /// Stop after this many packets (practically unbounded by default).
+    limit: u64,
+    seq: u64,
+    pub sent: u64,
+}
+
+impl BlastSender {
+    pub fn new(flow: FlowId, dst: HostId, mtu: u32, rate: Speed) -> BlastSender {
+        BlastSender { flow, dst, mtu, rate, limit: u64::MAX, seq: 0, sent: 0 }
+    }
+
+    pub fn with_limit(mut self, pkts: u64) -> BlastSender {
+        self.limit = pkts;
+        self
+    }
+
+    fn emit(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if self.seq >= self.limit {
+            return;
+        }
+        let mut pkt = Packet::data(ctx.host(), self.dst, self.flow, self.seq, self.mtu);
+        pkt.sent = ctx.now();
+        self.seq += 1;
+        self.sent += 1;
+        ctx.send(pkt);
+        ctx.timer_in(self.rate.tx_time(self.mtu as u64), TICK);
+    }
+}
+
+impl Endpoint for BlastSender {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        self.emit(ctx);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut EndpointCtx<'_, '_>) {}
+    fn on_timer(&mut self, token: u8, ctx: &mut EndpointCtx<'_, '_>) {
+        if token == TICK {
+            self.emit(ctx);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Counts delivered (untrimmed) payload and trimmed headers.
+#[derive(Default)]
+pub struct CountSink {
+    pub payload_bytes: u64,
+    pub data_pkts: u64,
+    pub headers: u64,
+}
+
+impl CountSink {
+    pub fn new() -> CountSink {
+        CountSink::default()
+    }
+}
+
+impl Endpoint for CountSink {
+    fn on_start(&mut self, _ctx: &mut EndpointCtx<'_, '_>) {}
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind != PacketKind::Data {
+            return;
+        }
+        if pkt.is_trimmed() {
+            self.headers += 1;
+        } else {
+            self.data_pkts += 1;
+            self.payload_bytes += pkt.payload as u64;
+            ctx.account_delivered(pkt.payload as u64);
+        }
+    }
+    fn on_timer(&mut self, _token: u8, _ctx: &mut EndpointCtx<'_, '_>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Attach an unresponsive blast flow.
+pub fn attach_blast(
+    world: &mut World<Packet>,
+    flow: FlowId,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    mtu: u32,
+    rate: Speed,
+    start: Time,
+) {
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(BlastSender::new(flow, dst.1, mtu, rate)));
+    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(CountSink::new()));
+    world.post_wake(start, src.0, flow << 8);
+}
+
+/// Fair-share goodput fraction for a flow: what it delivered vs an equal
+/// split of the bottleneck's payload capacity over `span`.
+pub fn fair_share_fraction(
+    payload_bytes: u64,
+    n_flows: usize,
+    link: Speed,
+    mtu: u32,
+    span: Time,
+) -> f64 {
+    let payload_rate = link.as_bps() as f64 * (mtu - HEADER_BYTES) as f64 / mtu as f64 / 8.0;
+    let fair = payload_rate * span.as_secs() / n_flows as f64;
+    payload_bytes as f64 / fair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::queue::Queue;
+    use ndp_topology::{QueueSpec, SingleBottleneck};
+
+    fn run_blast(n: usize, fabric: QueueSpec, seed: u64) -> (World<Packet>, SingleBottleneck) {
+        let mut w: World<Packet> = World::new(seed);
+        let sb =
+            SingleBottleneck::build(&mut w, n, Speed::gbps(10), Time::from_us(1), 9000, fabric);
+        for s in 0..n {
+            attach_blast(
+                &mut w,
+                s as u64 + 1,
+                (sb.senders[s], s as HostId),
+                (sb.receiver, n as HostId),
+                9000,
+                Speed::gbps(10),
+                Time::ZERO,
+            );
+        }
+        w.run_until(Time::from_ms(10));
+        (w, sb)
+    }
+
+    #[test]
+    fn single_blast_achieves_line_rate() {
+        let (w, sb) = run_blast(1, QueueSpec::ndp_default(), 1);
+        let sink = w.get::<Host>(sb.receiver).endpoint::<CountSink>(1);
+        let frac =
+            fair_share_fraction(sink.payload_bytes, 1, Speed::gbps(10), 9000, Time::from_ms(10));
+        assert!(frac > 0.97, "single flow share {frac:.3}");
+    }
+
+    #[test]
+    fn ndp_switch_sustains_goodput_under_heavy_overload() {
+        let n = 50;
+        let (w, sb) = run_blast(n, QueueSpec::ndp_default(), 2);
+        let host = w.get::<Host>(sb.receiver);
+        let total: u64 =
+            (1..=n as u64).map(|f| host.endpoint::<CountSink>(f).payload_bytes).sum();
+        let frac = fair_share_fraction(total, 1, Speed::gbps(10), 9000, Time::from_ms(10));
+        // WRR 10:1 bounds header bandwidth: goodput stays high.
+        assert!(frac > 0.85, "NDP aggregate goodput fraction {frac:.3}");
+        let q = w.get::<Queue>(sb.bottleneck);
+        assert!(q.stats.trimmed > 0);
+    }
+
+    #[test]
+    fn cp_switch_collapses_more_than_ndp() {
+        let n = 100;
+        let agg = |fabric: QueueSpec, seed| {
+            let (w, sb) = run_blast(n, fabric, seed);
+            let host = w.get::<Host>(sb.receiver);
+            let total: u64 =
+                (1..=n as u64).map(|f| host.endpoint::<CountSink>(f).payload_bytes).sum();
+            fair_share_fraction(total, 1, Speed::gbps(10), 9000, Time::from_ms(10))
+        };
+        let ndp = agg(QueueSpec::ndp_default(), 3);
+        let cp = agg(QueueSpec::Cp { thresh_pkts: 8 }, 3);
+        assert!(
+            ndp > cp + 0.02,
+            "NDP ({ndp:.3}) must beat CP ({cp:.3}) under 100-flow overload"
+        );
+    }
+
+    #[test]
+    fn blast_respects_limit() {
+        let mut w: World<Packet> = World::new(4);
+        let sb = SingleBottleneck::build(
+            &mut w,
+            1,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::ndp_default(),
+        );
+        let sender = BlastSender::new(1, 1, 9000, Speed::gbps(10)).with_limit(17);
+        w.get_mut::<Host>(sb.senders[0]).add_endpoint(1, Box::new(sender));
+        w.get_mut::<Host>(sb.receiver).add_endpoint(1, Box::new(CountSink::new()));
+        w.post_wake(Time::ZERO, sb.senders[0], 1 << 8);
+        w.run_until_idle();
+        let sink = w.get::<Host>(sb.receiver).endpoint::<CountSink>(1);
+        assert_eq!(sink.data_pkts + sink.headers, 17);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline transports the paper compares NDP against (§5/§6):
+//!
+//! * [`tcp`] — TCP NewReno with per-flow ECMP, Linux-like MinRTO, optional
+//!   three-way handshake / TFO modelling, and the DCTCP extension (ECN
+//!   fraction estimator + proportional window reduction).
+//! * [`mptcp`] — Multipath TCP with 8 subflows on distinct paths coupled by
+//!   the LIA increase (RFC 6356), the high-throughput baseline of Fig 14.
+//! * [`dcqcn`] — DCQCN rate-based congestion control for RoCE over the
+//!   lossless (PFC) fabric: per-CNP multiplicative decrease with the α
+//!   estimator, timer-driven fast-recovery/additive-increase.
+//! * [`phost`] — pHost, the receiver-driven transport *without* packet
+//!   trimming (§6.2 "Who needs packet trimming?").
+//! * [`blast`] — unresponsive constant-bit-rate senders and counting sinks
+//!   for the Figure 2 switch-service comparison.
+//!
+//! Every sender/receiver is an [`ndp_net::host::Endpoint`]; attach helpers
+//! mirror `ndp_core::attach_flow`.
+
+pub mod blast;
+pub mod dcqcn;
+pub mod mptcp;
+pub mod phost;
+pub mod tcp;
+
+pub use blast::{attach_blast, BlastSender, CountSink};
+pub use dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver, DcqcnSender};
+pub use mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver, MptcpSender};
+pub use phost::{attach_phost_flow, PHostCfg, PHostReceiver, PHostSender};
+pub use tcp::{attach_tcp_flow, Handshake, TcpCfg, TcpReceiver, TcpSender};

@@ -1,0 +1,533 @@
+//! Multipath TCP with LIA coupling (RFC 6356), the paper's
+//! high-throughput baseline [31].
+//!
+//! Eight subflows per connection, each pinned to a distinct (randomly
+//! chosen) path tag, sharing one transfer. Each subflow runs NewReno
+//! loss recovery over its own sequence space; the *increase* is coupled:
+//!
+//! ```text
+//! per ack:  cwnd_r += min( a · bytes / cwnd_total , bytes / cwnd_r )
+//! a = cwnd_total · max_r(cwnd_r / rtt_r²) / ( Σ_r cwnd_r / rtt_r )²
+//! ```
+//!
+//! Data is allocated to subflows on demand from a shared pool, so a stalled
+//! subflow simply stops claiming bytes.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use ndp_net::host::{Endpoint, EndpointCtx};
+use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, PathTag, HEADER_BYTES};
+use ndp_net::Host;
+use ndp_sim::{ComponentId, Time, World};
+use rand::Rng;
+
+const RTO_TOKEN_BASE: u8 = 1; // token = base + subflow index
+
+/// MPTCP configuration.
+#[derive(Clone, Debug)]
+pub struct MptcpCfg {
+    pub size_bytes: u64,
+    pub mtu: u32,
+    pub n_subflows: usize,
+    pub init_cwnd_pkts: u32,
+    pub min_rto: Time,
+    /// Path tags, one per subflow (filled randomly if empty).
+    pub paths: Vec<PathTag>,
+    pub notify: Option<(ComponentId, u64)>,
+}
+
+impl MptcpCfg {
+    pub fn new(size_bytes: u64) -> MptcpCfg {
+        MptcpCfg {
+            size_bytes,
+            mtu: 9000,
+            n_subflows: 8,
+            init_cwnd_pkts: 2,
+            min_rto: Time::from_ms(10),
+            paths: Vec::new(),
+            notify: None,
+        }
+    }
+
+    pub fn mss(&self) -> u64 {
+        (self.mtu - HEADER_BYTES) as u64
+    }
+}
+
+struct Subflow {
+    path: PathTag,
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Bytes claimed from the shared pool (local seq space size so far).
+    claimed: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+    srtt: Option<Time>,
+    rto_armed: bool,
+    backoff: u32,
+    /// Send time of the oldest unacknowledged segment (RTO anchor).
+    una_time: Time,
+}
+
+impl Subflow {
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+}
+
+/// MPTCP sender statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MptcpStats {
+    pub start_time: Option<Time>,
+    pub completion_time: Option<Time>,
+    pub fast_retransmits: u64,
+    pub timeouts: u64,
+    pub packets_sent: u64,
+}
+
+impl MptcpStats {
+    pub fn fct(&self) -> Option<Time> {
+        Some(self.completion_time? - self.start_time?)
+    }
+}
+
+/// The MPTCP sender endpoint.
+pub struct MptcpSender {
+    flow: FlowId,
+    dst: HostId,
+    cfg: MptcpCfg,
+    subs: Vec<Subflow>,
+    /// Bytes of the transfer not yet claimed by any subflow.
+    pool: u64,
+    total_acked: u64,
+    done: bool,
+    pub stats: MptcpStats,
+}
+
+impl MptcpSender {
+    pub fn new(flow: FlowId, dst: HostId, cfg: MptcpCfg) -> MptcpSender {
+        let mss = cfg.mss();
+        let subs = (0..cfg.n_subflows)
+            .map(|i| Subflow {
+                path: cfg.paths.get(i).copied().unwrap_or(i as PathTag),
+                snd_una: 0,
+                snd_nxt: 0,
+                claimed: 0,
+                cwnd: cfg.init_cwnd_pkts as u64 * mss,
+                ssthresh: u64::MAX / 2,
+                dupacks: 0,
+                in_recovery: false,
+                recover: 0,
+                srtt: None,
+                rto_armed: false,
+                backoff: 1,
+                una_time: Time::ZERO,
+            })
+            .collect();
+        let pool = cfg.size_bytes;
+        MptcpSender { flow, dst, cfg, subs, pool, total_acked: 0, done: false, stats: MptcpStats::default() }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub fn subflow_cwnds(&self) -> Vec<u64> {
+        self.subs.iter().map(|s| s.cwnd).collect()
+    }
+
+    fn mss(&self) -> u64 {
+        self.cfg.mss()
+    }
+
+    /// RFC 6356 coupled-increase coefficient.
+    fn lia_alpha(&self) -> f64 {
+        let total: u64 = self.subs.iter().map(|s| s.cwnd).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        let mut denom = 0.0f64;
+        for s in &self.subs {
+            let rtt = s.srtt.unwrap_or(Time::from_us(100)).as_secs().max(1e-9);
+            best = best.max(s.cwnd as f64 / (rtt * rtt));
+            denom += s.cwnd as f64 / rtt;
+        }
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        total as f64 * best / (denom * denom)
+    }
+
+    fn send_segment(&mut self, idx: usize, seq: u64, ctx: &mut EndpointCtx<'_, '_>) {
+        let (path, claimed) = {
+            let s = &self.subs[idx];
+            (s.path, s.claimed)
+        };
+        let payload = (claimed - seq).min(self.mss());
+        let mut pkt =
+            Packet::data(ctx.host(), self.dst, self.flow, seq, payload as u32 + HEADER_BYTES);
+        pkt.path = path;
+        pkt.subflow = idx as u16;
+        pkt.sent = ctx.now();
+        self.stats.packets_sent += 1;
+        if seq == self.subs[idx].snd_una {
+            self.subs[idx].una_time = ctx.now();
+        }
+        ctx.send(pkt);
+        self.arm_rto(idx, ctx);
+    }
+
+    fn arm_rto(&mut self, idx: usize, ctx: &mut EndpointCtx<'_, '_>) {
+        let s = &mut self.subs[idx];
+        if !s.rto_armed {
+            s.rto_armed = true;
+            let t = self.cfg.min_rto * s.backoff as u64;
+            ctx.timer_in(t, RTO_TOKEN_BASE + idx as u8);
+        }
+    }
+
+    fn send_available(&mut self, idx: usize, ctx: &mut EndpointCtx<'_, '_>) {
+        loop {
+            let (nxt, una, cwnd, claimed) = {
+                let s = &self.subs[idx];
+                (s.snd_nxt, s.snd_una, s.cwnd, s.claimed)
+            };
+            if nxt - una >= cwnd {
+                break;
+            }
+            // Claim more bytes from the shared pool if needed.
+            if nxt >= claimed {
+                let want = self.mss().min(self.pool);
+                if want == 0 {
+                    break;
+                }
+                self.pool -= want;
+                self.subs[idx].claimed += want;
+            }
+            let s = &mut self.subs[idx];
+            let payload = (s.claimed - s.snd_nxt).min(self.cfg.mss());
+            let seq = s.snd_nxt;
+            s.snd_nxt += payload;
+            self.send_segment(idx, seq, ctx);
+        }
+    }
+
+    fn on_ack(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        let idx = pkt.subflow as usize;
+        if idx >= self.subs.len() {
+            return;
+        }
+        let ack = pkt.ack;
+        let alpha = self.lia_alpha();
+        let total_cwnd: u64 = self.subs.iter().map(|s| s.cwnd).sum();
+        let mss = self.mss();
+        let s = &mut self.subs[idx];
+        if ack > s.snd_una {
+            let newly = ack - s.snd_una;
+            s.snd_una = ack;
+            s.una_time = ctx.now();
+            s.dupacks = 0;
+            s.backoff = 1;
+            if pkt.sent > Time::ZERO {
+                let sample = ctx.now() - pkt.sent;
+                s.srtt = Some(match s.srtt {
+                    None => sample,
+                    Some(old) => Time::from_ps((7 * old.as_ps() + sample.as_ps()) / 8),
+                });
+            }
+            self.total_acked += newly;
+            if s.in_recovery {
+                if ack >= s.recover {
+                    s.in_recovery = false;
+                    s.cwnd = s.ssthresh;
+                } else {
+                    let seq = s.snd_una;
+                    self.send_segment(idx, seq, ctx);
+                    self.check_done(ctx);
+                    return;
+                }
+            } else if s.cwnd < s.ssthresh {
+                s.cwnd += newly.min(mss);
+            } else {
+                s.cwnd += lia_increment(alpha, newly, mss, total_cwnd, s.cwnd);
+            }
+            self.send_available(idx, ctx);
+            self.check_done(ctx);
+        } else if ack == s.snd_una && s.flight() > 0 {
+            s.dupacks += 1;
+            if s.dupacks == 3 && !s.in_recovery {
+                self.stats.fast_retransmits += 1;
+                let s = &mut self.subs[idx];
+                s.ssthresh = (s.flight() / 2).max(2 * mss);
+                s.cwnd = s.ssthresh + 3 * mss;
+                s.in_recovery = true;
+                s.recover = s.snd_nxt;
+                let seq = s.snd_una;
+                self.send_segment(idx, seq, ctx);
+            }
+        }
+    }
+
+    fn check_done(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if !self.done && self.total_acked >= self.cfg.size_bytes {
+            self.done = true;
+            self.stats.completion_time = Some(ctx.now());
+            if let Some((comp, tok)) = self.cfg.notify {
+                ctx.notify(comp, tok);
+            }
+        }
+    }
+}
+
+impl Endpoint for MptcpSender {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        self.stats.start_time = Some(ctx.now());
+        if self.cfg.paths.is_empty() {
+            // Independent random path per subflow (per-flow ECMP hashing).
+            for s in &mut self.subs {
+                s.path = ctx.rng().gen();
+            }
+        }
+        for idx in 0..self.subs.len() {
+            self.send_available(idx, ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind == PacketKind::Ack {
+            self.on_ack(pkt, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u8, ctx: &mut EndpointCtx<'_, '_>) {
+        let idx = (token - RTO_TOKEN_BASE) as usize;
+        if idx >= self.subs.len() {
+            return;
+        }
+        self.subs[idx].rto_armed = false;
+        if self.done || self.subs[idx].flight() == 0 {
+            return;
+        }
+        let s = &self.subs[idx];
+        let deadline = s.una_time + self.cfg.min_rto * s.backoff as u64;
+        if ctx.now() < deadline {
+            self.subs[idx].rto_armed = true;
+            let remaining = deadline - ctx.now();
+            ctx.timer_in(remaining, RTO_TOKEN_BASE + idx as u8);
+            return;
+        }
+        self.stats.timeouts += 1;
+        let mss = self.mss();
+        let s = &mut self.subs[idx];
+        s.ssthresh = (s.flight() / 2).max(2 * mss);
+        s.cwnd = mss;
+        s.in_recovery = false;
+        s.dupacks = 0;
+        s.backoff = (s.backoff * 2).min(64);
+        let seq = s.snd_una;
+        self.send_segment(idx, seq, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// RFC 6356 congestion-avoidance increment for one subflow:
+/// `min(alpha · bytes · mss / total_cwnd, bytes · mss / cwnd)` — coupled
+/// growth, capped by what a regular TCP would do.
+pub fn lia_increment(alpha: f64, newly: u64, mss: u64, total_cwnd: u64, cwnd: u64) -> u64 {
+    let inc_coupled = alpha * newly as f64 * mss as f64 / total_cwnd.max(1) as f64;
+    let inc_uncoupled = newly as f64 * mss as f64 / cwnd.max(1) as f64;
+    inc_coupled.min(inc_uncoupled).max(1.0) as u64
+}
+
+/// Per-subflow cumulative-ACK receiver.
+pub struct MptcpReceiver {
+    peer: HostId,
+    n_subflows: usize,
+    rcv_nxt: Vec<u64>,
+    ooo: Vec<BTreeMap<u64, u64>>,
+    pub payload_bytes: u64,
+    pub completion_time: Option<Time>,
+    total: u64,
+    notify: Option<(ComponentId, u64)>,
+}
+
+impl MptcpReceiver {
+    pub fn new(peer: HostId, n_subflows: usize, total: u64) -> MptcpReceiver {
+        MptcpReceiver {
+            peer,
+            n_subflows,
+            rcv_nxt: vec![0; n_subflows],
+            ooo: vec![BTreeMap::new(); n_subflows],
+            payload_bytes: 0,
+            completion_time: None,
+            total,
+            notify: None,
+        }
+    }
+
+    pub fn with_notify(mut self, comp: ComponentId, token: u64) -> MptcpReceiver {
+        self.notify = Some((comp, token));
+        self
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.completion_time.is_some()
+    }
+}
+
+impl Endpoint for MptcpReceiver {
+    fn on_start(&mut self, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind != PacketKind::Data {
+            return;
+        }
+        let sf = pkt.subflow as usize;
+        if sf >= self.n_subflows {
+            return;
+        }
+        let start = pkt.seq;
+        let end = pkt.seq + pkt.payload as u64;
+        let nxt = &mut self.rcv_nxt[sf];
+        let ooo = &mut self.ooo[sf];
+        let before = *nxt;
+        if end > *nxt {
+            let s = start.max(*nxt);
+            let e = ooo.get(&s).copied().unwrap_or(0).max(end);
+            ooo.insert(s, e);
+            while let Some((&s0, &e0)) = ooo.first_key_value() {
+                if s0 <= *nxt {
+                    ooo.pop_first();
+                    if e0 > *nxt {
+                        *nxt = e0;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        let delivered = *nxt - before;
+        if delivered > 0 {
+            self.payload_bytes += delivered;
+            ctx.account_delivered(delivered);
+        }
+        let mut ack = Packet::control(ctx.host(), self.peer, pkt.flow, PacketKind::Ack);
+        ack.ack = self.rcv_nxt[sf];
+        ack.subflow = pkt.subflow;
+        ack.path = pkt.path;
+        ack.sent = pkt.sent;
+        if pkt.flags.has(Flags::CE) {
+            ack.flags = ack.flags.with(Flags::CE);
+        }
+        ctx.send(ack);
+        if self.payload_bytes >= self.total && self.completion_time.is_none() {
+            self.completion_time = Some(ctx.now());
+            if let Some((comp, tok)) = self.notify {
+                ctx.notify(comp, tok);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u8, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Attach an MPTCP flow.
+pub fn attach_mptcp_flow(
+    world: &mut World<Packet>,
+    flow: FlowId,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    cfg: MptcpCfg,
+    start: Time,
+) {
+    let notify = cfg.notify;
+    let n_subflows = cfg.n_subflows;
+    let total = cfg.size_bytes;
+    let sender = MptcpSender::new(flow, dst.1, cfg);
+    let mut receiver = MptcpReceiver::new(src.1, n_subflows, total);
+    if let Some((comp, tok)) = notify {
+        receiver = receiver.with_notify(comp, tok);
+    }
+    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
+    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world.post_wake(start, src.0, flow << 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::host::HostLatency;
+    use ndp_sim::Speed;
+    use ndp_topology::{FatTree, FatTreeCfg, QueueSpec};
+
+    #[test]
+    fn mptcp_fills_a_fat_tree_path_bundle() {
+        let mut w: World<Packet> = World::new(1);
+        let cfg =
+            FatTreeCfg::new(4).with_fabric(QueueSpec::droptail_default());
+        let ft = FatTree::build(&mut w, cfg);
+        let size = 20_000_000u64;
+        attach_mptcp_flow(
+            &mut w,
+            1,
+            (ft.hosts[0], 0),
+            (ft.hosts[15], 15),
+            MptcpCfg::new(size),
+            Time::ZERO,
+        );
+        w.run_until(Time::from_ms(200));
+        let rx = w.get::<Host>(ft.hosts[15]).endpoint::<MptcpReceiver>(1);
+        assert_eq!(rx.payload_bytes, size);
+        let tx = w.get::<Host>(ft.hosts[0]).endpoint::<MptcpSender>(1);
+        let fct = tx.stats.fct().unwrap();
+        let goodput = size as f64 * 8.0 / fct.as_secs() / 1e9;
+        assert!(goodput > 7.0, "8 subflows should fill most of the 10G access link: {goodput:.2}");
+    }
+
+    #[test]
+    fn lia_alpha_is_one_for_identical_subflows() {
+        let mut s = MptcpSender::new(1, 1, MptcpCfg::new(1_000_000));
+        for sub in &mut s.subs {
+            sub.cwnd = 100_000;
+            sub.srtt = Some(Time::from_us(100));
+        }
+        let a = s.lia_alpha();
+        // For n identical subflows, alpha = total*·(c/r²)/(n·c/r)² = 1/n·...
+        // numerically: total=8c, best=c/r², denom=8c/r → a = 8c·c/r² / 64c²/r² = 1/8.
+        assert!((a - 1.0 / 8.0).abs() < 1e-9, "alpha {a}");
+    }
+
+    #[test]
+    fn coupled_increase_is_an_eighth_of_uncoupled_for_equal_subflows() {
+        // LIA's defining property: with 8 identical healthy subflows, the
+        // aggregate grows like ONE regular TCP, i.e. each subflow gets
+        // roughly 1/8 of the uncoupled increment.
+        let mss = 8936u64;
+        let c = 100 * mss;
+        let total = 8 * c;
+        let alpha = 1.0 / 8.0; // from lia_alpha_is_one_for_identical_subflows
+        let coupled = lia_increment(alpha, mss, mss, total, c);
+        let uncoupled = lia_increment(1e9, mss, mss, c, c); // cap side
+        assert_eq!(uncoupled, mss * mss / c);
+        // coupled = (1/8)·mss²/(8c) = uncoupled/64 per subflow, so the
+        // 8-subflow aggregate grows at uncoupled/8 — one TCP's worth.
+        assert!(
+            coupled * 8 <= uncoupled,
+            "coupled {coupled} must be well below uncoupled {uncoupled}"
+        );
+        // Never zero: growth must not stall entirely.
+        assert!(coupled >= 1);
+    }
+}

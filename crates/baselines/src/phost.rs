@@ -1,0 +1,417 @@
+//! pHost [16]: receiver-driven credits *without* packet trimming.
+//!
+//! §6.2 "Who needs packet trimming?": pHost sprays packets per-packet over
+//! a drop-tail fabric with small buffers and bursts the first RTT at line
+//! rate, like NDP — but when the first window is dropped wholesale (incast)
+//! the receiver has no idea what was sent. Its only recovery signal is a
+//! token timeout. The paper finds a 432:1 incast takes pHost 1–1.5 s vs
+//! NDP's 140 ms, and permutation utilization is ~70 % vs 95 %.
+//!
+//! This implementation reuses the host pull-pacer as the token pacer
+//! (both are receiver-paced credit schemes); the differences are all on
+//! the loss-recovery side: no NACKs, no return-to-sender, timeout-driven
+//! re-credits.
+
+use std::any::Any;
+
+use ndp_net::host::{Endpoint, EndpointCtx, PullPriority};
+use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, HEADER_BYTES};
+use ndp_net::Host;
+use ndp_sim::{ComponentId, Time, World};
+use rand::Rng;
+
+const TIMEOUT_TOKEN: u8 = 1;
+
+/// pHost flow configuration.
+#[derive(Clone, Debug)]
+pub struct PHostCfg {
+    pub size_bytes: u64,
+    pub mtu: u32,
+    /// First-RTT free window (line-rate burst).
+    pub iw_pkts: u64,
+    /// Receiver-side token timeout: re-issue credits if the flow stalls.
+    pub token_timeout: Time,
+    pub notify: Option<(ComponentId, u64)>,
+}
+
+impl PHostCfg {
+    pub fn new(size_bytes: u64) -> PHostCfg {
+        PHostCfg {
+            size_bytes,
+            mtu: 9000,
+            iw_pkts: 30,
+            token_timeout: Time::from_us(500),
+            notify: None,
+        }
+    }
+
+    pub fn payload_per_pkt(&self) -> u64 {
+        (self.mtu - HEADER_BYTES) as u64
+    }
+
+    pub fn total_pkts(&self) -> u64 {
+        self.size_bytes.div_ceil(self.payload_per_pkt()).max(1)
+    }
+}
+
+/// pHost sender statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PHostStats {
+    pub start_time: Option<Time>,
+    pub completion_time: Option<Time>,
+    pub packets_sent: u64,
+    pub retransmissions: u64,
+}
+
+/// The pHost sender.
+pub struct PHostSender {
+    flow: FlowId,
+    dst: HostId,
+    cfg: PHostCfg,
+    total_pkts: u64,
+    next_new: u64,
+    acked: Vec<bool>,
+    acked_count: u64,
+    token_ctr: u64,
+    scan: u64,
+    done: bool,
+    pub stats: PHostStats,
+}
+
+impl PHostSender {
+    pub fn new(flow: FlowId, dst: HostId, cfg: PHostCfg) -> PHostSender {
+        let total_pkts = cfg.total_pkts();
+        PHostSender {
+            flow,
+            dst,
+            cfg,
+            total_pkts,
+            next_new: 0,
+            acked: vec![false; total_pkts as usize],
+            acked_count: 0,
+            token_ctr: 0,
+            scan: 0,
+            done: false,
+            stats: PHostStats::default(),
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn wire_size(&self, seq: u64) -> u32 {
+        let per = self.cfg.payload_per_pkt();
+        let payload = self.cfg.size_bytes.saturating_sub(seq * per).min(per).max(1) as u32;
+        payload + HEADER_BYTES
+    }
+
+    fn send_seq(&mut self, seq: u64, rtx: bool, ctx: &mut EndpointCtx<'_, '_>) {
+        let mut pkt = Packet::data(ctx.host(), self.dst, self.flow, seq, self.wire_size(seq));
+        // Per-packet spraying: random tag, reduced modulo fan-out in-switch.
+        pkt.path = ctx.rng().gen();
+        pkt.sent = ctx.now();
+        if seq == self.total_pkts - 1 {
+            pkt.flags = pkt.flags.with(Flags::FIN);
+        }
+        if rtx {
+            pkt.flags = pkt.flags.with(Flags::RTX);
+            self.stats.retransmissions += 1;
+        }
+        self.stats.packets_sent += 1;
+        ctx.send(pkt);
+    }
+
+    /// Token-driven send: unsent data first, then round-robin over unacked.
+    fn pump(&mut self, n: u64, ctx: &mut EndpointCtx<'_, '_>) {
+        for _ in 0..n {
+            if self.next_new < self.total_pkts {
+                let seq = self.next_new;
+                self.next_new += 1;
+                self.send_seq(seq, false, ctx);
+            } else if self.acked_count < self.total_pkts {
+                // Resend the next unacked packet in scan order.
+                for _ in 0..self.total_pkts {
+                    let seq = self.scan % self.total_pkts;
+                    self.scan += 1;
+                    if !self.acked[seq as usize] {
+                        self.send_seq(seq, true, ctx);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Endpoint for PHostSender {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        self.stats.start_time = Some(ctx.now());
+        let burst = self.cfg.iw_pkts.min(self.total_pkts);
+        for _ in 0..burst {
+            let seq = self.next_new;
+            self.next_new += 1;
+            self.send_seq(seq, false, ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        match pkt.kind {
+            PacketKind::Ack => {
+                let seq = pkt.seq;
+                if seq < self.total_pkts && !self.acked[seq as usize] {
+                    self.acked[seq as usize] = true;
+                    self.acked_count += 1;
+                    if self.acked_count == self.total_pkts && !self.done {
+                        self.done = true;
+                        self.stats.completion_time = Some(ctx.now());
+                    }
+                }
+            }
+            PacketKind::Pull | PacketKind::Token => {
+                if pkt.ack > self.token_ctr {
+                    let n = pkt.ack - self.token_ctr;
+                    self.token_ctr = pkt.ack;
+                    self.pump(n, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _token: u8, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The pHost receiver: ACK per packet, token per arrival, timeout-driven
+/// re-credits when the flow stalls.
+pub struct PHostReceiver {
+    peer: HostId,
+    total: Option<u64>,
+    received: Vec<bool>,
+    received_count: u64,
+    last_arrival: Time,
+    token_timeout: Time,
+    timer_armed: bool,
+    done: bool,
+    notify: Option<(ComponentId, u64)>,
+    pub payload_bytes: u64,
+    pub completion_time: Option<Time>,
+    pub first_arrival: Option<Time>,
+    pub timeout_credits: u64,
+}
+
+impl PHostReceiver {
+    pub fn new(peer: HostId, token_timeout: Time) -> PHostReceiver {
+        PHostReceiver {
+            peer,
+            total: None,
+            received: Vec::new(),
+            received_count: 0,
+            last_arrival: Time::ZERO,
+            token_timeout,
+            timer_armed: false,
+            done: false,
+            notify: None,
+            payload_bytes: 0,
+            completion_time: None,
+            first_arrival: None,
+            timeout_credits: 0,
+        }
+    }
+
+    pub fn with_notify(mut self, comp: ComponentId, token: u64) -> PHostReceiver {
+        self.notify = Some((comp, token));
+        self
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn mark(&mut self, seq: u64) -> bool {
+        if self.received.len() <= seq as usize {
+            self.received.resize(seq as usize + 1, false);
+        }
+        if self.received[seq as usize] {
+            false
+        } else {
+            self.received[seq as usize] = true;
+            self.received_count += 1;
+            true
+        }
+    }
+
+    fn arm_timer(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if !self.timer_armed && !self.done {
+            self.timer_armed = true;
+            ctx.timer_in(self.token_timeout, TIMEOUT_TOKEN);
+        }
+    }
+}
+
+impl Endpoint for PHostReceiver {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        // pHost announces flows with an RTS control packet, so the receiver
+        // can run its token timeout even if the *entire* first data window
+        // is dropped (the common case in big incasts). We model the RTS by
+        // starting the receiver's timeout clock at flow start.
+        self.arm_timer(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind != PacketKind::Data || pkt.is_trimmed() {
+            return;
+        }
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(ctx.now());
+        }
+        self.last_arrival = ctx.now();
+        if pkt.flags.has(Flags::FIN) {
+            self.total = Some(pkt.seq + 1);
+        }
+        if self.mark(pkt.seq) {
+            self.payload_bytes += pkt.payload as u64;
+            ctx.account_delivered(pkt.payload as u64);
+        }
+        // Per-packet ACK.
+        let mut ack = Packet::control(ctx.host(), self.peer, pkt.flow, PacketKind::Ack);
+        ack.seq = pkt.seq;
+        ack.path = ctx.rng().gen();
+        ack.sent = pkt.sent;
+        ctx.send(ack);
+        if let Some(total) = self.total {
+            if self.received_count >= total && !self.done {
+                self.done = true;
+                self.completion_time = Some(ctx.now());
+                ctx.pull_cancel();
+                if let Some((comp, tok)) = self.notify {
+                    ctx.notify(comp, tok);
+                }
+                return;
+            }
+        }
+        ctx.pull_request(self.peer, PullPriority::Normal);
+        self.arm_timer(ctx);
+    }
+
+    fn on_timer(&mut self, token: u8, ctx: &mut EndpointCtx<'_, '_>) {
+        if token != TIMEOUT_TOKEN {
+            return;
+        }
+        self.timer_armed = false;
+        if self.done {
+            return;
+        }
+        if ctx.now().saturating_sub(self.last_arrival) >= self.token_timeout {
+            // The flow stalled: whatever tokens were out are presumed lost
+            // along with their data. Issue a fresh batch of credits.
+            let missing = match self.total {
+                Some(t) => t - self.received_count,
+                None => 8,
+            };
+            self.timeout_credits += 1;
+            for _ in 0..missing.min(8) {
+                ctx.pull_request(self.peer, PullPriority::Normal);
+            }
+        }
+        self.arm_timer(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Attach a pHost flow (use a small drop-tail fabric).
+pub fn attach_phost_flow(
+    world: &mut World<Packet>,
+    flow: FlowId,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    cfg: PHostCfg,
+    start: Time,
+) {
+    let notify = cfg.notify;
+    let timeout = cfg.token_timeout;
+    let sender = PHostSender::new(flow, dst.1, cfg);
+    let mut receiver = PHostReceiver::new(src.1, timeout);
+    if let Some((comp, tok)) = notify {
+        receiver = receiver.with_notify(comp, tok);
+    }
+    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
+    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world.post_wake(start, src.0, flow << 8);
+    // Start the receiver's token-timeout clock (models pHost's RTS).
+    world.post_wake(start, dst.0, flow << 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_sim::Speed;
+    use ndp_topology::{QueueSpec, SingleBottleneck};
+
+    #[test]
+    fn clean_link_transfer_completes() {
+        let mut w: World<Packet> = World::new(1);
+        let sb = SingleBottleneck::build(
+            &mut w,
+            1,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::phost_default(),
+        );
+        let size = 5_000_000u64;
+        attach_phost_flow(&mut w, 1, (sb.senders[0], 0), (sb.receiver, 1), PHostCfg::new(size), Time::ZERO);
+        w.run_until(Time::from_ms(100));
+        let rx = w.get::<Host>(sb.receiver).endpoint::<PHostReceiver>(1);
+        assert_eq!(rx.payload_bytes, size);
+        assert!(rx.is_done());
+    }
+
+    #[test]
+    fn incast_recovers_only_via_timeouts_and_is_slow() {
+        let mut w: World<Packet> = World::new(2);
+        let n = 30usize;
+        let sb = SingleBottleneck::build(
+            &mut w,
+            n,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::phost_default(),
+        );
+        let size = 30 * 8936u64;
+        for s in 0..n as u64 {
+            attach_phost_flow(
+                &mut w,
+                s + 1,
+                (sb.senders[s as usize], s as u32),
+                (sb.receiver, n as u32),
+                PHostCfg::new(size),
+                Time::ZERO,
+            );
+        }
+        w.run_until(Time::from_secs(5));
+        let mut last = Time::ZERO;
+        let mut timeout_credits = 0;
+        for s in 0..n as u64 {
+            let rx = w.get::<Host>(sb.receiver).endpoint::<PHostReceiver>(s + 1);
+            assert!(rx.is_done(), "flow {s} incomplete");
+            last = last.max(rx.completion_time.unwrap());
+            timeout_credits += rx.timeout_credits;
+        }
+        assert!(timeout_credits > 0, "incast must lose bursts and need timeout recovery");
+        // Ideal is ~6.5 ms (30 × 30 × 9 KB at 10 Gb/s); pHost pays at least
+        // the initial token-timeout stall on top. The dramatic divergence
+        // from NDP shows up at 432:1 scale (see the inline_phost
+        // experiment); here we assert the qualitative signature: losses
+        // recovered only by timeout, completion strictly above ideal.
+        assert!(last > Time::from_ms(6), "pHost incast took {last}");
+    }
+}

@@ -1,0 +1,782 @@
+//! TCP NewReno and DCTCP.
+//!
+//! A byte-sequence TCP in the style of htsim's: slow start, congestion
+//! avoidance, duplicate-ACK fast retransmit with NewReno partial-ACK
+//! recovery, exponential-backoff RTO with a configurable MinRTO (200 ms
+//! Linux-like by default — the paper attributes TCP's terrible incast tail
+//! exactly to this), and optional connection-establishment modelling
+//! (three-way handshake vs TFO vs pre-established).
+//!
+//! DCTCP (Alizadeh et al. [4]) rides on the same machinery: data packets
+//! are ECT, switches mark CE above threshold, the receiver echoes marks
+//! per packet, and the sender maintains `alpha` with gain 1/16, cutting
+//! `cwnd` by `alpha/2` once per window.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use ndp_net::host::{Endpoint, EndpointCtx};
+use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, PathTag, HEADER_BYTES};
+use ndp_net::Host;
+use ndp_sim::{ComponentId, Time, World};
+
+const RTO_TOKEN: u8 = 1;
+
+/// Connection-establishment behaviour (Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Handshake {
+    /// Connection pre-established (the steady-state assumption used in all
+    /// simulation figures).
+    None,
+    /// Classic SYN / SYN-ACK round trip before data.
+    ThreeWay,
+    /// TCP Fast Open: data rides on the SYN.
+    Tfo,
+}
+
+/// TCP flow configuration.
+#[derive(Clone, Debug)]
+pub struct TcpCfg {
+    pub size_bytes: u64,
+    pub mtu: u32,
+    /// Initial congestion window in segments (RFC 6928 default).
+    pub init_cwnd_pkts: u32,
+    pub min_rto: Time,
+    pub handshake: Handshake,
+    /// ECN-capable + DCTCP control law.
+    pub dctcp: bool,
+    /// DCTCP estimation gain.
+    pub dctcp_g: f64,
+    /// Fixed per-flow ECMP path tag (hash-equivalent: chosen randomly by
+    /// the harness; collisions are the point of Fig 14).
+    pub path: PathTag,
+    pub notify: Option<(ComponentId, u64)>,
+}
+
+impl TcpCfg {
+    pub fn new(size_bytes: u64) -> TcpCfg {
+        TcpCfg {
+            size_bytes,
+            mtu: 9000,
+            init_cwnd_pkts: 10,
+            min_rto: Time::from_ms(200),
+            handshake: Handshake::None,
+            dctcp: false,
+            dctcp_g: 1.0 / 16.0,
+            path: 0,
+            notify: None,
+        }
+    }
+
+    pub fn dctcp(size_bytes: u64) -> TcpCfg {
+        TcpCfg { dctcp: true, min_rto: Time::from_ms(10), ..TcpCfg::new(size_bytes) }
+    }
+
+    pub fn mss(&self) -> u64 {
+        (self.mtu - HEADER_BYTES) as u64
+    }
+}
+
+/// Sender-side statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TcpStats {
+    pub start_time: Option<Time>,
+    pub completion_time: Option<Time>,
+    pub fast_retransmits: u64,
+    pub timeouts: u64,
+    pub packets_sent: u64,
+    pub marks_echoed: u64,
+    pub final_alpha: f64,
+}
+
+impl TcpStats {
+    pub fn fct(&self) -> Option<Time> {
+        Some(self.completion_time? - self.start_time?)
+    }
+}
+
+enum State {
+    Closed,
+    SynSent,
+    Established,
+}
+
+/// The TCP/DCTCP sender endpoint.
+pub struct TcpSender {
+    flow: FlowId,
+    dst: HostId,
+    cfg: TcpCfg,
+    state: State,
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+    srtt: Option<Time>,
+    rttvar: Time,
+    rto: Time,
+    rto_armed: bool,
+    backoff: u32,
+    /// Send time of the oldest unacknowledged segment (RTO anchor).
+    una_time: Time,
+    // DCTCP state.
+    alpha: f64,
+    bytes_acked_win: u64,
+    bytes_marked_win: u64,
+    win_end: u64,
+    cut_this_window: bool,
+    done: bool,
+    pub stats: TcpStats,
+}
+
+impl TcpSender {
+    pub fn new(flow: FlowId, dst: HostId, cfg: TcpCfg) -> TcpSender {
+        let mss = cfg.mss();
+        let cwnd = cfg.init_cwnd_pkts as u64 * mss;
+        let rto = cfg.min_rto;
+        TcpSender {
+            flow,
+            dst,
+            cfg,
+            state: State::Closed,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd,
+            ssthresh: u64::MAX / 2,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: Time::ZERO,
+            rto,
+            rto_armed: false,
+            backoff: 1,
+            una_time: Time::ZERO,
+            alpha: 0.0,
+            bytes_acked_win: 0,
+            bytes_marked_win: 0,
+            win_end: 0,
+            cut_this_window: false,
+            done: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn mss(&self) -> u64 {
+        self.cfg.mss()
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn send_segment(&mut self, seq: u64, ctx: &mut EndpointCtx<'_, '_>) {
+        let payload = (self.cfg.size_bytes - seq).min(self.mss());
+        let mut pkt =
+            Packet::data(ctx.host(), self.dst, self.flow, seq, payload as u32 + HEADER_BYTES);
+        pkt.path = self.cfg.path;
+        pkt.sent = ctx.now();
+        if self.cfg.dctcp {
+            pkt.flags = pkt.flags.with(Flags::ECT);
+        }
+        if seq + payload >= self.cfg.size_bytes {
+            pkt.flags = pkt.flags.with(Flags::FIN);
+        }
+        self.stats.packets_sent += 1;
+        if seq == self.snd_una {
+            self.una_time = ctx.now();
+        }
+        ctx.send(pkt);
+        self.arm_rto(ctx);
+    }
+
+    fn send_available(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        while self.snd_nxt < self.cfg.size_bytes && self.snd_nxt - self.snd_una < self.cwnd {
+            let seq = self.snd_nxt;
+            let payload = (self.cfg.size_bytes - seq).min(self.mss());
+            self.snd_nxt += payload;
+            self.send_segment(seq, ctx);
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if !self.rto_armed {
+            self.rto_armed = true;
+            ctx.timer_in(self.rto * self.backoff as u64, RTO_TOKEN);
+        }
+    }
+
+    fn update_rtt(&mut self, sample: Time) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(s) => {
+                let err = if sample > s { sample - s } else { s - sample };
+                self.rttvar = Time::from_ps((3 * self.rttvar.as_ps() + err.as_ps()) / 4);
+                self.srtt = Some(Time::from_ps((7 * s.as_ps() + sample.as_ps()) / 8));
+            }
+        }
+        let candidate = self.srtt.unwrap() + self.rttvar * 4;
+        self.rto = candidate.max(self.cfg.min_rto);
+    }
+
+    /// DCTCP per-window alpha update and proportional cut.
+    fn dctcp_on_ack(&mut self, newly: u64, ece: bool) {
+        self.bytes_acked_win += newly;
+        if ece {
+            self.bytes_marked_win += newly;
+            self.stats.marks_echoed += 1;
+        }
+        if self.snd_una >= self.win_end {
+            let f = if self.bytes_acked_win == 0 {
+                0.0
+            } else {
+                self.bytes_marked_win as f64 / self.bytes_acked_win as f64
+            };
+            self.alpha = (1.0 - self.cfg.dctcp_g) * self.alpha + self.cfg.dctcp_g * f;
+            self.stats.final_alpha = self.alpha;
+            self.bytes_acked_win = 0;
+            self.bytes_marked_win = 0;
+            self.win_end = self.snd_nxt;
+            self.cut_this_window = false;
+        }
+        if ece && !self.cut_this_window {
+            self.cut_this_window = true;
+            let cut = (self.cwnd as f64 * (1.0 - self.alpha / 2.0)) as u64;
+            self.cwnd = cut.max(self.mss());
+            self.ssthresh = self.cwnd;
+        }
+    }
+
+    fn on_ack(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if matches!(self.state, State::SynSent) {
+            // SYN-ACK: connection established, start pushing data.
+            self.state = State::Established;
+            self.update_rtt(ctx.now() - pkt.sent);
+            self.send_available(ctx);
+            return;
+        }
+        let ack = pkt.ack;
+        let ece = pkt.flags.has(Flags::CE);
+        if ack > self.snd_una {
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            self.una_time = ctx.now();
+            self.dupacks = 0;
+            self.backoff = 1;
+            if pkt.sent > Time::ZERO {
+                self.update_rtt(ctx.now() - pkt.sent);
+            }
+            if self.cfg.dctcp {
+                self.dctcp_on_ack(newly, ece);
+            } else if ece {
+                // Classic ECN: halve once per window.
+                if !self.cut_this_window {
+                    self.cut_this_window = true;
+                    self.win_end = self.snd_nxt;
+                    self.ssthresh = (self.cwnd / 2).max(2 * self.mss());
+                    self.cwnd = self.ssthresh;
+                } else if self.snd_una >= self.win_end {
+                    self.cut_this_window = false;
+                }
+            }
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full recovery.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                } else {
+                    // NewReno partial ACK: retransmit the next hole.
+                    let seq = self.snd_una;
+                    self.send_segment(seq, ctx);
+                }
+            } else if !ece || !self.cfg.dctcp {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly.min(self.mss());
+                } else {
+                    self.cwnd += (self.mss() * self.mss() / self.cwnd).max(1);
+                }
+            } else {
+                // DCTCP still grows outside mark events.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += newly.min(self.mss());
+                } else {
+                    self.cwnd += (self.mss() * self.mss() / self.cwnd).max(1);
+                }
+            }
+            if self.snd_una >= self.cfg.size_bytes && !self.done {
+                self.done = true;
+                self.stats.completion_time = Some(ctx.now());
+                if let Some((comp, tok)) = self.cfg.notify {
+                    ctx.notify(comp, tok);
+                }
+                return;
+            }
+            self.send_available(ctx);
+        } else if ack == self.snd_una && self.flight() > 0 {
+            self.dupacks += 1;
+            if self.dupacks == 3 && !self.in_recovery {
+                // Fast retransmit.
+                self.stats.fast_retransmits += 1;
+                self.ssthresh = (self.flight() / 2).max(2 * self.mss());
+                self.cwnd = self.ssthresh + 3 * self.mss();
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                let seq = self.snd_una;
+                self.send_segment(seq, ctx);
+            } else if self.in_recovery {
+                // Inflate during recovery to keep the pipe full.
+                self.cwnd += self.mss();
+                self.send_available(ctx);
+            }
+        }
+    }
+}
+
+impl Endpoint for TcpSender {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        self.stats.start_time = Some(ctx.now());
+        match self.cfg.handshake {
+            Handshake::ThreeWay => {
+                self.state = State::SynSent;
+                let mut syn = Packet::control(ctx.host(), self.dst, self.flow, PacketKind::Data);
+                syn.kind = PacketKind::Data;
+                syn.size = HEADER_BYTES;
+                syn.payload = 0;
+                syn.flags = Flags::SYN;
+                syn.path = self.cfg.path;
+                syn.sent = ctx.now();
+                ctx.send(syn);
+                self.arm_rto(ctx);
+            }
+            Handshake::Tfo | Handshake::None => {
+                self.state = State::Established;
+                self.send_available(ctx);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind == PacketKind::Ack {
+            self.on_ack(pkt, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u8, ctx: &mut EndpointCtx<'_, '_>) {
+        if token != RTO_TOKEN {
+            return;
+        }
+        self.rto_armed = false;
+        if self.done {
+            return;
+        }
+        if matches!(self.state, State::SynSent) {
+            // Retransmit the SYN.
+            self.backoff = (self.backoff * 2).min(64);
+            self.stats.timeouts += 1;
+            let mut syn = Packet::control(ctx.host(), self.dst, self.flow, PacketKind::Data);
+            syn.kind = PacketKind::Data;
+            syn.size = HEADER_BYTES;
+            syn.payload = 0;
+            syn.flags = Flags::SYN;
+            syn.path = self.cfg.path;
+            syn.sent = ctx.now();
+            ctx.send(syn);
+            self.arm_rto(ctx);
+            return;
+        }
+        if self.flight() == 0 {
+            return;
+        }
+        // Timeout only if the oldest unacked segment has been out a full
+        // RTO; otherwise re-arm for the remainder.
+        let deadline = self.una_time + self.rto * self.backoff as u64;
+        if ctx.now() < deadline {
+            self.rto_armed = true;
+            ctx.timer_in(deadline - ctx.now(), RTO_TOKEN);
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.ssthresh = (self.flight() / 2).max(2 * self.mss());
+        self.cwnd = self.mss();
+        self.in_recovery = false;
+        self.dupacks = 0;
+        self.backoff = (self.backoff * 2).min(64);
+        let seq = self.snd_una;
+        self.send_segment(seq, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The TCP receiver: cumulative ACKs with out-of-order buffering and
+/// per-packet DCTCP mark echo.
+pub struct TcpReceiver {
+    peer: HostId,
+    path: PathTag,
+    /// Highest contiguous byte received.
+    rcv_nxt: u64,
+    /// Out-of-order segments: start -> end.
+    ooo: BTreeMap<u64, u64>,
+    total: Option<u64>,
+    handshake_done: bool,
+    pub payload_bytes: u64,
+    pub completion_time: Option<Time>,
+    pub first_arrival: Option<Time>,
+    notify: Option<(ComponentId, u64)>,
+}
+
+impl TcpReceiver {
+    pub fn new(peer: HostId, path: PathTag) -> TcpReceiver {
+        TcpReceiver {
+            peer,
+            path,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            total: None,
+            handshake_done: false,
+            payload_bytes: 0,
+            completion_time: None,
+            first_arrival: None,
+            notify: None,
+        }
+    }
+
+    pub fn with_notify(mut self, comp: ComponentId, token: u64) -> TcpReceiver {
+        self.notify = Some((comp, token));
+        self
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.completion_time.is_some()
+    }
+
+    fn absorb(&mut self, start: u64, end: u64) {
+        if end <= self.rcv_nxt {
+            return;
+        }
+        let start = start.max(self.rcv_nxt);
+        self.ooo.insert(start, self.ooo.get(&start).copied().unwrap_or(0).max(end));
+        // Advance rcv_nxt over any now-contiguous segments.
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.pop_first();
+                if e > self.rcv_nxt {
+                    self.rcv_nxt = e;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn send_ack(&mut self, data: &Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        let mut ack = Packet::control(ctx.host(), self.peer, data.flow, PacketKind::Ack);
+        ack.ack = self.rcv_nxt;
+        ack.seq = data.seq;
+        ack.subflow = data.subflow;
+        ack.path = self.path;
+        ack.sent = data.sent;
+        if data.flags.has(Flags::CE) {
+            // DCTCP-style precise echo.
+            ack.flags = ack.flags.with(Flags::CE);
+        }
+        ctx.send(ack);
+    }
+}
+
+impl Endpoint for TcpReceiver {
+    fn on_start(&mut self, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind != PacketKind::Data {
+            return;
+        }
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(ctx.now());
+        }
+        if pkt.flags.has(Flags::SYN) && pkt.payload == 0 {
+            // Bare SYN of a three-way handshake: reply SYN-ACK.
+            if !self.handshake_done {
+                self.handshake_done = true;
+            }
+            let mut synack = Packet::control(ctx.host(), self.peer, pkt.flow, PacketKind::Ack);
+            synack.flags = Flags::SYN;
+            synack.path = self.path;
+            synack.sent = pkt.sent;
+            ctx.send(synack);
+            return;
+        }
+        let start = pkt.seq;
+        let end = pkt.seq + pkt.payload as u64;
+        let before = self.rcv_nxt;
+        self.absorb(start, end);
+        if self.rcv_nxt > before {
+            let delivered = self.rcv_nxt - before;
+            self.payload_bytes += delivered;
+            ctx.account_delivered(delivered);
+        }
+        if pkt.flags.has(Flags::FIN) {
+            self.total = Some(end);
+        }
+        self.send_ack(&pkt, ctx);
+        if let Some(total) = self.total {
+            if self.rcv_nxt >= total && self.completion_time.is_none() {
+                self.completion_time = Some(ctx.now());
+                if let Some((comp, tok)) = self.notify {
+                    ctx.notify(comp, tok);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u8, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Attach a TCP (or DCTCP) flow between two hosts.
+#[allow(clippy::too_many_arguments)]
+pub fn attach_tcp_flow(
+    world: &mut World<Packet>,
+    flow: FlowId,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    cfg: TcpCfg,
+    start: Time,
+) {
+    let path = cfg.path;
+    let notify = cfg.notify;
+    let sender = TcpSender::new(flow, dst.1, cfg);
+    let mut receiver = TcpReceiver::new(src.1, path);
+    if let Some((comp, tok)) = notify {
+        receiver = receiver.with_notify(comp, tok);
+    }
+    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
+    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world.post_wake(start, src.0, flow << 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::host::HostLatency;
+    use ndp_sim::Speed;
+    use ndp_topology::{BackToBack, QueueSpec, SingleBottleneck};
+
+    fn b2b(seed: u64, fabric: QueueSpec) -> (World<Packet>, BackToBack) {
+        let mut w: World<Packet> = World::new(seed);
+        let b = BackToBack::build(
+            &mut w,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            fabric,
+            HostLatency::default(),
+        );
+        (w, b)
+    }
+
+    fn tcp_stats(w: &World<Packet>, host: ndp_sim::ComponentId, flow: FlowId) -> TcpStats {
+        w.get::<Host>(host).endpoint::<TcpSender>(flow).stats.clone()
+    }
+
+    #[test]
+    fn transfer_completes_and_delivers_exact_bytes() {
+        let (mut w, b) = b2b(1, QueueSpec::droptail_default());
+        let size = 5_000_000u64;
+        attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), TcpCfg::new(size), Time::ZERO);
+        w.run_until(Time::from_ms(200));
+        let rx = w.get::<Host>(b.hosts[1]).endpoint::<TcpReceiver>(1);
+        assert_eq!(rx.payload_bytes, size);
+        assert!(rx.completion_time.is_some());
+        let tx = tcp_stats(&w, b.hosts[0], 1);
+        assert_eq!(tx.timeouts, 0, "clean link should not time out");
+        assert!(tx.completion_time.is_some());
+    }
+
+    #[test]
+    fn slow_start_doubles_then_fills_pipe() {
+        let (mut w, b) = b2b(2, QueueSpec::droptail_default());
+        let size = 20_000_000u64;
+        attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), TcpCfg::new(size), Time::ZERO);
+        w.run_until(Time::from_ms(200));
+        let tx = tcp_stats(&w, b.hosts[0], 1);
+        let fct = tx.fct().unwrap();
+        let goodput = size as f64 * 8.0 / fct.as_secs() / 1e9;
+        assert!(goodput > 8.5, "long flow should approach line rate, got {goodput:.2}");
+    }
+
+    #[test]
+    fn three_way_handshake_adds_an_rtt() {
+        let run = |hs: Handshake| {
+            let (mut w, b) = b2b(3, QueueSpec::droptail_default());
+            let cfg = TcpCfg { handshake: hs, ..TcpCfg::new(100_000) };
+            attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
+            w.run_until(Time::from_ms(200));
+            tcp_stats(&w, b.hosts[0], 1).fct().unwrap()
+        };
+        let plain = run(Handshake::None);
+        let tfo = run(Handshake::Tfo);
+        let full = run(Handshake::ThreeWay);
+        assert_eq!(plain, tfo, "TFO == no-handshake when connection data fits the IW");
+        assert!(full > plain, "3WHS must cost extra");
+        // The extra cost is about one RTT (2 us propagation + header tx).
+        assert!(full - plain < Time::from_us(10));
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_mid_window_loss_without_rto() {
+        // Random single-packet losses inside a streaming window leave
+        // plenty of later packets to generate dup-ACKs, so NewReno must
+        // recover via fast retransmit, far quicker than the RTO. (Burst-
+        // tail losses, by contrast, can only be recovered by the RTO —
+        // exactly the paper's complaint about short flows.)
+        use ndp_net::pipe::Pipe;
+        use ndp_net::queue::{LinkClass, Queue};
+        let mut w: World<Packet> = World::new(4);
+        let h0 = w.reserve();
+        let h1 = w.reserve();
+        let speed = Speed::gbps(10);
+        // Data path drops ~0.3% of packets (corruption); ACK path is clean.
+        let p01 = w.add(Pipe::new(Time::from_us(1), h1).with_corruption(0.003));
+        let nic0 = w.add(Queue::new(
+            speed,
+            p01,
+            LinkClass::HostNic,
+            QueueSpec::droptail_default().build_host_nic(9000),
+        ));
+        let p10 = w.add(Pipe::new(Time::from_us(1), h0));
+        let nic1 = w.add(Queue::new(
+            speed,
+            p10,
+            LinkClass::HostNic,
+            QueueSpec::droptail_default().build_host_nic(9000),
+        ));
+        w.install(h0, Host::new(0, nic0, speed, 9000));
+        w.install(h1, Host::new(1, nic1, speed, 9000));
+        let size = 20_000_000u64;
+        let cfg = TcpCfg { min_rto: Time::from_ms(10), ..TcpCfg::new(size) };
+        attach_tcp_flow(&mut w, 1, (h0, 0), (h1, 1), cfg, Time::ZERO);
+        w.run_until(Time::from_secs(20));
+        let tx = tcp_stats(&w, h0, 1);
+        assert!(tx.completion_time.is_some(), "long flow incomplete");
+        assert!(tx.fast_retransmits > 0, "mid-window loss must trigger fast retransmit");
+        // ~6-7 losses over 2239 packets, each recovered in about an RTT:
+        // total time stays near the ideal 16 ms, far from RTO territory.
+        assert!(tx.fct().unwrap() < Time::from_ms(100), "fct {}", tx.fct().unwrap());
+        let rx = w.get::<Host>(h1).endpoint::<TcpReceiver>(1);
+        assert_eq!(rx.payload_bytes, size);
+    }
+
+    #[test]
+    fn dctcp_keeps_queue_near_threshold_and_avoids_loss() {
+        let mut w: World<Packet> = World::new(5);
+        let sb = SingleBottleneck::build(
+            &mut w,
+            2,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::dctcp_default(),
+        );
+        let size = 10_000_000u64;
+        for s in 0..2 {
+            attach_tcp_flow(
+                &mut w,
+                s + 1,
+                (sb.senders[s as usize], s as u32),
+                (sb.receiver, 2),
+                TcpCfg::dctcp(size),
+                Time::ZERO,
+            );
+        }
+        w.run_until(Time::from_secs(1));
+        for s in 0..2u64 {
+            let tx = tcp_stats(&w, sb.senders[s as usize], s + 1);
+            assert!(tx.completion_time.is_some());
+            assert!(tx.marks_echoed > 0, "DCTCP should see marks under congestion");
+        }
+        let q = w.get::<ndp_net::queue::Queue>(sb.bottleneck);
+        assert_eq!(q.stats.dropped_data, 0, "DCTCP should avoid loss in a 200-pkt queue");
+        // Queue stays well below the 200-packet cap thanks to marking.
+        assert!(
+            q.stats.max_occupancy_bytes < 100 * 9000,
+            "occupancy {} too high",
+            q.stats.max_occupancy_bytes
+        );
+    }
+
+    #[test]
+    fn incast_with_200ms_minrto_hits_timeouts() {
+        let mut w: World<Packet> = World::new(6);
+        let n = 20usize;
+        let sb = SingleBottleneck::build(
+            &mut w,
+            n,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::DropTail { cap_pkts: 20, ecn_thresh_pkts: None },
+        );
+        let size = 450_000u64;
+        for s in 0..n as u64 {
+            attach_tcp_flow(
+                &mut w,
+                s + 1,
+                (sb.senders[s as usize], s as u32),
+                (sb.receiver, n as u32),
+                TcpCfg::new(size),
+                Time::ZERO,
+            );
+        }
+        w.run_until(Time::from_secs(10));
+        let mut timeouts = 0;
+        let mut last = Time::ZERO;
+        for s in 0..n as u64 {
+            let tx = tcp_stats(&w, sb.senders[s as usize], s + 1);
+            assert!(tx.completion_time.is_some(), "flow {s} incomplete");
+            timeouts += tx.timeouts;
+            last = last.max(tx.completion_time.unwrap());
+        }
+        assert!(timeouts > 0, "synchronized incast losses should cause RTOs");
+        // The 200ms MinRTO pushes the tail far beyond the ideal ~7ms.
+        assert!(last > Time::from_ms(100), "tail should be RTO-dominated, got {last}");
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut r = TcpReceiver::new(0, 0);
+        r.absorb(8936, 17872);
+        assert_eq!(r.rcv_nxt, 0);
+        r.absorb(0, 8936);
+        assert_eq!(r.rcv_nxt, 17872);
+        r.absorb(26808, 35744);
+        r.absorb(17872, 26808);
+        assert_eq!(r.rcv_nxt, 35744);
+        // Duplicate and overlapping segments are harmless.
+        r.absorb(0, 8936);
+        r.absorb(30000, 35744);
+        assert_eq!(r.rcv_nxt, 35744);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion benches: one per paper figure/table, each regenerating the
+//! figure at `Scale::Quick`. `cargo bench --workspace` therefore re-runs
+//! the entire evaluation; per-figure wall time also tracks simulator
+//! performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndp_experiments as ex;
+use ndp_experiments::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    // Each experiment is a full simulation campaign: Criterion's minimum
+    // of 10 samples is plenty, and one second of measurement avoids extra
+    // iterations of multi-second campaigns.
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(1));
+
+    macro_rules! fig {
+        ($name:literal, $module:ident) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let rep = ex::$module::run(Scale::Quick);
+                    criterion::black_box(rep.headline())
+                })
+            });
+        };
+    }
+
+    // Every figure has a regenerating binary in ndp-experiments; the
+    // multi-protocol campaigns (fig08/09/13/14/15/16/19/23, full inline
+    // results) take minutes each even at quick scale, so the timed bench
+    // set covers the single-protocol figures plus the heaviest NDP-only
+    // campaign — enough to track simulator performance regressions across
+    // every subsystem (engine, switches, topologies, transports).
+    fig!("fig02_cp_collapse", fig02_cp_collapse);
+    fig!("fig04_latency_cdf", fig04_latency_cdf);
+    fig!("fig10_prioritization", fig10_prioritization);
+    fig!("fig11_iw_throughput", fig11_iw_throughput);
+    fig!("fig12_pull_spacing", fig12_pull_spacing);
+    fig!("fig17_iw_buffer_sweep", fig17_iw_buffer_sweep);
+    fig!("fig20_large_incast", fig20_large_incast);
+    fig!("fig21_sender_limited", fig21_sender_limited);
+    fig!("fig22_failure", fig22_failure);
+
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Raw simulator throughput: a 10 MB NDP transfer end to end.
+    c.bench_function("engine/two_host_10MB", |b| {
+        b.iter(|| criterion::black_box(ex::quick::two_host_transfer(10_000_000).fct))
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark shims: every paper figure is exposed as a bench in
+//! `benches/figures.rs`, each running the corresponding experiment at
+//! `Scale::Quick`. This crate intentionally has no library code of its
+//! own — it exists so `cargo bench --workspace` regenerates the paper's
+//! evaluation.

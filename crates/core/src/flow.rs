@@ -1,0 +1,307 @@
+//! Harness glue: attach an NDP flow between two hosts in a built world.
+
+use ndp_net::host::{Host, PullPriority};
+use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_sim::{ComponentId, Time, World};
+
+use crate::receiver::NdpReceiver;
+use crate::sender::NdpSender;
+pub use crate::sender::NdpFlowCfg;
+
+/// Register sender and receiver endpoints for one flow and schedule its
+/// start. `src`/`dst` are (host component id, host id) pairs as returned by
+/// the topology builders.
+#[allow(clippy::too_many_arguments)]
+pub fn attach_flow(
+    world: &mut World<Packet>,
+    flow: FlowId,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    cfg: NdpFlowCfg,
+    start: Time,
+) {
+    let sender = NdpSender::new(flow, dst.1, cfg.clone());
+    let prio = if cfg.high_priority { PullPriority::High } else { PullPriority::Normal };
+    let mut receiver = NdpReceiver::new(src.1).with_priority(prio);
+    if let Some((comp, tok)) = cfg.notify {
+        receiver = receiver.with_notify(comp, tok);
+    }
+    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
+    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    // Token 0 == flow start on the sender host.
+    world.post_wake(start, src.0, flow << 8);
+}
+
+/// Convenience accessors for post-run harvesting.
+pub fn sender_stats(world: &World<Packet>, host: ComponentId, flow: FlowId) -> crate::NdpSenderStats {
+    world.get::<Host>(host).endpoint::<NdpSender>(flow).stats.clone()
+}
+
+pub fn receiver_stats(
+    world: &World<Packet>,
+    host: ComponentId,
+    flow: FlowId,
+) -> crate::NdpReceiverStats {
+    world.get::<Host>(host).endpoint::<NdpReceiver>(flow).stats.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::host::HostLatency;
+    use ndp_net::pipe::Pipe;
+    use ndp_net::queue::Queue;
+    use ndp_sim::Speed;
+    use ndp_topology::{BackToBack, FatTree, FatTreeCfg, QueueSpec, SingleBottleneck};
+
+    fn b2b(seed: u64) -> (World<Packet>, BackToBack) {
+        let mut w: World<Packet> = World::new(seed);
+        let b = BackToBack::build(
+            &mut w,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::ndp_default(),
+            HostLatency::default(),
+        );
+        (w, b)
+    }
+
+    #[test]
+    fn back_to_back_transfer_completes_at_line_rate() {
+        let (mut w, b) = b2b(1);
+        let size = 10_000_000u64; // 10 MB
+        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+        attach_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
+        w.run_until(Time::from_ms(100));
+        let rx = receiver_stats(&w, b.hosts[1], 1);
+        let tx = sender_stats(&w, b.hosts[0], 1);
+        assert_eq!(rx.payload_bytes, size, "every byte delivered exactly once");
+        assert!(tx.completion_time.is_some(), "sender saw all ACKs");
+        let fct = tx.fct().unwrap();
+        let goodput_gbps = size as f64 * 8.0 / fct.as_secs() / 1e9;
+        assert!(goodput_gbps > 9.0, "goodput {goodput_gbps:.2} Gb/s");
+        assert_eq!(tx.retransmissions, 0, "nothing to retransmit on an idle link");
+        assert_eq!(rx.duplicate_pkts, 0);
+    }
+
+    #[test]
+    fn tiny_flow_single_packet() {
+        let (mut w, b) = b2b(2);
+        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(100) };
+        attach_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
+        w.run_until(Time::from_ms(10));
+        let rx = receiver_stats(&w, b.hosts[1], 1);
+        assert_eq!(rx.payload_bytes, 100);
+        assert!(rx.completion_time.is_some());
+        // One packet, one ACK, no pull needed for completion.
+        assert_eq!(rx.data_pkts, 1);
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_transfer_with_reordering() {
+        let mut w: World<Packet> = World::new(3);
+        let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+        let size = 2_000_000u64;
+        let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(size) };
+        attach_flow(&mut w, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+        w.run_until(Time::from_ms(50));
+        let rx = receiver_stats(&w, ft.hosts[15], 1);
+        assert_eq!(rx.payload_bytes, size);
+        let tx = sender_stats(&w, ft.hosts[0], 1);
+        assert!(tx.completion_time.is_some());
+        // All four cores carried traffic (per-packet multipath).
+        for c in 0..4 {
+            assert!(
+                w.get::<ndp_net::switch::Switch>(ft.cores[c]).rx_pkts > 10,
+                "core {c} unused"
+            );
+        }
+    }
+
+    #[test]
+    fn incast_is_lossless_for_metadata_and_completes() {
+        let mut w: World<Packet> = World::new(4);
+        let n = 30usize;
+        let sb = SingleBottleneck::build(
+            &mut w,
+            n,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::ndp_default(),
+        );
+        let size = 30 * 8936; // 30 packets each
+        for s in 0..n {
+            let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+            attach_flow(
+                &mut w,
+                s as u64 + 1,
+                (sb.senders[s], s as HostId),
+                (sb.receiver, n as HostId),
+                cfg,
+                Time::ZERO,
+            );
+        }
+        w.run_until(Time::from_ms(100));
+        let mut total = 0u64;
+        let mut last_done = Time::ZERO;
+        for s in 0..n {
+            let tx = sender_stats(&w, sb.senders[s], s as u64 + 1);
+            assert!(tx.completion_time.is_some(), "sender {s} incomplete");
+            total += size;
+            let rx = receiver_stats(&w, sb.receiver, s as u64 + 1);
+            last_done = last_done.max(rx.completion_time.unwrap());
+        }
+        let rx_host = w.get::<Host>(sb.receiver);
+        assert_eq!(rx_host.stats().delivered_payload_bytes, total);
+        // The bottleneck trimmed but never dropped data silently.
+        let q = w.get::<Queue>(sb.bottleneck);
+        assert!(q.stats.trimmed > 0, "incast of {n} should trim");
+        assert_eq!(q.stats.dropped_data, 0, "metadata must be lossless");
+        // Completion near-optimal: total bytes at 10 Gb/s plus 20% slack
+        // for the trim-heavy first RTT.
+        let optimal = Speed::gbps(10).tx_time(total + total / 5);
+        assert!(
+            last_done < optimal + Time::from_ms(1),
+            "took {last_done} vs optimal {optimal}"
+        );
+    }
+
+    #[test]
+    fn corruption_recovers_via_rto() {
+        let mut w: World<Packet> = World::new(5);
+        // Build a lossy back-to-back pair by hand.
+        let h0 = w.reserve();
+        let h1 = w.reserve();
+        let mtu = 9000;
+        let speed = Speed::gbps(10);
+        let p01 = w.add(Pipe::new(Time::from_us(1), h1).with_corruption(0.05));
+        let nic0 = w.add(Queue::new(
+            speed,
+            p01,
+            ndp_net::queue::LinkClass::HostNic,
+            QueueSpec::ndp_default().build_host_nic(mtu),
+        ));
+        let p10 = w.add(Pipe::new(Time::from_us(1), h0).with_corruption(0.05));
+        let nic1 = w.add(Queue::new(
+            speed,
+            p10,
+            ndp_net::queue::LinkClass::HostNic,
+            QueueSpec::ndp_default().build_host_nic(mtu),
+        ));
+        w.install(h0, Host::new(0, nic0, speed, mtu));
+        w.install(h1, Host::new(1, nic1, speed, mtu));
+        let size = 1_000_000u64;
+        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+        attach_flow(&mut w, 1, (h0, 0), (h1, 1), cfg, Time::ZERO);
+        w.run_until(Time::from_secs(2));
+        let rx = receiver_stats(&w, h1, 1);
+        assert_eq!(rx.payload_bytes, size, "all data must eventually arrive");
+        let tx = sender_stats(&w, h0, 1);
+        assert!(tx.rtx_rto > 0, "corruption must exercise the RTO path");
+    }
+
+    #[test]
+    fn high_priority_flow_finishes_first_under_contention() {
+        let mut w: World<Packet> = World::new(6);
+        let n = 7usize;
+        let sb = SingleBottleneck::build(
+            &mut w,
+            n,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::ndp_default(),
+        );
+        // Six long flows + one short high-priority flow, all simultaneous.
+        let long = 2_000_000u64;
+        let short = 200_000u64;
+        for s in 0..6 {
+            let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(long) };
+            attach_flow(
+                &mut w,
+                s as u64 + 1,
+                (sb.senders[s], s as HostId),
+                (sb.receiver, n as HostId),
+                cfg,
+                Time::ZERO,
+            );
+        }
+        let cfg = NdpFlowCfg { n_paths: 1, high_priority: true, ..NdpFlowCfg::new(short) };
+        attach_flow(&mut w, 7, (sb.senders[6], 6), (sb.receiver, n as HostId), cfg, Time::ZERO);
+        w.run_until(Time::from_ms(100));
+        let short_fct = receiver_stats(&w, sb.receiver, 7).completion_time.unwrap();
+        for s in 0..6 {
+            let long_fct = receiver_stats(&w, sb.receiver, s + 1).completion_time.unwrap();
+            assert!(short_fct < long_fct, "priority flow must finish before long flows");
+        }
+        // The priority flow should complete close to its idle-network time:
+        // size/linkrate plus the first-RTT contention.
+        let idle = Speed::gbps(10).tx_time(short + short / 50);
+        assert!(
+            short_fct < idle + Time::from_us(500),
+            "short flow took {short_fct} vs idle {idle}"
+        );
+    }
+
+    #[test]
+    fn pull_counter_gap_sends_multiple_packets() {
+        // §3.2.1: if a PULL is delayed and the next one (sent on another
+        // path) arrives first, its counter pulls two packets.
+        use ndp_net::host::{Endpoint, EndpointCtx};
+        use std::any::Any;
+        struct Recorder {
+            sent: Vec<u64>,
+        }
+        impl Endpoint for Recorder {
+            fn on_start(&mut self, _c: &mut EndpointCtx<'_, '_>) {}
+            fn on_packet(&mut self, p: Packet, _c: &mut EndpointCtx<'_, '_>) {
+                self.sent.push(p.seq);
+            }
+            fn on_timer(&mut self, _t: u8, _c: &mut EndpointCtx<'_, '_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let (mut w, b) = b2b(7);
+        let cfg = NdpFlowCfg { iw_pkts: 1, n_paths: 1, ..NdpFlowCfg::new(9000 * 20) };
+        let sender = NdpSender::new(1, 1, cfg);
+        w.get_mut::<Host>(b.hosts[0]).add_endpoint(1, Box::new(sender));
+        w.get_mut::<Host>(b.hosts[1]).add_endpoint(1, Box::new(Recorder { sent: vec![] }));
+        w.post_wake(Time::ZERO, b.hosts[0], 1 << 8);
+        w.run_until(Time::from_us(50));
+        // Simulate a reordered pull arriving with counter 3 (pulls 1,2
+        // lost/late): the sender must emit 3 packets at once.
+        let mut pull = Packet::control(1, 0, 1, PacketKind::Pull);
+        pull.ack = 3;
+        w.post(Time::from_us(60), b.hosts[0], pull);
+        w.run_until(Time::from_us(200));
+        let h = w.get::<Host>(b.hosts[0]);
+        let s: &NdpSender = h.endpoint(1);
+        assert_eq!(s.stats.data_sent, 4, "IW packet + 3 pulled");
+        // A stale pull (counter 2 < 3) must be ignored.
+        let mut stale = Packet::control(1, 0, 1, PacketKind::Pull);
+        stale.ack = 2;
+        w.post(Time::from_us(210), b.hosts[0], stale);
+        w.run_until(Time::from_us(300));
+        let h = w.get::<Host>(b.hosts[0]);
+        let s: &NdpSender = h.endpoint(1);
+        assert_eq!(s.stats.data_sent, 4, "stale pull ignored");
+    }
+
+    use ndp_net::packet::PacketKind;
+
+    #[test]
+    fn determinism_same_seed_same_fct() {
+        fn run(seed: u64) -> Time {
+            let mut w: World<Packet> = World::new(seed);
+            let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+            let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(500_000) };
+            attach_flow(&mut w, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+            w.run_until(Time::from_ms(50));
+            receiver_stats(&w, ft.hosts[15], 1).completion_time.unwrap()
+        }
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,31 @@
+//! The NDP transport protocol (§3.2) — the paper's primary contribution.
+//!
+//! NDP is receiver-driven: a sender pushes one full window of data blind
+//! (zero-RTT, every first-window packet carries SYN + its sequence offset),
+//! then sends **only** when pulled. The receiver learns the complete demand
+//! from arriving packets *and trimmed headers* (metadata is lossless), ACKs
+//! or NACKs every arrival immediately, and queues one PULL per arrival in
+//! the host-wide pull queue whose pacer clocks data in at exactly the
+//! receiver's link rate.
+//!
+//! The modules map to the paper's mechanisms:
+//!
+//! * [`path`] — per-packet multipath: randomly permuted path lists
+//!   (§3.1.1) plus the path scoreboard that temporarily excludes NACK/loss
+//!   outlier paths (§3.2.3, the mechanism that saves Figure 22).
+//! * [`sender`] — first-RTT push, pull-counter handling, RTX-before-new
+//!   data, return-to-sender logic with incast-echo avoidance (§3.2.4), and
+//!   the 1 ms RTO that only fires for corrupted packets.
+//! * [`receiver`] — per-arrival ACK/NACK, pull queueing with priority,
+//!   last-packet pull cancellation, completion accounting.
+//! * [`flow`] — harness-level glue to attach a flow between two hosts.
+
+pub mod flow;
+pub mod path;
+pub mod receiver;
+pub mod sender;
+
+pub use flow::{attach_flow, NdpFlowCfg};
+pub use path::PathSet;
+pub use receiver::{NdpReceiver, NdpReceiverStats};
+pub use sender::{NdpSender, NdpSenderStats};

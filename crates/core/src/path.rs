@@ -1,0 +1,328 @@
+//! Sender-side multipath state: permuted path lists and the path
+//! scoreboard.
+//!
+//! §3.1.1: "Each NDP sender takes the list of paths to a destination,
+//! randomly permutes it, then sends packets on paths in this order. After
+//! it has sent one packet on each path, it randomly permutes the list
+//! again" — equal spreading without inadvertent synchronization between
+//! senders.
+//!
+//! §3.2.3: the sender keeps per-path ACK/NACK/loss counts; when it
+//! re-permutes, paths whose NACK or loss ratios are outliers are
+//! *temporarily* removed. Counters decay at each permutation so an
+//! excluded path is retried once the failure heals.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-destination path list with scoreboard.
+#[derive(Clone, Debug)]
+pub struct PathSet {
+    n: u32,
+    order: Vec<u32>,
+    pos: usize,
+    acks: Vec<u64>,
+    nacks: Vec<u64>,
+    losses: Vec<u64>,
+    /// Remaining permutation rounds for which each path stays excluded.
+    cooldown: Vec<u32>,
+    /// Enables §3.2.3 outlier exclusion (Fig 22 ablates this).
+    penalize: bool,
+}
+
+/// Rounds an outlier path sits out before being re-probed. Sixteen rounds
+/// balances avoiding a sick path against re-concentrating load on the
+/// healthy ones (excessive exclusion makes *other* paths look congested
+/// and triggers cascading penalties — measured in Figure 22's ablation).
+const EXCLUSION_ROUNDS: u32 = 16;
+
+impl PathSet {
+    pub fn new(n_paths: u32, penalize: bool) -> PathSet {
+        assert!(n_paths >= 1);
+        let n = n_paths as usize;
+        PathSet {
+            n: n_paths,
+            order: (0..n_paths).collect(),
+            pos: n, // force a shuffle on first use
+            acks: vec![0; n],
+            nacks: vec![0; n],
+            losses: vec![0; n],
+            cooldown: vec![0; n],
+            penalize,
+        }
+    }
+
+    pub fn n_paths(&self) -> u32 {
+        self.n
+    }
+
+    /// Next path tag to send on.
+    pub fn next(&mut self, rng: &mut SmallRng) -> u32 {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            if self.pos >= self.order.len() {
+                self.reshuffle(rng);
+            }
+            let p = self.order[self.pos];
+            self.pos += 1;
+            if self.cooldown[p as usize] == 0 {
+                return p;
+            }
+        }
+    }
+
+    fn reshuffle(&mut self, rng: &mut SmallRng) {
+        // Fisher-Yates.
+        for i in (1..self.order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.order.swap(i, j);
+        }
+        self.pos = 0;
+        for c in &mut self.cooldown {
+            *c = c.saturating_sub(1);
+        }
+        if self.penalize {
+            self.recompute_exclusions();
+        }
+        // Exponential decay makes exclusion temporary (§3.2.3:
+        // "temporarily removes outliers").
+        for i in 0..self.n as usize {
+            self.acks[i] -= self.acks[i] / 8;
+            self.nacks[i] -= self.nacks[i] / 8;
+            self.losses[i] -= self.losses[i] / 8;
+        }
+    }
+
+    fn recompute_exclusions(&mut self) {
+        let n = self.n as usize;
+        // NACK-ratio per path, compared against the *other* paths' mean:
+        // during a legitimate incast every path NACKs heavily, so a path is
+        // only an outlier if it NACKs markedly more than its peers.
+        let mut ratios: Vec<Option<f64>> = vec![None; n];
+        for i in 0..n {
+            let total = self.acks[i] + self.nacks[i];
+            if total >= 8 {
+                ratios[i] = Some(self.nacks[i] as f64 / total as f64);
+            }
+        }
+        let sampled: Vec<(usize, f64)> =
+            ratios.iter().enumerate().filter_map(|(i, r)| r.map(|v| (i, v))).collect();
+        let total_loss: u64 = self.losses.iter().sum();
+        let mut newly = vec![false; n];
+        if sampled.len() >= 2 {
+            let sum: f64 = sampled.iter().map(|s| s.1).sum();
+            for &(i, r) in &sampled {
+                let mean_other = (sum - r) / (sampled.len() - 1) as f64;
+                if r > 0.20 + 2.0 * mean_other {
+                    newly[i] = true;
+                }
+            }
+        }
+        for i in 0..n {
+            let mean_other_loss = (total_loss - self.losses[i]) as f64 / (n - 1).max(1) as f64;
+            if self.losses[i] >= 3 && self.losses[i] as f64 > 4.0 * mean_other_loss.max(0.25) {
+                newly[i] = true;
+            }
+        }
+        // Never exclude everything.
+        let excluded_after =
+            (0..n).filter(|&i| newly[i] || self.cooldown[i] > 0).count();
+        if excluded_after < n {
+            for i in 0..n {
+                if newly[i] {
+                    self.cooldown[i] = EXCLUSION_ROUNDS;
+                    // Forget the bad history so re-probing starts clean.
+                    self.acks[i] = 0;
+                    self.nacks[i] = 0;
+                    self.losses[i] = 0;
+                }
+            }
+        }
+    }
+
+    pub fn on_ack(&mut self, path: u32) {
+        if let Some(a) = self.acks.get_mut(path as usize) {
+            *a += 1;
+        }
+    }
+
+    pub fn on_nack(&mut self, path: u32) {
+        if let Some(nk) = self.nacks.get_mut(path as usize) {
+            *nk += 1;
+        }
+    }
+
+    pub fn on_loss(&mut self, path: u32) {
+        if let Some(l) = self.losses.get_mut(path as usize) {
+            *l += 1;
+        }
+    }
+
+    pub fn is_excluded(&self, path: u32) -> bool {
+        self.cooldown[path as usize] > 0
+    }
+
+    /// Pick a path different from `avoid` (retransmissions always use a new
+    /// path, §3.2.3).
+    pub fn next_avoiding(&mut self, rng: &mut SmallRng, avoid: u32) -> u32 {
+        if self.n == 1 {
+            return 0;
+        }
+        for _ in 0..2 * self.n as usize + 2 {
+            let p = self.next(rng);
+            if p != avoid {
+                return p;
+            }
+        }
+        avoid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn covers_all_paths_each_round() {
+        let mut ps = PathSet::new(16, true);
+        let mut r = rng();
+        for _round in 0..10 {
+            let mut seen = vec![false; 16];
+            for _ in 0..16 {
+                seen[ps.next(&mut r) as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "each round visits every path once");
+        }
+    }
+
+    #[test]
+    fn rounds_differ_between_permutations() {
+        let mut ps = PathSet::new(16, true);
+        let mut r = rng();
+        let round1: Vec<u32> = (0..16).map(|_| ps.next(&mut r)).collect();
+        let round2: Vec<u32> = (0..16).map(|_| ps.next(&mut r)).collect();
+        assert_ne!(round1, round2, "permutation should change between rounds");
+    }
+
+    #[test]
+    fn single_path_is_trivial() {
+        let mut ps = PathSet::new(1, true);
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(ps.next(&mut r), 0);
+        }
+        assert_eq!(ps.next_avoiding(&mut r, 0), 0);
+    }
+
+    #[test]
+    fn nack_outlier_gets_excluded_then_recovers() {
+        let mut ps = PathSet::new(4, true);
+        let mut r = rng();
+        // Path 3 NACKs everything, others are clean.
+        for _ in 0..50 {
+            ps.on_nack(3);
+            ps.on_ack(0);
+            ps.on_ack(1);
+            ps.on_ack(2);
+        }
+        // Trigger a reshuffle.
+        for _ in 0..8 {
+            ps.next(&mut r);
+        }
+        assert!(ps.is_excluded(3));
+        let picks: Vec<u32> = (0..30).map(|_| ps.next(&mut r)).collect();
+        assert!(picks.iter().all(|&p| p != 3), "excluded path must not be used");
+        // Stop the pain; decay should eventually re-admit path 3.
+        for _ in 0..2000 {
+            ps.next(&mut r);
+            ps.on_ack(0);
+            ps.on_ack(1);
+            ps.on_ack(2);
+        }
+        assert!(!ps.is_excluded(3), "exclusion must be temporary");
+    }
+
+    #[test]
+    fn uniform_incast_nacks_do_not_exclude() {
+        // During incast every path NACKs heavily; none should be excluded.
+        let mut ps = PathSet::new(8, true);
+        let mut r = rng();
+        for _ in 0..100 {
+            for p in 0..8 {
+                ps.on_nack(p);
+                if p % 2 == 0 {
+                    ps.on_ack(p);
+                }
+            }
+        }
+        for _ in 0..16 {
+            ps.next(&mut r);
+        }
+        for p in 0..8 {
+            assert!(!ps.is_excluded(p), "path {p} wrongly excluded");
+        }
+    }
+
+    #[test]
+    fn loss_outlier_excluded() {
+        let mut ps = PathSet::new(4, true);
+        let mut r = rng();
+        for _ in 0..10 {
+            ps.on_loss(2);
+        }
+        for p in 0..4 {
+            for _ in 0..20 {
+                ps.on_ack(p);
+            }
+        }
+        for _ in 0..8 {
+            ps.next(&mut r);
+        }
+        assert!(ps.is_excluded(2));
+    }
+
+    #[test]
+    fn penalty_disabled_never_excludes() {
+        let mut ps = PathSet::new(4, false);
+        let mut r = rng();
+        for _ in 0..100 {
+            ps.on_nack(3);
+            ps.on_ack(0);
+        }
+        for _ in 0..40 {
+            ps.next(&mut r);
+        }
+        assert!(!ps.is_excluded(3));
+    }
+
+    #[test]
+    fn next_avoiding_avoids() {
+        let mut ps = PathSet::new(8, true);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_ne!(ps.next_avoiding(&mut r, 5), 5);
+        }
+    }
+
+    #[test]
+    fn never_excludes_all_paths() {
+        let mut ps = PathSet::new(2, true);
+        let mut r = rng();
+        for _ in 0..100 {
+            ps.on_nack(0);
+            ps.on_nack(1);
+            ps.on_loss(0);
+            ps.on_loss(1);
+        }
+        // Must still be able to pick something.
+        let p = ps.next(&mut r);
+        assert!(p < 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! The NDP receiver state machine.
+//!
+//! §3.2: for each arriving trimmed header, NACK immediately (the sender
+//! must *prepare* the retransmission); for each arriving data packet, ACK
+//! immediately (the sender may free the buffer); for **every** arrival,
+//! add a PULL to the host's shared pull queue. When the FIN-marked last
+//! packet arrives and the transfer is complete, cancel any queued pulls
+//! for this sender so the pacer doesn't waste link capacity on them.
+//!
+//! Reordering needs no special handling: nothing here infers loss from
+//! sequence gaps — trimmed headers carry exact per-packet information, in
+//! any order (§3.2.1).
+
+use std::any::Any;
+
+use ndp_net::host::{Endpoint, EndpointCtx, PullPriority};
+use ndp_net::packet::{Flags, HostId, Packet, PacketKind};
+use ndp_sim::{ComponentId, Time};
+
+/// Receiver-side counters.
+#[derive(Clone, Debug, Default)]
+pub struct NdpReceiverStats {
+    pub data_pkts: u64,
+    pub duplicate_pkts: u64,
+    pub headers: u64,
+    pub payload_bytes: u64,
+    pub first_arrival: Option<Time>,
+    pub completion_time: Option<Time>,
+    /// Per-packet one-way delivery latencies (original send → first
+    /// untrimmed arrival), in picoseconds, recorded when tracing is on.
+    pub delivery_latencies: Vec<u64>,
+}
+
+/// The receiver endpoint for one NDP connection.
+pub struct NdpReceiver {
+    peer: HostId,
+    prio: PullPriority,
+    /// `total = FIN seq + 1`, learned from any FIN-flagged arrival
+    /// (trimmed headers keep their flags).
+    total: Option<u64>,
+    received: Vec<bool>,
+    received_count: u64,
+    done: bool,
+    notify: Option<(ComponentId, u64)>,
+    trace_latency: bool,
+    pub stats: NdpReceiverStats,
+}
+
+impl NdpReceiver {
+    pub fn new(peer: HostId) -> NdpReceiver {
+        NdpReceiver {
+            peer,
+            prio: PullPriority::Normal,
+            total: None,
+            received: Vec::new(),
+            received_count: 0,
+            done: false,
+            notify: None,
+            trace_latency: false,
+            stats: NdpReceiverStats::default(),
+        }
+    }
+
+    /// Pull this connection with strict priority (§5.1 "Benefits of
+    /// prioritization": the receiver is the only entity that can
+    /// dynamically prioritize its inbound traffic).
+    pub fn with_priority(mut self, prio: PullPriority) -> NdpReceiver {
+        self.prio = prio;
+        self
+    }
+
+    pub fn with_notify(mut self, comp: ComponentId, token: u64) -> NdpReceiver {
+        self.notify = Some((comp, token));
+        self
+    }
+
+    /// Record per-packet delivery latencies (Figure 4).
+    pub fn with_latency_trace(mut self) -> NdpReceiver {
+        self.trace_latency = true;
+        self
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Flow completion time measured at the receiver (first arrival →
+    /// all data received).
+    pub fn fct(&self) -> Option<Time> {
+        Some(self.stats.completion_time? - self.stats.first_arrival?)
+    }
+
+    fn mark(&mut self, seq: u64) -> bool {
+        if self.received.len() <= seq as usize {
+            self.received.resize(seq as usize + 1, false);
+        }
+        if self.received[seq as usize] {
+            false
+        } else {
+            self.received[seq as usize] = true;
+            self.received_count += 1;
+            true
+        }
+    }
+
+    fn is_received(&self, seq: u64) -> bool {
+        self.received.get(seq as usize).copied().unwrap_or(false)
+    }
+
+    fn check_done(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        let Some(total) = self.total else { return };
+        if self.done || self.received_count < total {
+            return;
+        }
+        self.done = true;
+        self.stats.completion_time = Some(ctx.now());
+        // Remove queued pulls for this sender (§3.2) and retire the
+        // connection id into time-wait (§3.2.2 at-most-once semantics).
+        ctx.pull_cancel();
+        ctx.enter_time_wait();
+        if let Some((comp, tok)) = self.notify {
+            ctx.notify(comp, tok);
+        }
+    }
+
+    fn reply(&self, kind: PacketKind, data: &Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        let mut r = Packet::control(ctx.host(), self.peer, data.flow, kind);
+        r.seq = data.seq;
+        // Echo the data packet's path so the sender's scoreboard can
+        // attribute the ACK/NACK (§3.2.3), and its send time for RTT
+        // estimation.
+        r.path = data.path;
+        r.sent = data.sent;
+        ctx.send(r);
+    }
+}
+
+impl Endpoint for NdpReceiver {
+    fn on_start(&mut self, _ctx: &mut EndpointCtx<'_, '_>) {
+        // Passive open (listen): nothing to do until data arrives — §3.2.2,
+        // connection state is established by whichever packet arrives first.
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        if pkt.kind != PacketKind::Data || pkt.is_rts() {
+            return;
+        }
+        if self.stats.first_arrival.is_none() {
+            self.stats.first_arrival = Some(ctx.now());
+        }
+        if pkt.flags.has(Flags::FIN) {
+            self.total = Some(pkt.seq + 1);
+        }
+        if pkt.is_trimmed() {
+            // Payload was cut: NACK so the sender readies a retransmission.
+            self.stats.headers += 1;
+            self.reply(PacketKind::Nack, &pkt, ctx);
+            if !self.done {
+                ctx.pull_request(self.peer, self.prio);
+            }
+        } else {
+            self.stats.data_pkts += 1;
+            if self.mark(pkt.seq) {
+                self.stats.payload_bytes += pkt.payload as u64;
+                ctx.account_delivered(pkt.payload as u64);
+                if self.trace_latency {
+                    self.stats.delivery_latencies.push((ctx.now() - pkt.sent).as_ps());
+                }
+            } else {
+                self.stats.duplicate_pkts += 1;
+            }
+            self.reply(PacketKind::Ack, &pkt, ctx);
+            if !self.done {
+                ctx.pull_request(self.peer, self.prio);
+            }
+            self.check_done(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _token: u8, _ctx: &mut EndpointCtx<'_, '_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

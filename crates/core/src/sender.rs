@@ -1,0 +1,384 @@
+//! The NDP sender state machine.
+//!
+//! Lifecycle (§3.2): push `min(IW, total)` packets immediately at line rate
+//! (all carrying SYN and their sequence offset), then go quiescent. Every
+//! subsequent transmission is triggered by a PULL (retransmissions queued
+//! by NACKs go first, then new data), a returned header (return-to-sender,
+//! with the anti-incast-echo rules of §3.2.4), or — only for genuinely lost
+//! packets, i.e. corruption — the retransmission timeout.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use ndp_net::host::{Endpoint, EndpointCtx};
+use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, HEADER_BYTES};
+use ndp_sim::{ComponentId, Time};
+
+use crate::path::PathSet;
+
+const RTO_TOKEN: u8 = 1;
+
+/// Sender-side counters for the evaluation figures.
+#[derive(Clone, Debug, Default)]
+pub struct NdpSenderStats {
+    pub data_sent: u64,
+    pub retransmissions: u64,
+    /// Retransmissions triggered via NACK→pull.
+    pub rtx_nack: u64,
+    /// Retransmissions triggered by returned (RTS) headers.
+    pub rtx_rts: u64,
+    /// Retransmissions triggered by the RTO (corruption recovery).
+    pub rtx_rto: u64,
+    pub acks: u64,
+    pub nacks: u64,
+    pub pulls: u64,
+    pub rts_received: u64,
+    /// Pulls that arrived when there was nothing left to send.
+    pub wasted_pulls: u64,
+    pub start_time: Option<Time>,
+    pub completion_time: Option<Time>,
+}
+
+impl NdpSenderStats {
+    /// Flow completion time as seen by the sender (start → all ACKed).
+    pub fn fct(&self) -> Option<Time> {
+        Some(self.completion_time? - self.start_time?)
+    }
+}
+
+/// Configuration for one NDP flow.
+#[derive(Clone, Debug)]
+pub struct NdpFlowCfg {
+    pub size_bytes: u64,
+    /// Initial window in packets (the paper's only sender parameter; 30 by
+    /// default, §6.2).
+    pub iw_pkts: u64,
+    pub mtu: u32,
+    /// Retransmission timeout (1 ms is safe given the 400 µs worst-case
+    /// RTT, §3.2.4).
+    pub rto: Time,
+    /// Number of sender-selectable paths to the destination.
+    pub n_paths: u32,
+    /// Path-scoreboard outlier exclusion (§3.2.3). Fig 22 ablates this.
+    pub path_penalty: bool,
+    /// Receiver pulls this flow with strict priority.
+    pub high_priority: bool,
+    /// Completion notification: (component, token) woken when done.
+    pub notify: Option<(ComponentId, u64)>,
+}
+
+impl NdpFlowCfg {
+    pub fn new(size_bytes: u64) -> NdpFlowCfg {
+        NdpFlowCfg {
+            size_bytes,
+            iw_pkts: 30,
+            mtu: 9000,
+            rto: Time::from_ms(1),
+            n_paths: 1,
+            path_penalty: true,
+            high_priority: false,
+            notify: None,
+        }
+    }
+
+    pub fn payload_per_pkt(&self) -> u64 {
+        (self.mtu - HEADER_BYTES) as u64
+    }
+
+    /// Total packets for the transfer.
+    pub fn total_pkts(&self) -> u64 {
+        self.size_bytes.div_ceil(self.payload_per_pkt()).max(1)
+    }
+}
+
+/// The sender endpoint.
+pub struct NdpSender {
+    flow: FlowId,
+    dst: HostId,
+    cfg: NdpFlowCfg,
+    total_pkts: u64,
+    next_new: u64,
+    /// Packets queued for retransmission (pulled before new data).
+    rtx_q: VecDeque<u64>,
+    rtx_set: HashSet<u64>,
+    acked: Vec<bool>,
+    acked_count: u64,
+    /// seq -> (send time, path) for packets awaiting ACK/NACK.
+    outstanding: BTreeMap<u64, (Time, u32)>,
+    /// Total ACK+NACK feedback received (each queues a pull at the rx).
+    feedback: u64,
+    /// Highest pull counter honoured.
+    pull_ctr: u64,
+    /// First-window sequences returned to sender (RTS echo suppression).
+    first_window_rts: HashSet<u64>,
+    iw_sent: u64,
+    /// Ring of recent feedback kinds (true = ACK) for the RTS "mostly
+    /// ACKed" rule.
+    recent: VecDeque<bool>,
+    paths: PathSet,
+    rto_armed: bool,
+    /// Time of the most recent feedback (ACK/NACK/PULL/RTS) or send. The
+    /// RTO is a reliability net for *corrupted* packets (§3.2): it fires
+    /// only when the flow has been completely silent for a full RTO, never
+    /// merely because a burst's tail is still being serialized or pulled.
+    last_activity: Time,
+    done: bool,
+    pub stats: NdpSenderStats,
+}
+
+impl NdpSender {
+    pub fn new(flow: FlowId, dst: HostId, cfg: NdpFlowCfg) -> NdpSender {
+        let total_pkts = cfg.total_pkts();
+        let paths = PathSet::new(cfg.n_paths, cfg.path_penalty);
+        NdpSender {
+            flow,
+            dst,
+            cfg,
+            total_pkts,
+            next_new: 0,
+            rtx_q: VecDeque::new(),
+            rtx_set: HashSet::new(),
+            acked: vec![false; total_pkts as usize],
+            acked_count: 0,
+            outstanding: BTreeMap::new(),
+            feedback: 0,
+            pull_ctr: 0,
+            first_window_rts: HashSet::new(),
+            iw_sent: 0,
+            recent: VecDeque::new(),
+            paths,
+            rto_armed: false,
+            last_activity: Time::ZERO,
+            done: false,
+            stats: NdpSenderStats::default(),
+        }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    pub fn total_pkts(&self) -> u64 {
+        self.total_pkts
+    }
+
+    fn pkt_wire_size(&self, seq: u64) -> u32 {
+        let per = self.cfg.payload_per_pkt();
+        let offset = seq * per;
+        let payload = self.cfg.size_bytes.saturating_sub(offset).min(per).max(1) as u32;
+        payload + HEADER_BYTES
+    }
+
+    fn send_data(&mut self, seq: u64, rtx: bool, avoid_path: Option<u32>, ctx: &mut EndpointCtx<'_, '_>) {
+        let path = match avoid_path {
+            Some(p) => self.paths.next_avoiding(ctx.rng(), p),
+            None => self.paths.next(ctx.rng()),
+        };
+        let mut pkt = Packet::data(ctx.host(), self.dst, self.flow, seq, self.pkt_wire_size(seq));
+        pkt.path = path;
+        pkt.sent = ctx.now();
+        if seq < self.cfg.iw_pkts {
+            // §3.2.2: every first-RTT packet carries SYN + its offset so
+            // whichever arrives first can establish connection state.
+            pkt.flags = pkt.flags.with(Flags::SYN);
+        }
+        if rtx {
+            pkt.flags = pkt.flags.with(Flags::RTX);
+            self.stats.retransmissions += 1;
+        }
+        // Mark the last packet (§3.2). Trimming preserves flags, so the
+        // receiver learns the transfer length even if this packet's payload
+        // is cut; it completes only once *all* of 0..total has arrived.
+        if seq == self.total_pkts - 1 {
+            pkt.flags = pkt.flags.with(Flags::FIN);
+        }
+        if self.cfg.high_priority {
+            pkt.flags = pkt.flags.with(Flags::PRIO);
+        }
+        self.outstanding.insert(seq, (ctx.now(), path));
+        self.stats.data_sent += 1;
+        self.last_activity = ctx.now();
+        ctx.send(pkt);
+        self.arm_rto(ctx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if !self.rto_armed && !self.outstanding.is_empty() {
+            self.rto_armed = true;
+            ctx.timer_in(self.cfg.rto, RTO_TOKEN);
+        }
+    }
+
+    fn queue_rtx(&mut self, seq: u64) {
+        if !self.acked[seq as usize] && self.rtx_set.insert(seq) {
+            self.rtx_q.push_back(seq);
+        }
+    }
+
+    fn pop_rtx(&mut self) -> Option<u64> {
+        while let Some(seq) = self.rtx_q.pop_front() {
+            self.rtx_set.remove(&seq);
+            if !self.acked[seq as usize] {
+                return Some(seq);
+            }
+        }
+        None
+    }
+
+    /// Send up to `n` packets in response to pulls: retransmissions first,
+    /// then new data (§3.2).
+    fn pump(&mut self, n: u64, ctx: &mut EndpointCtx<'_, '_>) {
+        for _ in 0..n {
+            if let Some(seq) = self.pop_rtx() {
+                self.stats.rtx_nack += 1;
+                self.send_data(seq, true, None, ctx);
+            } else if self.next_new < self.total_pkts {
+                let seq = self.next_new;
+                self.next_new += 1;
+                self.send_data(seq, false, None, ctx);
+            } else {
+                self.stats.wasted_pulls += 1;
+            }
+        }
+    }
+
+    fn on_ack(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        let seq = pkt.seq;
+        if seq >= self.total_pkts {
+            return;
+        }
+        self.stats.acks += 1;
+        self.paths.on_ack(pkt.path);
+        self.push_recent(true);
+        self.feedback += 1;
+        self.outstanding.remove(&seq);
+        if !self.acked[seq as usize] {
+            self.acked[seq as usize] = true;
+            self.acked_count += 1;
+            if self.acked_count == self.total_pkts && !self.done {
+                self.done = true;
+                self.stats.completion_time = Some(ctx.now());
+                if let Some((comp, tok)) = self.cfg.notify {
+                    ctx.notify(comp, tok);
+                }
+            }
+        }
+    }
+
+    fn on_nack(&mut self, pkt: Packet, _ctx: &mut EndpointCtx<'_, '_>) {
+        let seq = pkt.seq;
+        if seq >= self.total_pkts {
+            return;
+        }
+        self.stats.nacks += 1;
+        self.paths.on_nack(pkt.path);
+        self.push_recent(false);
+        self.feedback += 1;
+        // Feedback received: the packet is known-trimmed, stop RTO-tracking
+        // it (the receiver queued a pull; retransmission will be pulled).
+        self.outstanding.remove(&seq);
+        self.queue_rtx(seq);
+    }
+
+    fn push_recent(&mut self, ack: bool) {
+        self.recent.push_back(ack);
+        if self.recent.len() > 16 {
+            self.recent.pop_front();
+        }
+    }
+
+    /// §3.2.4 return-to-sender: resend immediately only if (a) we are not
+    /// expecting more pulls, or (b) the whole first window bounced, or (c)
+    /// feedback is mostly ACKs (asymmetric network — a different path will
+    /// likely work). Otherwise queue for pulling, which keeps the pull
+    /// clock going without echoing the incast.
+    fn on_rts(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        let seq = pkt.seq;
+        if seq >= self.total_pkts {
+            return;
+        }
+        self.stats.rts_received += 1;
+        self.outstanding.remove(&seq);
+        if self.acked[seq as usize] {
+            return;
+        }
+        if seq < self.iw_sent {
+            self.first_window_rts.insert(seq);
+        }
+        let expecting_pulls = self.feedback > self.pull_ctr;
+        let whole_window_returned = self.iw_sent > 0
+            && self.first_window_rts.len() as u64 >= self.iw_sent.min(self.total_pkts);
+        let mostly_acked = self.recent.len() >= 8
+            && self.recent.iter().filter(|&&a| a).count() * 4 >= self.recent.len() * 3;
+        if !expecting_pulls || whole_window_returned || mostly_acked {
+            self.stats.rtx_rts += 1;
+            self.send_data(seq, true, Some(pkt.path), ctx);
+        } else {
+            self.queue_rtx(seq);
+        }
+    }
+}
+
+impl Endpoint for NdpSender {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        self.stats.start_time = Some(ctx.now());
+        let burst = self.cfg.iw_pkts.min(self.total_pkts);
+        self.iw_sent = burst;
+        for _ in 0..burst {
+            let seq = self.next_new;
+            self.next_new += 1;
+            self.send_data(seq, false, None, ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+        self.last_activity = ctx.now();
+        match pkt.kind {
+            PacketKind::Ack => self.on_ack(pkt, ctx),
+            PacketKind::Nack => self.on_nack(pkt, ctx),
+            PacketKind::Pull => {
+                if pkt.ack > self.pull_ctr {
+                    let n = pkt.ack - self.pull_ctr;
+                    self.pull_ctr = pkt.ack;
+                    self.stats.pulls += n;
+                    self.pump(n, ctx);
+                }
+            }
+            PacketKind::Data if pkt.is_rts() => self.on_rts(pkt, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u8, ctx: &mut EndpointCtx<'_, '_>) {
+        if token != RTO_TOKEN {
+            return;
+        }
+        self.rto_armed = false;
+        if self.done || self.outstanding.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let deadline = self.last_activity + self.cfg.rto;
+        if now < deadline {
+            // Feedback is still flowing: the flow isn't stalled, so nothing
+            // is presumed lost. Re-arm for the remaining silence window.
+            self.rto_armed = true;
+            ctx.timer_in(deadline - now, RTO_TOKEN);
+            return;
+        }
+        // Full RTO of silence with packets outstanding: something was
+        // genuinely lost (corruption, or a dropped header). Resend the
+        // oldest outstanding packet on a different path and penalize the
+        // old one (§3.2.3).
+        if let Some((&seq, &(_, path))) = self.outstanding.iter().next() {
+            self.paths.on_loss(path);
+            self.stats.rtx_rto += 1;
+            self.send_data(seq, true, Some(path), ctx);
+        }
+        self.arm_rto(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig08_rpc_latency result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig08_rpc_latency::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig09_testbed_incast result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig09_testbed_incast::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig11_iw_throughput result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig11_iw_throughput::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

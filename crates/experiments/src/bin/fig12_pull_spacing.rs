@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig12_pull_spacing result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig12_pull_spacing::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig13_pull_jitter_incast result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig13_pull_jitter_incast::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig16_incast_scaling result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig16_incast_scaling::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

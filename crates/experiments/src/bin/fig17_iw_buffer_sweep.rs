@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig17_iw_buffer_sweep result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig17_iw_buffer_sweep::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig19_collateral result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig19_collateral::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig22_failure result. Set NDP_SCALE=paper for the
+//! full-scale run (default: quick).
+fn main() {
+    let scale = ndp_experiments::Scale::from_env();
+    let report = ndp_experiments::fig22_failure::run(scale);
+    println!("{report}");
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,250 @@
+//! Figure 8: time to perform a 1 KB RPC over NDP, TCP Fast Open and TCP,
+//! with and without deep CPU sleep states.
+//!
+//! The testbed artefacts are modelled per DESIGN.md: NDP runs on a
+//! DPDK-style polling host (small constant per-packet cost), TCP/TFO on an
+//! interrupt-driven kernel host; the "sleep" variants add the ~160 µs
+//! C-state wake-up the paper found dominates the gap. Expected ordering:
+//! NDP ≪ TFO(no sleep) < TCP(no sleep) < TFO < TCP.
+
+use ndp_metrics::{Cdf, Table};
+use ndp_net::host::HostLatency;
+use ndp_net::packet::Packet;
+use ndp_sim::{ComponentId, Speed, Time, World};
+use ndp_topology::{BackToBack, QueueSpec};
+
+use crate::harness::{attach_generic, FlowSpec, Proto, Scale, Trigger};
+use ndp_baselines::tcp::Handshake;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stack {
+    Ndp,
+    Tfo,
+    Tcp,
+    TfoNoSleep,
+    TcpNoSleep,
+}
+
+impl Stack {
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Ndp => "NDP",
+            Stack::Tfo => "TFO",
+            Stack::Tcp => "TCP",
+            Stack::TfoNoSleep => "TFO (no sleep)",
+            Stack::TcpNoSleep => "TCP (no sleep)",
+        }
+    }
+
+    fn latency_model(self) -> HostLatency {
+        match self {
+            // DPDK polling: the paper's breakdown gives ~22 us for a raw
+            // ping and ~40 us of NDP protocol + app processing per RPC.
+            Stack::Ndp => HostLatency {
+                rx_delay: Time::from_us(7),
+                tx_delay: Time::from_us(7),
+                ..Default::default()
+            },
+            // Interrupt-driven kernel stack.
+            Stack::TfoNoSleep | Stack::TcpNoSleep => HostLatency {
+                rx_delay: Time::from_us(25),
+                tx_delay: Time::from_us(12),
+                ..Default::default()
+            },
+            // Same, but C-states deeper than C1 enabled: ~160 us wake-up
+            // split across the two hosts that wake per RPC.
+            Stack::Tfo | Stack::Tcp => HostLatency {
+                rx_delay: Time::from_us(25),
+                tx_delay: Time::from_us(12),
+                wake_latency: Time::from_us(80),
+                sleep_after: Time::from_us(200),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn proto(self) -> Proto {
+        match self {
+            Stack::Ndp => Proto::Ndp,
+            _ => Proto::Tcp,
+        }
+    }
+
+    fn handshake(self) -> Handshake {
+        match self {
+            Stack::Ndp => Handshake::None,
+            Stack::Tfo | Stack::TfoNoSleep => Handshake::Tfo,
+            Stack::Tcp | Stack::TcpNoSleep => Handshake::ThreeWay,
+        }
+    }
+}
+
+pub struct Report {
+    pub cdfs: Vec<(Stack, Cdf)>,
+}
+
+/// One request/response pair per RPC: client sends 1 KB, server replies
+/// 1 KB when the request completes. RPCs repeat with a 1 ms think time
+/// (long enough for deep sleep to kick in, as in the paper's testbed).
+fn run_stack(stack: Stack, n_rpcs: usize) -> Cdf {
+    let mut world: World<Packet> = World::new(99);
+    let b2b = BackToBack::build(
+        &mut world,
+        Speed::gbps(10),
+        Time::from_us(1),
+        1500,
+        match stack {
+            Stack::Ndp => QueueSpec::ndp_default(),
+            _ => QueueSpec::droptail_default(),
+        },
+        stack.latency_model(),
+    );
+    let trig: ComponentId = world.reserve();
+    let mut trigger = Trigger::new();
+    let think = Time::from_ms(1);
+    for i in 0..n_rpcs {
+        let req_flow = (2 * i + 1) as u64;
+        let rsp_flow = (2 * i + 2) as u64;
+        // Request: client (host0) -> server (host1). All flows are armed
+        // far in the future; the trigger chain (and one explicit kick for
+        // the first request) provides the actual start times.
+        let mut req = FlowSpec::new(req_flow, 0, 1, 1_000);
+        req.notify = Some((trig, req_flow));
+        req.start = Time::MAX;
+        // The response flow is started by the trigger when the request
+        // completes; the *next* request starts when the response completes.
+        let mut rsp = FlowSpec::new(rsp_flow, 1, 0, 1_000);
+        rsp.notify = Some((trig, rsp_flow));
+        rsp.start = Time::MAX;
+        match stack.proto() {
+            Proto::Ndp => {
+                attach_generic(&mut world, Proto::Ndp, &req, (b2b.hosts[0], 0), (b2b.hosts[1], 1), 1, 1500);
+                attach_generic(&mut world, Proto::Ndp, &rsp, (b2b.hosts[1], 1), (b2b.hosts[0], 0), 1, 1500);
+            }
+            _ => {
+                let mk = |spec: &FlowSpec, src: u32, dst: u32| {
+                    let mut cfg = ndp_baselines::tcp::TcpCfg::new(spec.size);
+                    cfg.mtu = 1500;
+                    cfg.handshake = stack.handshake();
+                    cfg.notify = spec.notify;
+                    (cfg, src, dst)
+                };
+                let (cfg, _, _) = mk(&req, 0, 1);
+                ndp_baselines::tcp::attach_tcp_flow(
+                    &mut world,
+                    req_flow,
+                    (b2b.hosts[0], 0),
+                    (b2b.hosts[1], 1),
+                    cfg,
+                    Time::MAX, // started by trigger
+                );
+                let (cfg, _, _) = mk(&rsp, 1, 0);
+                ndp_baselines::tcp::attach_tcp_flow(
+                    &mut world,
+                    rsp_flow,
+                    (b2b.hosts[1], 1),
+                    (b2b.hosts[0], 0),
+                    cfg,
+                    Time::MAX,
+                );
+            }
+        }
+        // request done -> start response immediately.
+        trigger.on(req_flow, Time::ZERO, vec![(b2b.hosts[1], rsp_flow << 8)]);
+        // response done -> start next request after think time.
+        if i + 1 < n_rpcs {
+            let next_req = (2 * (i + 1) + 1) as u64;
+            trigger.on(rsp_flow, think, vec![(b2b.hosts[0], next_req << 8)]);
+        }
+    }
+    world.install(trig, trigger);
+    // Kick off the first request.
+    world.post_wake(Time::ZERO, b2b.hosts[0], 1u64 << 8);
+    world.run_until(Time::from_secs(30));
+    // NDP flows get started by attach at their `start` time; we posted
+    // Time::ZERO starts for flow 1 only — NDP attach also posted start
+    // wakes, which for requests >1 must be ignored until triggered. To keep
+    // this simple, NDP RPCs are measured from the trigger log instead.
+    let trig_ref = world.get::<Trigger>(trig);
+    let mut samples = Vec::new();
+    let mut prev_rsp_done: Option<Time> = None;
+    for i in 0..n_rpcs {
+        let req_flow = (2 * i + 1) as u64;
+        let rsp_flow = (2 * i + 2) as u64;
+        let (Some(_req_done), Some(rsp_done)) =
+            (trig_ref.fired_at(req_flow), trig_ref.fired_at(rsp_flow))
+        else {
+            continue;
+        };
+        let started = match prev_rsp_done {
+            None => Time::ZERO,
+            Some(t) => t + think,
+        };
+        prev_rsp_done = Some(rsp_done);
+        samples.push((rsp_done - started).as_us());
+    }
+    Cdf::from_samples(samples)
+}
+
+pub fn run(scale: Scale) -> Report {
+    let n = match scale {
+        Scale::Paper => 200,
+        Scale::Quick => 40,
+    };
+    let stacks = [Stack::Ndp, Stack::TfoNoSleep, Stack::TcpNoSleep, Stack::Tfo, Stack::Tcp];
+    Report { cdfs: stacks.iter().map(|&s| (s, run_stack(s, n))).collect() }
+}
+
+impl Report {
+    pub fn median(&self, stack: Stack) -> f64 {
+        self.cdfs.iter().find(|(s, _)| *s == stack).map(|(_, c)| c.median()).unwrap_or(f64::NAN)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "median 1KB RPC: NDP {:.0}us, TFO(no sleep) {:.0}us, TCP(no sleep) {:.0}us, TFO {:.0}us, TCP {:.0}us",
+            self.median(Stack::Ndp),
+            self.median(Stack::TfoNoSleep),
+            self.median(Stack::TcpNoSleep),
+            self.median(Stack::Tfo),
+            self.median(Stack::Tcp)
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["stack", "p10 (us)", "median (us)", "p90 (us)", "p99 (us)"]);
+        for (s, c) in &self.cdfs {
+            t.row([
+                s.label().to_string(),
+                format!("{:.0}", c.percentile(0.10)),
+                format!("{:.0}", c.median()),
+                format!("{:.0}", c.percentile(0.90)),
+                format!("{:.0}", c.percentile(0.99)),
+            ]);
+        }
+        write!(f, "Figure 8 — 1KB RPC latency\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let rep = run(Scale::Quick);
+        let ndp = rep.median(Stack::Ndp);
+        let tfo_ns = rep.median(Stack::TfoNoSleep);
+        let tcp_ns = rep.median(Stack::TcpNoSleep);
+        let tfo = rep.median(Stack::Tfo);
+        let tcp = rep.median(Stack::Tcp);
+        assert!(ndp < tfo_ns, "NDP {ndp} < TFO-no-sleep {tfo_ns}");
+        assert!(tfo_ns < tcp_ns, "TFO beats TCP without sleep");
+        assert!(tfo_ns < tfo, "sleep states inflate TFO");
+        assert!(tcp_ns < tcp, "sleep states inflate TCP");
+        // NDP is severalfold faster than full TCP, as in the paper.
+        assert!(tcp > 2.5 * ndp, "TCP {tcp} vs NDP {ndp}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 10: prioritizing a short flow over six long flows to the same
+//! host. The receiver puts the short flow's PULLs at the head of its pull
+//! queue. Expected: FCT(prio) ≈ FCT(idle) + ~50 µs, while without
+//! prioritization the short flow is fair-shared to ~1/7 of the link and
+//! takes ~10× the idle time.
+
+use ndp_metrics::Table;
+use ndp_net::packet::{HostId, Packet};
+use ndp_sim::{Time, World};
+use ndp_topology::{TwoTier, TwoTierCfg};
+
+use crate::harness::{attach_generic, completion_time, FlowSpec, Proto, Scale, LONG_FLOW};
+
+pub struct Report {
+    pub size: u64,
+    pub idle: Time,
+    pub with_prio: Time,
+    pub without_prio: Time,
+}
+
+fn trial(size: u64, prio: bool, background: bool, seed: u64) -> Time {
+    let cfg = TwoTierCfg::testbed();
+    let mut world: World<Packet> = World::new(seed);
+    let tt = TwoTier::build(&mut world, cfg);
+    // Receiver host 0; short flow from host 1; long flows from hosts 2..8.
+    if background {
+        for s in 2..8usize {
+            let spec = FlowSpec::new(s as u64, s as HostId, 0, LONG_FLOW);
+            attach_generic(
+                &mut world,
+                Proto::Ndp,
+                &spec,
+                (tt.hosts[s], s as HostId),
+                (tt.hosts[0], 0),
+                tt.n_paths(s as u32, 0),
+                9000,
+            );
+        }
+    }
+    let mut spec = FlowSpec::new(1, 1, 0, size);
+    spec.prio = prio;
+    attach_generic(
+        &mut world,
+        Proto::Ndp,
+        &spec,
+        (tt.hosts[1], 1),
+        (tt.hosts[0], 0),
+        tt.n_paths(1, 0),
+        9000,
+    );
+    world.run_until(Time::from_secs(5));
+    completion_time(&world, tt.hosts[0], 1, Proto::Ndp).expect("short flow must complete")
+}
+
+pub fn run(_scale: Scale) -> Report {
+    let size = 200_000;
+    Report {
+        size,
+        idle: trial(size, false, false, 5),
+        with_prio: trial(size, true, true, 5),
+        without_prio: trial(size, false, true, 5),
+    }
+}
+
+/// The paper also reports that for sizes 10 KB–1 MB the prio-vs-idle gap
+/// stays under 50 µs; expose the sweep for EXPERIMENTS.md.
+pub fn sweep() -> Vec<(u64, Time, Time)> {
+    [10_000u64, 50_000, 200_000, 500_000, 1_000_000]
+        .iter()
+        .map(|&s| (s, trial(s, false, false, 6), trial(s, true, true, 6)))
+        .collect()
+}
+
+impl Report {
+    pub fn headline(&self) -> String {
+        format!(
+            "200KB short flow FCT: idle {:.0}us, prioritized {:.0}us (+{:.0}us), unprioritized {:.0}us (+{:.0}us)",
+            self.idle.as_us(),
+            self.with_prio.as_us(),
+            (self.with_prio - self.idle).as_us(),
+            self.without_prio.as_us(),
+            (self.without_prio - self.idle).as_us()
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["scenario", "FCT (us)", "delta vs idle (us)"]);
+        t.row(["idle".to_string(), format!("{:.1}", self.idle.as_us()), "0".into()]);
+        t.row([
+            "with prioritization".to_string(),
+            format!("{:.1}", self.with_prio.as_us()),
+            format!("{:.1}", (self.with_prio - self.idle).as_us()),
+        ]);
+        t.row([
+            "without prioritization".to_string(),
+            format!("{:.1}", self.without_prio.as_us()),
+            format!("{:.1}", (self.without_prio - self.idle).as_us()),
+        ]);
+        write!(f, "Figure 10 — short flow vs six long flows, one receiver\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prioritization_shields_the_short_flow() {
+        let rep = run(Scale::Quick);
+        assert!(rep.idle < rep.with_prio, "contention must cost something");
+        assert!(rep.with_prio < rep.without_prio, "priority must help");
+        // The prioritized FCT stays within a few hundred us of idle (the
+        // residual first-window backlog ahead of it at the last hop; see
+        // EXPERIMENTS.md — the paper measured +50us on hardware), while the
+        // unprioritized flow is fair-shared to ~1/7 of the link and pays
+        // several times more.
+        let prio_penalty = rep.with_prio - rep.idle;
+        let noprio_penalty = rep.without_prio - rep.idle;
+        assert!(
+            prio_penalty < Time::from_us(400),
+            "prio penalty {prio_penalty}"
+        );
+        assert!(
+            noprio_penalty > prio_penalty * 3,
+            "no-prio {noprio_penalty} vs prio {prio_penalty}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 11: throughput between two directly connected hosts as a
+//! function of NDP's initial window.
+//!
+//! The "perfect" curve is the bare simulator; the "experimental" curve
+//! adds the host-processing delays measured on the Linux/DPDK prototype
+//! (the paper found the prototype needs IW ≈ 25 instead of 15 — the extra
+//! ten packets cover host processing). We set the one-way link latency to
+//! 50 µs so the perfect curve saturates near IW 15 like the paper's
+//! simulation (their b2b baseline RTT, see DESIGN.md).
+
+use ndp_core::{attach_flow, NdpFlowCfg};
+use ndp_metrics::Table;
+use ndp_net::host::HostLatency;
+use ndp_net::packet::Packet;
+use ndp_sim::{Speed, Time, World};
+use ndp_topology::{BackToBack, QueueSpec};
+
+use crate::harness::Scale;
+
+pub struct Report {
+    /// (iw, perfect Gb/s, experimental Gb/s)
+    pub rows: Vec<(u64, f64, f64)>,
+}
+
+fn throughput(iw: u64, host_delay: bool) -> f64 {
+    let mut world: World<Packet> = World::new(3);
+    let latency = if host_delay {
+        // ~72 us of extra round-trip host processing: the ten extra packets
+        // of buffering the paper measured.
+        HostLatency { rx_delay: Time::from_us(18), tx_delay: Time::from_us(18), ..Default::default() }
+    } else {
+        HostLatency::default()
+    };
+    let b2b = BackToBack::build(
+        &mut world,
+        Speed::gbps(10),
+        Time::from_us(50),
+        9000,
+        QueueSpec::ndp_default(),
+        latency,
+    );
+    let size = 30_000_000u64;
+    let cfg = NdpFlowCfg { n_paths: 1, iw_pkts: iw, ..NdpFlowCfg::new(size) };
+    attach_flow(&mut world, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+    world.run_until(Time::from_secs(10));
+    let rx = ndp_core::flow::receiver_stats(&world, b2b.hosts[1], 1);
+    let fct = rx.completion_time.expect("transfer completes") ;
+    size as f64 * 8.0 / fct.as_secs() / 1e9
+}
+
+pub fn run(scale: Scale) -> Report {
+    let iws: &[u64] = match scale {
+        Scale::Paper => &[1, 2, 4, 8, 12, 15, 16, 20, 25, 32, 64, 128, 256],
+        Scale::Quick => &[1, 4, 8, 16, 32, 128],
+    };
+    Report {
+        rows: iws.iter().map(|&iw| (iw, throughput(iw, false), throughput(iw, true))).collect(),
+    }
+}
+
+impl Report {
+    fn at(&self, iw: u64) -> Option<&(u64, f64, f64)> {
+        self.rows.iter().find(|r| r.0 == iw)
+    }
+
+    pub fn headline(&self) -> String {
+        let lo = self.rows.first().unwrap();
+        let hi = self.rows.last().unwrap();
+        format!(
+            "IW {}: perfect {:.2} Gb/s, experimental {:.2} Gb/s -> IW {}: perfect {:.2}, experimental {:.2}",
+            lo.0, lo.1, lo.2, hi.0, hi.1, hi.2
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["IW (pkts)", "perfect (Gb/s)", "experimental (Gb/s)"]);
+        for (iw, p, e) in &self.rows {
+            t.row([iw.to_string(), format!("{p:.2}"), format!("{e:.2}")]);
+        }
+        write!(f, "Figure 11 — throughput vs initial window, back-to-back hosts\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_needs_more_window_with_host_delays() {
+        let rep = run(Scale::Quick);
+        // Small IW underutilizes; big IW saturates.
+        let small = rep.at(1).unwrap();
+        let big = rep.at(128).unwrap();
+        assert!(small.1 < 2.0, "IW=1 perfect {:.2}", small.1);
+        assert!(big.1 > 9.0, "IW=128 perfect {:.2}", big.1);
+        assert!(big.2 > 9.0, "IW=128 experimental {:.2}", big.2);
+        // At a mid window the perfect host is already saturated while the
+        // delayed host still isn't — the paper's 15-vs-25 gap.
+        let mid = rep.at(16).unwrap();
+        assert!(mid.1 > 9.0, "perfect should saturate by IW 16: {:.2}", mid.1);
+        assert!(mid.2 < mid.1 - 0.5, "host delays must cost throughput at IW 16: {:.2}", mid.2);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_iw() {
+        let rep = run(Scale::Quick);
+        for w in rep.rows.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 0.3, "perfect curve roughly monotone");
+            assert!(w[1].2 >= w[0].2 - 0.3, "experimental curve roughly monotone");
+        }
+    }
+}

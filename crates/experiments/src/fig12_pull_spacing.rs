@@ -1,0 +1,97 @@
+//! Figure 12: distribution of PULL spacing measured at the sender for
+//! 1500 B and 9000 B packets.
+//!
+//! The pacer targets one pull per packet serialization time (1.2 µs /
+//! 7.2 µs at 10 Gb/s). The "measured" curves sample the synthetic jitter
+//! distributions calibrated to the paper's plot: the 9000 B curve is tight
+//! around its target, the 1500 B curve has real variance but the same
+//! median.
+
+use ndp_core::{attach_flow, NdpFlowCfg};
+use ndp_metrics::{Cdf, Table};
+use ndp_net::host::{Host, HostLatency, JitterDist};
+use ndp_net::packet::Packet;
+use ndp_sim::{Speed, Time, World};
+use ndp_topology::{BackToBack, QueueSpec};
+
+use crate::harness::Scale;
+
+pub struct Report {
+    pub spacing_1500: Cdf,
+    pub spacing_9000: Cdf,
+}
+
+fn measure(mtu: u32, jitter: JitterDist, n_pkts: u64) -> Cdf {
+    let mut world: World<Packet> = World::new(21);
+    let latency = HostLatency { pull_jitter: Some(jitter), ..Default::default() };
+    let b2b = BackToBack::build(
+        &mut world,
+        Speed::gbps(10),
+        Time::from_us(1),
+        mtu,
+        QueueSpec::ndp_default(),
+        latency,
+    );
+    world.get_mut::<Host>(b2b.hosts[1]).trace_pulls(true);
+    let size = n_pkts * (mtu as u64 - 64);
+    let cfg = NdpFlowCfg { n_paths: 1, mtu, iw_pkts: 10, ..NdpFlowCfg::new(size) };
+    attach_flow(&mut world, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+    world.run_until(Time::from_secs(5));
+    let times = &world.get::<Host>(b2b.hosts[1]).stats().pull_times;
+    let gaps: Vec<f64> =
+        times.windows(2).map(|w| (w[1] - w[0]) as f64 / 1e6).filter(|&g| g > 0.0).collect();
+    Cdf::from_samples(gaps)
+}
+
+pub fn run(scale: Scale) -> Report {
+    let n = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 3_000,
+    };
+    Report {
+        spacing_1500: measure(1500, JitterDist::measured_1500b(), n),
+        spacing_9000: measure(9000, JitterDist::measured_9000b(), n),
+    }
+}
+
+impl Report {
+    pub fn headline(&self) -> String {
+        format!(
+            "median pull spacing: 1500B {:.2}us (target 1.2), 9000B {:.2}us (target 7.2)",
+            self.spacing_1500.median(),
+            self.spacing_9000.median()
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["percentile", "1500B gap (us)", "9000B gap (us)"]);
+        for p in [0.05, 0.25, 0.50, 0.75, 0.95, 0.99] {
+            t.row([
+                format!("{:.0}%", p * 100.0),
+                format!("{:.2}", self.spacing_1500.percentile(p)),
+                format!("{:.2}", self.spacing_9000.percentile(p)),
+            ]);
+        }
+        write!(f, "Figure 12 — PULL spacing at the sender\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_match_targets_and_1500b_is_noisier() {
+        let rep = run(Scale::Quick);
+        let m15 = rep.spacing_1500.median();
+        let m90 = rep.spacing_9000.median();
+        assert!((m15 - 1.2).abs() < 0.4, "1500B median {m15}");
+        assert!((m90 - 7.2).abs() < 1.0, "9000B median {m90}");
+        // Relative spread: 1500B is much wider (Fig 12's visual).
+        let spread15 = rep.spacing_1500.percentile(0.95) / m15;
+        let spread90 = rep.spacing_9000.percentile(0.95) / m90;
+        assert!(spread15 > spread90, "1500B spread {spread15:.2} vs 9000B {spread90:.2}");
+    }
+}

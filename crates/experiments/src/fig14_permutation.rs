@@ -1,0 +1,101 @@
+//! Figure 14: per-flow throughput under a permutation traffic matrix on
+//! the 432-host FatTree, for NDP (8-pkt queues), MPTCP (8 subflows,
+//! 200-pkt queues), DCTCP and DCQCN.
+//!
+//! Expected shape: DCTCP/DCQCN suffer per-flow-ECMP collisions (~40 %
+//! utilization, slowest flows ≪ 1 Gb/s); MPTCP reaches ~89 %; NDP ~92 %+
+//! with the tightest distribution (slowest flow ≈ 9 Gb/s).
+
+use ndp_metrics::Table;
+use ndp_sim::Time;
+use ndp_topology::FatTreeCfg;
+
+use crate::harness::{permutation_run, PermutationResult, Proto, Scale};
+
+pub struct Report {
+    pub results: Vec<(Proto, PermutationResult)>,
+}
+
+pub fn run(scale: Scale) -> Report {
+    let duration = match scale {
+        Scale::Paper => Time::from_ms(30),
+        Scale::Quick => Time::from_ms(10),
+    };
+    let protos = [Proto::Ndp, Proto::Mptcp, Proto::Dctcp, Proto::Dcqcn];
+    Report {
+        results: protos
+            .iter()
+            .map(|&p| (p, permutation_run(p, FatTreeCfg::new(scale.big_k()), duration, 7, None)))
+            .collect(),
+    }
+}
+
+impl Report {
+    pub fn utilization(&self, proto: Proto) -> f64 {
+        self.results.iter().find(|(p, _)| *p == proto).map(|(_, r)| r.utilization).unwrap_or(0.0)
+    }
+
+    pub fn min_gbps(&self, proto: Proto) -> f64 {
+        self.results
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .and_then(|(_, r)| r.per_flow_gbps.first().copied())
+            .unwrap_or(0.0)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "utilization: NDP {:.0}%, MPTCP {:.0}%, DCTCP {:.0}%, DCQCN {:.0}%; slowest NDP flow {:.1} Gb/s",
+            100.0 * self.utilization(Proto::Ndp),
+            100.0 * self.utilization(Proto::Mptcp),
+            100.0 * self.utilization(Proto::Dctcp),
+            100.0 * self.utilization(Proto::Dcqcn),
+            self.min_gbps(Proto::Ndp)
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t =
+            Table::new(["protocol", "util %", "min Gb/s", "p10 Gb/s", "median Gb/s", "max Gb/s"]);
+        for (p, r) in &self.results {
+            let v = &r.per_flow_gbps;
+            let n = v.len();
+            t.row([
+                p.label().to_string(),
+                format!("{:.1}", 100.0 * r.utilization),
+                format!("{:.2}", v[0]),
+                format!("{:.2}", v[n / 10]),
+                format!("{:.2}", v[n / 2]),
+                format!("{:.2}", v[n - 1]),
+            ]);
+        }
+        write!(f, "Figure 14 — permutation per-flow throughput\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_matches_paper() {
+        let rep = run(Scale::Quick);
+        let ndp = rep.utilization(Proto::Ndp);
+        let mptcp = rep.utilization(Proto::Mptcp);
+        let dctcp = rep.utilization(Proto::Dctcp);
+        let dcqcn = rep.utilization(Proto::Dcqcn);
+        assert!(ndp > 0.85, "NDP utilization {ndp:.2}");
+        assert!(ndp > mptcp, "NDP {ndp:.2} > MPTCP {mptcp:.2}");
+        assert!(mptcp > dctcp, "MPTCP {mptcp:.2} > DCTCP {dctcp:.2}");
+        assert!(dctcp < 0.75, "single-path ECMP collisions should cap DCTCP: {dctcp:.2}");
+        assert!(dcqcn < 0.75, "DCQCN is also single-path: {dcqcn:.2}");
+        // Fairness: NDP's slowest flow stays near line rate.
+        assert!(
+            rep.min_gbps(Proto::Ndp) > 0.75 * 10.0 * ndp,
+            "NDP min flow {:.2}",
+            rep.min_gbps(Proto::Ndp)
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 15: FCT of repeated 90 KB transfers between two otherwise-idle
+//! hosts while every other host sources four long flows to random
+//! destinations — the standing-queue test.
+//!
+//! Expected ordering (medians): NDP ≪ DCTCP ≤ DCQCN ≪ MPTCP, because NDP's
+//! in-network buffers are 8 packets while DCTCP's marking holds ~30 and
+//! MPTCP greedily fills the 200-packet buffers.
+
+use ndp_metrics::{Cdf, Table};
+use ndp_net::packet::{HostId, Packet};
+use ndp_sim::{ComponentId, Time, World};
+use ndp_topology::{FatTree, FatTreeCfg};
+
+use crate::harness::{
+    attach_on_fattree, completion_time, FlowSpec, Proto, Scale, Trigger, LONG_FLOW,
+};
+
+pub struct Report {
+    pub cdfs: Vec<(Proto, Cdf)>,
+}
+
+fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
+    let cfg = FatTreeCfg::new(scale.big_k()).with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    // Background: every host except the two probes sources 4 long flows.
+    let probe_a = 0usize;
+    let probe_b = n / 2; // different pod
+    let mut flow_id = 1_000u64;
+    let bg_per_host = match scale {
+        Scale::Paper => 4,
+        Scale::Quick => 2,
+    };
+    for src in 0..n {
+        if src == probe_a || src == probe_b {
+            continue;
+        }
+        for _ in 0..bg_per_host {
+            let dst = loop {
+                let d = rand::Rng::gen_range(&mut rng, 0..n);
+                if d != src && d != probe_a && d != probe_b {
+                    break d;
+                }
+            };
+            let spec = FlowSpec::new(flow_id, src as HostId, dst as HostId, LONG_FLOW);
+            flow_id += 1;
+            attach_on_fattree(&mut world, &ft, proto, &spec);
+        }
+    }
+    // Probes: a chain of 90KB transfers A->B, each started when the
+    // previous completes (plus a small gap).
+    let n_probes = match scale {
+        Scale::Paper => 60,
+        Scale::Quick => 15,
+    };
+    let trig: ComponentId = world.reserve();
+    let mut trigger = Trigger::new();
+    for i in 0..n_probes {
+        let flow = i as u64 + 1;
+        let mut spec = FlowSpec::new(flow, probe_a as HostId, probe_b as HostId, 90_000);
+        spec.notify = Some((trig, flow));
+        spec.start = if i == 0 { Time::from_ms(1) } else { Time::MAX };
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+        if i + 1 < n_probes {
+            trigger.on(flow, Time::from_us(100), vec![(ft.hosts[probe_a], (flow + 1) << 8)]);
+        }
+    }
+    world.install(trig, trigger);
+    world.run_until(match scale {
+        Scale::Paper => Time::from_secs(5),
+        Scale::Quick => Time::from_secs(2),
+    });
+    // FCT = completion - start; starts are in the trigger log (previous
+    // completion + gap), the first at 1 ms.
+    let trig_ref = world.get::<Trigger>(trig);
+    let mut samples = Vec::new();
+    let mut start = Time::from_ms(1);
+    for i in 0..n_probes {
+        let flow = i as u64 + 1;
+        let Some(done) = completion_time(&world, ft.hosts[probe_b], flow, proto) else { break };
+        samples.push((done - start).as_ms());
+        match trig_ref.fired_at(flow) {
+            Some(t) => start = t + Time::from_us(100),
+            None => break,
+        }
+    }
+    Cdf::from_samples(samples)
+}
+
+pub fn run(scale: Scale) -> Report {
+    let protos = [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn, Proto::Mptcp];
+    Report { cdfs: protos.iter().map(|&p| (p, probe_fcts(p, scale, 17))).collect() }
+}
+
+impl Report {
+    pub fn median(&self, proto: Proto) -> f64 {
+        self.cdfs.iter().find(|(p, _)| *p == proto).map(|(_, c)| c.median()).unwrap_or(f64::NAN)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "median 90KB FCT: NDP {:.2}ms, DCTCP {:.2}ms, DCQCN {:.2}ms, MPTCP {:.2}ms",
+            self.median(Proto::Ndp),
+            self.median(Proto::Dctcp),
+            self.median(Proto::Dcqcn),
+            self.median(Proto::Mptcp)
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["protocol", "median (ms)", "p90 (ms)", "p99 (ms)", "samples"]);
+        for (p, c) in &self.cdfs {
+            if c.is_empty() {
+                t.row([p.label().to_string(), "-".into(), "-".into(), "-".into(), "0".into()]);
+                continue;
+            }
+            t.row([
+                p.label().to_string(),
+                format!("{:.3}", c.median()),
+                format!("{:.3}", c.percentile(0.90)),
+                format!("{:.3}", c.percentile(0.99)),
+                c.len().to_string(),
+            ]);
+        }
+        write!(f, "Figure 15 — 90KB FCTs under background load\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndp_beats_dctcp_beats_mptcp() {
+        let rep = run(Scale::Quick);
+        let ndp = rep.median(Proto::Ndp);
+        let dctcp = rep.median(Proto::Dctcp);
+        let mptcp = rep.median(Proto::Mptcp);
+        assert!(ndp < dctcp, "NDP {ndp:.3}ms < DCTCP {dctcp:.3}ms");
+        assert!(dctcp < mptcp, "DCTCP {dctcp:.3}ms < MPTCP {mptcp:.3}ms");
+        // NDP's worst case stays within ~2x the unloaded transfer time.
+        let c = &rep.cdfs.iter().find(|(p, _)| *p == Proto::Ndp).unwrap().1;
+        assert!(c.percentile(1.0) < 1.0, "NDP p100 {:.3}ms", c.percentile(1.0));
+    }
+}

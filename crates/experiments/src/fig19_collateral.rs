@@ -1,0 +1,165 @@
+//! Figure 19: collateral damage caused by a 64-flow incast on a
+//! *different* host of the same ToR, for DCTCP, DCQCN and NDP.
+//!
+//! Setup (Fig 18): host A receives one long-running flow; host B, on the
+//! same ToR, receives a 64:1 incast of 900 KB responses. We trace goodput
+//! of both hosts in 1 ms buckets. Expected: DCTCP's long flow dips for
+//! tens of ms while losses recover; DCQCN's PFC pauses repeatedly punch
+//! holes in the long flow; NDP's long flow dips for under ~2 ms (the first
+//! RTT of the incast) and recovers to line rate.
+
+use ndp_metrics::{Table, TimeSeries};
+use ndp_net::host::Host;
+use ndp_net::packet::{HostId, Packet};
+use ndp_sim::{Time, World};
+use ndp_topology::{TwoTier, TwoTierCfg};
+
+use crate::harness::{attach_generic, FlowSpec, Proto, Scale, LONG_FLOW};
+
+pub struct Trace {
+    pub proto: Proto,
+    pub long_flow: TimeSeries,
+    pub incast: TimeSeries,
+    /// Buckets (ms) where the long flow ran below half line rate after the
+    /// incast started.
+    pub long_flow_depressed_ms: usize,
+}
+
+pub struct Report {
+    pub traces: Vec<Trace>,
+    pub incast_start: Time,
+}
+
+fn trial(proto: Proto, scale: Scale, seed: u64) -> Trace {
+    let n_incast = match scale {
+        Scale::Paper => 64,
+        Scale::Quick => 32,
+    };
+    // Victim rack (hosts 0, 1) + sender racks, two hosts each.
+    let cfg = TwoTierCfg::collateral(n_incast / 2 + 1).with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let tt = TwoTier::build(&mut world, cfg);
+    let bucket = Time::from_ms(1);
+    world.get_mut::<Host>(tt.hosts[0]).enable_rx_trace(bucket);
+    world.get_mut::<Host>(tt.hosts[1]).enable_rx_trace(bucket);
+    // Long flow into host 0 from the last sender host.
+    let long_src = tt.hosts.len() - 1;
+    let spec = FlowSpec::new(1, long_src as HostId, 0, LONG_FLOW);
+    attach_generic(
+        &mut world,
+        proto,
+        &spec,
+        (tt.hosts[long_src], long_src as HostId),
+        (tt.hosts[0], 0),
+        tt.n_paths(long_src as u32, 0),
+        9000,
+    );
+    // 64:1 incast of 900KB into host 1 starting at t=50ms, from hosts 2..,
+    // skipping the long-flow source.
+    let incast_start = Time::from_ms(50);
+    for i in 0..n_incast {
+        let src = 2 + i;
+        assert!(src < long_src);
+        let mut s = FlowSpec::new(10 + i as u64, src as HostId, 1, 900_000);
+        s.start = incast_start;
+        attach_generic(
+            &mut world,
+            proto,
+            &s,
+            (tt.hosts[src], src as HostId),
+            (tt.hosts[1], 1),
+            tt.n_paths(src as u32, 1),
+            9000,
+        );
+    }
+    let horizon = match proto {
+        Proto::Dctcp => Time::from_ms(400),
+        _ => Time::from_ms(200),
+    };
+    world.run_until(horizon);
+    let collect = |host: usize| {
+        let mut ts = TimeSeries::new(bucket);
+        if let Some((b, buckets)) = world.get::<Host>(tt.hosts[host]).rx_trace() {
+            for (i, &bytes) in buckets.iter().enumerate() {
+                ts.add(b * i as u64, bytes);
+            }
+        }
+        ts
+    };
+    let long_flow = collect(0);
+    let incast = collect(1);
+    let start_bucket = (incast_start.as_ps() / bucket.as_ps()) as usize;
+    let depressed = long_flow
+        .rates_gbps()
+        .iter()
+        .skip(start_bucket)
+        .filter(|(_, r)| *r < 5.0)
+        .count();
+    Trace { proto, long_flow, incast, long_flow_depressed_ms: depressed }
+}
+
+pub fn run(scale: Scale) -> Report {
+    let protos = [Proto::Dctcp, Proto::Dcqcn, Proto::Ndp];
+    Report {
+        traces: protos.iter().map(|&p| trial(p, scale, 13)).collect(),
+        incast_start: Time::from_ms(50),
+    }
+}
+
+impl Report {
+    pub fn depressed_ms(&self, proto: Proto) -> usize {
+        self.traces
+            .iter()
+            .find(|t| t.proto == proto)
+            .map(|t| t.long_flow_depressed_ms)
+            .unwrap_or(usize::MAX)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "long-flow depressed buckets (<5Gb/s, 1ms each): DCTCP {}, DCQCN {}, NDP {}",
+            self.depressed_ms(Proto::Dctcp),
+            self.depressed_ms(Proto::Dcqcn),
+            self.depressed_ms(Proto::Ndp)
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for t in &self.traces {
+            writeln!(f, "Figure 19 — {} (incast starts at {})", t.proto.label(), self.incast_start)?;
+            let mut tab = Table::new(["t (ms)", "long flow Gb/s", "incast Gb/s"]);
+            let long = t.long_flow.rates_gbps();
+            let inc = t.incast.rates_gbps();
+            let n = long.len().max(inc.len());
+            for i in (0..n).step_by(2) {
+                let lf = long.get(i).map(|x| x.1).unwrap_or(0.0);
+                let ic = inc.get(i).map(|x| x.1).unwrap_or(0.0);
+                tab.row([format!("{:.0}", i as f64), format!("{lf:.2}"), format!("{ic:.2}")]);
+            }
+            writeln!(f, "{}", tab.render())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndp_recovers_fastest() {
+        let rep = run(Scale::Quick);
+        let ndp = rep.depressed_ms(Proto::Ndp);
+        let dctcp = rep.depressed_ms(Proto::Dctcp);
+        assert!(ndp <= 3, "NDP long flow should dip <3ms, got {ndp}");
+        assert!(dctcp > ndp, "DCTCP ({dctcp}ms) must suffer longer than NDP ({ndp}ms)");
+        // The incast itself completes: its aggregate trace carries all the
+        // bytes eventually.
+        for t in &rep.traces {
+            let total = t.incast.total_bytes();
+            assert!(total > 0, "{:?} incast never delivered", t.proto);
+        }
+    }
+}

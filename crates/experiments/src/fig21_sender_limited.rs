@@ -1,0 +1,118 @@
+//! Figure 21: sender-limited traffic. Host A sends to B, C, D and E while
+//! host F also sends to E. Fair queuing of the pull queue at E must give A
+//! exactly what it can use (≈2.4 Gb/s) and fill the rest of E's link from
+//! F, while A's four flows split A's NIC almost perfectly.
+//!
+//! Paper's numbers: A→B/C/D ≈ 2.5, A→E ≈ 2.38, F→E ≈ 7.55; both A's
+//! uplink and E's downlink ≈ 9.9 Gb/s.
+
+use ndp_metrics::Table;
+use ndp_net::packet::{HostId, Packet};
+use ndp_sim::{Time, World};
+use ndp_topology::{TwoTier, TwoTierCfg};
+
+use crate::harness::{attach_generic, delivered_bytes, FlowSpec, Proto, Scale, LONG_FLOW};
+
+pub struct Report {
+    /// (label, Gb/s)
+    pub flows: Vec<(&'static str, f64)>,
+    pub total_from_a: f64,
+    pub total_to_e: f64,
+}
+
+pub fn run(scale: Scale) -> Report {
+    // A=0 B=1 C=2 | D=3 E=4 F=5.
+    let cfg = TwoTierCfg::sender_limited();
+    let mut world: World<Packet> = World::new(77);
+    let tt = TwoTier::build(&mut world, cfg);
+    let pairs: [(&str, usize, usize); 5] = [
+        ("A->B", 0, 1),
+        ("A->C", 0, 2),
+        ("A->D", 0, 3),
+        ("A->E", 0, 4),
+        ("F->E", 5, 4),
+    ];
+    for (i, &(_, src, dst)) in pairs.iter().enumerate() {
+        let spec = FlowSpec::new(i as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        attach_generic(
+            &mut world,
+            Proto::Ndp,
+            &spec,
+            (tt.hosts[src], src as HostId),
+            (tt.hosts[dst], dst as HostId),
+            tt.n_paths(src as u32, dst as u32),
+            9000,
+        );
+    }
+    let duration = match scale {
+        Scale::Paper => Time::from_ms(50),
+        Scale::Quick => Time::from_ms(15),
+    };
+    world.run_until(duration);
+    let mut flows = Vec::new();
+    let mut from_a = 0.0;
+    let mut to_e = 0.0;
+    for (i, &(label, _src, dst)) in pairs.iter().enumerate() {
+        let bytes = delivered_bytes(&world, tt.hosts[dst], i as u64 + 1, Proto::Ndp);
+        let gbps = bytes as f64 * 8.0 / duration.as_secs() / 1e9;
+        if label.starts_with("A->") {
+            from_a += gbps;
+        }
+        if label.ends_with("->E") || label == "A->E" {
+            to_e += gbps;
+        }
+        flows.push((label, gbps));
+    }
+    Report { flows, total_from_a: from_a, total_to_e: to_e }
+}
+
+impl Report {
+    pub fn gbps(&self, label: &str) -> f64 {
+        self.flows.iter().find(|(l, _)| *l == label).map(|(_, g)| *g).unwrap_or(f64::NAN)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "A->B {:.2}, A->C {:.2}, A->D {:.2}, A->E {:.2}, F->E {:.2} Gb/s; from A {:.2}, to E {:.2}",
+            self.gbps("A->B"),
+            self.gbps("A->C"),
+            self.gbps("A->D"),
+            self.gbps("A->E"),
+            self.gbps("F->E"),
+            self.total_from_a,
+            self.total_to_e
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["flow", "Gb/s"]);
+        for (l, g) in &self.flows {
+            t.row([l.to_string(), format!("{g:.2}")]);
+        }
+        t.row(["Total from A".to_string(), format!("{:.2}", self.total_from_a)]);
+        t.row(["Total to E".to_string(), format!("{:.2}", self.total_to_e)]);
+        write!(f, "Figure 21 — sender-limited topology throughputs\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_fair_queuing_fills_both_bottlenecks() {
+        let rep = run(Scale::Quick);
+        // Both bottleneck links nearly saturated.
+        assert!(rep.total_from_a > 9.0, "A's uplink {:.2}", rep.total_from_a);
+        assert!(rep.total_to_e > 9.0, "E's downlink {:.2}", rep.total_to_e);
+        // A's four flows share A's link almost equally.
+        for l in ["A->B", "A->C", "A->D", "A->E"] {
+            let g = rep.gbps(l);
+            assert!((1.9..=3.1).contains(&g), "{l} got {g:.2} Gb/s");
+        }
+        // F fills the rest of E's link: far more than an equal split.
+        assert!(rep.gbps("F->E") > 6.5, "F->E {:.2}", rep.gbps("F->E"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 22: permutation throughput when one core↔agg link renegotiates
+//! from 10 Gb/s to 1 Gb/s (asymmetric failure) on the 128-host FatTree.
+//!
+//! Expected: NDP (with the §3.2.3 path penalty) and MPTCP route around the
+//! sick link; NDP *without* the penalty keeps spraying onto it and a
+//! band of flows collapses to ~3 Gb/s; a few DCTCP flows hash onto the
+//! link and get crushed (~0.4 Gb/s).
+
+use ndp_metrics::Table;
+use ndp_net::packet::{HostId, Packet};
+use ndp_sim::{Speed, Time, World};
+use ndp_topology::{FatTree, FatTreeCfg};
+
+use crate::harness::{attach_on_fattree, delivered_bytes, FlowSpec, Proto, Scale, LONG_FLOW};
+
+pub struct Report {
+    /// (protocol, sorted per-flow Gb/s)
+    pub results: Vec<(Proto, Vec<f64>)>,
+}
+
+fn trial(proto: Proto, scale: Scale, seed: u64) -> Vec<f64> {
+    let k = match scale {
+        Scale::Paper => 8, // 128 hosts, as in the paper
+        Scale::Quick => 4,
+    };
+    let cfg = FatTreeCfg::new(k).with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    // Degrade pod 0, agg 0, uplink 0 in both directions.
+    ft.degrade_core_link(&mut world, 0, 0, 0, Speed::gbps(1));
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let dsts = ndp_workloads::permutation(n, &mut rng);
+    for (src, &dst) in dsts.iter().enumerate() {
+        let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+    }
+    let duration = match scale {
+        Scale::Paper => Time::from_ms(30),
+        Scale::Quick => Time::from_ms(12),
+    };
+    world.run_until(duration);
+    let mut per_flow: Vec<f64> = dsts
+        .iter()
+        .enumerate()
+        .map(|(src, &dst)| {
+            delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, proto) as f64 * 8.0
+                / duration.as_secs()
+                / 1e9
+        })
+        .collect();
+    per_flow.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_flow
+}
+
+pub fn run(scale: Scale) -> Report {
+    let protos = [Proto::Ndp, Proto::NdpNoPenalty, Proto::Mptcp, Proto::Dctcp];
+    Report { results: protos.iter().map(|&p| (p, trial(p, scale, 19))).collect() }
+}
+
+impl Report {
+    pub fn min(&self, proto: Proto) -> f64 {
+        self.results
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .and_then(|(_, v)| v.first().copied())
+            .unwrap_or(f64::NAN)
+    }
+
+    pub fn mean(&self, proto: Proto) -> f64 {
+        self.results
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .map(|(_, v)| v.iter().sum::<f64>() / v.len() as f64)
+            .unwrap_or(f64::NAN)
+    }
+
+    pub fn headline(&self) -> String {
+        format!(
+            "slowest flow with degraded core link: NDP {:.1} Gb/s, NDP-no-penalty {:.1}, MPTCP {:.1}, DCTCP {:.1}",
+            self.min(Proto::Ndp),
+            self.min(Proto::NdpNoPenalty),
+            self.min(Proto::Mptcp),
+            self.min(Proto::Dctcp)
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["protocol", "min Gb/s", "p10 Gb/s", "mean Gb/s", "max Gb/s"]);
+        for (p, v) in &self.results {
+            t.row([
+                p.label().to_string(),
+                format!("{:.2}", v[0]),
+                format!("{:.2}", v[v.len() / 10]),
+                format!("{:.2}", self.mean(*p)),
+                format!("{:.2}", v[v.len() - 1]),
+            ]);
+        }
+        write!(f, "Figure 22 — permutation with a core link degraded to 1 Gb/s\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_penalty_rescues_ndp() {
+        let rep = run(Scale::Quick);
+        let with = rep.min(Proto::Ndp);
+        let without = rep.min(Proto::NdpNoPenalty);
+        assert!(
+            with > without + 0.5,
+            "penalty must lift the worst flow: with {with:.2} vs without {without:.2}"
+        );
+        assert!(rep.mean(Proto::Ndp) > 0.8 * rep.mean(Proto::NdpNoPenalty));
+        // DCTCP's unluckiest flow is crushed by the 1G link.
+        assert!(rep.min(Proto::Dctcp) < 1.5, "DCTCP min {:.2}", rep.min(Proto::Dctcp));
+    }
+}

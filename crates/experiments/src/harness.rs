@@ -1,0 +1,419 @@
+//! Shared experiment machinery: protocol dispatch, traffic-matrix runners
+//! and the completion-driven trigger component.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use ndp_baselines::dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver};
+use ndp_baselines::mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver};
+use ndp_baselines::phost::{attach_phost_flow, PHostCfg, PHostReceiver};
+use ndp_baselines::tcp::{attach_tcp_flow, TcpCfg, TcpReceiver};
+use ndp_core::{attach_flow, NdpFlowCfg, NdpReceiver};
+use ndp_net::host::Host;
+use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_sim::{Component, ComponentId, Ctx, Event, Speed, Time, World};
+use ndp_topology::{FatTree, FatTreeCfg, QueueSpec};
+
+/// Scale knob: `paper()` reproduces the paper's parameters, `quick()`
+/// shrinks everything for CI and Criterion benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Paper,
+    Quick,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("NDP_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// FatTree parameter k for "the 432-host network" experiments.
+    pub fn big_k(self) -> usize {
+        match self {
+            Scale::Paper => 12,  // 432 hosts
+            Scale::Quick => 8,   // 128 hosts
+        }
+    }
+
+    /// FatTree parameter k for "the 8192-host network" experiments.
+    pub fn huge_k(self) -> usize {
+        match self {
+            Scale::Paper => 32, // 8192 hosts
+            Scale::Quick => 8,
+        }
+    }
+
+    pub fn duration(self) -> Time {
+        match self {
+            Scale::Paper => Time::from_ms(50),
+            Scale::Quick => Time::from_ms(15),
+        }
+    }
+}
+
+/// The transports under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    Ndp,
+    /// NDP with §3.2.3 path-penalty disabled (Figure 22's ablation).
+    NdpNoPenalty,
+    Tcp,
+    Dctcp,
+    Mptcp,
+    Dcqcn,
+    PHost,
+}
+
+impl Proto {
+    pub fn label(self) -> &'static str {
+        match self {
+            Proto::Ndp => "NDP",
+            Proto::NdpNoPenalty => "NDP (no path penalty)",
+            Proto::Tcp => "TCP",
+            Proto::Dctcp => "DCTCP",
+            Proto::Mptcp => "MPTCP",
+            Proto::Dcqcn => "DCQCN",
+            Proto::PHost => "pHost",
+        }
+    }
+
+    /// The switch service model this transport runs over (§6.1: NDP gets
+    /// 8-packet queues, DCTCP/MPTCP 200-packet, DCQCN lossless+ECN).
+    pub fn fabric(self) -> QueueSpec {
+        match self {
+            Proto::Ndp | Proto::NdpNoPenalty => QueueSpec::ndp_default(),
+            Proto::Tcp | Proto::Mptcp => QueueSpec::droptail_default(),
+            Proto::Dctcp => QueueSpec::dctcp_default(),
+            Proto::Dcqcn => QueueSpec::dcqcn_default(),
+            Proto::PHost => QueueSpec::phost_default(),
+        }
+    }
+}
+
+/// "Effectively infinite" flow size for long-running measurements: far
+/// more than any horizon can drain, small enough that per-packet state
+/// stays cheap.
+pub const LONG_FLOW: u64 = 1 << 30;
+
+/// Deterministic per-flow "ECMP hash" for single-path transports.
+pub fn flow_hash_path(flow: FlowId) -> u32 {
+    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
+}
+
+/// One flow to set up.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    pub flow: FlowId,
+    pub src: HostId,
+    pub dst: HostId,
+    pub size: u64,
+    pub start: Time,
+    pub prio: bool,
+    pub notify: Option<(ComponentId, u64)>,
+    /// Override NDP's initial window (None = paper default 30).
+    pub iw: Option<u64>,
+}
+
+impl FlowSpec {
+    pub fn new(flow: FlowId, src: HostId, dst: HostId, size: u64) -> FlowSpec {
+        FlowSpec { flow, src, dst, size, start: Time::ZERO, prio: false, notify: None, iw: None }
+    }
+}
+
+/// Attach `spec` using protocol `proto` on a FatTree.
+pub fn attach_on_fattree(world: &mut World<Packet>, ft: &FatTree, proto: Proto, spec: &FlowSpec) {
+    let mtu = ft.cfg.mtu;
+    let n_paths = ft.n_paths(spec.src, spec.dst);
+    let src = (ft.hosts[spec.src as usize], spec.src);
+    let dst = (ft.hosts[spec.dst as usize], spec.dst);
+    attach_generic(world, proto, spec, src, dst, n_paths, mtu);
+}
+
+/// Attach `spec` between explicit host components.
+#[allow(clippy::too_many_arguments)]
+pub fn attach_generic(
+    world: &mut World<Packet>,
+    proto: Proto,
+    spec: &FlowSpec,
+    src: (ComponentId, HostId),
+    dst: (ComponentId, HostId),
+    n_paths: u32,
+    mtu: u32,
+) {
+    match proto {
+        Proto::Ndp | Proto::NdpNoPenalty => {
+            let mut cfg = NdpFlowCfg::new(spec.size);
+            cfg.mtu = mtu;
+            cfg.n_paths = n_paths;
+            cfg.path_penalty = proto == Proto::Ndp;
+            cfg.high_priority = spec.prio;
+            cfg.notify = spec.notify;
+            if let Some(iw) = spec.iw {
+                cfg.iw_pkts = iw;
+            }
+            attach_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+        Proto::Tcp => {
+            let mut cfg = TcpCfg::new(spec.size);
+            cfg.mtu = mtu;
+            cfg.path = flow_hash_path(spec.flow);
+            cfg.notify = spec.notify;
+            attach_tcp_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+        Proto::Dctcp => {
+            let mut cfg = TcpCfg::dctcp(spec.size);
+            cfg.mtu = mtu;
+            cfg.path = flow_hash_path(spec.flow);
+            cfg.notify = spec.notify;
+            attach_tcp_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+        Proto::Mptcp => {
+            let mut cfg = MptcpCfg::new(spec.size);
+            cfg.mtu = mtu;
+            cfg.notify = spec.notify;
+            attach_mptcp_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+        Proto::Dcqcn => {
+            let mut cfg = DcqcnCfg::new(spec.size);
+            cfg.mtu = mtu;
+            cfg.path = flow_hash_path(spec.flow).max(1);
+            cfg.notify = spec.notify;
+            attach_dcqcn_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+        Proto::PHost => {
+            let mut cfg = PHostCfg::new(spec.size);
+            cfg.mtu = mtu;
+            cfg.notify = spec.notify;
+            attach_phost_flow(world, spec.flow, src, dst, cfg, spec.start);
+        }
+    }
+}
+
+/// Receiver-side delivered payload bytes for any protocol.
+pub fn delivered_bytes(world: &World<Packet>, host: ComponentId, flow: FlowId, proto: Proto) -> u64 {
+    let h = world.get::<Host>(host);
+    match proto {
+        Proto::Ndp | Proto::NdpNoPenalty => h.endpoint::<NdpReceiver>(flow).stats.payload_bytes,
+        Proto::Tcp | Proto::Dctcp => h.endpoint::<TcpReceiver>(flow).payload_bytes,
+        Proto::Mptcp => h.endpoint::<MptcpReceiver>(flow).payload_bytes,
+        Proto::Dcqcn => h.endpoint::<DcqcnReceiver>(flow).payload_bytes,
+        Proto::PHost => h.endpoint::<PHostReceiver>(flow).payload_bytes,
+    }
+}
+
+/// Receiver-side completion time (absolute) for any protocol.
+pub fn completion_time(
+    world: &World<Packet>,
+    host: ComponentId,
+    flow: FlowId,
+    proto: Proto,
+) -> Option<Time> {
+    let h = world.get::<Host>(host);
+    match proto {
+        Proto::Ndp | Proto::NdpNoPenalty => h.endpoint::<NdpReceiver>(flow).stats.completion_time,
+        Proto::Tcp | Proto::Dctcp => h.endpoint::<TcpReceiver>(flow).completion_time,
+        Proto::Mptcp => h.endpoint::<MptcpReceiver>(flow).completion_time,
+        Proto::Dcqcn => h.endpoint::<DcqcnReceiver>(flow).completion_time,
+        Proto::PHost => h.endpoint::<PHostReceiver>(flow).completion_time,
+    }
+}
+
+/// A completion-driven sequencer: when woken with a registered token it
+/// fires follow-up wakes (e.g. starting the next flow of a closed loop)
+/// and records when each token fired.
+#[derive(Default)]
+pub struct Trigger {
+    actions: HashMap<u64, (Time, Vec<(ComponentId, u64)>)>,
+    pub fired: Vec<(u64, Time)>,
+}
+
+impl Trigger {
+    pub fn new() -> Trigger {
+        Trigger::default()
+    }
+
+    /// When `token` fires, wake each `(component, wake_token)` after `delay`.
+    pub fn on(&mut self, token: u64, delay: Time, targets: Vec<(ComponentId, u64)>) {
+        self.actions.insert(token, (delay, targets));
+    }
+
+    pub fn fired_at(&self, token: u64) -> Option<Time> {
+        self.fired.iter().find(|(t, _)| *t == token).map(|(_, at)| *at)
+    }
+}
+
+impl Component<Packet> for Trigger {
+    fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+        if let Event::Wake(tok) = ev {
+            self.fired.push((tok, ctx.now()));
+            if let Some((delay, targets)) = self.actions.get(&tok) {
+                for &(comp, wtok) in targets {
+                    ctx.wake_other(comp, *delay, wtok);
+                }
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Result of a permutation-traffic-matrix run.
+pub struct PermutationResult {
+    pub per_flow_gbps: Vec<f64>,
+    pub utilization: f64,
+}
+
+/// Run a permutation matrix of long-running flows for `duration` and
+/// measure per-flow goodput.
+pub fn permutation_run(
+    proto: Proto,
+    mut cfg: FatTreeCfg,
+    duration: Time,
+    seed: u64,
+    iw: Option<u64>,
+) -> PermutationResult {
+    cfg = cfg.with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xDEAD);
+    let dsts = ndp_workloads::permutation(n, &mut rng);
+    for (src, &dst) in dsts.iter().enumerate() {
+        let mut spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        spec.iw = iw;
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+    }
+    world.run_until(duration);
+    let mut per_flow = Vec::with_capacity(n);
+    for (src, &dst) in dsts.iter().enumerate() {
+        let bytes = delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, proto);
+        per_flow.push(bytes as f64 * 8.0 / duration.as_secs() / 1e9);
+    }
+    per_flow.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let line = ft.cfg.link_speed.as_gbps();
+    let utilization = per_flow.iter().sum::<f64>() / (n as f64 * line);
+    PermutationResult { per_flow_gbps: per_flow, utilization }
+}
+
+/// Result of an N:1 incast run.
+pub struct IncastResult {
+    /// Per-flow completion times relative to the common start.
+    pub fcts: Vec<Time>,
+    pub incomplete: usize,
+}
+
+impl IncastResult {
+    pub fn last(&self) -> Time {
+        self.fcts.iter().copied().max().unwrap_or(Time::MAX)
+    }
+    pub fn first(&self) -> Time {
+        self.fcts.iter().copied().min().unwrap_or(Time::MAX)
+    }
+}
+
+/// Run an N:1 incast of `size`-byte responses on a FatTree.
+pub fn incast_run(
+    proto: Proto,
+    mut cfg: FatTreeCfg,
+    n_senders: usize,
+    size: u64,
+    iw: Option<u64>,
+    seed: u64,
+    horizon: Time,
+) -> IncastResult {
+    cfg = cfg.with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xBEEF);
+    let frontend = 0usize;
+    let workers = ndp_workloads::incast(frontend, n_senders, n, &mut rng);
+    for (i, &w) in workers.iter().enumerate() {
+        let mut spec = FlowSpec::new(i as u64 + 1, w as HostId, frontend as HostId, size);
+        spec.iw = iw;
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+    }
+    world.run_until(horizon);
+    let mut fcts = Vec::new();
+    let mut incomplete = 0;
+    for i in 0..workers.len() {
+        match completion_time(&world, ft.hosts[frontend], i as u64 + 1, proto) {
+            Some(t) => fcts.push(t),
+            None => incomplete += 1,
+        }
+    }
+    IncastResult { fcts, incomplete }
+}
+
+/// Ideal (store-and-forward, fully pipelined) last-flow completion for an
+/// N:1 incast: all bytes serialized on the receiver link.
+pub fn incast_ideal(n: usize, size: u64, link: Speed, mtu: u32) -> Time {
+    let per = (mtu - ndp_net::packet::HEADER_BYTES) as u64;
+    let pkts = size.div_ceil(per);
+    let wire_bytes = n as u64 * (size + pkts * ndp_net::packet::HEADER_BYTES as u64);
+    link.tx_time(wire_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_hash_is_deterministic_and_spread() {
+        let a = flow_hash_path(1);
+        assert_eq!(a, flow_hash_path(1));
+        let distinct: std::collections::HashSet<u32> =
+            (0..100).map(|f| flow_hash_path(f) % 16).collect();
+        assert!(distinct.len() > 8, "hash should spread across paths");
+    }
+
+    #[test]
+    fn small_ndp_permutation_has_high_utilization() {
+        let r = permutation_run(
+            Proto::Ndp,
+            FatTreeCfg::new(4),
+            Time::from_ms(5),
+            1,
+            Some(30),
+        );
+        assert!(r.utilization > 0.85, "NDP permutation utilization {}", r.utilization);
+    }
+
+    #[test]
+    fn small_incast_all_protocols_complete() {
+        for proto in [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn] {
+            let r = incast_run(
+                proto,
+                FatTreeCfg::new(4),
+                8,
+                90_000,
+                None,
+                2,
+                Time::from_secs(2),
+            );
+            assert_eq!(r.incomplete, 0, "{:?} left flows incomplete", proto);
+            assert_eq!(r.fcts.len(), 8);
+        }
+    }
+
+    #[test]
+    fn trigger_chains_wakes() {
+        let mut w: World<Packet> = World::new(1);
+        let trig = w.reserve();
+        let mut t = Trigger::new();
+        t.on(1, Time::from_us(5), vec![(trig, 2)]);
+        w.install(trig, t);
+        w.post_wake(Time::from_us(1), trig, 1);
+        w.run_until_idle();
+        let t = w.get::<Trigger>(trig);
+        assert_eq!(t.fired_at(1), Some(Time::from_us(1)));
+        assert_eq!(t.fired_at(2), Some(Time::from_us(6)));
+    }
+}

@@ -1,0 +1,278 @@
+//! The paper's inline (non-figure) quantitative claims:
+//!
+//! * §3.1.1 — sender-permutation load balancing vs switch-random ECMP:
+//!   uplink trim fraction 0.01 % vs 2.4 %, and a capacity edge for
+//!   sender-chosen paths.
+//! * §6.2 — permutation utilization vs topology size with 8-packet
+//!   buffers: 98 % at 128 hosts declining gently to 90 % at 8192.
+//! * §6.2 — pHost: 432:1 incast ~10× slower than NDP; permutation
+//!   utilization ~70 % vs NDP's 95 %.
+//! * §6.1.1 — long-lived incast beside a permutation: NDP keeps ~92 %
+//!   utilization, DCTCP ~40 %, DCQCN collapses (~17 %).
+
+use ndp_metrics::Table;
+use ndp_net::packet::{HostId, Packet};
+use ndp_net::queue::LinkClass;
+use ndp_sim::{Time, World};
+use ndp_topology::{FatTree, FatTreeCfg, RouteMode};
+
+use crate::harness::{
+    attach_on_fattree, delivered_bytes, incast_run, permutation_run, FlowSpec, Proto, Scale,
+    LONG_FLOW,
+};
+
+pub struct Report {
+    pub lb_source_trim_pct: f64,
+    pub lb_random_trim_pct: f64,
+    pub lb_source_util: f64,
+    pub lb_random_util: f64,
+    pub scaling: Vec<(usize, f64)>,
+    pub phost_incast_ms: f64,
+    pub ndp_incast_ms: f64,
+    pub phost_perm_util: f64,
+    pub ndp_perm_util: f64,
+    pub side_effect_utils: Vec<(Proto, f64)>,
+}
+
+/// §3.1.1 — run a permutation with sender-chosen paths vs per-packet
+/// random ECMP and compare uplink (ToR-up + Agg-up) trim fractions.
+fn lb_comparison(scale: Scale, mode: RouteMode, seed: u64) -> (f64, f64) {
+    let k = match scale {
+        Scale::Paper => 8,
+        Scale::Quick => 4,
+    };
+    let cfg = FatTreeCfg::new(k).with_route_mode(mode);
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let dsts = ndp_workloads::permutation(n, &mut rng);
+    for (src, &dst) in dsts.iter().enumerate() {
+        let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        attach_on_fattree(&mut world, &ft, Proto::Ndp, &spec);
+    }
+    let duration = match scale {
+        Scale::Paper => Time::from_ms(20),
+        Scale::Quick => Time::from_ms(8),
+    };
+    world.run_until(duration);
+    let stats = ft.stats_by_class(&world);
+    let mut up_trim = 0u64;
+    let mut up_fwd = 0u64;
+    for (c, s) in &stats {
+        if matches!(c, LinkClass::TorUp | LinkClass::AggUp) {
+            up_trim += s.trimmed;
+            up_fwd += s.forwarded_pkts;
+        }
+    }
+    let total: u64 = dsts
+        .iter()
+        .enumerate()
+        .map(|(src, &dst)| delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, Proto::Ndp))
+        .sum();
+    let util = total as f64 * 8.0 / duration.as_secs() / 1e9 / (n as f64 * 10.0);
+    (100.0 * up_trim as f64 / (up_trim + up_fwd).max(1) as f64, util)
+}
+
+pub fn run(scale: Scale) -> Report {
+    let (src_trim, src_util) = lb_comparison(scale, RouteMode::SourceTag, 3);
+    let (rnd_trim, rnd_util) = lb_comparison(scale, RouteMode::RandomUplinks, 3);
+
+    // Topology-size scaling sweep.
+    let ks: &[usize] = match scale {
+        Scale::Paper => &[4, 8, 12, 16],
+        Scale::Quick => &[4, 8],
+    };
+    let scaling: Vec<(usize, f64)> = ks
+        .iter()
+        .map(|&k| {
+            let r = permutation_run(
+                Proto::Ndp,
+                FatTreeCfg::new(k),
+                match scale {
+                    Scale::Paper => Time::from_ms(15),
+                    Scale::Quick => Time::from_ms(8),
+                },
+                5,
+                Some(30),
+            );
+            (FatTreeCfg::new(k).n_hosts(), r.utilization)
+        })
+        .collect();
+
+    // pHost comparison: large incast + permutation utilization.
+    let n_incast = match scale {
+        Scale::Paper => 400,
+        Scale::Quick => 60,
+    };
+    let incast_size = 450_000u64;
+    let ph = incast_run(
+        Proto::PHost,
+        FatTreeCfg::new(scale.big_k()),
+        n_incast,
+        incast_size,
+        None,
+        9,
+        Time::from_secs(60),
+    );
+    let nd = incast_run(
+        Proto::Ndp,
+        FatTreeCfg::new(scale.big_k()),
+        n_incast,
+        incast_size,
+        None,
+        9,
+        Time::from_secs(60),
+    );
+    let ph_perm = permutation_run(
+        Proto::PHost,
+        FatTreeCfg::new(scale.big_k()),
+        Time::from_ms(10),
+        11,
+        None,
+    );
+    let nd_perm = permutation_run(
+        Proto::Ndp,
+        FatTreeCfg::new(scale.big_k()),
+        Time::from_ms(10),
+        11,
+        None,
+    );
+
+    // §6.1.1 side effects: permutation + one long-lived 32:1 incast.
+    let side_effect_utils = [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn]
+        .iter()
+        .map(|&p| (p, side_effects(p, scale, 21)))
+        .collect();
+
+    Report {
+        lb_source_trim_pct: src_trim,
+        lb_random_trim_pct: rnd_trim,
+        lb_source_util: src_util,
+        lb_random_util: rnd_util,
+        scaling,
+        phost_incast_ms: if ph.fcts.is_empty() { f64::NAN } else { ph.last().as_ms() },
+        ndp_incast_ms: nd.last().as_ms(),
+        phost_perm_util: ph_perm.utilization,
+        ndp_perm_util: nd_perm.utilization,
+        side_effect_utils,
+    }
+}
+
+/// Permutation running beside a long-lived incast; returns network
+/// utilization of the permutation flows.
+fn side_effects(proto: Proto, scale: Scale, seed: u64) -> f64 {
+    let k = match scale {
+        Scale::Paper => 8,
+        Scale::Quick => 4,
+    };
+    let cfg = FatTreeCfg::new(k).with_fabric(proto.fabric());
+    let mut world: World<Packet> = World::new(seed);
+    let ft = FatTree::build(&mut world, cfg);
+    let n = ft.n_hosts();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let dsts = ndp_workloads::permutation(n, &mut rng);
+    for (src, &dst) in dsts.iter().enumerate() {
+        let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+    }
+    // Long-lived incast onto host 0 from a quarter of the hosts.
+    let mut fid = 10_000u64;
+    for i in 0..(n / 4).max(8).min(n - 1) {
+        let src = 1 + i;
+        let spec = FlowSpec::new(fid, src as HostId, 0, LONG_FLOW);
+        fid += 1;
+        attach_on_fattree(&mut world, &ft, proto, &spec);
+    }
+    let duration = match scale {
+        Scale::Paper => Time::from_ms(20),
+        Scale::Quick => Time::from_ms(10),
+    };
+    world.run_until(duration);
+    let total: u64 = dsts
+        .iter()
+        .enumerate()
+        .map(|(src, &dst)| delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, proto))
+        .sum();
+    total as f64 * 8.0 / duration.as_secs() / 1e9 / (n as f64 * 10.0)
+}
+
+impl Report {
+    pub fn headline(&self) -> String {
+        format!(
+            "uplink trims: source-LB {:.3}% vs random ECMP {:.3}%; pHost 432-ish:1 incast {:.0}ms vs NDP {:.0}ms; perm util pHost {:.0}% vs NDP {:.0}%",
+            self.lb_source_trim_pct,
+            self.lb_random_trim_pct,
+            self.phost_incast_ms,
+            self.ndp_incast_ms,
+            100.0 * self.phost_perm_util,
+            100.0 * self.ndp_perm_util
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["claim", "value"]);
+        t.row(["uplink trim %, sender-chosen paths".to_string(), format!("{:.4}", self.lb_source_trim_pct)]);
+        t.row(["uplink trim %, switch-random ECMP".to_string(), format!("{:.4}", self.lb_random_trim_pct)]);
+        t.row(["perm util, sender-chosen".to_string(), format!("{:.3}", self.lb_source_util)]);
+        t.row(["perm util, switch-random".to_string(), format!("{:.3}", self.lb_random_util)]);
+        for (n, u) in &self.scaling {
+            t.row([format!("perm util @ {n} hosts"), format!("{:.3}", u)]);
+        }
+        t.row(["pHost big incast (ms)".to_string(), format!("{:.1}", self.phost_incast_ms)]);
+        t.row(["NDP big incast (ms)".to_string(), format!("{:.1}", self.ndp_incast_ms)]);
+        t.row(["pHost perm util".to_string(), format!("{:.3}", self.phost_perm_util)]);
+        t.row(["NDP perm util".to_string(), format!("{:.3}", self.ndp_perm_util)]);
+        for (p, u) in &self.side_effect_utils {
+            t.row([format!("perm util beside incast, {}", p.label()), format!("{:.3}", u)]);
+        }
+        write!(f, "Inline results (§3.1.1, §6.1.1, §6.2)\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_claims_hold_qualitatively() {
+        let rep = run(Scale::Quick);
+        // Sender-chosen paths trim less on the uplinks than random ECMP.
+        assert!(
+            rep.lb_source_trim_pct <= rep.lb_random_trim_pct,
+            "source {:.4}% vs random {:.4}%",
+            rep.lb_source_trim_pct,
+            rep.lb_random_trim_pct
+        );
+        // Utilization declines gently with size but stays high.
+        for (n, u) in &rep.scaling {
+            assert!(*u > 0.85, "util at {n} hosts = {u:.3}");
+        }
+        // pHost: never faster on the incast, clearly lower permutation
+        // utilization (we reproduce the paper's ~70% vs ~95%). Our pHost
+        // shares the well-paced host token pacer, so it is substantially
+        // *stronger* than the paper's port and the 10x incast gap does not
+        // reproduce — see EXPERIMENTS.md.
+        assert!(
+            rep.phost_incast_ms >= 0.98 * rep.ndp_incast_ms,
+            "pHost {:.1}ms vs NDP {:.1}ms",
+            rep.phost_incast_ms,
+            rep.ndp_incast_ms
+        );
+        assert!(
+            rep.phost_perm_util < rep.ndp_perm_util - 0.05,
+            "pHost util {:.3} vs NDP {:.3}",
+            rep.phost_perm_util,
+            rep.ndp_perm_util
+        );
+        // Side effects: NDP keeps high utilization; DCQCN collapses below
+        // DCTCP (PFC pause cascades).
+        let get = |p: Proto| {
+            rep.side_effect_utils.iter().find(|(q, _)| *q == p).map(|(_, u)| *u).unwrap()
+        };
+        assert!(get(Proto::Ndp) > 0.8);
+        assert!(get(Proto::Dcqcn) < get(Proto::Ndp));
+    }
+}

@@ -1,0 +1,33 @@
+//! One runnable experiment per table/figure of the paper.
+//!
+//! Every module exposes `run(scale) -> Report` where the report's
+//! `Display` prints the same rows/series the paper's figure shows, plus a
+//! `headline()` summarizing the qualitative claim under test. Binaries in
+//! `src/bin/` are thin wrappers (`cargo run --release -p ndp-experiments
+//! --bin fig14_permutation`). `Scale::quick()` shrinks topologies and
+//! durations for CI and Criterion; `Scale::paper()` uses the paper's
+//! parameters.
+
+pub mod harness;
+pub mod quick;
+
+pub mod fig02_cp_collapse;
+pub mod fig04_latency_cdf;
+pub mod fig08_rpc_latency;
+pub mod fig09_testbed_incast;
+pub mod fig10_prioritization;
+pub mod fig11_iw_throughput;
+pub mod fig12_pull_spacing;
+pub mod fig13_pull_jitter_incast;
+pub mod fig14_permutation;
+pub mod fig15_short_flow_fct;
+pub mod fig16_incast_scaling;
+pub mod fig17_iw_buffer_sweep;
+pub mod fig19_collateral;
+pub mod fig20_large_incast;
+pub mod fig21_sender_limited;
+pub mod fig22_failure;
+pub mod fig23_oversubscribed;
+pub mod inline_results;
+
+pub use harness::{Proto, Scale};

@@ -1,0 +1,134 @@
+//! Empirical CDFs with percentile queries and row rendering.
+
+/// An empirical distribution built from samples.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    pub fn from_samples<I: IntoIterator<Item = f64>>(it: I) -> Cdf {
+        let mut sorted: Vec<f64> = it.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        self.sorted.insert(idx, x);
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// p in [0,1]; nearest-rank percentile.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
+        let p = p.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples ≤ x.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Downsample to at most `n` (value, cumulative-percent) rows for
+    /// printing a figure-style CDF curve.
+    pub fn rows(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() {
+            return vec![];
+        }
+        let n = n.max(2);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = i as f64 / (n - 1) as f64;
+            out.push((self.percentile(p.max(0.001)), p * 100.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(c.median(), 50.0);
+        assert_eq!(c.percentile(0.99), 99.0);
+        assert_eq!(c.percentile(1.0), 100.0);
+        assert_eq!(c.percentile(0.0), 1.0);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 100.0);
+        assert!((c.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_add_keeps_order() {
+        let mut c = Cdf::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.add(x);
+        }
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_below(2.5), 0.5);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(4.0), 1.0);
+    }
+
+    #[test]
+    fn rows_are_monotone() {
+        let c = Cdf::from_samples((0..1000).map(|i| (i * i) as f64));
+        let rows = c.rows(20);
+        assert_eq!(rows.len(), 20);
+        for w in rows.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        Cdf::new().percentile(0.5);
+    }
+}

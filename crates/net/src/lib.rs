@@ -1,0 +1,35 @@
+//! Network element models: packets, pipes, queues, switches and hosts.
+//!
+//! Everything here is a [`ndp_sim::Component`] over the message type
+//! [`Packet`]. The crate provides every switch service model the paper
+//! evaluates:
+//!
+//! * [`queue::Policy::DropTail`] — classic FIFO, optional ECN marking
+//!   (DCTCP / DCQCN fabrics, pHost fabrics);
+//! * [`queue::Policy::Ndp`] — the paper's contribution at the switch: two
+//!   queues per port (small data queue + priority header queue), packet
+//!   trimming on data-queue overflow with a 50 % coin flip between the
+//!   arriving packet and the tail of the queue, 10:1 weighted round robin
+//!   between header and data queues, and return-to-sender when the header
+//!   queue itself overflows (§3.1, §3.2.4);
+//! * [`queue::Policy::Cp`] — Cut Payload as originally proposed: a single
+//!   FIFO that trims into itself (used for Figure 2's collapse comparison);
+//! * [`queue::Policy::Lossless`] — PFC-style pausing with Xoff/Xon
+//!   thresholds and pause cascades (the DCQCN fabric).
+//!
+//! Hosts own transport endpoints (state machines implementing
+//! [`host::Endpoint`]) plus the NDP receiver machinery that is shared by all
+//! connections terminating at a host: the single pull queue and its pacer.
+
+pub mod host;
+pub mod p4;
+pub mod packet;
+pub mod pipe;
+pub mod queue;
+pub mod switch;
+
+pub use host::{Endpoint, EndpointCtx, Host, HostLatency, PullPriority};
+pub use packet::{Flags, FlowId, HostId, Packet, PacketKind, PathTag, HEADER_BYTES};
+pub use pipe::Pipe;
+pub use queue::{LinkClass, Policy, Queue, QueueStats};
+pub use switch::{Router, Switch};

@@ -1,0 +1,256 @@
+//! The on-wire packet model.
+//!
+//! Packets are small `Copy` structs (no heap allocation on the hot path).
+//! A trimmed packet is the same struct with [`Flags::TRIMMED`] set and its
+//! wire `size` cut to [`HEADER_BYTES`]; the `payload` field still records
+//! how many payload bytes the original carried so receivers can account for
+//! goodput precisely.
+//!
+//! Multipath forwarding uses a [`PathTag`]: in a Clos topology the complete
+//! path between two hosts is determined by which uplinks are chosen on the
+//! way up, so a single integer (interpreted arithmetically by the switches)
+//! replaces a per-packet route vector.
+
+use ndp_sim::Time;
+
+/// Host identifier (index into the topology's host list).
+pub type HostId = u32;
+/// Globally unique flow/connection identifier.
+pub type FlowId = u64;
+/// Source-routing tag: selects one of the equal-cost paths between two hosts.
+pub type PathTag = u32;
+
+/// Bytes of a trimmed header, and of ACK/NACK/PULL control packets (§3.2.4
+/// sizes headers and control packets at 64 bytes).
+pub const HEADER_BYTES: u32 = 64;
+
+/// Packet type. `Data` covers full and trimmed data packets (see
+/// [`Flags::TRIMMED`]); everything else is a control packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A data packet (possibly trimmed to a header by a switch).
+    Data,
+    /// NDP/TCP acknowledgment. For TCP-family transports `ack` is the
+    /// cumulative byte ack; for NDP it acknowledges packet `seq`.
+    Ack,
+    /// NDP negative acknowledgment: the payload of packet `seq` was trimmed.
+    Nack,
+    /// NDP pull: `ack` carries the per-connection pull counter.
+    Pull,
+    /// DCQCN congestion notification packet (sent by the NP back to the RP).
+    Cnp,
+    /// PFC pause/resume, link-local. `xoff == true` pauses the upstream.
+    Pause { xoff: bool },
+    /// pHost token/grant (receiver-driven credit without trimming).
+    Token,
+}
+
+/// Per-packet flag bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Flags(pub u16);
+
+impl Flags {
+    /// First-RTT packet: carries connection-establishment state (§3.2.2 —
+    /// every packet in the first RTT carries SYN + its sequence offset).
+    pub const SYN: Flags = Flags(1 << 0);
+    /// Sender has no more data after this packet ("last packet" marking).
+    pub const FIN: Flags = Flags(1 << 1);
+    /// Payload was trimmed off by a switch.
+    pub const TRIMMED: Flags = Flags(1 << 2);
+    /// Header was returned to the sender by a switch whose header queue
+    /// overflowed (§3.2.4 return-to-sender).
+    pub const RTS: Flags = Flags(1 << 3);
+    /// ECN Congestion Experienced mark.
+    pub const CE: Flags = Flags(1 << 4);
+    /// ECN-capable transport.
+    pub const ECT: Flags = Flags(1 << 5);
+    /// Application-level high priority (receiver pulls these first).
+    pub const PRIO: Flags = Flags(1 << 6);
+    /// Retransmission (used by statistics, not by switches).
+    pub const RTX: Flags = Flags(1 << 7);
+
+    pub fn has(self, f: Flags) -> bool {
+        self.0 & f.0 != 0
+    }
+    #[must_use]
+    pub fn with(self, f: Flags) -> Flags {
+        Flags(self.0 | f.0)
+    }
+    #[must_use]
+    pub fn without(self, f: Flags) -> Flags {
+        Flags(self.0 & !f.0)
+    }
+}
+
+/// A packet (or control message) traversing the simulated network.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    pub src: HostId,
+    pub dst: HostId,
+    pub flow: FlowId,
+    pub kind: PacketKind,
+    /// Packet sequence number (NDP, pHost) or first byte sequence (TCP).
+    pub seq: u64,
+    /// Cumulative ACK (TCP), pull counter (NDP PULL), token id (pHost), or
+    /// echoed sequence (NDP ACK/NACK carry `seq` directly).
+    pub ack: u64,
+    /// Bytes on the wire right now (shrinks to `HEADER_BYTES` when trimmed).
+    pub size: u32,
+    /// Payload bytes this packet stands for (unchanged by trimming).
+    pub payload: u32,
+    /// Multipath source-routing tag.
+    pub path: PathTag,
+    /// MPTCP subflow index (0 otherwise).
+    pub subflow: u16,
+    pub flags: Flags,
+    /// Time the packet (or the original it acknowledges) was first sent.
+    pub sent: Time,
+}
+
+impl Packet {
+    /// A full data packet of `size` wire bytes (including protocol headers).
+    pub fn data(src: HostId, dst: HostId, flow: FlowId, seq: u64, size: u32) -> Packet {
+        Packet {
+            src,
+            dst,
+            flow,
+            kind: PacketKind::Data,
+            seq,
+            ack: 0,
+            size,
+            payload: size.saturating_sub(HEADER_BYTES),
+            path: 0,
+            subflow: 0,
+            flags: Flags::default(),
+            sent: Time::ZERO,
+        }
+    }
+
+    /// A 64-byte control packet of the given kind.
+    pub fn control(src: HostId, dst: HostId, flow: FlowId, kind: PacketKind) -> Packet {
+        Packet {
+            src,
+            dst,
+            flow,
+            kind,
+            seq: 0,
+            ack: 0,
+            size: HEADER_BYTES,
+            payload: 0,
+            path: 0,
+            subflow: 0,
+            flags: Flags::default(),
+            sent: Time::ZERO,
+        }
+    }
+
+    /// True for anything that is not a data packet (trimmed headers are
+    /// still `Data` but are treated as control by the NDP switch — see
+    /// [`Packet::ndp_priority`]).
+    pub fn is_control(&self) -> bool {
+        self.kind != PacketKind::Data
+    }
+
+    /// Should an NDP switch place this packet in the high-priority queue?
+    /// Trimmed headers, ACKs, NACKs and PULLs all go there (§3.1).
+    pub fn ndp_priority(&self) -> bool {
+        self.is_control() || self.flags.has(Flags::TRIMMED)
+    }
+
+    /// Trim the payload off, leaving a header (§3.1). Idempotent.
+    pub fn trim(&mut self) {
+        self.flags = self.flags.with(Flags::TRIMMED);
+        self.size = HEADER_BYTES;
+    }
+
+    /// Return-to-sender: swap src/dst and mark, so switches route the header
+    /// back to its origin (§3.2.4).
+    pub fn bounce_to_sender(&mut self) {
+        std::mem::swap(&mut self.src, &mut self.dst);
+        self.flags = self.flags.with(Flags::RTS);
+    }
+
+    pub fn is_trimmed(&self) -> bool {
+        self.flags.has(Flags::TRIMMED)
+    }
+
+    pub fn is_rts(&self) -> bool {
+        self.flags.has(Flags::RTS)
+    }
+
+    #[must_use]
+    pub fn with_path(mut self, path: PathTag) -> Packet {
+        self.path = path;
+        self
+    }
+
+    #[must_use]
+    pub fn with_flags(mut self, f: Flags) -> Packet {
+        self.flags = self.flags.with(f);
+        self
+    }
+
+    #[must_use]
+    pub fn with_sent(mut self, t: Time) -> Packet {
+        self.sent = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_set_and_clear() {
+        let f = Flags::default().with(Flags::SYN).with(Flags::CE);
+        assert!(f.has(Flags::SYN));
+        assert!(f.has(Flags::CE));
+        assert!(!f.has(Flags::FIN));
+        let f = f.without(Flags::SYN);
+        assert!(!f.has(Flags::SYN));
+        assert!(f.has(Flags::CE));
+    }
+
+    #[test]
+    fn trim_shrinks_wire_size_but_keeps_payload_accounting() {
+        let mut p = Packet::data(1, 2, 77, 5, 9000);
+        assert_eq!(p.payload, 9000 - HEADER_BYTES);
+        p.trim();
+        assert_eq!(p.size, HEADER_BYTES);
+        assert_eq!(p.payload, 9000 - HEADER_BYTES);
+        assert!(p.is_trimmed());
+        assert!(p.ndp_priority());
+        // Trimming twice is harmless.
+        p.trim();
+        assert_eq!(p.size, HEADER_BYTES);
+    }
+
+    #[test]
+    fn bounce_swaps_endpoints() {
+        let mut p = Packet::data(3, 9, 1, 0, 9000);
+        p.trim();
+        p.bounce_to_sender();
+        assert_eq!((p.src, p.dst), (9, 3));
+        assert!(p.is_rts());
+    }
+
+    #[test]
+    fn control_packets_are_priority() {
+        for kind in [PacketKind::Ack, PacketKind::Nack, PacketKind::Pull, PacketKind::Cnp] {
+            let p = Packet::control(0, 1, 2, kind);
+            assert!(p.is_control());
+            assert!(p.ndp_priority());
+            assert_eq!(p.size, HEADER_BYTES);
+        }
+        let d = Packet::data(0, 1, 2, 0, 1500);
+        assert!(!d.is_control());
+        assert!(!d.ndp_priority());
+    }
+
+    #[test]
+    fn packet_is_small_enough_to_copy() {
+        // Keep the hot-path message type compact; this guards regressions.
+        assert!(std::mem::size_of::<Packet>() <= 80);
+    }
+}

@@ -1,0 +1,121 @@
+//! The wire: a fixed propagation delay plus optional corruption loss.
+//!
+//! Serialization happens in the upstream [`crate::queue::Queue`]; a `Pipe`
+//! only models propagation, so datacenter-scale latency (hundreds of
+//! nanoseconds per hop) stays exact. Corruption injection exercises the
+//! retransmission-timeout paths of the transports — per §3.2, with trimming
+//! an RTO should only ever fire for corrupted (truly lost) packets.
+
+use std::any::Any;
+
+use ndp_sim::{Component, ComponentId, Ctx, Event, Time};
+use rand::Rng;
+
+use crate::packet::Packet;
+
+/// One direction of a link.
+pub struct Pipe {
+    delay: Time,
+    next: ComponentId,
+    /// Probability that a traversing packet is corrupted and dropped.
+    corrupt_prob: f64,
+    pub delivered: u64,
+    pub corrupted: u64,
+}
+
+impl Pipe {
+    pub fn new(delay: Time, next: ComponentId) -> Pipe {
+        Pipe { delay, next, corrupt_prob: 0.0, delivered: 0, corrupted: 0 }
+    }
+
+    /// Enable fault injection: drop each packet with probability `p`.
+    pub fn with_corruption(mut self, p: f64) -> Pipe {
+        assert!((0.0..=1.0).contains(&p));
+        self.corrupt_prob = p;
+        self
+    }
+
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+}
+
+impl Component<Packet> for Pipe {
+    fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+        let Event::Msg(pkt) = ev else { return };
+        if self.corrupt_prob > 0.0 && ctx.rng().gen::<f64>() < self.corrupt_prob {
+            self.corrupted += 1;
+            return;
+        }
+        self.delivered += 1;
+        ctx.send(self.next, pkt, self.delay);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_sim::World;
+
+    struct Sink {
+        got: Vec<(Time, u64)>,
+    }
+    impl Component<Packet> for Sink {
+        fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+            if let Event::Msg(p) = ev {
+                self.got.push((ctx.now(), p.seq));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn adds_exact_propagation_delay() {
+        let mut w: World<Packet> = World::new(7);
+        let sink = w.add(Sink { got: vec![] });
+        let pipe = w.add(Pipe::new(Time::from_ns(500), sink));
+        w.post(Time::from_us(1), pipe, Packet::data(0, 1, 0, 42, 1500));
+        w.run_until_idle();
+        assert_eq!(w.get::<Sink>(sink).got, vec![(Time::from_ns(1500), 42)]);
+    }
+
+    #[test]
+    fn corruption_drops_a_fraction() {
+        let mut w: World<Packet> = World::new(11);
+        let sink = w.add(Sink { got: vec![] });
+        let pipe = w.add(Pipe::new(Time::from_ns(500), sink).with_corruption(0.25));
+        for i in 0..10_000 {
+            w.post(Time::from_ns(i), pipe, Packet::data(0, 1, 0, i, 1500));
+        }
+        w.run_until_idle();
+        let got = w.get::<Sink>(sink).got.len() as f64;
+        assert!((got / 10_000.0 - 0.75).abs() < 0.02, "delivered fraction {got}");
+        let p = w.get::<Pipe>(pipe);
+        assert_eq!(p.delivered + p.corrupted, 10_000);
+    }
+
+    #[test]
+    fn preserves_order_for_same_path() {
+        let mut w: World<Packet> = World::new(1);
+        let sink = w.add(Sink { got: vec![] });
+        let pipe = w.add(Pipe::new(Time::from_us(1), sink));
+        for i in 0..50 {
+            w.post(Time::from_ns(i * 10), pipe, Packet::data(0, 1, 0, i, 64));
+        }
+        w.run_until_idle();
+        let seqs: Vec<u64> = w.get::<Sink>(sink).got.iter().map(|g| g.1).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,772 @@
+//! Egress queues: every switch service model evaluated in the paper.
+//!
+//! A [`Queue`] serializes packets onto a link at a fixed [`Speed`] and then
+//! hands them to the link's [`crate::pipe::Pipe`]. The enqueue/dequeue
+//! *policy* is what distinguishes the architectures under test:
+//!
+//! * **DropTail** (+ optional ECN marking) — the fabric for TCP, DCTCP,
+//!   MPTCP and pHost.
+//! * **Ndp** — §3.1's switch: a short data queue (counted in packets, eight
+//!   by default) and a header/control queue sized to the same number of
+//!   bytes. Overflowing data packets are *trimmed* to 64-byte headers; with
+//!   50 % probability the victim is the arriving packet, otherwise the tail
+//!   of the data queue (this breaks the phase effects of Figure 2). The two
+//!   queues are served by 10:1 weighted round robin so headers get early
+//!   feedback without starving data (avoiding CP's congestion collapse).
+//!   When the header queue itself overflows the header is returned to the
+//!   sender (§3.2.4) by swapping addresses and re-injecting it into the
+//!   switch.
+//! * **Cp** — Cut Payload as proposed in [9]: one FIFO, trim into the same
+//!   FIFO, no priority, no randomization. Kept as a baseline for Figure 2.
+//! * **Lossless** — PFC: when occupancy crosses Xoff the queue pauses every
+//!   upstream transmitter that can feed it; transmitters resume at Xon.
+//!   Pause frames cascade, reproducing DCQCN's collateral damage. (Real PFC
+//!   pauses per ingress buffer; pausing all feeders of the congested switch
+//!   is the standard egress-queue simplification and errs on the side of
+//!   *more* collateral damage — see DESIGN.md.)
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use ndp_sim::{Component, ComponentId, Ctx, Event, Speed, Time};
+use rand::Rng;
+
+use crate::packet::{Packet, PacketKind, HEADER_BYTES};
+
+const TX_DONE: u64 = 1;
+
+/// Where in the topology a queue sits — used for the paper's
+/// trim-location statistics (§3.2.4: almost all trims happen at ToR
+/// downlinks, almost none on core uplinks when senders load-balance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    HostNic,
+    TorUp,
+    TorDown,
+    AggUp,
+    AggDown,
+    CoreDown,
+    Other,
+}
+
+/// Counters harvested by the experiment harness after a run.
+#[derive(Clone, Debug, Default)]
+pub struct QueueStats {
+    pub forwarded_pkts: u64,
+    pub forwarded_bytes: u64,
+    /// Payload bytes of *untrimmed* data packets forwarded (goodput).
+    pub payload_bytes: u64,
+    pub trimmed: u64,
+    pub bounced: u64,
+    pub dropped_data: u64,
+    pub dropped_ctrl: u64,
+    pub ecn_marked: u64,
+    pub xoff_sent: u64,
+    pub max_occupancy_bytes: u64,
+}
+
+/// The queueing discipline of one egress port.
+pub enum Policy {
+    DropTail {
+        q: VecDeque<Packet>,
+        cap_bytes: u64,
+        bytes: u64,
+        /// Mark CE on arriving ECT packets when occupancy exceeds this.
+        ecn_thresh_bytes: Option<u64>,
+    },
+    Ndp {
+        data: VecDeque<Packet>,
+        hdr: VecDeque<Packet>,
+        data_cap_pkts: usize,
+        hdr_cap_bytes: u64,
+        hdr_bytes: u64,
+        /// Consecutive header-queue services while data waits (WRR state).
+        hdr_run: u32,
+        /// WRR ratio: serve up to this many headers per data packet (10).
+        wrr_ratio: u32,
+        /// Where to re-inject a bounced (return-to-sender) header: the
+        /// owning switch. `None` disables RTS (headers are dropped instead,
+        /// as in the NetFPGA implementation).
+        bounce_to: Option<ComponentId>,
+    },
+    Cp {
+        q: VecDeque<Packet>,
+        /// Data packets arriving beyond this occupancy get trimmed.
+        trim_thresh_bytes: u64,
+        /// Physical buffer bound (threshold + header headroom).
+        cap_bytes: u64,
+        bytes: u64,
+    },
+    Lossless {
+        q: VecDeque<Packet>,
+        cap_bytes: u64,
+        bytes: u64,
+        xoff_bytes: u64,
+        xon_bytes: u64,
+        ecn_thresh_bytes: Option<u64>,
+        /// Egress queues one hop upstream that we pause/resume.
+        upstreams: Vec<ComponentId>,
+        xoff_active: bool,
+        /// Delay for pause frames to reach the upstream transmitter.
+        pause_delay: Time,
+    },
+}
+
+impl Policy {
+    pub fn droptail(cap_bytes: u64) -> Policy {
+        Policy::DropTail { q: VecDeque::new(), cap_bytes, bytes: 0, ecn_thresh_bytes: None }
+    }
+
+    pub fn droptail_ecn(cap_bytes: u64, ecn_thresh_bytes: u64) -> Policy {
+        Policy::DropTail {
+            q: VecDeque::new(),
+            cap_bytes,
+            bytes: 0,
+            ecn_thresh_bytes: Some(ecn_thresh_bytes),
+        }
+    }
+
+    /// The NDP switch queue: `data_cap_pkts` full packets plus a header
+    /// queue holding the same number of bytes (8 × 9 KB = 72 KB ≈ 1125
+    /// headers, the figure §3.2.4 quotes).
+    pub fn ndp(data_cap_pkts: usize, mtu: u32) -> Policy {
+        Policy::Ndp {
+            data: VecDeque::new(),
+            hdr: VecDeque::new(),
+            data_cap_pkts,
+            hdr_cap_bytes: data_cap_pkts as u64 * mtu as u64,
+            hdr_bytes: 0,
+            hdr_run: 0,
+            wrr_ratio: 10,
+            bounce_to: None,
+        }
+    }
+
+    /// CP queue: trim when the data region (`trim_thresh_bytes`) is full;
+    /// the physical buffer is twice that, leaving room for queued headers
+    /// (mirroring the NDP queue's header budget so Figure 2 compares switch
+    /// *policies*, not buffer sizes).
+    pub fn cp(trim_thresh_bytes: u64) -> Policy {
+        Policy::Cp {
+            q: VecDeque::new(),
+            trim_thresh_bytes,
+            cap_bytes: trim_thresh_bytes * 2,
+            bytes: 0,
+        }
+    }
+
+    pub fn lossless(cap_bytes: u64, xoff_bytes: u64, xon_bytes: u64) -> Policy {
+        assert!(xon_bytes <= xoff_bytes && xoff_bytes <= cap_bytes);
+        Policy::Lossless {
+            q: VecDeque::new(),
+            cap_bytes,
+            bytes: 0,
+            xoff_bytes,
+            xon_bytes,
+            ecn_thresh_bytes: None,
+            upstreams: Vec::new(),
+            xoff_active: false,
+            pause_delay: Time::from_ns(500),
+        }
+    }
+
+    pub fn lossless_ecn(cap_bytes: u64, xoff: u64, xon: u64, ecn: u64) -> Policy {
+        match Policy::lossless(cap_bytes, xoff, xon) {
+            Policy::Lossless { q, cap_bytes, bytes, xoff_bytes, xon_bytes, upstreams, xoff_active, pause_delay, .. } => {
+                Policy::Lossless {
+                    q,
+                    cap_bytes,
+                    bytes,
+                    xoff_bytes,
+                    xon_bytes,
+                    ecn_thresh_bytes: Some(ecn),
+                    upstreams,
+                    xoff_active,
+                    pause_delay,
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// One egress port: policy + serializer.
+pub struct Queue {
+    rate: Speed,
+    next: ComponentId,
+    class: LinkClass,
+    policy: Policy,
+    /// Packet currently being serialized (removed from the queue so that
+    /// tail-trimming can never touch a packet already on the wire).
+    in_service: Option<Packet>,
+    /// Number of outstanding Xoff pauses applied to *us* by downstream.
+    paused: u32,
+    pub stats: QueueStats,
+}
+
+impl Queue {
+    pub fn new(rate: Speed, next: ComponentId, class: LinkClass, policy: Policy) -> Queue {
+        Queue { rate, next, class, policy, in_service: None, paused: 0, stats: QueueStats::default() }
+    }
+
+    pub fn class(&self) -> LinkClass {
+        self.class
+    }
+
+    pub fn rate(&self) -> Speed {
+        self.rate
+    }
+
+    /// Change the link rate (used by failure-injection experiments where a
+    /// 10 Gb/s link renegotiates to 1 Gb/s, §3.2.3/Fig 22). A packet already
+    /// being serialized finishes at the old rate.
+    pub fn set_rate(&mut self, rate: Speed) {
+        self.rate = rate;
+    }
+
+    /// Enable return-to-sender on header-queue overflow (NDP software
+    /// switch behaviour, §3.2.4).
+    pub fn set_bounce_to(&mut self, switch: ComponentId) {
+        if let Policy::Ndp { bounce_to, .. } = &mut self.policy {
+            *bounce_to = Some(switch);
+        } else {
+            panic!("bounce_to only applies to NDP queues");
+        }
+    }
+
+    /// Register the upstream transmitters this (lossless) queue may pause.
+    pub fn set_upstreams(&mut self, ups: Vec<ComponentId>) {
+        if let Policy::Lossless { upstreams, .. } = &mut self.policy {
+            *upstreams = ups;
+        } else {
+            panic!("upstreams only apply to lossless queues");
+        }
+    }
+
+    /// Bytes currently waiting (not counting the packet on the wire).
+    pub fn occupancy_bytes(&self) -> u64 {
+        match &self.policy {
+            Policy::DropTail { bytes, .. } | Policy::Cp { bytes, .. } | Policy::Lossless { bytes, .. } => *bytes,
+            Policy::Ndp { data, hdr_bytes, .. } => {
+                data.iter().map(|p| p.size as u64).sum::<u64>() + hdr_bytes
+            }
+        }
+    }
+
+    pub fn queued_packets(&self) -> usize {
+        match &self.policy {
+            Policy::DropTail { q, .. } | Policy::Cp { q, .. } | Policy::Lossless { q, .. } => q.len(),
+            Policy::Ndp { data, hdr, .. } => data.len() + hdr.len(),
+        }
+    }
+
+    fn note_occupancy(&mut self) {
+        let occ = self.occupancy_bytes();
+        if occ > self.stats.max_occupancy_bytes {
+            self.stats.max_occupancy_bytes = occ;
+        }
+    }
+
+    /// Pick the next packet to serialize according to the policy.
+    fn pop_next(&mut self) -> Option<Packet> {
+        match &mut self.policy {
+            Policy::DropTail { q, bytes, .. } | Policy::Cp { q, bytes, .. } | Policy::Lossless { q, bytes, .. } => {
+                let p = q.pop_front()?;
+                *bytes -= p.size as u64;
+                Some(p)
+            }
+            Policy::Ndp { data, hdr, hdr_bytes, hdr_run, wrr_ratio, .. } => {
+                // Weighted round robin, headers preferred: serve the header
+                // queue unless we've already served `wrr_ratio` headers in a
+                // row while data was waiting.
+                let serve_hdr = if hdr.is_empty() {
+                    false
+                } else if data.is_empty() {
+                    true
+                } else {
+                    *hdr_run < *wrr_ratio
+                };
+                if serve_hdr {
+                    let p = hdr.pop_front().expect("hdr non-empty");
+                    *hdr_bytes -= p.size as u64;
+                    if !data.is_empty() {
+                        *hdr_run += 1;
+                    }
+                    Some(p)
+                } else {
+                    let p = data.pop_front()?;
+                    *hdr_run = 0;
+                    Some(p)
+                }
+            }
+        }
+    }
+
+    fn start_tx_if_possible(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        if self.in_service.is_some() || self.paused > 0 {
+            return;
+        }
+        if let Some(pkt) = self.pop_next() {
+            let t = self.rate.tx_time(pkt.size as u64);
+            self.in_service = Some(pkt);
+            ctx.wake_in(t, TX_DONE);
+        }
+    }
+
+    fn enqueue(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
+        match &mut self.policy {
+            Policy::DropTail { q, cap_bytes, bytes, ecn_thresh_bytes } => {
+                if *bytes + pkt.size as u64 > *cap_bytes {
+                    if pkt.is_control() {
+                        self.stats.dropped_ctrl += 1;
+                    } else {
+                        self.stats.dropped_data += 1;
+                    }
+                    return;
+                }
+                if let Some(k) = ecn_thresh_bytes {
+                    if *bytes > *k && pkt.flags.has(crate::packet::Flags::ECT) {
+                        pkt.flags = pkt.flags.with(crate::packet::Flags::CE);
+                        self.stats.ecn_marked += 1;
+                    }
+                }
+                *bytes += pkt.size as u64;
+                q.push_back(pkt);
+            }
+            Policy::Cp { q, trim_thresh_bytes, cap_bytes, bytes } => {
+                if pkt.kind == PacketKind::Data
+                    && !pkt.is_trimmed()
+                    && *bytes + pkt.size as u64 > *trim_thresh_bytes
+                {
+                    pkt.trim();
+                    self.stats.trimmed += 1;
+                }
+                if *bytes + pkt.size as u64 > *cap_bytes {
+                    if pkt.is_control() {
+                        self.stats.dropped_ctrl += 1;
+                    } else {
+                        self.stats.dropped_data += 1;
+                    }
+                    return;
+                }
+                *bytes += pkt.size as u64;
+                q.push_back(pkt);
+            }
+            Policy::Ndp { data, hdr, data_cap_pkts, hdr_cap_bytes, hdr_bytes, bounce_to, .. } => {
+                let mut to_hdr: Option<Packet> = None;
+                if pkt.ndp_priority() {
+                    to_hdr = Some(pkt);
+                } else if data.len() < *data_cap_pkts {
+                    data.push_back(pkt);
+                } else {
+                    // Data queue full: trim. Decide with 50% probability
+                    // whether the victim is the arriving packet or the one
+                    // at the tail of the data queue (§3.1, breaks phase
+                    // effects).
+                    let trim_incoming = ctx.rng().gen::<bool>();
+                    let mut victim = if trim_incoming {
+                        pkt
+                    } else {
+                        let tail = data.pop_back().expect("data queue full implies non-empty");
+                        data.push_back(pkt);
+                        tail
+                    };
+                    victim.trim();
+                    self.stats.trimmed += 1;
+                    to_hdr = Some(victim);
+                }
+                if let Some(h) = to_hdr {
+                    if *hdr_bytes + h.size as u64 <= *hdr_cap_bytes {
+                        *hdr_bytes += h.size as u64;
+                        hdr.push_back(h);
+                    } else if let (Some(sw), true, false) =
+                        (*bounce_to, h.kind == PacketKind::Data, h.is_rts())
+                    {
+                        // Header queue overflow: return the header to its
+                        // sender by re-injecting it into the switch with
+                        // src/dst swapped (§3.2.4). Only data headers are
+                        // bounced, and only once.
+                        let mut b = h;
+                        b.bounce_to_sender();
+                        self.stats.bounced += 1;
+                        ctx.forward(sw, b);
+                    } else if h.is_control() {
+                        self.stats.dropped_ctrl += 1;
+                    } else {
+                        self.stats.dropped_data += 1;
+                    }
+                }
+            }
+            Policy::Lossless { q, cap_bytes, bytes, xoff_bytes, ecn_thresh_bytes, upstreams, xoff_active, pause_delay, .. } => {
+                if *bytes + pkt.size as u64 > *cap_bytes {
+                    // With correctly-sized skid buffers this cannot happen;
+                    // counted so tests can assert losslessness.
+                    self.stats.dropped_data += 1;
+                    return;
+                }
+                if let Some(k) = ecn_thresh_bytes {
+                    if *bytes > *k && pkt.flags.has(crate::packet::Flags::ECT) {
+                        pkt.flags = pkt.flags.with(crate::packet::Flags::CE);
+                        self.stats.ecn_marked += 1;
+                    }
+                }
+                *bytes += pkt.size as u64;
+                q.push_back(pkt);
+                if *bytes > *xoff_bytes && !*xoff_active {
+                    *xoff_active = true;
+                    self.stats.xoff_sent += 1;
+                    let d = *pause_delay;
+                    for &up in upstreams.iter() {
+                        let pause = Packet::control(0, 0, 0, PacketKind::Pause { xoff: true });
+                        ctx.send(up, pause, d);
+                    }
+                }
+            }
+        }
+        self.note_occupancy();
+        self.start_tx_if_possible(ctx);
+    }
+
+    fn after_dequeue(&mut self, ctx: &mut Ctx<'_, Packet>) {
+        if let Policy::Lossless { bytes, xon_bytes, upstreams, xoff_active, pause_delay, .. } = &mut self.policy {
+            if *xoff_active && *bytes <= *xon_bytes {
+                *xoff_active = false;
+                let d = *pause_delay;
+                for &up in upstreams.iter() {
+                    let resume = Packet::control(0, 0, 0, PacketKind::Pause { xoff: false });
+                    ctx.send(up, resume, d);
+                }
+            }
+        }
+    }
+}
+
+impl Component<Packet> for Queue {
+    fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+        match ev {
+            Event::Msg(pkt) => {
+                if let PacketKind::Pause { xoff } = pkt.kind {
+                    if xoff {
+                        self.paused += 1;
+                    } else {
+                        debug_assert!(self.paused > 0, "resume without pause");
+                        self.paused = self.paused.saturating_sub(1);
+                        self.start_tx_if_possible(ctx);
+                    }
+                    return;
+                }
+                self.enqueue(pkt, ctx);
+            }
+            Event::Wake(TX_DONE) => {
+                let pkt = self.in_service.take().expect("TX_DONE without packet in service");
+                self.stats.forwarded_pkts += 1;
+                self.stats.forwarded_bytes += pkt.size as u64;
+                if pkt.kind == PacketKind::Data && !pkt.is_trimmed() {
+                    self.stats.payload_bytes += pkt.payload as u64;
+                }
+                ctx.forward(self.next, pkt);
+                self.after_dequeue(ctx);
+                self.start_tx_if_possible(ctx);
+            }
+            Event::Wake(t) => panic!("unknown queue wake token {t}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Convenience: size of a trimmed header on the wire.
+pub const TRIMMED_BYTES: u32 = HEADER_BYTES;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Flags;
+    use ndp_sim::World;
+
+    struct Sink {
+        got: Vec<Packet>,
+        times: Vec<Time>,
+    }
+    impl Sink {
+        fn new() -> Sink {
+            Sink { got: vec![], times: vec![] }
+        }
+    }
+    impl Component<Packet> for Sink {
+        fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+            if let Event::Msg(p) = ev {
+                self.got.push(p);
+                self.times.push(ctx.now());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn world_with_queue(policy: Policy) -> (World<Packet>, ComponentId, ComponentId) {
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        let q = w.add(Queue::new(Speed::gbps(10), sink, LinkClass::Other, policy));
+        (w, q, sink)
+    }
+
+    #[test]
+    fn droptail_serializes_back_to_back() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail(100 * 9000));
+        for i in 0..3 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        // 9 KB at 10 Gb/s = 7.2 us each, back to back.
+        assert_eq!(s.times, vec![Time::from_ns(7_200), Time::from_ns(14_400), Time::from_ns(21_600)]);
+    }
+
+    #[test]
+    fn droptail_drops_when_full() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail(8 * 9000));
+        for i in 0..20 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        // One enters service immediately, 8 queue; the rest drop.
+        assert_eq!(w.get::<Sink>(sink).got.len(), 9);
+        assert_eq!(w.get::<Queue>(q).stats.dropped_data, 11);
+    }
+
+    #[test]
+    fn ecn_marks_ect_packets_over_threshold() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail_ecn(200 * 9000, 3 * 9000));
+        for i in 0..10 {
+            let p = Packet::data(0, 1, 0, i, 9000).with_flags(Flags::ECT);
+            w.post(Time::ZERO, q, p);
+        }
+        w.run_until_idle();
+        let marked = w.get::<Sink>(sink).got.iter().filter(|p| p.flags.has(Flags::CE)).count();
+        // First packet goes into service, next 4 enqueue below/at threshold
+        // boundary; occupancy exceeds 3 pkts from the 5th queued packet on.
+        assert!(marked >= 5, "marked {marked}");
+        assert_eq!(w.get::<Queue>(q).stats.ecn_marked as usize, marked);
+    }
+
+    #[test]
+    fn non_ect_packets_never_marked() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail_ecn(200 * 9000, 9000));
+        for i in 0..10 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        assert!(w.get::<Sink>(sink).got.iter().all(|p| !p.flags.has(Flags::CE)));
+    }
+
+    #[test]
+    fn ndp_trims_on_overflow_and_prioritizes_headers() {
+        let (mut w, q, sink) = world_with_queue(Policy::ndp(8, 9000));
+        // 1 in service + 8 queued + 4 trimmed.
+        for i in 0..13 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        assert_eq!(s.got.len(), 13, "metadata must be lossless");
+        let trimmed: Vec<_> = s.got.iter().filter(|p| p.is_trimmed()).collect();
+        assert_eq!(trimmed.len(), 4);
+        assert_eq!(w.get::<Queue>(q).stats.trimmed, 4);
+        // Headers are prioritized: after the in-service packet, the trimmed
+        // headers leave before the remaining full packets.
+        let first_after_service = &s.got[1];
+        assert!(first_after_service.is_trimmed(), "header should jump the data queue");
+    }
+
+    #[test]
+    fn ndp_tail_trim_probability_is_about_half() {
+        // Fill the data queue, then send many more; about half the trims
+        // should hit the arriving packet (seq >= 9) and half the tail.
+        let (mut w, q, sink) = world_with_queue(Policy::ndp(8, 9000));
+        let n = 2000;
+        for i in 0..n {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        // The 9 packets that escape untrimmed (1 in service + 8 buffered):
+        // with coin flips, some should be high seq numbers (tail trimming
+        // replaced older tails), i.e. the untrimmed set is not simply 0..9.
+        let untrimmed: Vec<u64> =
+            s.got.iter().filter(|p| !p.is_trimmed()).map(|p| p.seq).collect();
+        assert_eq!(untrimmed.len(), 9);
+        assert!(
+            untrimmed.iter().any(|&q| q >= 9),
+            "tail-trim randomization should let later arrivals displace queued tails: {untrimmed:?}"
+        );
+    }
+
+    #[test]
+    fn ndp_wrr_bounds_header_bandwidth() {
+        // Saturate both queues and check the dequeue pattern: at most 10
+        // headers between data packets.
+        let (mut w, q, sink) = world_with_queue(Policy::ndp(8, 9000));
+        for i in 0..500 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        // The WRR bound applies while data is actually waiting: once the
+        // data queue empties only headers remain, so measure runs up to the
+        // last data departure.
+        let last_data = s.got.iter().rposition(|p| !p.is_trimmed()).unwrap();
+        let mut run = 0u32;
+        let mut max_run = 0u32;
+        for p in &s.got[..=last_data] {
+            if p.is_trimmed() {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run <= 10, "header run {max_run} exceeds WRR ratio");
+        assert!(max_run >= 9, "WRR should allow long header runs under load: {max_run}");
+    }
+
+    #[test]
+    fn ndp_control_packets_join_header_queue() {
+        let (mut w, q, sink) = world_with_queue(Policy::ndp(8, 9000));
+        for i in 0..9 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        let mut ack = Packet::control(1, 0, 0, PacketKind::Ack);
+        ack.seq = 99;
+        w.post(Time::from_ns(100), q, ack);
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        // The ACK overtakes the 8 queued data packets (but not the one
+        // already on the wire).
+        assert_eq!(s.got[1].kind, PacketKind::Ack);
+    }
+
+    #[test]
+    fn ndp_header_overflow_bounces_to_switch() {
+        // A tiny header queue via tiny mtu scaling: data_cap 2 , mtu 9000
+        // gives hdr cap 18000 bytes = 281 headers; instead use direct
+        // construction for a 2-header cap.
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        let swid = w.add(Sink::new()); // stands in for the switch
+        let mut qq = Queue::new(
+            Speed::gbps(10),
+            sink,
+            LinkClass::TorDown,
+            Policy::Ndp {
+                data: VecDeque::new(),
+                hdr: VecDeque::new(),
+                data_cap_pkts: 2,
+                hdr_cap_bytes: 2 * HEADER_BYTES as u64,
+                hdr_bytes: 0,
+                hdr_run: 0,
+                wrr_ratio: 10,
+                bounce_to: None,
+            },
+        );
+        qq.set_bounce_to(swid);
+        let q = w.add(qq);
+        for i in 0..10 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let bounced = &w.get::<Sink>(swid).got;
+        assert!(!bounced.is_empty(), "expected return-to-sender traffic");
+        for b in bounced {
+            assert!(b.is_rts());
+            assert!(b.is_trimmed());
+            assert_eq!((b.src, b.dst), (1, 0), "addresses must be swapped");
+        }
+        let st = &w.get::<Queue>(q).stats;
+        assert_eq!(st.bounced as usize, bounced.len());
+        // Nothing silently lost: forwarded + bounced == 10 eventually.
+        assert_eq!(w.get::<Sink>(sink).got.len() + bounced.len(), 10);
+    }
+
+    #[test]
+    fn cp_trims_into_same_fifo_without_priority() {
+        let (mut w, q, sink) = world_with_queue(Policy::cp(8 * 9000));
+        for i in 0..13 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        assert_eq!(s.got.len(), 13);
+        // CP is FIFO: trimmed headers exit *after* all queued full packets.
+        let first_trim_pos = s.got.iter().position(|p| p.is_trimmed()).unwrap();
+        assert!(first_trim_pos >= 8, "CP must not give headers priority");
+    }
+
+    #[test]
+    fn lossless_pauses_upstream_and_resumes() {
+        // upstream queue -> pipe -> downstream lossless queue -> sink
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        // Downstream drains at 1 Gb/s (slow), upstream feeds at 10 Gb/s.
+        let down = w.add(Queue::new(
+            Speed::gbps(1),
+            sink,
+            LinkClass::Other,
+            Policy::lossless(40 * 9000, 10 * 9000, 5 * 9000),
+        ));
+        let pipe = w.add(crate::pipe::Pipe::new(Time::from_ns(500), down));
+        let up = w.add(Queue::new(Speed::gbps(10), pipe, LinkClass::Other, Policy::droptail(1000 * 9000)));
+        w.get_mut::<Queue>(down).set_upstreams(vec![up]);
+        for i in 0..100 {
+            w.post(Time::ZERO, up, Packet::data(0, 1, 0, i, 9000));
+        }
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        assert_eq!(s.got.len(), 100, "lossless fabric must not drop");
+        let d = w.get::<Queue>(down);
+        assert_eq!(d.stats.dropped_data, 0);
+        assert!(d.stats.xoff_sent >= 1, "expected at least one pause event");
+        assert!(
+            d.stats.max_occupancy_bytes <= 40 * 9000,
+            "occupancy bounded by capacity"
+        );
+    }
+
+    #[test]
+    fn paused_queue_does_not_transmit() {
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        let q = w.add(Queue::new(Speed::gbps(10), sink, LinkClass::Other, Policy::droptail(100 * 9000)));
+        w.post(Time::ZERO, q, Packet::control(0, 0, 0, PacketKind::Pause { xoff: true }));
+        w.post(Time::from_ns(1), q, Packet::data(0, 1, 0, 0, 9000));
+        w.post(Time::from_us(100), q, Packet::control(0, 0, 0, PacketKind::Pause { xoff: false }));
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        assert_eq!(s.got.len(), 1);
+        // Released only after the resume at t=100us, plus 7.2us tx.
+        assert_eq!(s.times[0], Time::from_us(100) + Time::from_ns(7_200));
+    }
+
+    #[test]
+    fn rate_change_applies_to_next_packet() {
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        let q = w.add(Queue::new(Speed::gbps(10), sink, LinkClass::Other, Policy::droptail(100 * 9000)));
+        w.post(Time::ZERO, q, Packet::data(0, 1, 0, 0, 9000));
+        w.run_until_idle();
+        w.get_mut::<Queue>(q).set_rate(Speed::gbps(1));
+        w.post(Time::from_ms(1), q, Packet::data(0, 1, 0, 1, 9000));
+        w.run_until_idle();
+        let s = w.get::<Sink>(sink);
+        assert_eq!(s.times[1] - Time::from_ms(1), Time::from_us(72));
+    }
+}

@@ -1,0 +1,134 @@
+//! A switch: an L2 forwarding decision plus per-port egress queues.
+//!
+//! Switches are deliberately thin — all buffering lives in the
+//! [`crate::queue::Queue`] components — matching the paper's NetFPGA design
+//! (Figure 6: input arbiter → L2 switching logic → NDP logic → output
+//! queues). Routing policy is injected via [`Router`] so topology crates can
+//! supply FatTree arithmetic without this crate depending on them.
+
+use std::any::Any;
+
+use ndp_sim::{Component, ComponentId, Ctx, Event};
+use rand::rngs::SmallRng;
+
+use crate::packet::Packet;
+
+/// A forwarding decision: which output port a packet leaves on.
+///
+/// Implementations exist per topology (see `ndp-topology`). `rng` supports
+/// per-packet random ECMP modes (the paper's "switches randomly choose the
+/// next hop" baseline in §3.1.1).
+pub trait Router: Send {
+    fn route(&self, pkt: &Packet, rng: &mut SmallRng) -> usize;
+}
+
+/// A blanket impl so simple closures can act as routers in tests.
+impl<F> Router for F
+where
+    F: Fn(&Packet, &mut SmallRng) -> usize + Send,
+{
+    fn route(&self, pkt: &Packet, rng: &mut SmallRng) -> usize {
+        self(pkt, rng)
+    }
+}
+
+/// The switch component.
+pub struct Switch {
+    ports: Vec<ComponentId>,
+    router: Box<dyn Router>,
+    pub rx_pkts: u64,
+}
+
+impl Switch {
+    pub fn new(ports: Vec<ComponentId>, router: Box<dyn Router>) -> Switch {
+        Switch { ports, router, rx_pkts: 0 }
+    }
+
+    pub fn ports(&self) -> &[ComponentId] {
+        &self.ports
+    }
+}
+
+impl Component<Packet> for Switch {
+    fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+        let Event::Msg(pkt) = ev else { return };
+        self.rx_pkts += 1;
+        let port = self.router.route(&pkt, ctx.rng());
+        debug_assert!(port < self.ports.len(), "router chose invalid port {port}");
+        ctx.forward(self.ports[port], pkt);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_sim::{Time, World};
+
+    struct Sink {
+        got: u64,
+    }
+    impl Component<Packet> for Sink {
+        fn handle(&mut self, ev: Event<Packet>, _ctx: &mut Ctx<'_, Packet>) {
+            if let Event::Msg(_) = ev {
+                self.got += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn routes_by_destination() {
+        let mut w: World<Packet> = World::new(3);
+        let a = w.add(Sink { got: 0 });
+        let b = w.add(Sink { got: 0 });
+        let sw = w.add(Switch::new(
+            vec![a, b],
+            Box::new(|p: &Packet, _: &mut SmallRng| p.dst as usize % 2),
+        ));
+        for i in 0..10u32 {
+            let pkt = Packet::data(0, i, 0, 0, 1500);
+            w.post(Time::ZERO, sw, pkt);
+        }
+        w.run_until_idle();
+        assert_eq!(w.get::<Sink>(a).got, 5);
+        assert_eq!(w.get::<Sink>(b).got, 5);
+        assert_eq!(w.get::<Switch>(sw).rx_pkts, 10);
+    }
+
+    #[test]
+    fn random_router_uses_world_rng_deterministically() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut w: World<Packet> = World::new(seed);
+            let a = w.add(Sink { got: 0 });
+            let b = w.add(Sink { got: 0 });
+            let sw = w.add(Switch::new(
+                vec![a, b],
+                Box::new(|_: &Packet, rng: &mut SmallRng| {
+                    use rand::Rng;
+                    rng.gen_range(0..2)
+                }),
+            ));
+            for _ in 0..100 {
+                w.post(Time::ZERO, sw, Packet::data(0, 1, 0, 0, 1500));
+            }
+            w.run_until_idle();
+            (w.get::<Sink>(a).got, w.get::<Sink>(b).got)
+        }
+        assert_eq!(run(17), run(17));
+        let (a, b) = run(17);
+        assert_eq!(a + b, 100);
+        assert!(a > 20 && b > 20, "roughly balanced: {a}/{b}");
+    }
+}

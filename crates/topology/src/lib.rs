@@ -1,0 +1,22 @@
+//! Topology builders: k-ary FatTrees, two-tier testbed replicas,
+//! back-to-back host pairs and single-bottleneck setups.
+//!
+//! The central trick (DESIGN.md §5): in a folded Clos the complete path
+//! between two hosts is determined by the uplink choices made on the way
+//! up, so a single integer *path tag* chosen by the sender fully encodes a
+//! source route. Switches map the tag to an output port arithmetically —
+//! no routing tables, no per-packet route vectors.
+//!
+//! Every builder wires real [`ndp_net`] components into a
+//! [`ndp_sim::World`]: per-direction egress queues, propagation pipes, and
+//! switch components, and returns a handle with the component ids needed
+//! by experiments (hosts for endpoint registration, queues for statistics
+//! harvesting and failure injection).
+
+pub mod fattree;
+pub mod small;
+pub mod spec;
+
+pub use fattree::{FatTree, FatTreeCfg, RouteMode};
+pub use small::{BackToBack, SingleBottleneck, TwoTier, TwoTierCfg};
+pub use spec::QueueSpec;

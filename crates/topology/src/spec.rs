@@ -1,0 +1,121 @@
+//! Queue-policy specifications shared by all topology builders.
+
+use ndp_net::queue::Policy;
+
+/// Which switch service model the fabric uses. Capacities are expressed in
+/// MTU-sized packets, the unit the paper uses throughout ("8 packet output
+/// queues", "marking threshold 30 packets", ...).
+#[derive(Clone, Copy, Debug)]
+pub enum QueueSpec {
+    /// NDP dual queue: `data_cap_pkts` full packets + equal header budget.
+    Ndp { data_cap_pkts: usize },
+    /// Plain FIFO with optional ECN marking threshold.
+    DropTail { cap_pkts: usize, ecn_thresh_pkts: Option<usize> },
+    /// Cut-payload FIFO (Figure 2 baseline).
+    Cp { thresh_pkts: usize },
+    /// PFC lossless with ECN (the DCQCN fabric).
+    Lossless { cap_pkts: usize, xoff_pkts: usize, xon_pkts: usize, ecn_thresh_pkts: Option<usize> },
+}
+
+impl QueueSpec {
+    /// The paper's NDP default: eight packet data queues.
+    pub fn ndp_default() -> QueueSpec {
+        QueueSpec::Ndp { data_cap_pkts: 8 }
+    }
+
+    /// The paper's DCTCP fabric: 200-packet queues, 30-packet marking.
+    pub fn dctcp_default() -> QueueSpec {
+        QueueSpec::DropTail { cap_pkts: 200, ecn_thresh_pkts: Some(30) }
+    }
+
+    /// The paper's MPTCP/TCP fabric: 200-packet drop-tail queues.
+    pub fn droptail_default() -> QueueSpec {
+        QueueSpec::DropTail { cap_pkts: 200, ecn_thresh_pkts: None }
+    }
+
+    /// The paper's DCQCN fabric: lossless Ethernet, 200-packet buffers,
+    /// 20-packet ECN marking threshold.
+    pub fn dcqcn_default() -> QueueSpec {
+        QueueSpec::Lossless {
+            cap_pkts: 200,
+            xoff_pkts: 80,
+            xon_pkts: 40,
+            ecn_thresh_pkts: Some(20),
+        }
+    }
+
+    /// pHost fabric: small drop-tail queues (8 packets), no ECN.
+    pub fn phost_default() -> QueueSpec {
+        QueueSpec::DropTail { cap_pkts: 8, ecn_thresh_pkts: None }
+    }
+
+    /// Materialize the policy for a fabric queue with the given MTU.
+    pub fn build(self, mtu: u32) -> Policy {
+        let b = mtu as u64;
+        match self {
+            QueueSpec::Ndp { data_cap_pkts } => Policy::ndp(data_cap_pkts, mtu),
+            QueueSpec::DropTail { cap_pkts, ecn_thresh_pkts } => match ecn_thresh_pkts {
+                Some(k) => Policy::droptail_ecn(cap_pkts as u64 * b, k as u64 * b),
+                None => Policy::droptail(cap_pkts as u64 * b),
+            },
+            QueueSpec::Cp { thresh_pkts } => Policy::cp(thresh_pkts as u64 * b),
+            QueueSpec::Lossless { cap_pkts, xoff_pkts, xon_pkts, ecn_thresh_pkts } => {
+                match ecn_thresh_pkts {
+                    Some(k) => Policy::lossless_ecn(
+                        cap_pkts as u64 * b,
+                        xoff_pkts as u64 * b,
+                        xon_pkts as u64 * b,
+                        k as u64 * b,
+                    ),
+                    None => Policy::lossless(
+                        cap_pkts as u64 * b,
+                        xoff_pkts as u64 * b,
+                        xon_pkts as u64 * b,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Host NIC policy matching this fabric. NDP NICs keep the priority
+    /// (header-first) behaviour but with a deep data queue — hosts never
+    /// trim their own traffic; other fabrics get a deep drop-tail NIC.
+    pub fn build_host_nic(self, mtu: u32) -> Policy {
+        match self {
+            QueueSpec::Ndp { .. } | QueueSpec::Cp { .. } => Policy::ndp(4096, mtu),
+            _ => Policy::droptail(4096 * mtu as u64),
+        }
+    }
+
+    pub fn is_lossless(self) -> bool {
+        matches!(self, QueueSpec::Lossless { .. })
+    }
+
+    pub fn is_ndp(self) -> bool {
+        matches!(self, QueueSpec::Ndp { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        match QueueSpec::ndp_default() {
+            QueueSpec::Ndp { data_cap_pkts } => assert_eq!(data_cap_pkts, 8),
+            _ => panic!(),
+        }
+        match QueueSpec::dctcp_default() {
+            QueueSpec::DropTail { cap_pkts, ecn_thresh_pkts } => {
+                assert_eq!(cap_pkts, 200);
+                assert_eq!(ecn_thresh_pkts, Some(30));
+            }
+            _ => panic!(),
+        }
+        match QueueSpec::dcqcn_default() {
+            QueueSpec::Lossless { ecn_thresh_pkts, .. } => assert_eq!(ecn_thresh_pkts, Some(20)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Traffic matrices and flow-size distributions for the evaluation.
+//!
+//! * [`permutation`] — the paper's worst-case matrix: every host sends to
+//!   exactly one host and receives from exactly one (a derangement).
+//! * [`random_matrix`] — each host sends to a uniformly random other host
+//!   (receivers may collide — the "Random" curve of Figure 4).
+//! * [`incast`] — N workers answer one frontend.
+//! * [`FlowSizeDist`] — flow-size models, including a synthetic match of
+//!   the Facebook *web* workload used in Figure 23 (heavy mass of tiny
+//!   flows, a thin tail of multi-MB ones; see DESIGN.md for the
+//!   substitution note).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A random derangement: `out[i]` is the destination of host `i`, never
+/// equal to `i`, and every host appears exactly once as a destination.
+pub fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    assert!(n >= 2);
+    loop {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        if perm.iter().enumerate().all(|(i, &p)| i != p) {
+            return perm;
+        }
+    }
+}
+
+/// Each host picks a uniformly random destination other than itself.
+pub fn random_matrix(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    (0..n)
+        .map(|i| loop {
+            let d = rng.gen_range(0..n);
+            if d != i {
+                break d;
+            }
+        })
+        .collect()
+}
+
+/// `n` distinct workers (excluding the frontend) for an incast.
+pub fn incast(frontend: usize, n: usize, n_hosts: usize, rng: &mut SmallRng) -> Vec<usize> {
+    assert!(n < n_hosts, "incast degree must leave room for the frontend");
+    let mut pool: Vec<usize> = (0..n_hosts).filter(|&h| h != frontend).collect();
+    for i in (1..pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pool.swap(i, j);
+    }
+    pool.truncate(n);
+    pool
+}
+
+/// Flow-size models.
+#[derive(Clone, Debug)]
+pub enum FlowSizeDist {
+    Fixed(u64),
+    Uniform { lo: u64, hi: u64 },
+    /// Synthetic match of the Facebook web workload's flow sizes [34]:
+    /// dominated by sub-10 KB flows with a heavy tail to ~10 MB.
+    FacebookWeb,
+}
+
+impl FlowSizeDist {
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            FlowSizeDist::Fixed(s) => s,
+            FlowSizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            FlowSizeDist::FacebookWeb => {
+                // Piecewise-linear inverse CDF in log-size space.
+                const Q: &[(f64, f64)] = &[
+                    (0.00, 100.0),
+                    (0.15, 300.0),
+                    (0.50, 2_400.0),
+                    (0.80, 10_000.0),
+                    (0.95, 100_000.0),
+                    (0.99, 1_000_000.0),
+                    (1.00, 10_000_000.0),
+                ];
+                let u: f64 = rng.gen();
+                let mut prev = Q[0];
+                for &pt in &Q[1..] {
+                    if u <= pt.0 {
+                        let f = (u - prev.0) / (pt.0 - prev.0);
+                        let lo = prev.1.ln();
+                        let hi = pt.1.ln();
+                        return (lo + f * (hi - lo)).exp() as u64;
+                    }
+                    prev = pt;
+                }
+                Q[Q.len() - 1].1 as u64
+            }
+        }
+    }
+}
+
+/// Closed-loop arrival gaps: exponential with a given median (the paper
+/// uses a 1 ms median inter-flow gap for Figure 23).
+pub fn closed_loop_gap_ps(median_ps: u64, rng: &mut SmallRng) -> u64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    // median of Exp(λ) is ln2/λ.
+    let scale = median_ps as f64 / std::f64::consts::LN_2;
+    (-u.ln() * scale) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn permutation_is_derangement() {
+        let mut r = rng();
+        for n in [2, 3, 8, 432] {
+            let p = permutation(n, &mut r);
+            let mut seen = vec![false; n];
+            for (i, &d) in p.iter().enumerate() {
+                assert_ne!(i, d);
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn random_matrix_avoids_self() {
+        let mut r = rng();
+        let m = random_matrix(100, &mut r);
+        assert!(m.iter().enumerate().all(|(i, &d)| i != d && d < 100));
+    }
+
+    #[test]
+    fn incast_workers_are_distinct_and_exclude_frontend() {
+        let mut r = rng();
+        let workers = incast(7, 50, 128, &mut r);
+        assert_eq!(workers.len(), 50);
+        assert!(!workers.contains(&7));
+        let mut sorted = workers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn facebook_web_is_heavy_tailed() {
+        let mut r = rng();
+        let d = FlowSizeDist::FacebookWeb;
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let small = samples.iter().filter(|&&s| s <= 10_000).count() as f64;
+        let huge = samples.iter().filter(|&&s| s >= 1_000_000).count() as f64;
+        let n = samples.len() as f64;
+        assert!(small / n > 0.7, "most flows are mice: {}", small / n);
+        assert!(huge / n < 0.03, "elephants are rare: {}", huge / n);
+        assert!(samples.iter().any(|&s| s > 2_000_000), "tail exists");
+        // Mean is pulled far above the median by the tail.
+        let mean = samples.iter().sum::<u64>() as f64 / n;
+        let mut s = samples.clone();
+        s.sort_unstable();
+        let median = s[s.len() / 2] as f64;
+        assert!(mean > 5.0 * median);
+    }
+
+    #[test]
+    fn closed_loop_gap_median_matches() {
+        let mut r = rng();
+        let mut gaps: Vec<u64> = (0..20_000).map(|_| closed_loop_gap_ps(1_000_000_000, &mut r)).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2] as f64;
+        assert!((median / 1e9 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut r = rng();
+        assert_eq!(FlowSizeDist::Fixed(777).sample(&mut r), 777);
+        for _ in 0..100 {
+            let s = FlowSizeDist::Uniform { lo: 10, hi: 20 }.sample(&mut r);
+            assert!((10..=20).contains(&s));
+        }
+    }
+}

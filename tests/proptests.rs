@@ -1,0 +1,158 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants.
+
+use ndp::core::{attach_flow, NdpFlowCfg, PathSet};
+use ndp::metrics::Cdf;
+use ndp::net::host::HostLatency;
+use ndp::net::{Packet, Queue};
+use ndp::sim::{Speed, Time, World};
+use ndp::topology::{BackToBack, QueueSpec, SingleBottleneck};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any flow size over a clean link is delivered exactly once,
+    /// regardless of the initial window.
+    #[test]
+    fn ndp_delivers_exact_bytes(size in 1u64..2_000_000, iw in 1u64..64, seed in 0u64..1000) {
+        let mut w: World<Packet> = World::new(seed);
+        let b2b = BackToBack::build(
+            &mut w,
+            Speed::gbps(10),
+            Time::from_us(1),
+            9000,
+            QueueSpec::ndp_default(),
+            HostLatency::default(),
+        );
+        let cfg = NdpFlowCfg { n_paths: 1, iw_pkts: iw, ..NdpFlowCfg::new(size) };
+        attach_flow(&mut w, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+        w.run_until(Time::from_secs(10));
+        let rx = ndp::core::flow::receiver_stats(&w, b2b.hosts[1], 1);
+        prop_assert_eq!(rx.payload_bytes, size);
+        prop_assert!(rx.completion_time.is_some());
+        let tx = ndp::core::flow::sender_stats(&w, b2b.hosts[0], 1);
+        prop_assert_eq!(tx.retransmissions, 0, "no retransmissions on a clean link");
+    }
+
+    /// Even with corruption on both directions, every byte eventually
+    /// arrives exactly once (RTO reliability net).
+    #[test]
+    fn ndp_survives_corruption(size in 1u64..300_000, p in 0.0f64..0.15, seed in 0u64..200) {
+        let mut w: World<Packet> = World::new(seed);
+        use ndp::net::{Host, Pipe};
+        use ndp::net::queue::LinkClass;
+        let h0 = w.reserve();
+        let h1 = w.reserve();
+        let speed = Speed::gbps(10);
+        let p01 = w.add(Pipe::new(Time::from_us(1), h1).with_corruption(p));
+        let nic0 = w.add(Queue::new(speed, p01, LinkClass::HostNic, QueueSpec::ndp_default().build_host_nic(9000)));
+        let p10 = w.add(Pipe::new(Time::from_us(1), h0).with_corruption(p));
+        let nic1 = w.add(Queue::new(speed, p10, LinkClass::HostNic, QueueSpec::ndp_default().build_host_nic(9000)));
+        w.install(h0, Host::new(0, nic0, speed, 9000));
+        w.install(h1, Host::new(1, nic1, speed, 9000));
+        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+        attach_flow(&mut w, 1, (h0, 0), (h1, 1), cfg, Time::ZERO);
+        w.run_until(Time::from_secs(60));
+        let rx = ndp::core::flow::receiver_stats(&w, h1, 1);
+        prop_assert_eq!(rx.payload_bytes, size, "all payload delivered despite corruption");
+    }
+
+    /// The path permutation visits every path exactly once per round, for
+    /// any path count.
+    #[test]
+    fn pathset_round_coverage(n in 1u32..64, seed in 0u64..1000) {
+        let mut ps = PathSet::new(n, false);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _round in 0..4 {
+            let mut seen = vec![0u32; n as usize];
+            for _ in 0..n {
+                seen[ps.next(&mut rng) as usize] += 1;
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "round must be a permutation: {:?}", seen);
+        }
+    }
+
+    /// CDF percentile queries are monotone and bounded by min/max.
+    #[test]
+    fn cdf_percentiles_monotone(mut xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let c = Cdf::from_samples(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let v = c.percentile(p);
+            prop_assert!(v >= prev);
+            prop_assert!(v >= c.min() && v <= c.max());
+            prev = v;
+        }
+        prop_assert_eq!(c.percentile(1.0), *xs.last().unwrap());
+    }
+
+    /// NDP queue invariants under arbitrary overload: metadata lossless
+    /// until header-queue capacity, occupancy bounded, WRR bounded.
+    #[test]
+    fn ndp_queue_never_exceeds_capacity(n_pkts in 1usize..600, seed in 0u64..500) {
+        let mut w: World<Packet> = World::new(seed);
+        struct Sink;
+        impl ndp::sim::Component<Packet> for Sink {
+            fn handle(&mut self, _ev: ndp::sim::Event<Packet>, _ctx: &mut ndp::sim::Ctx<'_, Packet>) {}
+            fn as_any(&self) -> &dyn std::any::Any { self }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+        }
+        let sink = w.add(Sink);
+        let q = w.add(Queue::new(
+            Speed::gbps(10),
+            sink,
+            ndp::net::LinkClass::TorDown,
+            ndp::net::Policy::ndp(8, 9000),
+        ));
+        for i in 0..n_pkts {
+            w.post(Time::from_ns(i as u64 * 100), q, Packet::data(0, 1, 0, i as u64, 9000));
+        }
+        w.run_until_idle();
+        let queue = w.get::<Queue>(q);
+        // Occupancy never exceeded data-cap + header-cap bytes.
+        prop_assert!(queue.stats.max_occupancy_bytes <= 8 * 9000 + 8 * 9000);
+        // With no RTS target, any overflow shows as dropped_data; the sum
+        // of outcomes equals the input.
+        prop_assert_eq!(
+            queue.stats.forwarded_pkts + queue.stats.dropped_data
+                + queue.queued_packets() as u64
+                + u64::from(queue.occupancy_bytes() > 0 && false), // readability
+            n_pkts as u64
+        );
+    }
+
+    /// Fair-share fractions from the blast sink are within [0, ~1] for any
+    /// sender count (no accounting leaks).
+    #[test]
+    fn blast_fair_share_bounded(n in 1usize..40, seed in 0u64..100) {
+        let mut w: World<Packet> = World::new(seed);
+        let sb = SingleBottleneck::build(&mut w, n, Speed::gbps(10), Time::from_us(1), 9000, QueueSpec::ndp_default());
+        for s in 0..n {
+            ndp::baselines::blast::attach_blast(
+                &mut w,
+                s as u64 + 1,
+                (sb.senders[s], s as u32),
+                (sb.receiver, n as u32),
+                9000,
+                Speed::gbps(10),
+                Time::ZERO,
+            );
+        }
+        let span = Time::from_ms(2);
+        w.run_until(span);
+        use ndp::net::Host;
+        let host = w.get::<Host>(sb.receiver);
+        let total: u64 = (1..=n as u64)
+            .map(|f| host.endpoint::<ndp::baselines::blast::CountSink>(f).payload_bytes)
+            .sum();
+        let frac = ndp::baselines::blast::fair_share_fraction(total, 1, Speed::gbps(10), 9000, span);
+        prop_assert!(frac <= 1.05, "goodput cannot exceed the link: {frac}");
+        if n >= 1 {
+            prop_assert!(frac > 0.5, "the link should be mostly busy: {frac}");
+        }
+    }
+}

@@ -29,7 +29,15 @@ pub struct BlastSender {
 
 impl BlastSender {
     pub fn new(flow: FlowId, dst: HostId, mtu: u32, rate: Speed) -> BlastSender {
-        BlastSender { flow, dst, mtu, rate, limit: u64::MAX, seq: 0, sent: 0 }
+        BlastSender {
+            flow,
+            dst,
+            mtu,
+            rate,
+            limit: u64::MAX,
+            seq: 0,
+            sent: 0,
+        }
     }
 
     pub fn with_limit(mut self, pkts: u64) -> BlastSender {
@@ -112,7 +120,9 @@ pub fn attach_blast(
     world
         .get_mut::<Host>(src.0)
         .add_endpoint(flow, Box::new(BlastSender::new(flow, dst.1, mtu, rate)));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(CountSink::new()));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(CountSink::new()));
     world.post_wake(start, src.0, flow << 8);
 }
 
@@ -159,8 +169,13 @@ mod tests {
     fn single_blast_achieves_line_rate() {
         let (w, sb) = run_blast(1, QueueSpec::ndp_default(), 1);
         let sink = w.get::<Host>(sb.receiver).endpoint::<CountSink>(1);
-        let frac =
-            fair_share_fraction(sink.payload_bytes, 1, Speed::gbps(10), 9000, Time::from_ms(10));
+        let frac = fair_share_fraction(
+            sink.payload_bytes,
+            1,
+            Speed::gbps(10),
+            9000,
+            Time::from_ms(10),
+        );
         assert!(frac > 0.97, "single flow share {frac:.3}");
     }
 
@@ -169,8 +184,9 @@ mod tests {
         let n = 50;
         let (w, sb) = run_blast(n, QueueSpec::ndp_default(), 2);
         let host = w.get::<Host>(sb.receiver);
-        let total: u64 =
-            (1..=n as u64).map(|f| host.endpoint::<CountSink>(f).payload_bytes).sum();
+        let total: u64 = (1..=n as u64)
+            .map(|f| host.endpoint::<CountSink>(f).payload_bytes)
+            .sum();
         let frac = fair_share_fraction(total, 1, Speed::gbps(10), 9000, Time::from_ms(10));
         // WRR 10:1 bounds header bandwidth: goodput stays high.
         assert!(frac > 0.85, "NDP aggregate goodput fraction {frac:.3}");
@@ -184,8 +200,9 @@ mod tests {
         let agg = |fabric: QueueSpec, seed| {
             let (w, sb) = run_blast(n, fabric, seed);
             let host = w.get::<Host>(sb.receiver);
-            let total: u64 =
-                (1..=n as u64).map(|f| host.endpoint::<CountSink>(f).payload_bytes).sum();
+            let total: u64 = (1..=n as u64)
+                .map(|f| host.endpoint::<CountSink>(f).payload_bytes)
+                .sum();
             fair_share_fraction(total, 1, Speed::gbps(10), 9000, Time::from_ms(10))
         };
         let ndp = agg(QueueSpec::ndp_default(), 3);
@@ -208,8 +225,10 @@ mod tests {
             QueueSpec::ndp_default(),
         );
         let sender = BlastSender::new(1, 1, 9000, Speed::gbps(10)).with_limit(17);
-        w.get_mut::<Host>(sb.senders[0]).add_endpoint(1, Box::new(sender));
-        w.get_mut::<Host>(sb.receiver).add_endpoint(1, Box::new(CountSink::new()));
+        w.get_mut::<Host>(sb.senders[0])
+            .add_endpoint(1, Box::new(sender));
+        w.get_mut::<Host>(sb.receiver)
+            .add_endpoint(1, Box::new(CountSink::new()));
         w.post_wake(Time::ZERO, sb.senders[0], 1 << 8);
         w.run_until_idle();
         let sink = w.get::<Host>(sb.receiver).endpoint::<CountSink>(1);

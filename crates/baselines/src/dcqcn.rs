@@ -223,7 +223,9 @@ impl Endpoint for DcqcnSender {
             }
             INCREASE_TIMER => {
                 self.on_increase_timer();
-                self.stats.rate_samples.push((ctx.now().as_ps(), self.rc as u64));
+                self.stats
+                    .rate_samples
+                    .push((ctx.now().as_ps(), self.rc as u64));
                 if self.sent_bytes < self.cfg.size_bytes {
                     ctx.timer_in(self.cfg.increase_timer, INCREASE_TIMER);
                 }
@@ -331,8 +333,12 @@ pub fn attach_dcqcn_flow(
     if let Some((comp, tok)) = notify {
         receiver = receiver.with_notify(comp, tok);
     }
-    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(sender));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(receiver));
     world.post_wake(start, src.0, flow << 8);
 }
 
@@ -354,13 +360,23 @@ mod tests {
             QueueSpec::dcqcn_default(),
         );
         let size = 5_000_000u64;
-        attach_dcqcn_flow(&mut w, 1, (sb.senders[0], 0), (sb.receiver, 1), DcqcnCfg::new(size), Time::ZERO);
+        attach_dcqcn_flow(
+            &mut w,
+            1,
+            (sb.senders[0], 0),
+            (sb.receiver, 1),
+            DcqcnCfg::new(size),
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(100));
         let rx = w.get::<Host>(sb.receiver).endpoint::<DcqcnReceiver>(1);
         assert_eq!(rx.payload_bytes, size);
         let fct = rx.completion_time.unwrap() - rx.first_arrival.unwrap();
         let goodput = size as f64 * 8.0 / fct.as_secs() / 1e9;
-        assert!(goodput > 9.0, "uncongested DCQCN should run at line rate: {goodput:.2}");
+        assert!(
+            goodput > 9.0,
+            "uncongested DCQCN should run at line rate: {goodput:.2}"
+        );
         assert_eq!(rx.cnps_sent, 0, "no marks on an idle link");
     }
 
@@ -392,7 +408,9 @@ mod tests {
             let rx = w.get::<Host>(sb.receiver).endpoint::<DcqcnReceiver>(s + 1);
             assert_eq!(rx.payload_bytes, size, "flow {s}");
             cnps += rx.cnps_sent;
-            let tx = w.get::<Host>(sb.senders[s as usize]).endpoint::<DcqcnSender>(s + 1);
+            let tx = w
+                .get::<Host>(sb.senders[s as usize])
+                .endpoint::<DcqcnSender>(s + 1);
             assert!(tx.stats.cnps_received > 0, "sender {s} never throttled");
         }
         assert!(cnps > 0);

@@ -129,7 +129,16 @@ impl MptcpSender {
             })
             .collect();
         let pool = cfg.size_bytes;
-        MptcpSender { flow, dst, cfg, subs, pool, total_acked: 0, done: false, stats: MptcpStats::default() }
+        MptcpSender {
+            flow,
+            dst,
+            cfg,
+            subs,
+            pool,
+            total_acked: 0,
+            done: false,
+            stats: MptcpStats::default(),
+        }
     }
 
     pub fn is_done(&self) -> bool {
@@ -169,8 +178,13 @@ impl MptcpSender {
             (s.path, s.claimed)
         };
         let payload = (claimed - seq).min(self.mss());
-        let mut pkt =
-            Packet::data(ctx.host(), self.dst, self.flow, seq, payload as u32 + HEADER_BYTES);
+        let mut pkt = Packet::data(
+            ctx.host(),
+            self.dst,
+            self.flow,
+            seq,
+            payload as u32 + HEADER_BYTES,
+        );
         pkt.path = path;
         pkt.subflow = idx as u16;
         pkt.sent = ctx.now();
@@ -460,23 +474,24 @@ pub fn attach_mptcp_flow(
     if let Some((comp, tok)) = notify {
         receiver = receiver.with_notify(comp, tok);
     }
-    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(sender));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(receiver));
     world.post_wake(start, src.0, flow << 8);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndp_net::host::HostLatency;
-    use ndp_sim::Speed;
     use ndp_topology::{FatTree, FatTreeCfg, QueueSpec};
 
     #[test]
     fn mptcp_fills_a_fat_tree_path_bundle() {
         let mut w: World<Packet> = World::new(1);
-        let cfg =
-            FatTreeCfg::new(4).with_fabric(QueueSpec::droptail_default());
+        let cfg = FatTreeCfg::new(4).with_fabric(QueueSpec::droptail_default());
         let ft = FatTree::build(&mut w, cfg);
         let size = 20_000_000u64;
         attach_mptcp_flow(
@@ -493,7 +508,10 @@ mod tests {
         let tx = w.get::<Host>(ft.hosts[0]).endpoint::<MptcpSender>(1);
         let fct = tx.stats.fct().unwrap();
         let goodput = size as f64 * 8.0 / fct.as_secs() / 1e9;
-        assert!(goodput > 7.0, "8 subflows should fill most of the 10G access link: {goodput:.2}");
+        assert!(
+            goodput > 7.0,
+            "8 subflows should fill most of the 10G access link: {goodput:.2}"
+        );
     }
 
     #[test]

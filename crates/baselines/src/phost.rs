@@ -102,7 +102,12 @@ impl PHostSender {
 
     fn wire_size(&self, seq: u64) -> u32 {
         let per = self.cfg.payload_per_pkt();
-        let payload = self.cfg.size_bytes.saturating_sub(seq * per).min(per).max(1) as u32;
+        let payload = self
+            .cfg
+            .size_bytes
+            .saturating_sub(seq * per)
+            .min(per)
+            .max(1) as u32;
         payload + HEADER_BYTES
     }
 
@@ -168,12 +173,10 @@ impl Endpoint for PHostSender {
                     }
                 }
             }
-            PacketKind::Pull | PacketKind::Token => {
-                if pkt.ack > self.token_ctr {
-                    let n = pkt.ack - self.token_ctr;
-                    self.token_ctr = pkt.ack;
-                    self.pump(n, ctx);
-                }
+            PacketKind::Pull | PacketKind::Token if pkt.ack > self.token_ctr => {
+                let n = pkt.ack - self.token_ctr;
+                self.token_ctr = pkt.ack;
+                self.pump(n, ctx);
             }
             _ => {}
         }
@@ -342,8 +345,12 @@ pub fn attach_phost_flow(
     if let Some((comp, tok)) = notify {
         receiver = receiver.with_notify(comp, tok);
     }
-    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(sender));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(receiver));
     world.post_wake(start, src.0, flow << 8);
     // Start the receiver's token-timeout clock (models pHost's RTS).
     world.post_wake(start, dst.0, flow << 8);
@@ -367,7 +374,14 @@ mod tests {
             QueueSpec::phost_default(),
         );
         let size = 5_000_000u64;
-        attach_phost_flow(&mut w, 1, (sb.senders[0], 0), (sb.receiver, 1), PHostCfg::new(size), Time::ZERO);
+        attach_phost_flow(
+            &mut w,
+            1,
+            (sb.senders[0], 0),
+            (sb.receiver, 1),
+            PHostCfg::new(size),
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(100));
         let rx = w.get::<Host>(sb.receiver).endpoint::<PHostReceiver>(1);
         assert_eq!(rx.payload_bytes, size);
@@ -406,7 +420,10 @@ mod tests {
             last = last.max(rx.completion_time.unwrap());
             timeout_credits += rx.timeout_credits;
         }
-        assert!(timeout_credits > 0, "incast must lose bursts and need timeout recovery");
+        assert!(
+            timeout_credits > 0,
+            "incast must lose bursts and need timeout recovery"
+        );
         // Ideal is ~6.5 ms (30 × 30 × 9 KB at 10 Gb/s); pHost pays at least
         // the initial token-timeout stall on top. The dramatic divergence
         // from NDP shows up at 432:1 scale (see the inline_phost

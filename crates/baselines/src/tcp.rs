@@ -69,7 +69,11 @@ impl TcpCfg {
     }
 
     pub fn dctcp(size_bytes: u64) -> TcpCfg {
-        TcpCfg { dctcp: true, min_rto: Time::from_ms(10), ..TcpCfg::new(size_bytes) }
+        TcpCfg {
+            dctcp: true,
+            min_rto: Time::from_ms(10),
+            ..TcpCfg::new(size_bytes)
+        }
     }
 
     pub fn mss(&self) -> u64 {
@@ -186,8 +190,13 @@ impl TcpSender {
 
     fn send_segment(&mut self, seq: u64, ctx: &mut EndpointCtx<'_, '_>) {
         let payload = (self.cfg.size_bytes - seq).min(self.mss());
-        let mut pkt =
-            Packet::data(ctx.host(), self.dst, self.flow, seq, payload as u32 + HEADER_BYTES);
+        let mut pkt = Packet::data(
+            ctx.host(),
+            self.dst,
+            self.flow,
+            seq,
+            payload as u32 + HEADER_BYTES,
+        );
         pkt.path = self.cfg.path;
         pkt.sent = ctx.now();
         if self.cfg.dctcp {
@@ -474,7 +483,8 @@ impl TcpReceiver {
             return;
         }
         let start = start.max(self.rcv_nxt);
-        self.ooo.insert(start, self.ooo.get(&start).copied().unwrap_or(0).max(end));
+        self.ooo
+            .insert(start, self.ooo.get(&start).copied().unwrap_or(0).max(end));
         // Advance rcv_nxt over any now-contiguous segments.
         while let Some((&s, &e)) = self.ooo.first_key_value() {
             if s <= self.rcv_nxt {
@@ -572,8 +582,12 @@ pub fn attach_tcp_flow(
     if let Some((comp, tok)) = notify {
         receiver = receiver.with_notify(comp, tok);
     }
-    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(sender));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(receiver));
     world.post_wake(start, src.0, flow << 8);
 }
 
@@ -598,14 +612,24 @@ mod tests {
     }
 
     fn tcp_stats(w: &World<Packet>, host: ndp_sim::ComponentId, flow: FlowId) -> TcpStats {
-        w.get::<Host>(host).endpoint::<TcpSender>(flow).stats.clone()
+        w.get::<Host>(host)
+            .endpoint::<TcpSender>(flow)
+            .stats
+            .clone()
     }
 
     #[test]
     fn transfer_completes_and_delivers_exact_bytes() {
         let (mut w, b) = b2b(1, QueueSpec::droptail_default());
         let size = 5_000_000u64;
-        attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), TcpCfg::new(size), Time::ZERO);
+        attach_tcp_flow(
+            &mut w,
+            1,
+            (b.hosts[0], 0),
+            (b.hosts[1], 1),
+            TcpCfg::new(size),
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(200));
         let rx = w.get::<Host>(b.hosts[1]).endpoint::<TcpReceiver>(1);
         assert_eq!(rx.payload_bytes, size);
@@ -619,19 +643,32 @@ mod tests {
     fn slow_start_doubles_then_fills_pipe() {
         let (mut w, b) = b2b(2, QueueSpec::droptail_default());
         let size = 20_000_000u64;
-        attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), TcpCfg::new(size), Time::ZERO);
+        attach_tcp_flow(
+            &mut w,
+            1,
+            (b.hosts[0], 0),
+            (b.hosts[1], 1),
+            TcpCfg::new(size),
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(200));
         let tx = tcp_stats(&w, b.hosts[0], 1);
         let fct = tx.fct().unwrap();
         let goodput = size as f64 * 8.0 / fct.as_secs() / 1e9;
-        assert!(goodput > 8.5, "long flow should approach line rate, got {goodput:.2}");
+        assert!(
+            goodput > 8.5,
+            "long flow should approach line rate, got {goodput:.2}"
+        );
     }
 
     #[test]
     fn three_way_handshake_adds_an_rtt() {
         let run = |hs: Handshake| {
             let (mut w, b) = b2b(3, QueueSpec::droptail_default());
-            let cfg = TcpCfg { handshake: hs, ..TcpCfg::new(100_000) };
+            let cfg = TcpCfg {
+                handshake: hs,
+                ..TcpCfg::new(100_000)
+            };
             attach_tcp_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
             w.run_until(Time::from_ms(200));
             tcp_stats(&w, b.hosts[0], 1).fct().unwrap()
@@ -639,7 +676,10 @@ mod tests {
         let plain = run(Handshake::None);
         let tfo = run(Handshake::Tfo);
         let full = run(Handshake::ThreeWay);
-        assert_eq!(plain, tfo, "TFO == no-handshake when connection data fits the IW");
+        assert_eq!(
+            plain, tfo,
+            "TFO == no-handshake when connection data fits the IW"
+        );
         assert!(full > plain, "3WHS must cost extra");
         // The extra cost is about one RTT (2 us propagation + header tx).
         assert!(full - plain < Time::from_us(10));
@@ -676,15 +716,25 @@ mod tests {
         w.install(h0, Host::new(0, nic0, speed, 9000));
         w.install(h1, Host::new(1, nic1, speed, 9000));
         let size = 20_000_000u64;
-        let cfg = TcpCfg { min_rto: Time::from_ms(10), ..TcpCfg::new(size) };
+        let cfg = TcpCfg {
+            min_rto: Time::from_ms(10),
+            ..TcpCfg::new(size)
+        };
         attach_tcp_flow(&mut w, 1, (h0, 0), (h1, 1), cfg, Time::ZERO);
         w.run_until(Time::from_secs(20));
         let tx = tcp_stats(&w, h0, 1);
         assert!(tx.completion_time.is_some(), "long flow incomplete");
-        assert!(tx.fast_retransmits > 0, "mid-window loss must trigger fast retransmit");
+        assert!(
+            tx.fast_retransmits > 0,
+            "mid-window loss must trigger fast retransmit"
+        );
         // ~6-7 losses over 2239 packets, each recovered in about an RTT:
         // total time stays near the ideal 16 ms, far from RTO territory.
-        assert!(tx.fct().unwrap() < Time::from_ms(100), "fct {}", tx.fct().unwrap());
+        assert!(
+            tx.fct().unwrap() < Time::from_ms(100),
+            "fct {}",
+            tx.fct().unwrap()
+        );
         let rx = w.get::<Host>(h1).endpoint::<TcpReceiver>(1);
         assert_eq!(rx.payload_bytes, size);
     }
@@ -715,10 +765,16 @@ mod tests {
         for s in 0..2u64 {
             let tx = tcp_stats(&w, sb.senders[s as usize], s + 1);
             assert!(tx.completion_time.is_some());
-            assert!(tx.marks_echoed > 0, "DCTCP should see marks under congestion");
+            assert!(
+                tx.marks_echoed > 0,
+                "DCTCP should see marks under congestion"
+            );
         }
         let q = w.get::<ndp_net::queue::Queue>(sb.bottleneck);
-        assert_eq!(q.stats.dropped_data, 0, "DCTCP should avoid loss in a 200-pkt queue");
+        assert_eq!(
+            q.stats.dropped_data, 0,
+            "DCTCP should avoid loss in a 200-pkt queue"
+        );
         // Queue stays well below the 200-packet cap thanks to marking.
         assert!(
             q.stats.max_occupancy_bytes < 100 * 9000,
@@ -737,7 +793,10 @@ mod tests {
             Speed::gbps(10),
             Time::from_us(1),
             9000,
-            QueueSpec::DropTail { cap_pkts: 20, ecn_thresh_pkts: None },
+            QueueSpec::DropTail {
+                cap_pkts: 20,
+                ecn_thresh_pkts: None,
+            },
         );
         let size = 450_000u64;
         for s in 0..n as u64 {
@@ -761,7 +820,10 @@ mod tests {
         }
         assert!(timeouts > 0, "synchronized incast losses should cause RTOs");
         // The 200ms MinRTO pushes the tail far beyond the ideal ~7ms.
-        assert!(last > Time::from_ms(100), "tail should be RTO-dominated, got {last}");
+        assert!(
+            last > Time::from_ms(100),
+            "tail should be RTO-dominated, got {last}"
+        );
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Raw engine throughput: events/sec on the k=8 NDP permutation workload,
+//! for the two-tier scheduler (default) and the classic binary-heap
+//! reference. `cargo bench --bench engine` prints both; the ratio is the
+//! scheduler refactor's speedup and is recorded in BENCH_engine.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndp_experiments::harness::{permutation_run, Proto};
+use ndp_sim::{set_default_scheduler, SchedulerKind, Time};
+use ndp_topology::FatTreeCfg;
+
+fn bench_engine_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(1);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    for kind in [SchedulerKind::TwoTier, SchedulerKind::Classic] {
+        g.bench_function(&format!("permutation_k8/{}", kind.label()), |b| {
+            set_default_scheduler(kind);
+            b.iter(|| {
+                let r = permutation_run(Proto::Ndp, FatTreeCfg::new(8), Time::from_ms(2), 7, None);
+                criterion::black_box(r.utilization)
+            });
+            set_default_scheduler(SchedulerKind::TwoTier);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_schedulers);
+criterion_main!(benches);

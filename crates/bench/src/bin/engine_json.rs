@@ -1,0 +1,78 @@
+//! Regenerate `BENCH_engine.json`: events/sec of the k=8 NDP permutation
+//! workload under the classic (binary heap) and two-tier (wheel + fast
+//! lane) schedulers, plus the speedup ratio.
+//!
+//! Usage: `cargo run --release -p ndp-bench --bin engine_json [reps]`
+//! from the repository root; writes `BENCH_engine.json` to the current
+//! directory. The best of `reps` runs (default 3) is reported per
+//! scheduler to filter scheduling noise.
+
+use ndp_experiments::harness::{permutation_run, Proto};
+use ndp_sim::{set_default_scheduler, SchedulerKind, Time};
+use ndp_topology::FatTreeCfg;
+use std::time::Instant;
+
+struct Measurement {
+    events: u64,
+    best_secs: f64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best_secs
+    }
+}
+
+fn measure(kind: SchedulerKind, reps: usize) -> Measurement {
+    set_default_scheduler(kind);
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = permutation_run(Proto::Ndp, FatTreeCfg::new(8), Time::from_ms(2), 7, None);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(
+            r.utilization > 0.5,
+            "degenerate workload (util {:.2})",
+            r.utilization
+        );
+        events = r.events_processed;
+        best = best.min(secs);
+    }
+    set_default_scheduler(SchedulerKind::TwoTier);
+    Measurement {
+        events,
+        best_secs: best,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    eprintln!("measuring classic scheduler ({reps} reps)...");
+    let classic = measure(SchedulerKind::Classic, reps);
+    eprintln!("measuring two-tier scheduler ({reps} reps)...");
+    let two_tier = measure(SchedulerKind::TwoTier, reps);
+    assert_eq!(
+        classic.events, two_tier.events,
+        "schedulers must process identical event counts for a fixed seed"
+    );
+    let json = format!(
+        "{{\n  \"workload\": \"NDP permutation, k=8 FatTree (128 hosts), 2 ms simulated, seed 7\",\n  \
+           \"events\": {},\n  \
+           \"classic\": {{ \"secs\": {:.4}, \"events_per_sec\": {:.0} }},\n  \
+           \"two_tier\": {{ \"secs\": {:.4}, \"events_per_sec\": {:.0} }},\n  \
+           \"speedup\": {:.3}\n}}\n",
+        classic.events,
+        classic.best_secs,
+        classic.events_per_sec(),
+        two_tier.best_secs,
+        two_tier.events_per_sec(),
+        two_tier.events_per_sec() / classic.events_per_sec(),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+}

@@ -5,8 +5,8 @@ use ndp_net::packet::{FlowId, HostId, Packet};
 use ndp_sim::{ComponentId, Time, World};
 
 use crate::receiver::NdpReceiver;
-use crate::sender::NdpSender;
 pub use crate::sender::NdpFlowCfg;
+use crate::sender::NdpSender;
 
 /// Register sender and receiver endpoints for one flow and schedule its
 /// start. `src`/`dst` are (host component id, host id) pairs as returned by
@@ -21,20 +21,36 @@ pub fn attach_flow(
     start: Time,
 ) {
     let sender = NdpSender::new(flow, dst.1, cfg.clone());
-    let prio = if cfg.high_priority { PullPriority::High } else { PullPriority::Normal };
+    let prio = if cfg.high_priority {
+        PullPriority::High
+    } else {
+        PullPriority::Normal
+    };
     let mut receiver = NdpReceiver::new(src.1).with_priority(prio);
     if let Some((comp, tok)) = cfg.notify {
         receiver = receiver.with_notify(comp, tok);
     }
-    world.get_mut::<Host>(src.0).add_endpoint(flow, Box::new(sender));
-    world.get_mut::<Host>(dst.0).add_endpoint(flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(src.0)
+        .add_endpoint(flow, Box::new(sender));
+    world
+        .get_mut::<Host>(dst.0)
+        .add_endpoint(flow, Box::new(receiver));
     // Token 0 == flow start on the sender host.
     world.post_wake(start, src.0, flow << 8);
 }
 
 /// Convenience accessors for post-run harvesting.
-pub fn sender_stats(world: &World<Packet>, host: ComponentId, flow: FlowId) -> crate::NdpSenderStats {
-    world.get::<Host>(host).endpoint::<NdpSender>(flow).stats.clone()
+pub fn sender_stats(
+    world: &World<Packet>,
+    host: ComponentId,
+    flow: FlowId,
+) -> crate::NdpSenderStats {
+    world
+        .get::<Host>(host)
+        .endpoint::<NdpSender>(flow)
+        .stats
+        .clone()
 }
 
 pub fn receiver_stats(
@@ -42,7 +58,11 @@ pub fn receiver_stats(
     host: ComponentId,
     flow: FlowId,
 ) -> crate::NdpReceiverStats {
-    world.get::<Host>(host).endpoint::<NdpReceiver>(flow).stats.clone()
+    world
+        .get::<Host>(host)
+        .endpoint::<NdpReceiver>(flow)
+        .stats
+        .clone()
 }
 
 #[cfg(test)]
@@ -71,7 +91,10 @@ mod tests {
     fn back_to_back_transfer_completes_at_line_rate() {
         let (mut w, b) = b2b(1);
         let size = 10_000_000u64; // 10 MB
-        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+        let cfg = NdpFlowCfg {
+            n_paths: 1,
+            ..NdpFlowCfg::new(size)
+        };
         attach_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
         w.run_until(Time::from_ms(100));
         let rx = receiver_stats(&w, b.hosts[1], 1);
@@ -81,14 +104,20 @@ mod tests {
         let fct = tx.fct().unwrap();
         let goodput_gbps = size as f64 * 8.0 / fct.as_secs() / 1e9;
         assert!(goodput_gbps > 9.0, "goodput {goodput_gbps:.2} Gb/s");
-        assert_eq!(tx.retransmissions, 0, "nothing to retransmit on an idle link");
+        assert_eq!(
+            tx.retransmissions, 0,
+            "nothing to retransmit on an idle link"
+        );
         assert_eq!(rx.duplicate_pkts, 0);
     }
 
     #[test]
     fn tiny_flow_single_packet() {
         let (mut w, b) = b2b(2);
-        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(100) };
+        let cfg = NdpFlowCfg {
+            n_paths: 1,
+            ..NdpFlowCfg::new(100)
+        };
         attach_flow(&mut w, 1, (b.hosts[0], 0), (b.hosts[1], 1), cfg, Time::ZERO);
         w.run_until(Time::from_ms(10));
         let rx = receiver_stats(&w, b.hosts[1], 1);
@@ -103,8 +132,18 @@ mod tests {
         let mut w: World<Packet> = World::new(3);
         let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
         let size = 2_000_000u64;
-        let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(size) };
-        attach_flow(&mut w, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+        let cfg = NdpFlowCfg {
+            n_paths: ft.n_paths(0, 15),
+            ..NdpFlowCfg::new(size)
+        };
+        attach_flow(
+            &mut w,
+            1,
+            (ft.hosts[0], 0),
+            (ft.hosts[15], 15),
+            cfg,
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(50));
         let rx = receiver_stats(&w, ft.hosts[15], 1);
         assert_eq!(rx.payload_bytes, size);
@@ -133,7 +172,10 @@ mod tests {
         );
         let size = 30 * 8936; // 30 packets each
         for s in 0..n {
-            let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+            let cfg = NdpFlowCfg {
+                n_paths: 1,
+                ..NdpFlowCfg::new(size)
+            };
             attach_flow(
                 &mut w,
                 s as u64 + 1,
@@ -193,7 +235,10 @@ mod tests {
         w.install(h0, Host::new(0, nic0, speed, mtu));
         w.install(h1, Host::new(1, nic1, speed, mtu));
         let size = 1_000_000u64;
-        let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(size) };
+        let cfg = NdpFlowCfg {
+            n_paths: 1,
+            ..NdpFlowCfg::new(size)
+        };
         attach_flow(&mut w, 1, (h0, 0), (h1, 1), cfg, Time::ZERO);
         w.run_until(Time::from_secs(2));
         let rx = receiver_stats(&w, h1, 1);
@@ -218,7 +263,10 @@ mod tests {
         let long = 2_000_000u64;
         let short = 200_000u64;
         for s in 0..6 {
-            let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(long) };
+            let cfg = NdpFlowCfg {
+                n_paths: 1,
+                ..NdpFlowCfg::new(long)
+            };
             attach_flow(
                 &mut w,
                 s as u64 + 1,
@@ -228,13 +276,29 @@ mod tests {
                 Time::ZERO,
             );
         }
-        let cfg = NdpFlowCfg { n_paths: 1, high_priority: true, ..NdpFlowCfg::new(short) };
-        attach_flow(&mut w, 7, (sb.senders[6], 6), (sb.receiver, n as HostId), cfg, Time::ZERO);
+        let cfg = NdpFlowCfg {
+            n_paths: 1,
+            high_priority: true,
+            ..NdpFlowCfg::new(short)
+        };
+        attach_flow(
+            &mut w,
+            7,
+            (sb.senders[6], 6),
+            (sb.receiver, n as HostId),
+            cfg,
+            Time::ZERO,
+        );
         w.run_until(Time::from_ms(100));
         let short_fct = receiver_stats(&w, sb.receiver, 7).completion_time.unwrap();
         for s in 0..6 {
-            let long_fct = receiver_stats(&w, sb.receiver, s + 1).completion_time.unwrap();
-            assert!(short_fct < long_fct, "priority flow must finish before long flows");
+            let long_fct = receiver_stats(&w, sb.receiver, s + 1)
+                .completion_time
+                .unwrap();
+            assert!(
+                short_fct < long_fct,
+                "priority flow must finish before long flows"
+            );
         }
         // The priority flow should complete close to its idle-network time:
         // size/linkrate plus the first-RTT contention.
@@ -265,10 +329,16 @@ mod tests {
             }
         }
         let (mut w, b) = b2b(7);
-        let cfg = NdpFlowCfg { iw_pkts: 1, n_paths: 1, ..NdpFlowCfg::new(9000 * 20) };
+        let cfg = NdpFlowCfg {
+            iw_pkts: 1,
+            n_paths: 1,
+            ..NdpFlowCfg::new(9000 * 20)
+        };
         let sender = NdpSender::new(1, 1, cfg);
-        w.get_mut::<Host>(b.hosts[0]).add_endpoint(1, Box::new(sender));
-        w.get_mut::<Host>(b.hosts[1]).add_endpoint(1, Box::new(Recorder { sent: vec![] }));
+        w.get_mut::<Host>(b.hosts[0])
+            .add_endpoint(1, Box::new(sender));
+        w.get_mut::<Host>(b.hosts[1])
+            .add_endpoint(1, Box::new(Recorder { sent: vec![] }));
         w.post_wake(Time::ZERO, b.hosts[0], 1 << 8);
         w.run_until(Time::from_us(50));
         // Simulate a reordered pull arriving with counter 3 (pulls 1,2
@@ -297,8 +367,18 @@ mod tests {
         fn run(seed: u64) -> Time {
             let mut w: World<Packet> = World::new(seed);
             let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
-            let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(500_000) };
-            attach_flow(&mut w, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+            let cfg = NdpFlowCfg {
+                n_paths: ft.n_paths(0, 15),
+                ..NdpFlowCfg::new(500_000)
+            };
+            attach_flow(
+                &mut w,
+                1,
+                (ft.hosts[0], 0),
+                (ft.hosts[15], 15),
+                cfg,
+                Time::ZERO,
+            );
             w.run_until(Time::from_ms(50));
             receiver_stats(&w, ft.hosts[15], 1).completion_time.unwrap()
         }

@@ -101,14 +101,17 @@ impl PathSet {
         // during a legitimate incast every path NACKs heavily, so a path is
         // only an outlier if it NACKs markedly more than its peers.
         let mut ratios: Vec<Option<f64>> = vec![None; n];
-        for i in 0..n {
+        for (i, ratio) in ratios.iter_mut().enumerate() {
             let total = self.acks[i] + self.nacks[i];
             if total >= 8 {
-                ratios[i] = Some(self.nacks[i] as f64 / total as f64);
+                *ratio = Some(self.nacks[i] as f64 / total as f64);
             }
         }
-        let sampled: Vec<(usize, f64)> =
-            ratios.iter().enumerate().filter_map(|(i, r)| r.map(|v| (i, v))).collect();
+        let sampled: Vec<(usize, f64)> = ratios
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|v| (i, v)))
+            .collect();
         let total_loss: u64 = self.losses.iter().sum();
         let mut newly = vec![false; n];
         if sampled.len() >= 2 {
@@ -120,24 +123,21 @@ impl PathSet {
                 }
             }
         }
-        for i in 0..n {
-            let mean_other_loss = (total_loss - self.losses[i]) as f64 / (n - 1).max(1) as f64;
-            if self.losses[i] >= 3 && self.losses[i] as f64 > 4.0 * mean_other_loss.max(0.25) {
-                newly[i] = true;
+        for (flag, &loss) in newly.iter_mut().zip(&self.losses) {
+            let mean_other_loss = (total_loss - loss) as f64 / (n - 1).max(1) as f64;
+            if loss >= 3 && loss as f64 > 4.0 * mean_other_loss.max(0.25) {
+                *flag = true;
             }
         }
         // Never exclude everything.
-        let excluded_after =
-            (0..n).filter(|&i| newly[i] || self.cooldown[i] > 0).count();
+        let excluded_after = (0..n).filter(|&i| newly[i] || self.cooldown[i] > 0).count();
         if excluded_after < n {
-            for i in 0..n {
-                if newly[i] {
-                    self.cooldown[i] = EXCLUSION_ROUNDS;
-                    // Forget the bad history so re-probing starts clean.
-                    self.acks[i] = 0;
-                    self.nacks[i] = 0;
-                    self.losses[i] = 0;
-                }
+            for (i, _) in newly.iter().enumerate().filter(|(_, &new)| new) {
+                self.cooldown[i] = EXCLUSION_ROUNDS;
+                // Forget the bad history so re-probing starts clean.
+                self.acks[i] = 0;
+                self.nacks[i] = 0;
+                self.losses[i] = 0;
             }
         }
     }
@@ -194,7 +194,7 @@ mod tests {
         let mut ps = PathSet::new(16, true);
         let mut r = rng();
         for _round in 0..10 {
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             for _ in 0..16 {
                 seen[ps.next(&mut r) as usize] = true;
             }
@@ -238,7 +238,10 @@ mod tests {
         }
         assert!(ps.is_excluded(3));
         let picks: Vec<u32> = (0..30).map(|_| ps.next(&mut r)).collect();
-        assert!(picks.iter().all(|&p| p != 3), "excluded path must not be used");
+        assert!(
+            picks.iter().all(|&p| p != 3),
+            "excluded path must not be used"
+        );
         // Stop the pain; decay should eventually re-admit path 3.
         for _ in 0..2000 {
             ps.next(&mut r);

@@ -103,6 +103,7 @@ impl NdpReceiver {
         }
     }
 
+    #[allow(dead_code)] // mirror of mark_received, kept for protocol debugging
     fn is_received(&self, seq: u64) -> bool {
         self.received.get(seq as usize).copied().unwrap_or(false)
     }
@@ -164,7 +165,9 @@ impl Endpoint for NdpReceiver {
                 self.stats.payload_bytes += pkt.payload as u64;
                 ctx.account_delivered(pkt.payload as u64);
                 if self.trace_latency {
-                    self.stats.delivery_latencies.push((ctx.now() - pkt.sent).as_ps());
+                    self.stats
+                        .delivery_latencies
+                        .push((ctx.now() - pkt.sent).as_ps());
                 }
             } else {
                 self.stats.duplicate_pkts += 1;

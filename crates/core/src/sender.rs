@@ -169,12 +169,24 @@ impl NdpSender {
         payload + HEADER_BYTES
     }
 
-    fn send_data(&mut self, seq: u64, rtx: bool, avoid_path: Option<u32>, ctx: &mut EndpointCtx<'_, '_>) {
+    fn send_data(
+        &mut self,
+        seq: u64,
+        rtx: bool,
+        avoid_path: Option<u32>,
+        ctx: &mut EndpointCtx<'_, '_>,
+    ) {
         let path = match avoid_path {
             Some(p) => self.paths.next_avoiding(ctx.rng(), p),
             None => self.paths.next(ctx.rng()),
         };
-        let mut pkt = Packet::data(ctx.host(), self.dst, self.flow, seq, self.pkt_wire_size(seq));
+        let mut pkt = Packet::data(
+            ctx.host(),
+            self.dst,
+            self.flow,
+            seq,
+            self.pkt_wire_size(seq),
+        );
         pkt.path = path;
         pkt.sent = ctx.now();
         if seq < self.cfg.iw_pkts {
@@ -336,13 +348,11 @@ impl Endpoint for NdpSender {
         match pkt.kind {
             PacketKind::Ack => self.on_ack(pkt, ctx),
             PacketKind::Nack => self.on_nack(pkt, ctx),
-            PacketKind::Pull => {
-                if pkt.ack > self.pull_ctr {
-                    let n = pkt.ack - self.pull_ctr;
-                    self.pull_ctr = pkt.ack;
-                    self.stats.pulls += n;
-                    self.pump(n, ctx);
-                }
+            PacketKind::Pull if pkt.ack > self.pull_ctr => {
+                let n = pkt.ack - self.pull_ctr;
+                self.pull_ctr = pkt.ack;
+                self.stats.pulls += n;
+                self.pump(n, ctx);
             }
             PacketKind::Data if pkt.is_rts() => self.on_rts(pkt, ctx),
             _ => {}

@@ -31,7 +31,14 @@ pub struct Report {
 
 fn one_run(fabric: QueueSpec, n: usize, span: Time, seed: u64) -> Vec<f64> {
     let mut world: World<Packet> = World::new(seed);
-    let sb = SingleBottleneck::build(&mut world, n, Speed::gbps(10), Time::from_us(1), 9000, fabric);
+    let sb = SingleBottleneck::build(
+        &mut world,
+        n,
+        Speed::gbps(10),
+        Time::from_us(1),
+        9000,
+        fabric,
+    );
     for s in 0..n {
         // Stagger starts within one packet time so arrival phases differ
         // (as OS scheduling jitter would in the real world; without this,
@@ -95,7 +102,13 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t = Table::new(["flows", "NDP mean%", "NDP worst10%", "CP mean%", "CP worst10%"]);
+        let mut t = Table::new([
+            "flows",
+            "NDP mean%",
+            "NDP worst10%",
+            "CP mean%",
+            "CP worst10%",
+        ]);
         for r in &self.rows {
             t.row([
                 r.n_flows.to_string(),
@@ -105,7 +118,11 @@ impl std::fmt::Display for Report {
                 format!("{:.1}", r.cp_worst10),
             ]);
         }
-        write!(f, "Figure 2 — percent of fair goodput achieved (unresponsive flows)\n{}", t.render())
+        write!(
+            f,
+            "Figure 2 — percent of fair goodput achieved (unresponsive flows)\n{}",
+            t.render()
+        )
     }
 }
 

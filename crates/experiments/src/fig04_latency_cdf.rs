@@ -23,14 +23,12 @@ pub struct Report {
     pub incast_1350k: Cdf,
 }
 
-fn collect_latencies(
-    world: &World<Packet>,
-    ft: &FatTree,
-    flows: &[(u64, usize)],
-) -> Cdf {
+fn collect_latencies(world: &World<Packet>, ft: &FatTree, flows: &[(u64, usize)]) -> Cdf {
     let mut samples = Vec::new();
     for &(flow, dst) in flows {
-        let r = world.get::<Host>(ft.hosts[dst]).endpoint::<NdpReceiver>(flow);
+        let r = world
+            .get::<Host>(ft.hosts[dst])
+            .endpoint::<NdpReceiver>(flow);
         samples.extend(r.stats.delivery_latencies.iter().map(|&ps| ps as f64 / 1e6));
     }
     Cdf::from_samples(samples)
@@ -50,7 +48,12 @@ fn tm_run(scale: Scale, seed: u64, random: bool, horizon: Time) -> Cdf {
     let mut flows = Vec::new();
     for (src, &dst) in dsts.iter().enumerate() {
         let flow = src as u64 + 1;
-        let spec = FlowSpec::new(flow, src as HostId, dst as HostId, crate::harness::LONG_FLOW);
+        let spec = FlowSpec::new(
+            flow,
+            src as HostId,
+            dst as HostId,
+            crate::harness::LONG_FLOW,
+        );
         attach_with_trace(&mut world, &ft, &spec);
         flows.push((flow, dst));
     }
@@ -69,8 +72,12 @@ fn attach_with_trace(world: &mut World<Packet>, ft: &FatTree, spec: &FlowSpec) {
     }
     let sender = NdpSender::new(spec.flow, spec.dst, cfg);
     let receiver = NdpReceiver::new(spec.src).with_latency_trace();
-    world.get_mut::<Host>(ft.hosts[spec.src as usize]).add_endpoint(spec.flow, Box::new(sender));
-    world.get_mut::<Host>(ft.hosts[spec.dst as usize]).add_endpoint(spec.flow, Box::new(receiver));
+    world
+        .get_mut::<Host>(ft.hosts[spec.src as usize])
+        .add_endpoint(spec.flow, Box::new(sender));
+    world
+        .get_mut::<Host>(ft.hosts[spec.dst as usize])
+        .add_endpoint(spec.flow, Box::new(receiver));
     world.post_wake(spec.start, ft.hosts[spec.src as usize], spec.flow << 8);
 }
 
@@ -123,7 +130,13 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t = Table::new(["percentile", "perm (us)", "random (us)", "incast 135K", "incast 1350K"]);
+        let mut t = Table::new([
+            "percentile",
+            "perm (us)",
+            "random (us)",
+            "incast 135K",
+            "incast 1350K",
+        ]);
         for p in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00] {
             t.row([
                 format!("{:.0}%", p * 100.0),
@@ -145,7 +158,11 @@ mod tests {
     fn shapes_match_paper() {
         let rep = run(Scale::Quick);
         // Loaded-but-uncongested traffic keeps sub-ms medians.
-        assert!(rep.permutation.median() < 1_000.0, "perm median {}", rep.permutation.median());
+        assert!(
+            rep.permutation.median() < 1_000.0,
+            "perm median {}",
+            rep.permutation.median()
+        );
         assert!(rep.random.median() < 2_000.0);
         // The all-in-first-RTT incast has a far heavier tail than the
         // pull-paced large incast median.

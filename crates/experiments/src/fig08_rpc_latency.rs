@@ -118,8 +118,24 @@ fn run_stack(stack: Stack, n_rpcs: usize) -> Cdf {
         rsp.start = Time::MAX;
         match stack.proto() {
             Proto::Ndp => {
-                attach_generic(&mut world, Proto::Ndp, &req, (b2b.hosts[0], 0), (b2b.hosts[1], 1), 1, 1500);
-                attach_generic(&mut world, Proto::Ndp, &rsp, (b2b.hosts[1], 1), (b2b.hosts[0], 0), 1, 1500);
+                attach_generic(
+                    &mut world,
+                    Proto::Ndp,
+                    &req,
+                    (b2b.hosts[0], 0),
+                    (b2b.hosts[1], 1),
+                    1,
+                    1500,
+                );
+                attach_generic(
+                    &mut world,
+                    Proto::Ndp,
+                    &rsp,
+                    (b2b.hosts[1], 1),
+                    (b2b.hosts[0], 0),
+                    1,
+                    1500,
+                );
             }
             _ => {
                 let mk = |spec: &FlowSpec, src: u32, dst: u32| {
@@ -191,13 +207,25 @@ pub fn run(scale: Scale) -> Report {
         Scale::Paper => 200,
         Scale::Quick => 40,
     };
-    let stacks = [Stack::Ndp, Stack::TfoNoSleep, Stack::TcpNoSleep, Stack::Tfo, Stack::Tcp];
-    Report { cdfs: stacks.iter().map(|&s| (s, run_stack(s, n))).collect() }
+    let stacks = [
+        Stack::Ndp,
+        Stack::TfoNoSleep,
+        Stack::TcpNoSleep,
+        Stack::Tfo,
+        Stack::Tcp,
+    ];
+    Report {
+        cdfs: stacks.iter().map(|&s| (s, run_stack(s, n))).collect(),
+    }
 }
 
 impl Report {
     pub fn median(&self, stack: Stack) -> f64 {
-        self.cdfs.iter().find(|(s, _)| *s == stack).map(|(_, c)| c.median()).unwrap_or(f64::NAN)
+        self.cdfs
+            .iter()
+            .find(|(s, _)| *s == stack)
+            .map(|(_, c)| c.median())
+            .unwrap_or(f64::NAN)
     }
 
     pub fn headline(&self) -> String {

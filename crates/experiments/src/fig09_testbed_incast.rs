@@ -34,7 +34,10 @@ pub struct Report {
 /// MinRTO are exactly what Figure 9's p90 shows.
 fn trial(proto: Proto, size: u64, seed: u64) -> Time {
     let fabric = match proto {
-        Proto::Tcp => ndp_topology::QueueSpec::DropTail { cap_pkts: 8, ecn_thresh_pkts: None },
+        Proto::Tcp => ndp_topology::QueueSpec::DropTail {
+            cap_pkts: 8,
+            ecn_thresh_pkts: None,
+        },
         _ => proto.fabric(),
     };
     let cfg = TwoTierCfg::testbed().with_fabric(fabric);
@@ -67,7 +70,9 @@ fn trial(proto: Proto, size: u64, seed: u64) -> Time {
 
 pub fn run(scale: Scale) -> Report {
     let sizes: &[u64] = match scale {
-        Scale::Paper => &[10_000, 50_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000],
+        Scale::Paper => &[
+            10_000, 50_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000,
+        ],
         Scale::Quick => &[10_000, 100_000, 450_000, 1_000_000],
     };
     let trials = match scale {
@@ -131,7 +136,11 @@ impl std::fmt::Display for Report {
                 format!("{:.2}", r.tcp_p90_ms),
             ]);
         }
-        write!(f, "Figure 9 — 7:1 incast completion time vs response size\n{}", t.render())
+        write!(
+            f,
+            "Figure 9 — 7:1 incast completion time vs response size\n{}",
+            t.render()
+        )
     }
 }
 

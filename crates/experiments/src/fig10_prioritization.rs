@@ -87,7 +87,11 @@ impl Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut t = Table::new(["scenario", "FCT (us)", "delta vs idle (us)"]);
-        t.row(["idle".to_string(), format!("{:.1}", self.idle.as_us()), "0".into()]);
+        t.row([
+            "idle".to_string(),
+            format!("{:.1}", self.idle.as_us()),
+            "0".into(),
+        ]);
         t.row([
             "with prioritization".to_string(),
             format!("{:.1}", self.with_prio.as_us()),
@@ -98,7 +102,11 @@ impl std::fmt::Display for Report {
             format!("{:.1}", self.without_prio.as_us()),
             format!("{:.1}", (self.without_prio - self.idle).as_us()),
         ]);
-        write!(f, "Figure 10 — short flow vs six long flows, one receiver\n{}", t.render())
+        write!(
+            f,
+            "Figure 10 — short flow vs six long flows, one receiver\n{}",
+            t.render()
+        )
     }
 }
 

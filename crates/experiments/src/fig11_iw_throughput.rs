@@ -16,6 +16,7 @@ use ndp_sim::{Speed, Time, World};
 use ndp_topology::{BackToBack, QueueSpec};
 
 use crate::harness::Scale;
+use crate::sweep::SweepSpec;
 
 pub struct Report {
     /// (iw, perfect Gb/s, experimental Gb/s)
@@ -27,7 +28,11 @@ fn throughput(iw: u64, host_delay: bool) -> f64 {
     let latency = if host_delay {
         // ~72 us of extra round-trip host processing: the ten extra packets
         // of buffering the paper measured.
-        HostLatency { rx_delay: Time::from_us(18), tx_delay: Time::from_us(18), ..Default::default() }
+        HostLatency {
+            rx_delay: Time::from_us(18),
+            tx_delay: Time::from_us(18),
+            ..Default::default()
+        }
     } else {
         HostLatency::default()
     };
@@ -40,11 +45,22 @@ fn throughput(iw: u64, host_delay: bool) -> f64 {
         latency,
     );
     let size = 30_000_000u64;
-    let cfg = NdpFlowCfg { n_paths: 1, iw_pkts: iw, ..NdpFlowCfg::new(size) };
-    attach_flow(&mut world, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: 1,
+        iw_pkts: iw,
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut world,
+        1,
+        (b2b.hosts[0], 0),
+        (b2b.hosts[1], 1),
+        cfg,
+        Time::ZERO,
+    );
     world.run_until(Time::from_secs(10));
     let rx = ndp_core::flow::receiver_stats(&world, b2b.hosts[1], 1);
-    let fct = rx.completion_time.expect("transfer completes") ;
+    let fct = rx.completion_time.expect("transfer completes");
     size as f64 * 8.0 / fct.as_secs() / 1e9
 }
 
@@ -53,13 +69,31 @@ pub fn run(scale: Scale) -> Report {
         Scale::Paper => &[1, 2, 4, 8, 12, 15, 16, 20, 25, 32, 64, 128, 256],
         Scale::Quick => &[1, 4, 8, 16, 32, 128],
     };
-    Report {
-        rows: iws.iter().map(|&iw| (iw, throughput(iw, false), throughput(iw, true))).collect(),
-    }
+    // Sweep (iw × host-model) as one grid, then fold the host-model axis
+    // back into (perfect, experimental) columns by walking the grid points
+    // alongside their results.
+    let spec = SweepSpec::grid(
+        "fig11: IW x host model",
+        iws,
+        &[false, true],
+        |&iw, &host| (iw, host),
+    );
+    let tputs = spec.run(|&(iw, host_delay)| throughput(iw, host_delay));
+    let mut cells = spec.points.iter().zip(tputs);
+    let rows = iws
+        .iter()
+        .map(|&iw| {
+            let (&p, perfect) = cells.next().expect("one perfect cell per IW");
+            let (&e, experimental) = cells.next().expect("one experimental cell per IW");
+            debug_assert_eq!((p, e), ((iw, false), (iw, true)), "grid order drifted");
+            (iw, perfect, experimental)
+        })
+        .collect();
+    Report { rows }
 }
 
 impl Report {
-    fn at(&self, iw: u64) -> Option<&(u64, f64, f64)> {
+    pub fn at(&self, iw: u64) -> Option<&(u64, f64, f64)> {
         self.rows.iter().find(|r| r.0 == iw)
     }
 
@@ -79,7 +113,11 @@ impl std::fmt::Display for Report {
         for (iw, p, e) in &self.rows {
             t.row([iw.to_string(), format!("{p:.2}"), format!("{e:.2}")]);
         }
-        write!(f, "Figure 11 — throughput vs initial window, back-to-back hosts\n{}", t.render())
+        write!(
+            f,
+            "Figure 11 — throughput vs initial window, back-to-back hosts\n{}",
+            t.render()
+        )
     }
 }
 
@@ -99,8 +137,16 @@ mod tests {
         // At a mid window the perfect host is already saturated while the
         // delayed host still isn't — the paper's 15-vs-25 gap.
         let mid = rep.at(16).unwrap();
-        assert!(mid.1 > 9.0, "perfect should saturate by IW 16: {:.2}", mid.1);
-        assert!(mid.2 < mid.1 - 0.5, "host delays must cost throughput at IW 16: {:.2}", mid.2);
+        assert!(
+            mid.1 > 9.0,
+            "perfect should saturate by IW 16: {:.2}",
+            mid.1
+        );
+        assert!(
+            mid.2 < mid.1 - 0.5,
+            "host delays must cost throughput at IW 16: {:.2}",
+            mid.2
+        );
     }
 
     #[test]
@@ -108,7 +154,10 @@ mod tests {
         let rep = run(Scale::Quick);
         for w in rep.rows.windows(2) {
             assert!(w[1].1 >= w[0].1 - 0.3, "perfect curve roughly monotone");
-            assert!(w[1].2 >= w[0].2 - 0.3, "experimental curve roughly monotone");
+            assert!(
+                w[1].2 >= w[0].2 - 0.3,
+                "experimental curve roughly monotone"
+            );
         }
     }
 }

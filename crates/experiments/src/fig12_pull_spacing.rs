@@ -23,7 +23,10 @@ pub struct Report {
 
 fn measure(mtu: u32, jitter: JitterDist, n_pkts: u64) -> Cdf {
     let mut world: World<Packet> = World::new(21);
-    let latency = HostLatency { pull_jitter: Some(jitter), ..Default::default() };
+    let latency = HostLatency {
+        pull_jitter: Some(jitter),
+        ..Default::default()
+    };
     let b2b = BackToBack::build(
         &mut world,
         Speed::gbps(10),
@@ -34,12 +37,27 @@ fn measure(mtu: u32, jitter: JitterDist, n_pkts: u64) -> Cdf {
     );
     world.get_mut::<Host>(b2b.hosts[1]).trace_pulls(true);
     let size = n_pkts * (mtu as u64 - 64);
-    let cfg = NdpFlowCfg { n_paths: 1, mtu, iw_pkts: 10, ..NdpFlowCfg::new(size) };
-    attach_flow(&mut world, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: 1,
+        mtu,
+        iw_pkts: 10,
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut world,
+        1,
+        (b2b.hosts[0], 0),
+        (b2b.hosts[1], 1),
+        cfg,
+        Time::ZERO,
+    );
     world.run_until(Time::from_secs(5));
     let times = &world.get::<Host>(b2b.hosts[1]).stats().pull_times;
-    let gaps: Vec<f64> =
-        times.windows(2).map(|w| (w[1] - w[0]) as f64 / 1e6).filter(|&g| g > 0.0).collect();
+    let gaps: Vec<f64> = times
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / 1e6)
+        .filter(|&g| g > 0.0)
+        .collect();
     Cdf::from_samples(gaps)
 }
 
@@ -92,6 +110,9 @@ mod tests {
         // Relative spread: 1500B is much wider (Fig 12's visual).
         let spread15 = rep.spacing_1500.percentile(0.95) / m15;
         let spread90 = rep.spacing_9000.percentile(0.95) / m90;
-        assert!(spread15 > spread90, "1500B spread {spread15:.2} vs 9000B {spread90:.2}");
+        assert!(
+            spread15 > spread90,
+            "1500B spread {spread15:.2} vs 9000B {spread90:.2}"
+        );
     }
 }

@@ -22,8 +22,10 @@ pub struct Report {
 fn trial(scale: Scale, size: u64, jitter: bool, seed: u64) -> Time {
     let mut cfg = FatTreeCfg::new(scale.big_k()).with_mtu(1500);
     if jitter {
-        cfg.host_latency =
-            HostLatency { pull_jitter: Some(JitterDist::measured_1500b()), ..Default::default() };
+        cfg.host_latency = HostLatency {
+            pull_jitter: Some(JitterDist::measured_1500b()),
+            ..Default::default()
+        };
     }
     let mut world: World<Packet> = World::new(seed);
     let ft = FatTree::build(&mut world, cfg);
@@ -74,17 +76,28 @@ impl Report {
             .iter()
             .map(|(_, p, j)| ((j - p) / p).abs())
             .fold(0.0, f64::max);
-        format!("max relative FCT difference perfect vs measured pulls: {:.1}%", max_rel * 100.0)
+        format!(
+            "max relative FCT difference perfect vs measured pulls: {:.1}%",
+            max_rel * 100.0
+        )
     }
 }
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t = Table::new(["flow size (KB)", "perfect pulls (us)", "measured pulls (us)"]);
+        let mut t = Table::new([
+            "flow size (KB)",
+            "perfect pulls (us)",
+            "measured pulls (us)",
+        ]);
         for (s, p, j) in &self.rows {
             t.row([(s / 1000).to_string(), format!("{p:.0}"), format!("{j:.0}")]);
         }
-        write!(f, "Figure 13 — 200:1 incast FCT, perfect vs measured pull spacing\n{}", t.render())
+        write!(
+            f,
+            "Figure 13 — 200:1 incast FCT, perfect vs measured pull spacing\n{}",
+            t.render()
+        )
     }
 }
 
@@ -97,7 +110,10 @@ mod tests {
         let rep = run(Scale::Quick);
         for (s, p, j) in &rep.rows {
             let rel = ((j - p) / p).abs();
-            assert!(rel < 0.15, "size {s}: perfect {p:.0}us vs jittered {j:.0}us ({rel:.3})");
+            assert!(
+                rel < 0.15,
+                "size {s}: perfect {p:.0}us vs jittered {j:.0}us ({rel:.3})"
+            );
         }
     }
 }

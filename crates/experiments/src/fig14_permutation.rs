@@ -10,7 +10,8 @@ use ndp_metrics::Table;
 use ndp_sim::Time;
 use ndp_topology::FatTreeCfg;
 
-use crate::harness::{permutation_run, PermutationResult, Proto, Scale};
+use crate::harness::{PermutationResult, Proto, Scale};
+use crate::sweep::{sweep_permutation, PermutationPoint, SweepSpec};
 
 pub struct Report {
     pub results: Vec<(Proto, PermutationResult)>,
@@ -22,17 +23,31 @@ pub fn run(scale: Scale) -> Report {
         Scale::Quick => Time::from_ms(10),
     };
     let protos = [Proto::Ndp, Proto::Mptcp, Proto::Dctcp, Proto::Dcqcn];
-    Report {
-        results: protos
+    let spec = SweepSpec::new(
+        "fig14: permutation x protocol",
+        protos
             .iter()
-            .map(|&p| (p, permutation_run(p, FatTreeCfg::new(scale.big_k()), duration, 7, None)))
+            .map(|&proto| PermutationPoint {
+                proto,
+                cfg: FatTreeCfg::new(scale.big_k()),
+                duration,
+                seed: 7,
+                iw: None,
+            })
             .collect(),
+    );
+    Report {
+        results: protos.into_iter().zip(sweep_permutation(&spec)).collect(),
     }
 }
 
 impl Report {
     pub fn utilization(&self, proto: Proto) -> f64 {
-        self.results.iter().find(|(p, _)| *p == proto).map(|(_, r)| r.utilization).unwrap_or(0.0)
+        self.results
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .map(|(_, r)| r.utilization)
+            .unwrap_or(0.0)
     }
 
     pub fn min_gbps(&self, proto: Proto) -> f64 {
@@ -57,8 +72,14 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t =
-            Table::new(["protocol", "util %", "min Gb/s", "p10 Gb/s", "median Gb/s", "max Gb/s"]);
+        let mut t = Table::new([
+            "protocol",
+            "util %",
+            "min Gb/s",
+            "p10 Gb/s",
+            "median Gb/s",
+            "max Gb/s",
+        ]);
         for (p, r) in &self.results {
             let v = &r.per_flow_gbps;
             let n = v.len();
@@ -71,7 +92,11 @@ impl std::fmt::Display for Report {
                 format!("{:.2}", v[n - 1]),
             ]);
         }
-        write!(f, "Figure 14 — permutation per-flow throughput\n{}", t.render())
+        write!(
+            f,
+            "Figure 14 — permutation per-flow throughput\n{}",
+            t.render()
+        )
     }
 }
 
@@ -89,7 +114,10 @@ mod tests {
         assert!(ndp > 0.85, "NDP utilization {ndp:.2}");
         assert!(ndp > mptcp, "NDP {ndp:.2} > MPTCP {mptcp:.2}");
         assert!(mptcp > dctcp, "MPTCP {mptcp:.2} > DCTCP {dctcp:.2}");
-        assert!(dctcp < 0.75, "single-path ECMP collisions should cap DCTCP: {dctcp:.2}");
+        assert!(
+            dctcp < 0.75,
+            "single-path ECMP collisions should cap DCTCP: {dctcp:.2}"
+        );
         assert!(dcqcn < 0.75, "DCQCN is also single-path: {dcqcn:.2}");
         // Fairness: NDP's slowest flow stays near line rate.
         assert!(

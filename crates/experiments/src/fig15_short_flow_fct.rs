@@ -64,7 +64,11 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
         spec.start = if i == 0 { Time::from_ms(1) } else { Time::MAX };
         attach_on_fattree(&mut world, &ft, proto, &spec);
         if i + 1 < n_probes {
-            trigger.on(flow, Time::from_us(100), vec![(ft.hosts[probe_a], (flow + 1) << 8)]);
+            trigger.on(
+                flow,
+                Time::from_us(100),
+                vec![(ft.hosts[probe_a], (flow + 1) << 8)],
+            );
         }
     }
     world.install(trig, trigger);
@@ -79,7 +83,9 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
     let mut start = Time::from_ms(1);
     for i in 0..n_probes {
         let flow = i as u64 + 1;
-        let Some(done) = completion_time(&world, ft.hosts[probe_b], flow, proto) else { break };
+        let Some(done) = completion_time(&world, ft.hosts[probe_b], flow, proto) else {
+            break;
+        };
         samples.push((done - start).as_ms());
         match trig_ref.fired_at(flow) {
             Some(t) => start = t + Time::from_us(100),
@@ -91,12 +97,21 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
 
 pub fn run(scale: Scale) -> Report {
     let protos = [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn, Proto::Mptcp];
-    Report { cdfs: protos.iter().map(|&p| (p, probe_fcts(p, scale, 17))).collect() }
+    Report {
+        cdfs: protos
+            .iter()
+            .map(|&p| (p, probe_fcts(p, scale, 17)))
+            .collect(),
+    }
 }
 
 impl Report {
     pub fn median(&self, proto: Proto) -> f64 {
-        self.cdfs.iter().find(|(p, _)| *p == proto).map(|(_, c)| c.median()).unwrap_or(f64::NAN)
+        self.cdfs
+            .iter()
+            .find(|(p, _)| *p == proto)
+            .map(|(_, c)| c.median())
+            .unwrap_or(f64::NAN)
     }
 
     pub fn headline(&self) -> String {
@@ -115,7 +130,13 @@ impl std::fmt::Display for Report {
         let mut t = Table::new(["protocol", "median (ms)", "p90 (ms)", "p99 (ms)", "samples"]);
         for (p, c) in &self.cdfs {
             if c.is_empty() {
-                t.row([p.label().to_string(), "-".into(), "-".into(), "-".into(), "0".into()]);
+                t.row([
+                    p.label().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "0".into(),
+                ]);
                 continue;
             }
             t.row([
@@ -126,7 +147,11 @@ impl std::fmt::Display for Report {
                 c.len().to_string(),
             ]);
         }
-        write!(f, "Figure 15 — 90KB FCTs under background load\n{}", t.render())
+        write!(
+            f,
+            "Figure 15 — 90KB FCTs under background load\n{}",
+            t.render()
+        )
     }
 }
 
@@ -144,6 +169,10 @@ mod tests {
         assert!(dctcp < mptcp, "DCTCP {dctcp:.3}ms < MPTCP {mptcp:.3}ms");
         // NDP's worst case stays within ~2x the unloaded transfer time.
         let c = &rep.cdfs.iter().find(|(p, _)| *p == Proto::Ndp).unwrap().1;
-        assert!(c.percentile(1.0) < 1.0, "NDP p100 {:.3}ms", c.percentile(1.0));
+        assert!(
+            c.percentile(1.0) < 1.0,
+            "NDP p100 {:.3}ms",
+            c.percentile(1.0)
+        );
     }
 }

@@ -10,7 +10,8 @@ use ndp_metrics::Table;
 use ndp_sim::{Speed, Time};
 use ndp_topology::FatTreeCfg;
 
-use crate::harness::{incast_ideal, incast_run, Proto, Scale};
+use crate::harness::{incast_ideal, Proto, Scale};
+use crate::sweep::{sweep_incast, IncastPoint, SweepSpec};
 
 pub struct Row {
     pub n: usize,
@@ -32,23 +33,48 @@ pub fn run(scale: Scale) -> Report {
         Scale::Quick => &[8, 32, 64, 100],
     };
     let protos = [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn, Proto::Mptcp];
-    let mut rows = Vec::new();
-    let mut ideal = Vec::new();
-    for &n in counts {
-        ideal.push((n, incast_ideal(n, size, Speed::gbps(10), 9000).as_ms()));
-        for &p in &protos {
-            let horizon = Time::from_secs(30);
-            let r = incast_run(p, FatTreeCfg::new(scale.big_k()), n, size, None, 3, horizon);
-            rows.push(Row {
-                n,
-                proto: p,
-                first_ms: if r.fcts.is_empty() { f64::NAN } else { r.first().as_ms() },
-                last_ms: if r.fcts.is_empty() { f64::NAN } else { r.last().as_ms() },
-                incomplete: r.incomplete,
-            });
-        }
+    let ideal: Vec<(usize, f64)> = counts
+        .iter()
+        .map(|&n| (n, incast_ideal(n, size, Speed::gbps(10), 9000).as_ms()))
+        .collect();
+    let spec = SweepSpec::grid(
+        "fig16: incast size x protocol",
+        counts,
+        &protos,
+        |&n, &proto| IncastPoint {
+            proto,
+            cfg: FatTreeCfg::new(scale.big_k()),
+            n_senders: n,
+            size,
+            iw: None,
+            seed: 3,
+            horizon: Time::from_secs(30),
+        },
+    );
+    let rows = spec
+        .points
+        .iter()
+        .zip(sweep_incast(&spec))
+        .map(|(point, r)| Row {
+            n: point.n_senders,
+            proto: point.proto,
+            first_ms: if r.fcts.is_empty() {
+                f64::NAN
+            } else {
+                r.first().as_ms()
+            },
+            last_ms: if r.fcts.is_empty() {
+                f64::NAN
+            } else {
+                r.last().as_ms()
+            },
+            incomplete: r.incomplete,
+        })
+        .collect();
+    Report {
+        rows,
+        ideal_ms: ideal,
     }
-    Report { rows, ideal_ms: ideal }
 }
 
 impl Report {
@@ -61,7 +87,11 @@ impl Report {
     }
 
     pub fn ideal(&self, n: usize) -> f64 {
-        self.ideal_ms.iter().find(|(m, _)| *m == n).map(|(_, i)| *i).unwrap_or(f64::NAN)
+        self.ideal_ms
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, i)| *i)
+            .unwrap_or(f64::NAN)
     }
 
     pub fn headline(&self) -> String {
@@ -80,8 +110,14 @@ impl Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t =
-            Table::new(["N", "ideal (ms)", "protocol", "first (ms)", "last (ms)", "incomplete"]);
+        let mut t = Table::new([
+            "N",
+            "ideal (ms)",
+            "protocol",
+            "first (ms)",
+            "last (ms)",
+            "incomplete",
+        ]);
         for r in &self.rows {
             t.row([
                 r.n.to_string(),
@@ -92,7 +128,11 @@ impl std::fmt::Display for Report {
                 r.incomplete.to_string(),
             ]);
         }
-        write!(f, "Figure 16 — incast completion vs number of senders\n{}", t.render())
+        write!(
+            f,
+            "Figure 16 — incast completion vs number of senders\n{}",
+            t.render()
+        )
     }
 }
 
@@ -108,19 +148,30 @@ mod tests {
         let ndp = rep.last_ms(Proto::Ndp, n);
         let mptcp = rep.last_ms(Proto::Mptcp, n);
         assert!(ndp < ideal * 1.25, "NDP {ndp:.2} vs ideal {ideal:.2}");
-        assert!(mptcp > 2.0 * ndp, "MPTCP {mptcp:.2} should be far slower than NDP {ndp:.2}");
+        assert!(
+            mptcp > 2.0 * ndp,
+            "MPTCP {mptcp:.2} should be far slower than NDP {ndp:.2}"
+        );
         // NDP fairness: the slowest flow stays within ~60% of the fastest
         // (the paper reports ≤20% on its testbed; our fully synchronized
         // starts maximize first-RTT variance), and the spread is far
         // tighter than DCTCP's (paper: up to 7x).
-        let row = rep.rows.iter().find(|r| r.proto == Proto::Ndp && r.n == n).unwrap();
+        let row = rep
+            .rows
+            .iter()
+            .find(|r| r.proto == Proto::Ndp && r.n == n)
+            .unwrap();
         assert!(
             row.last_ms < row.first_ms * 1.6,
             "NDP spread {:.2}..{:.2}",
             row.first_ms,
             row.last_ms
         );
-        let drow = rep.rows.iter().find(|r| r.proto == Proto::Dctcp && r.n == n).unwrap();
+        let drow = rep
+            .rows
+            .iter()
+            .find(|r| r.proto == Proto::Dctcp && r.n == n)
+            .unwrap();
         assert!(
             row.last_ms / row.first_ms < drow.last_ms / drow.first_ms,
             "NDP spread ({:.2}x) must beat DCTCP's ({:.2}x)",

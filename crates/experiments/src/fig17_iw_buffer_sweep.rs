@@ -11,7 +11,8 @@ use ndp_metrics::Table;
 use ndp_sim::Time;
 use ndp_topology::{FatTreeCfg, QueueSpec};
 
-use crate::harness::{permutation_run, Proto, Scale};
+use crate::harness::{Proto, Scale};
+use crate::sweep::{sweep_permutation, PermutationPoint, SweepSpec};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Variant {
@@ -26,10 +27,22 @@ pub struct Report {
 
 pub fn run(scale: Scale) -> Report {
     let variants = [
-        Variant { buffer_pkts: 6, mtu: 9000 },
-        Variant { buffer_pkts: 8, mtu: 9000 },
-        Variant { buffer_pkts: 10, mtu: 9000 },
-        Variant { buffer_pkts: 8, mtu: 1500 },
+        Variant {
+            buffer_pkts: 6,
+            mtu: 9000,
+        },
+        Variant {
+            buffer_pkts: 8,
+            mtu: 9000,
+        },
+        Variant {
+            buffer_pkts: 10,
+            mtu: 9000,
+        },
+        Variant {
+            buffer_pkts: 8,
+            mtu: 1500,
+        },
     ];
     let iws: &[u64] = match scale {
         Scale::Paper => &[5, 8, 10, 12, 15, 20, 25, 30, 35, 40],
@@ -45,16 +58,34 @@ pub fn run(scale: Scale) -> Report {
         Scale::Paper => 8,
         Scale::Quick => 4,
     };
-    let mut rows = Vec::new();
-    for v in variants {
-        for &iw in iws {
-            let cfg = FatTreeCfg::new(k)
-                .with_mtu(v.mtu)
-                .with_fabric(QueueSpec::Ndp { data_cap_pkts: v.buffer_pkts });
-            let r = permutation_run(Proto::Ndp, cfg, duration, 23, Some(iw));
-            rows.push((v, iw, r.utilization));
-        }
-    }
+    let cells = SweepSpec::grid("fig17: buffer/mtu x IW", &variants, iws, |&v, &iw| (v, iw));
+    let spec = SweepSpec::new(
+        cells.label,
+        cells
+            .points
+            .iter()
+            .map(|&(v, iw)| {
+                let cfg = FatTreeCfg::new(k)
+                    .with_mtu(v.mtu)
+                    .with_fabric(QueueSpec::Ndp {
+                        data_cap_pkts: v.buffer_pkts,
+                    });
+                PermutationPoint {
+                    proto: Proto::Ndp,
+                    cfg,
+                    duration,
+                    seed: 23,
+                    iw: Some(iw),
+                }
+            })
+            .collect(),
+    );
+    let rows = cells
+        .points
+        .iter()
+        .zip(sweep_permutation(&spec))
+        .map(|(&(v, iw), r)| (v, iw, r.utilization))
+        .collect();
     Report { rows }
 }
 
@@ -69,7 +100,10 @@ impl Report {
 
     pub fn headline(&self) -> String {
         let best = self.rows.iter().map(|r| r.2).fold(0.0, f64::max);
-        format!("peak permutation utilization {:.1}% (8-pkt buffers)", best * 100.0)
+        format!(
+            "peak permutation utilization {:.1}% (8-pkt buffers)",
+            best * 100.0
+        )
     }
 }
 
@@ -84,7 +118,11 @@ impl std::fmt::Display for Report {
                 format!("{:.1}", u * 100.0),
             ]);
         }
-        write!(f, "Figure 17 — utilization vs IW and buffer size\n{}", t.render())
+        write!(
+            f,
+            "Figure 17 — utilization vs IW and buffer size\n{}",
+            t.render()
+        )
     }
 }
 
@@ -98,7 +136,11 @@ mod tests {
         // Small IW underutilizes.
         assert!(rep.util(8, 9000, 5) < rep.util(8, 9000, 30) - 0.03);
         // 8-packet buffers with a healthy IW exceed 90%.
-        assert!(rep.util(8, 9000, 30) > 0.90, "util {:.3}", rep.util(8, 9000, 30));
+        assert!(
+            rep.util(8, 9000, 30) > 0.90,
+            "util {:.3}",
+            rep.util(8, 9000, 30)
+        );
         // 6-packet buffers trail 8-packet ones (slightly).
         assert!(rep.util(6, 9000, 30) <= rep.util(8, 9000, 30) + 0.02);
         // 1.5K MTU at the same IW is no better than 9K.

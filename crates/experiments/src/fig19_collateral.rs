@@ -95,7 +95,12 @@ fn trial(proto: Proto, scale: Scale, seed: u64) -> Trace {
         .skip(start_bucket)
         .filter(|(_, r)| *r < 5.0)
         .count();
-    Trace { proto, long_flow, incast, long_flow_depressed_ms: depressed }
+    Trace {
+        proto,
+        long_flow,
+        incast,
+        long_flow_depressed_ms: depressed,
+    }
 }
 
 pub fn run(scale: Scale) -> Report {
@@ -128,7 +133,12 @@ impl Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for t in &self.traces {
-            writeln!(f, "Figure 19 — {} (incast starts at {})", t.proto.label(), self.incast_start)?;
+            writeln!(
+                f,
+                "Figure 19 — {} (incast starts at {})",
+                t.proto.label(),
+                self.incast_start
+            )?;
             let mut tab = Table::new(["t (ms)", "long flow Gb/s", "incast Gb/s"]);
             let long = t.long_flow.rates_gbps();
             let inc = t.incast.rates_gbps();
@@ -136,7 +146,11 @@ impl std::fmt::Display for Report {
             for i in (0..n).step_by(2) {
                 let lf = long.get(i).map(|x| x.1).unwrap_or(0.0);
                 let ic = inc.get(i).map(|x| x.1).unwrap_or(0.0);
-                tab.row([format!("{:.0}", i as f64), format!("{lf:.2}"), format!("{ic:.2}")]);
+                tab.row([
+                    format!("{:.0}", i as f64),
+                    format!("{lf:.2}"),
+                    format!("{ic:.2}"),
+                ]);
             }
             writeln!(f, "{}", tab.render())?;
         }
@@ -154,7 +168,10 @@ mod tests {
         let ndp = rep.depressed_ms(Proto::Ndp);
         let dctcp = rep.depressed_ms(Proto::Dctcp);
         assert!(ndp <= 3, "NDP long flow should dip <3ms, got {ndp}");
-        assert!(dctcp > ndp, "DCTCP ({dctcp}ms) must suffer longer than NDP ({ndp}ms)");
+        assert!(
+            dctcp > ndp,
+            "DCTCP ({dctcp}ms) must suffer longer than NDP ({ndp}ms)"
+        );
         // The incast itself completes: its aggregate trace carries all the
         // bytes eventually.
         for t in &rep.traces {

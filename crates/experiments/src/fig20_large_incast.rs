@@ -18,6 +18,7 @@ use ndp_sim::{Speed, Time, World};
 use ndp_topology::{FatTree, FatTreeCfg};
 
 use crate::harness::{attach_on_fattree, completion_time, incast_ideal, FlowSpec, Proto, Scale};
+use crate::sweep::SweepSpec;
 
 pub struct Row {
     pub iw: u64,
@@ -53,7 +54,9 @@ fn trial(scale: Scale, n: usize, iw: u64, seed: u64) -> Row {
         let done = completion_time(&world, ft.hosts[0], i as u64 + 1, Proto::Ndp)
             .expect("incast flow must complete");
         last = last.max(done);
-        let s = world.get::<Host>(ft.hosts[w]).endpoint::<NdpSender>(i as u64 + 1);
+        let s = world
+            .get::<Host>(ft.hosts[w])
+            .endpoint::<NdpSender>(i as u64 + 1);
         total_pkts += s.total_pkts();
         rtx_nack += s.stats.rtx_nack;
         rtx_rts += s.stats.rtx_rts + s.stats.rtx_rto;
@@ -77,13 +80,10 @@ pub fn run(scale: Scale) -> Report {
         Scale::Paper => &[23, 10, 1],
         Scale::Quick => &[23, 1],
     };
-    let mut rows = Vec::new();
-    for &iw in iws {
-        for &n in counts {
-            rows.push(trial(scale, n, iw, 7));
-        }
+    let spec = SweepSpec::grid("fig20: IW x incast size", iws, counts, |&iw, &n| (iw, n));
+    Report {
+        rows: spec.run(|&(iw, n)| trial(scale, n, iw, 7)),
     }
-    Report { rows }
 }
 
 impl Report {
@@ -102,13 +102,22 @@ impl Report {
             .filter(|r| r.iw == 23 && r.n >= 8)
             .map(|r| r.overhead_pct)
             .fold(0.0, f64::max);
-        format!("IW 23: worst completion overhead over optimal {:.1}% (n >= 8)", worst)
+        format!(
+            "IW 23: worst completion overhead over optimal {:.1}% (n >= 8)",
+            worst
+        )
     }
 }
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t = Table::new(["IW", "incast size", "overhead %", "rtx/pkt (NACK)", "rtx/pkt (RTS+RTO)"]);
+        let mut t = Table::new([
+            "IW",
+            "incast size",
+            "overhead %",
+            "rtx/pkt (NACK)",
+            "rtx/pkt (RTS+RTO)",
+        ]);
         for r in &self.rows {
             t.row([
                 r.iw.to_string(),
@@ -118,7 +127,11 @@ impl std::fmt::Display for Report {
                 format!("{:.3}", r.rtx_rts_per_pkt),
             ]);
         }
-        write!(f, "Figure 20 — large incast overhead and retransmission mechanisms\n{}", t.render())
+        write!(
+            f,
+            "Figure 20 — large incast overhead and retransmission mechanisms\n{}",
+            t.render()
+        )
     }
 }
 
@@ -131,7 +144,12 @@ mod tests {
         let rep = run(Scale::Quick);
         for r in &rep.rows {
             if r.iw == 23 && r.n >= 8 {
-                assert!(r.overhead_pct < 10.0, "IW23 n={} overhead {:.2}%", r.n, r.overhead_pct);
+                assert!(
+                    r.overhead_pct < 10.0,
+                    "IW23 n={} overhead {:.2}%",
+                    r.n,
+                    r.overhead_pct
+                );
                 assert!(
                     r.rtx_nack_per_pkt + r.rtx_rts_per_pkt < 1.5,
                     "rtx per pkt stays bounded"

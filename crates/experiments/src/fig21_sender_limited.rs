@@ -63,12 +63,20 @@ pub fn run(scale: Scale) -> Report {
         }
         flows.push((label, gbps));
     }
-    Report { flows, total_from_a: from_a, total_to_e: to_e }
+    Report {
+        flows,
+        total_from_a: from_a,
+        total_to_e: to_e,
+    }
 }
 
 impl Report {
     pub fn gbps(&self, label: &str) -> f64 {
-        self.flows.iter().find(|(l, _)| *l == label).map(|(_, g)| *g).unwrap_or(f64::NAN)
+        self.flows
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, g)| *g)
+            .unwrap_or(f64::NAN)
     }
 
     pub fn headline(&self) -> String {
@@ -91,9 +99,16 @@ impl std::fmt::Display for Report {
         for (l, g) in &self.flows {
             t.row([l.to_string(), format!("{g:.2}")]);
         }
-        t.row(["Total from A".to_string(), format!("{:.2}", self.total_from_a)]);
+        t.row([
+            "Total from A".to_string(),
+            format!("{:.2}", self.total_from_a),
+        ]);
         t.row(["Total to E".to_string(), format!("{:.2}", self.total_to_e)]);
-        write!(f, "Figure 21 — sender-limited topology throughputs\n{}", t.render())
+        write!(
+            f,
+            "Figure 21 — sender-limited topology throughputs\n{}",
+            t.render()
+        )
     }
 }
 

@@ -55,7 +55,9 @@ fn trial(proto: Proto, scale: Scale, seed: u64) -> Vec<f64> {
 
 pub fn run(scale: Scale) -> Report {
     let protos = [Proto::Ndp, Proto::NdpNoPenalty, Proto::Mptcp, Proto::Dctcp];
-    Report { results: protos.iter().map(|&p| (p, trial(p, scale, 19))).collect() }
+    Report {
+        results: protos.iter().map(|&p| (p, trial(p, scale, 19))).collect(),
+    }
 }
 
 impl Report {
@@ -98,7 +100,11 @@ impl std::fmt::Display for Report {
                 format!("{:.2}", v[v.len() - 1]),
             ]);
         }
-        write!(f, "Figure 22 — permutation with a core link degraded to 1 Gb/s\n{}", t.render())
+        write!(
+            f,
+            "Figure 22 — permutation with a core link degraded to 1 Gb/s\n{}",
+            t.render()
+        )
     }
 }
 
@@ -117,6 +123,10 @@ mod tests {
         );
         assert!(rep.mean(Proto::Ndp) > 0.8 * rep.mean(Proto::NdpNoPenalty));
         // DCTCP's unluckiest flow is crushed by the 1G link.
-        assert!(rep.min(Proto::Dctcp) < 1.5, "DCTCP min {:.2}", rep.min(Proto::Dctcp));
+        assert!(
+            rep.min(Proto::Dctcp) < 1.5,
+            "DCTCP min {:.2}",
+            rep.min(Proto::Dctcp)
+        );
     }
 }

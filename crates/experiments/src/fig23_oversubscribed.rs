@@ -50,7 +50,8 @@ fn trial(proto: Proto, scale: Scale, conns_per_host: usize, seed: u64) -> LoadRe
     let mut trigger = Trigger::new();
     let mut flow_id = 1u64;
     // (flow, dst, Ok(first start) | Err((predecessor, gap)))
-    let mut all_flows: Vec<(u64, usize, Result<Time, (u64, Time)>)> = Vec::new();
+    type PlannedFlow = (u64, usize, Result<Time, (u64, Time)>);
+    let mut all_flows: Vec<PlannedFlow> = Vec::new();
     for host in 0..n {
         for _slot in 0..conns_per_host {
             let mut prev: Option<u64> = None;
@@ -98,7 +99,9 @@ fn trial(proto: Proto, scale: Scale, conns_per_host: usize, seed: u64) -> LoadRe
     let trig_ref = world.get::<Trigger>(trig);
     let mut samples = Vec::new();
     for &(flow, dst, origin) in &all_flows {
-        let Some(done) = completion_time(&world, ft.hosts[dst], flow, proto) else { continue };
+        let Some(done) = completion_time(&world, ft.hosts[dst], flow, proto) else {
+            continue;
+        };
         let start = match origin {
             Ok(t) => Some(t),
             Err((prev, gap)) => trig_ref.fired_at(prev).map(|t| t + gap),
@@ -108,7 +111,10 @@ fn trial(proto: Proto, scale: Scale, conns_per_host: usize, seed: u64) -> LoadRe
         }
     }
     let stats = ft.stats_by_class(&world);
-    let tor_up = stats.iter().find(|(c, _)| *c == LinkClass::TorUp).map(|(_, s)| s);
+    let tor_up = stats
+        .iter()
+        .find(|(c, _)| *c == LinkClass::TorUp)
+        .map(|(_, s)| s);
     let trim_fraction = tor_up
         .map(|s| {
             let attempts = s.forwarded_pkts + s.dropped_data;
@@ -141,7 +147,13 @@ impl Report {
         self.results
             .iter()
             .find(|r| r.proto == proto && r.conns_per_host == conns)
-            .map(|r| if r.fct_cdf.is_empty() { f64::NAN } else { r.fct_cdf.median() })
+            .map(|r| {
+                if r.fct_cdf.is_empty() {
+                    f64::NAN
+                } else {
+                    r.fct_cdf.median()
+                }
+            })
             .unwrap_or(f64::NAN)
     }
 
@@ -191,7 +203,11 @@ impl std::fmt::Display for Report {
                 r.fct_cdf.len().to_string(),
             ]);
         }
-        write!(f, "Figure 23 — Facebook web workload, 4:1 oversubscribed fabric\n{}", t.render())
+        write!(
+            f,
+            "Figure 23 — Facebook web workload, 4:1 oversubscribed fabric\n{}",
+            t.render()
+        )
     }
 }
 
@@ -205,11 +221,17 @@ mod tests {
         let ndp5 = rep.median(Proto::Ndp, 5);
         let dctcp5 = rep.median(Proto::Dctcp, 5);
         assert!(ndp5.is_finite() && dctcp5.is_finite());
-        assert!(ndp5 < dctcp5, "NDP {ndp5:.3}ms must beat DCTCP {dctcp5:.3}ms");
+        assert!(
+            ndp5 < dctcp5,
+            "NDP {ndp5:.3}ms must beat DCTCP {dctcp5:.3}ms"
+        );
         // Trimming is substantial under oversubscription but NDP does not
         // collapse: high-load median stays within ~4x moderate-load median.
         assert!(rep.trim_fraction(10) > rep.trim_fraction(5));
         let ndp10 = rep.median(Proto::Ndp, 10);
-        assert!(ndp10 < ndp5 * 6.0 + 1.0, "high load {ndp10:.3} vs moderate {ndp5:.3}");
+        assert!(
+            ndp10 < ndp5 * 6.0 + 1.0,
+            "high load {ndp10:.3} vs moderate {ndp5:.3}"
+        );
     }
 }

@@ -33,8 +33,8 @@ impl Scale {
     /// FatTree parameter k for "the 432-host network" experiments.
     pub fn big_k(self) -> usize {
         match self {
-            Scale::Paper => 12,  // 432 hosts
-            Scale::Quick => 8,   // 128 hosts
+            Scale::Paper => 12, // 432 hosts
+            Scale::Quick => 8,  // 128 hosts
         }
     }
 
@@ -119,7 +119,16 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     pub fn new(flow: FlowId, src: HostId, dst: HostId, size: u64) -> FlowSpec {
-        FlowSpec { flow, src, dst, size, start: Time::ZERO, prio: false, notify: None, iw: None }
+        FlowSpec {
+            flow,
+            src,
+            dst,
+            size,
+            start: Time::ZERO,
+            prio: false,
+            notify: None,
+            iw: None,
+        }
     }
 }
 
@@ -193,7 +202,12 @@ pub fn attach_generic(
 }
 
 /// Receiver-side delivered payload bytes for any protocol.
-pub fn delivered_bytes(world: &World<Packet>, host: ComponentId, flow: FlowId, proto: Proto) -> u64 {
+pub fn delivered_bytes(
+    world: &World<Packet>,
+    host: ComponentId,
+    flow: FlowId,
+    proto: Proto,
+) -> u64 {
     let h = world.get::<Host>(host);
     match proto {
         Proto::Ndp | Proto::NdpNoPenalty => h.endpoint::<NdpReceiver>(flow).stats.payload_bytes,
@@ -241,7 +255,10 @@ impl Trigger {
     }
 
     pub fn fired_at(&self, token: u64) -> Option<Time> {
-        self.fired.iter().find(|(t, _)| *t == token).map(|(_, at)| *at)
+        self.fired
+            .iter()
+            .find(|(t, _)| *t == token)
+            .map(|(_, at)| *at)
     }
 }
 
@@ -268,18 +285,45 @@ impl Component<Packet> for Trigger {
 pub struct PermutationResult {
     pub per_flow_gbps: Vec<f64>,
     pub utilization: f64,
+    /// Events the engine dispatched for this run (engine-bench fuel).
+    pub events_processed: u64,
 }
 
 /// Run a permutation matrix of long-running flows for `duration` and
-/// measure per-flow goodput.
+/// measure per-flow goodput. One-shot entry point: routes through the
+/// parallel sweep harness as a single-point grid.
 pub fn permutation_run(
     proto: Proto,
-    mut cfg: FatTreeCfg,
+    cfg: FatTreeCfg,
     duration: Time,
     seed: u64,
     iw: Option<u64>,
 ) -> PermutationResult {
-    cfg = cfg.with_fabric(proto.fabric());
+    let point = crate::sweep::PermutationPoint {
+        proto,
+        cfg,
+        duration,
+        seed,
+        iw,
+    };
+    crate::sweep::sweep_permutation(&crate::sweep::SweepSpec::single("permutation", point))
+        .pop()
+        .expect("single-point sweep")
+}
+
+/// The simulation behind one [`crate::sweep::PermutationPoint`]: builds its
+/// own seeded world, so concurrent executions are independent and
+/// bit-reproducible.
+pub(crate) fn permutation_world_run(point: &crate::sweep::PermutationPoint) -> PermutationResult {
+    let crate::sweep::PermutationPoint {
+        proto,
+        cfg,
+        duration,
+        seed,
+        iw,
+    } = point;
+    let (proto, duration, seed, iw) = (*proto, *duration, *seed, *iw);
+    let cfg = cfg.clone().with_fabric(proto.fabric());
     let mut world: World<Packet> = World::new(seed);
     let ft = FatTree::build(&mut world, cfg);
     let n = ft.n_hosts();
@@ -299,7 +343,11 @@ pub fn permutation_run(
     per_flow.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let line = ft.cfg.link_speed.as_gbps();
     let utilization = per_flow.iter().sum::<f64>() / (n as f64 * line);
-    PermutationResult { per_flow_gbps: per_flow, utilization }
+    PermutationResult {
+        per_flow_gbps: per_flow,
+        utilization,
+        events_processed: world.events_processed(),
+    }
 }
 
 /// Result of an N:1 incast run.
@@ -318,17 +366,45 @@ impl IncastResult {
     }
 }
 
-/// Run an N:1 incast of `size`-byte responses on a FatTree.
+/// Run an N:1 incast of `size`-byte responses on a FatTree. One-shot entry
+/// point: routes through the parallel sweep harness as a single-point grid.
 pub fn incast_run(
     proto: Proto,
-    mut cfg: FatTreeCfg,
+    cfg: FatTreeCfg,
     n_senders: usize,
     size: u64,
     iw: Option<u64>,
     seed: u64,
     horizon: Time,
 ) -> IncastResult {
-    cfg = cfg.with_fabric(proto.fabric());
+    let point = crate::sweep::IncastPoint {
+        proto,
+        cfg,
+        n_senders,
+        size,
+        iw,
+        seed,
+        horizon,
+    };
+    crate::sweep::sweep_incast(&crate::sweep::SweepSpec::single("incast", point))
+        .pop()
+        .expect("single-point sweep")
+}
+
+/// The simulation behind one [`crate::sweep::IncastPoint`].
+pub(crate) fn incast_world_run(point: &crate::sweep::IncastPoint) -> IncastResult {
+    let crate::sweep::IncastPoint {
+        proto,
+        cfg,
+        n_senders,
+        size,
+        iw,
+        seed,
+        horizon,
+    } = point;
+    let (proto, n_senders, size, iw, seed, horizon) =
+        (*proto, *n_senders, *size, *iw, *seed, *horizon);
+    let cfg = cfg.clone().with_fabric(proto.fabric());
     let mut world: World<Packet> = World::new(seed);
     let ft = FatTree::build(&mut world, cfg);
     let n = ft.n_hosts();
@@ -383,7 +459,11 @@ mod tests {
             1,
             Some(30),
         );
-        assert!(r.utilization > 0.85, "NDP permutation utilization {}", r.utilization);
+        assert!(
+            r.utilization > 0.85,
+            "NDP permutation utilization {}",
+            r.utilization
+        );
     }
 
     #[test]

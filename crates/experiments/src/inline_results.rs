@@ -71,7 +71,10 @@ fn lb_comparison(scale: Scale, mode: RouteMode, seed: u64) -> (f64, f64) {
         .map(|(src, &dst)| delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, Proto::Ndp))
         .sum();
     let util = total as f64 * 8.0 / duration.as_secs() / 1e9 / (n as f64 * 10.0);
-    (100.0 * up_trim as f64 / (up_trim + up_fwd).max(1) as f64, util)
+    (
+        100.0 * up_trim as f64 / (up_trim + up_fwd).max(1) as f64,
+        util,
+    )
 }
 
 pub fn run(scale: Scale) -> Report {
@@ -151,7 +154,11 @@ pub fn run(scale: Scale) -> Report {
         lb_source_util: src_util,
         lb_random_util: rnd_util,
         scaling,
-        phost_incast_ms: if ph.fcts.is_empty() { f64::NAN } else { ph.last().as_ms() },
+        phost_incast_ms: if ph.fcts.is_empty() {
+            f64::NAN
+        } else {
+            ph.last().as_ms()
+        },
         ndp_incast_ms: nd.last().as_ms(),
         phost_perm_util: ph_perm.utilization,
         ndp_perm_util: nd_perm.utilization,
@@ -177,11 +184,9 @@ fn side_effects(proto: Proto, scale: Scale, seed: u64) -> f64 {
         attach_on_fattree(&mut world, &ft, proto, &spec);
     }
     // Long-lived incast onto host 0 from a quarter of the hosts.
-    let mut fid = 10_000u64;
-    for i in 0..(n / 4).max(8).min(n - 1) {
+    for (fid, i) in (10_000u64..).zip(0..(n / 4).max(8).min(n - 1)) {
         let src = 1 + i;
         let spec = FlowSpec::new(fid, src as HostId, 0, LONG_FLOW);
-        fid += 1;
         attach_on_fattree(&mut world, &ft, proto, &spec);
     }
     let duration = match scale {
@@ -214,19 +219,46 @@ impl Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut t = Table::new(["claim", "value"]);
-        t.row(["uplink trim %, sender-chosen paths".to_string(), format!("{:.4}", self.lb_source_trim_pct)]);
-        t.row(["uplink trim %, switch-random ECMP".to_string(), format!("{:.4}", self.lb_random_trim_pct)]);
-        t.row(["perm util, sender-chosen".to_string(), format!("{:.3}", self.lb_source_util)]);
-        t.row(["perm util, switch-random".to_string(), format!("{:.3}", self.lb_random_util)]);
+        t.row([
+            "uplink trim %, sender-chosen paths".to_string(),
+            format!("{:.4}", self.lb_source_trim_pct),
+        ]);
+        t.row([
+            "uplink trim %, switch-random ECMP".to_string(),
+            format!("{:.4}", self.lb_random_trim_pct),
+        ]);
+        t.row([
+            "perm util, sender-chosen".to_string(),
+            format!("{:.3}", self.lb_source_util),
+        ]);
+        t.row([
+            "perm util, switch-random".to_string(),
+            format!("{:.3}", self.lb_random_util),
+        ]);
         for (n, u) in &self.scaling {
             t.row([format!("perm util @ {n} hosts"), format!("{:.3}", u)]);
         }
-        t.row(["pHost big incast (ms)".to_string(), format!("{:.1}", self.phost_incast_ms)]);
-        t.row(["NDP big incast (ms)".to_string(), format!("{:.1}", self.ndp_incast_ms)]);
-        t.row(["pHost perm util".to_string(), format!("{:.3}", self.phost_perm_util)]);
-        t.row(["NDP perm util".to_string(), format!("{:.3}", self.ndp_perm_util)]);
+        t.row([
+            "pHost big incast (ms)".to_string(),
+            format!("{:.1}", self.phost_incast_ms),
+        ]);
+        t.row([
+            "NDP big incast (ms)".to_string(),
+            format!("{:.1}", self.ndp_incast_ms),
+        ]);
+        t.row([
+            "pHost perm util".to_string(),
+            format!("{:.3}", self.phost_perm_util),
+        ]);
+        t.row([
+            "NDP perm util".to_string(),
+            format!("{:.3}", self.ndp_perm_util),
+        ]);
         for (p, u) in &self.side_effect_utils {
-            t.row([format!("perm util beside incast, {}", p.label()), format!("{:.3}", u)]);
+            t.row([
+                format!("perm util beside incast, {}", p.label()),
+                format!("{:.3}", u),
+            ]);
         }
         write!(f, "Inline results (§3.1.1, §6.1.1, §6.2)\n{}", t.render())
     }
@@ -270,7 +302,11 @@ mod tests {
         // Side effects: NDP keeps high utilization; DCQCN collapses below
         // DCTCP (PFC pause cascades).
         let get = |p: Proto| {
-            rep.side_effect_utils.iter().find(|(q, _)| *q == p).map(|(_, u)| *u).unwrap()
+            rep.side_effect_utils
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, u)| *u)
+                .unwrap()
         };
         assert!(get(Proto::Ndp) > 0.8);
         assert!(get(Proto::Dcqcn) < get(Proto::Ndp));

@@ -10,6 +10,7 @@
 
 pub mod harness;
 pub mod quick;
+pub mod sweep;
 
 pub mod fig02_cp_collapse;
 pub mod fig04_latency_cdf;
@@ -31,3 +32,4 @@ pub mod fig23_oversubscribed;
 pub mod inline_results;
 
 pub use harness::{Proto, Scale};
+pub use sweep::SweepSpec;

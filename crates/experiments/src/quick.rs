@@ -26,8 +26,18 @@ pub fn two_host_transfer(bytes: u64) -> TransferReport {
         QueueSpec::ndp_default(),
         HostLatency::default(),
     );
-    let cfg = NdpFlowCfg { n_paths: 1, ..NdpFlowCfg::new(bytes) };
-    attach_flow(&mut world, 1, (b2b.hosts[0], 0), (b2b.hosts[1], 1), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: 1,
+        ..NdpFlowCfg::new(bytes)
+    };
+    attach_flow(
+        &mut world,
+        1,
+        (b2b.hosts[0], 0),
+        (b2b.hosts[1], 1),
+        cfg,
+        Time::ZERO,
+    );
     world.run_until(Time::from_secs(10));
     let tx = ndp_core::flow::sender_stats(&world, b2b.hosts[0], 1);
     let fct = tx.fct().expect("transfer must complete");

@@ -1,0 +1,235 @@
+//! The parallel sweep harness: declarative (protocol × parameter × seed)
+//! grids executed across cores.
+//!
+//! Every figure of the paper is a grid of *independent* simulations — same
+//! topology builder, same traffic generator, different protocol, knob or
+//! seed. The engine deliberately forbids parallelism *inside* a world (that
+//! is what keeps runs bit-reproducible), so the way to paper-scale runs is
+//! to run many deterministic worlds side by side. A [`SweepSpec`] names the
+//! grid; [`SweepSpec::run`] executes each point in its own `World` on a
+//! worker pool and returns results **in grid order**, so a parallel sweep
+//! is indistinguishable from the serial loop it replaced — same seeds, same
+//! results, different wall-clock.
+//!
+//! Worker count: `NDP_THREADS` if set, otherwise the machine's available
+//! parallelism. `NDP_THREADS=1` forces the serial path (useful for
+//! debugging and for A/B-ing the harness itself).
+
+use ndp_sim::Time;
+use ndp_topology::FatTreeCfg;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::harness::{IncastResult, PermutationResult, Proto};
+
+/// Number of sweep workers.
+pub fn worker_threads() -> usize {
+    match std::env::var("NDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// A declarative sweep: a label (for logs) plus the list of grid points.
+///
+/// Build points with plain iterators/loops — the spec is just data, which
+/// keeps the grid inspectable and its order (and therefore result order)
+/// explicit.
+#[derive(Clone, Debug)]
+pub struct SweepSpec<P> {
+    pub label: &'static str,
+    pub points: Vec<P>,
+}
+
+impl<P: Send + Sync> SweepSpec<P> {
+    pub fn new(label: &'static str, points: Vec<P>) -> SweepSpec<P> {
+        SweepSpec { label, points }
+    }
+
+    /// A single-point "sweep" — how the one-shot entry points
+    /// (`permutation_run`, `incast_run`) route through the harness.
+    pub fn single(label: &'static str, point: P) -> SweepSpec<P> {
+        SweepSpec {
+            label,
+            points: vec![point],
+        }
+    }
+
+    /// The cartesian product of two axes (row-major: `a` is the slow axis).
+    pub fn grid<A, B>(
+        label: &'static str,
+        a: &[A],
+        b: &[B],
+        mk: impl Fn(&A, &B) -> P,
+    ) -> SweepSpec<P> {
+        let points = a.iter().flat_map(|x| b.iter().map(|y| mk(x, y))).collect();
+        SweepSpec { label, points }
+    }
+
+    /// Execute `job` on every point, in parallel, returning results in
+    /// point order. `job` must be a pure function of its point (every
+    /// experiment builds its own seeded `World`, so this holds by
+    /// construction throughout the crate).
+    pub fn run<R: Send>(&self, job: impl Fn(&P) -> R + Sync) -> Vec<R> {
+        run_parallel(&self.points, worker_threads(), job)
+    }
+
+    /// [`SweepSpec::run`] with an explicit worker count (the default comes
+    /// from `NDP_THREADS` / available parallelism).
+    pub fn run_with_threads<R: Send>(
+        &self,
+        threads: usize,
+        job: impl Fn(&P) -> R + Sync,
+    ) -> Vec<R> {
+        run_parallel(&self.points, threads, job)
+    }
+}
+
+/// Order-preserving parallel map over independent simulation points.
+fn run_parallel<P: Sync, R: Send>(
+    points: &[P],
+    threads: usize,
+    job: impl Fn(&P) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.min(points.len());
+    if threads <= 1 {
+        return points.iter().map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let r = job(point);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker finished")
+        })
+        .collect()
+}
+
+/// One permutation-matrix simulation: protocol, topology, duration, seed
+/// and optional initial-window override.
+#[derive(Clone, Debug)]
+pub struct PermutationPoint {
+    pub proto: Proto,
+    pub cfg: FatTreeCfg,
+    pub duration: Time,
+    pub seed: u64,
+    pub iw: Option<u64>,
+}
+
+/// Run a permutation sweep; element `i` of the result matches point `i`.
+pub fn sweep_permutation(spec: &SweepSpec<PermutationPoint>) -> Vec<PermutationResult> {
+    spec.run(crate::harness::permutation_world_run)
+}
+
+/// One N:1 incast simulation.
+#[derive(Clone, Debug)]
+pub struct IncastPoint {
+    pub proto: Proto,
+    pub cfg: FatTreeCfg,
+    pub n_senders: usize,
+    pub size: u64,
+    pub iw: Option<u64>,
+    pub seed: u64,
+    pub horizon: Time,
+}
+
+/// Run an incast sweep; element `i` of the result matches point `i`.
+pub fn sweep_incast(spec: &SweepSpec<IncastPoint>) -> Vec<IncastResult> {
+    spec.run(crate::harness::incast_world_run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{incast_run, permutation_run};
+
+    #[test]
+    fn results_preserve_grid_order() {
+        let spec = SweepSpec::new("order", (0u64..32).collect());
+        let out = spec.run(|&x| x * 2);
+        assert_eq!(out, (0u64..32).map(|x| x * 2).collect::<Vec<_>>());
+        // Force the threaded path regardless of this machine's core count.
+        let threaded = spec.run_with_threads(4, |&x| x * 2);
+        assert_eq!(threaded, out);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let spec = SweepSpec::grid("grid", &[10, 20], &[1, 2, 3], |a, b| a + b);
+        assert_eq!(spec.points, vec![11, 12, 13, 21, 22, 23]);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        // The same permutation grid through the parallel harness and the
+        // one-shot entry point must be bit-identical: each point is an
+        // independent seeded world.
+        let mk = |seed: u64| PermutationPoint {
+            proto: Proto::Ndp,
+            cfg: FatTreeCfg::new(4),
+            duration: Time::from_ms(2),
+            seed,
+            iw: Some(30),
+        };
+        let spec = SweepSpec::new("perm", vec![mk(1), mk(2)]);
+        let par = sweep_permutation(&spec);
+        for (point, got) in spec.points.iter().zip(&par) {
+            let serial = permutation_run(
+                point.proto,
+                point.cfg.clone(),
+                point.duration,
+                point.seed,
+                point.iw,
+            );
+            assert_eq!(
+                got.per_flow_gbps, serial.per_flow_gbps,
+                "seed {}",
+                point.seed
+            );
+            assert_eq!(got.utilization, serial.utilization);
+        }
+    }
+
+    #[test]
+    fn parallel_incast_matches_serial_exactly() {
+        let point = IncastPoint {
+            proto: Proto::Ndp,
+            cfg: FatTreeCfg::new(4),
+            n_senders: 6,
+            size: 90_000,
+            iw: None,
+            seed: 5,
+            horizon: Time::from_secs(2),
+        };
+        let spec = SweepSpec::single("incast", point.clone());
+        let par = sweep_incast(&spec);
+        let serial = incast_run(
+            point.proto,
+            point.cfg.clone(),
+            point.n_senders,
+            point.size,
+            point.iw,
+            point.seed,
+            point.horizon,
+        );
+        assert_eq!(par[0].fcts, serial.fcts);
+        assert_eq!(par[0].incomplete, serial.incomplete);
+    }
+}

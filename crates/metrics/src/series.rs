@@ -13,7 +13,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     pub fn new(bucket: Time) -> TimeSeries {
         assert!(!bucket.is_zero());
-        TimeSeries { bucket, buckets: Vec::new() }
+        TimeSeries {
+            bucket,
+            buckets: Vec::new(),
+        }
     }
 
     pub fn bucket_width(&self) -> Time {
@@ -44,7 +47,10 @@ impl TimeSeries {
 
     /// Peak bucket rate in Gb/s.
     pub fn peak_gbps(&self) -> f64 {
-        self.rates_gbps().into_iter().map(|(_, r)| r).fold(0.0, f64::max)
+        self.rates_gbps()
+            .into_iter()
+            .map(|(_, r)| r)
+            .fold(0.0, f64::max)
     }
 }
 

@@ -11,7 +11,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
@@ -82,7 +85,10 @@ mod tests {
         assert!(s.contains("| flow | gbps |"));
         assert!(s.contains("| A->B | 2.51 |"));
         let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width"
+        );
     }
 
     #[test]

@@ -49,7 +49,13 @@ pub struct P4Pipeline {
 
 impl P4Pipeline {
     pub fn new(buffer_bytes: u64) -> P4Pipeline {
-        P4Pipeline { qs: 0, buffer_bytes, directprio_hits: 0, setprio_hits: 0, truncate_actions: 0 }
+        P4Pipeline {
+            qs: 0,
+            buffer_bytes,
+            directprio_hits: 0,
+            setprio_hits: 0,
+            truncate_actions: 0,
+        }
     }
 
     /// Figure 7 uses a 12 KB normal buffer on the simple switch.
@@ -68,7 +74,10 @@ impl P4Pipeline {
         // packets and already-trimmed headers) matches `*` → Prio=1.
         if pkt.ndp_priority() {
             self.directprio_hits += 1;
-            return P4Verdict { queue: P4Queue::Priority, truncated: false };
+            return P4Verdict {
+                queue: P4Queue::Priority,
+                truncated: false,
+            };
         }
         // Readregister table: copy qs into metadata (modelled implicitly —
         // `meta_qs` is what Setprio matches on).
@@ -77,12 +86,18 @@ impl P4Pipeline {
         self.setprio_hits += 1;
         if meta_qs + pkt.size as u64 <= self.buffer_bytes {
             self.qs += pkt.size as u64;
-            P4Verdict { queue: P4Queue::Normal, truncated: false }
+            P4Verdict {
+                queue: P4Queue::Normal,
+                truncated: false,
+            }
         } else {
             // Action: Prio=1, NDP.flags=hdr, truncate(data).
             pkt.trim();
             self.truncate_actions += 1;
-            P4Verdict { queue: P4Queue::Priority, truncated: true }
+            P4Verdict {
+                queue: P4Queue::Priority,
+                truncated: true,
+            }
         }
     }
 
@@ -177,7 +192,13 @@ mod tests {
             // Occasionally drain, as an egress would.
             if i % 7 == 0 && model_qs >= 1500 {
                 model_qs -= 1500;
-                p4.egress(P4Verdict { queue: P4Queue::Normal, truncated: false }, &data(1500));
+                p4.egress(
+                    P4Verdict {
+                        queue: P4Queue::Normal,
+                        truncated: false,
+                    },
+                    &data(1500),
+                );
             }
             let mut p = data(s);
             let v = p4.ingress(&mut p);

@@ -237,7 +237,12 @@ mod tests {
 
     #[test]
     fn control_packets_are_priority() {
-        for kind in [PacketKind::Ack, PacketKind::Nack, PacketKind::Pull, PacketKind::Cnp] {
+        for kind in [
+            PacketKind::Ack,
+            PacketKind::Nack,
+            PacketKind::Pull,
+            PacketKind::Cnp,
+        ] {
             let p = Packet::control(0, 1, 2, kind);
             assert!(p.is_control());
             assert!(p.ndp_priority());

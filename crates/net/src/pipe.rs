@@ -25,7 +25,13 @@ pub struct Pipe {
 
 impl Pipe {
     pub fn new(delay: Time, next: ComponentId) -> Pipe {
-        Pipe { delay, next, corrupt_prob: 0.0, delivered: 0, corrupted: 0 }
+        Pipe {
+            delay,
+            next,
+            corrupt_prob: 0.0,
+            delivered: 0,
+            corrupted: 0,
+        }
     }
 
     /// Enable fault injection: drop each packet with probability `p`.
@@ -101,7 +107,10 @@ mod tests {
         }
         w.run_until_idle();
         let got = w.get::<Sink>(sink).got.len() as f64;
-        assert!((got / 10_000.0 - 0.75).abs() < 0.02, "delivered fraction {got}");
+        assert!(
+            (got / 10_000.0 - 0.75).abs() < 0.02,
+            "delivered fraction {got}"
+        );
         let p = w.get::<Pipe>(pipe);
         assert_eq!(p.delivered + p.corrupted, 10_000);
     }

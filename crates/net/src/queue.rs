@@ -80,6 +80,9 @@ pub enum Policy {
         data_cap_pkts: usize,
         hdr_cap_bytes: u64,
         hdr_bytes: u64,
+        /// Bytes in `data` — maintained incrementally so per-packet
+        /// occupancy accounting stays O(1).
+        data_bytes: u64,
         /// Consecutive header-queue services while data waits (WRR state).
         hdr_run: u32,
         /// WRR ratio: serve up to this many headers per data packet (10).
@@ -114,7 +117,12 @@ pub enum Policy {
 
 impl Policy {
     pub fn droptail(cap_bytes: u64) -> Policy {
-        Policy::DropTail { q: VecDeque::new(), cap_bytes, bytes: 0, ecn_thresh_bytes: None }
+        Policy::DropTail {
+            q: VecDeque::new(),
+            cap_bytes,
+            bytes: 0,
+            ecn_thresh_bytes: None,
+        }
     }
 
     pub fn droptail_ecn(cap_bytes: u64, ecn_thresh_bytes: u64) -> Policy {
@@ -136,6 +144,7 @@ impl Policy {
             data_cap_pkts,
             hdr_cap_bytes: data_cap_pkts as u64 * mtu as u64,
             hdr_bytes: 0,
+            data_bytes: 0,
             hdr_run: 0,
             wrr_ratio: 10,
             bounce_to: None,
@@ -172,19 +181,27 @@ impl Policy {
 
     pub fn lossless_ecn(cap_bytes: u64, xoff: u64, xon: u64, ecn: u64) -> Policy {
         match Policy::lossless(cap_bytes, xoff, xon) {
-            Policy::Lossless { q, cap_bytes, bytes, xoff_bytes, xon_bytes, upstreams, xoff_active, pause_delay, .. } => {
-                Policy::Lossless {
-                    q,
-                    cap_bytes,
-                    bytes,
-                    xoff_bytes,
-                    xon_bytes,
-                    ecn_thresh_bytes: Some(ecn),
-                    upstreams,
-                    xoff_active,
-                    pause_delay,
-                }
-            }
+            Policy::Lossless {
+                q,
+                cap_bytes,
+                bytes,
+                xoff_bytes,
+                xon_bytes,
+                upstreams,
+                xoff_active,
+                pause_delay,
+                ..
+            } => Policy::Lossless {
+                q,
+                cap_bytes,
+                bytes,
+                xoff_bytes,
+                xon_bytes,
+                ecn_thresh_bytes: Some(ecn),
+                upstreams,
+                xoff_active,
+                pause_delay,
+            },
             _ => unreachable!(),
         }
     }
@@ -206,7 +223,15 @@ pub struct Queue {
 
 impl Queue {
     pub fn new(rate: Speed, next: ComponentId, class: LinkClass, policy: Policy) -> Queue {
-        Queue { rate, next, class, policy, in_service: None, paused: 0, stats: QueueStats::default() }
+        Queue {
+            rate,
+            next,
+            class,
+            policy,
+            in_service: None,
+            paused: 0,
+            stats: QueueStats::default(),
+        }
     }
 
     pub fn class(&self) -> LinkClass {
@@ -246,16 +271,22 @@ impl Queue {
     /// Bytes currently waiting (not counting the packet on the wire).
     pub fn occupancy_bytes(&self) -> u64 {
         match &self.policy {
-            Policy::DropTail { bytes, .. } | Policy::Cp { bytes, .. } | Policy::Lossless { bytes, .. } => *bytes,
-            Policy::Ndp { data, hdr_bytes, .. } => {
-                data.iter().map(|p| p.size as u64).sum::<u64>() + hdr_bytes
-            }
+            Policy::DropTail { bytes, .. }
+            | Policy::Cp { bytes, .. }
+            | Policy::Lossless { bytes, .. } => *bytes,
+            Policy::Ndp {
+                data_bytes,
+                hdr_bytes,
+                ..
+            } => data_bytes + hdr_bytes,
         }
     }
 
     pub fn queued_packets(&self) -> usize {
         match &self.policy {
-            Policy::DropTail { q, .. } | Policy::Cp { q, .. } | Policy::Lossless { q, .. } => q.len(),
+            Policy::DropTail { q, .. } | Policy::Cp { q, .. } | Policy::Lossless { q, .. } => {
+                q.len()
+            }
             Policy::Ndp { data, hdr, .. } => data.len() + hdr.len(),
         }
     }
@@ -270,12 +301,22 @@ impl Queue {
     /// Pick the next packet to serialize according to the policy.
     fn pop_next(&mut self) -> Option<Packet> {
         match &mut self.policy {
-            Policy::DropTail { q, bytes, .. } | Policy::Cp { q, bytes, .. } | Policy::Lossless { q, bytes, .. } => {
+            Policy::DropTail { q, bytes, .. }
+            | Policy::Cp { q, bytes, .. }
+            | Policy::Lossless { q, bytes, .. } => {
                 let p = q.pop_front()?;
                 *bytes -= p.size as u64;
                 Some(p)
             }
-            Policy::Ndp { data, hdr, hdr_bytes, hdr_run, wrr_ratio, .. } => {
+            Policy::Ndp {
+                data,
+                hdr,
+                hdr_bytes,
+                data_bytes,
+                hdr_run,
+                wrr_ratio,
+                ..
+            } => {
                 // Weighted round robin, headers preferred: serve the header
                 // queue unless we've already served `wrr_ratio` headers in a
                 // row while data was waiting.
@@ -295,6 +336,7 @@ impl Queue {
                     Some(p)
                 } else {
                     let p = data.pop_front()?;
+                    *data_bytes -= p.size as u64;
                     *hdr_run = 0;
                     Some(p)
                 }
@@ -315,7 +357,12 @@ impl Queue {
 
     fn enqueue(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
         match &mut self.policy {
-            Policy::DropTail { q, cap_bytes, bytes, ecn_thresh_bytes } => {
+            Policy::DropTail {
+                q,
+                cap_bytes,
+                bytes,
+                ecn_thresh_bytes,
+            } => {
                 if *bytes + pkt.size as u64 > *cap_bytes {
                     if pkt.is_control() {
                         self.stats.dropped_ctrl += 1;
@@ -333,7 +380,12 @@ impl Queue {
                 *bytes += pkt.size as u64;
                 q.push_back(pkt);
             }
-            Policy::Cp { q, trim_thresh_bytes, cap_bytes, bytes } => {
+            Policy::Cp {
+                q,
+                trim_thresh_bytes,
+                cap_bytes,
+                bytes,
+            } => {
                 if pkt.kind == PacketKind::Data
                     && !pkt.is_trimmed()
                     && *bytes + pkt.size as u64 > *trim_thresh_bytes
@@ -352,11 +404,21 @@ impl Queue {
                 *bytes += pkt.size as u64;
                 q.push_back(pkt);
             }
-            Policy::Ndp { data, hdr, data_cap_pkts, hdr_cap_bytes, hdr_bytes, bounce_to, .. } => {
+            Policy::Ndp {
+                data,
+                hdr,
+                data_cap_pkts,
+                hdr_cap_bytes,
+                hdr_bytes,
+                data_bytes,
+                bounce_to,
+                ..
+            } => {
                 let mut to_hdr: Option<Packet> = None;
                 if pkt.ndp_priority() {
                     to_hdr = Some(pkt);
                 } else if data.len() < *data_cap_pkts {
+                    *data_bytes += pkt.size as u64;
                     data.push_back(pkt);
                 } else {
                     // Data queue full: trim. Decide with 50% probability
@@ -368,6 +430,7 @@ impl Queue {
                         pkt
                     } else {
                         let tail = data.pop_back().expect("data queue full implies non-empty");
+                        *data_bytes = *data_bytes - tail.size as u64 + pkt.size as u64;
                         data.push_back(pkt);
                         tail
                     };
@@ -397,7 +460,17 @@ impl Queue {
                     }
                 }
             }
-            Policy::Lossless { q, cap_bytes, bytes, xoff_bytes, ecn_thresh_bytes, upstreams, xoff_active, pause_delay, .. } => {
+            Policy::Lossless {
+                q,
+                cap_bytes,
+                bytes,
+                xoff_bytes,
+                ecn_thresh_bytes,
+                upstreams,
+                xoff_active,
+                pause_delay,
+                ..
+            } => {
                 if *bytes + pkt.size as u64 > *cap_bytes {
                     // With correctly-sized skid buffers this cannot happen;
                     // counted so tests can assert losslessness.
@@ -428,7 +501,15 @@ impl Queue {
     }
 
     fn after_dequeue(&mut self, ctx: &mut Ctx<'_, Packet>) {
-        if let Policy::Lossless { bytes, xon_bytes, upstreams, xoff_active, pause_delay, .. } = &mut self.policy {
+        if let Policy::Lossless {
+            bytes,
+            xon_bytes,
+            upstreams,
+            xoff_active,
+            pause_delay,
+            ..
+        } = &mut self.policy
+        {
             if *xoff_active && *bytes <= *xon_bytes {
                 *xoff_active = false;
                 let d = *pause_delay;
@@ -458,7 +539,10 @@ impl Component<Packet> for Queue {
                 self.enqueue(pkt, ctx);
             }
             Event::Wake(TX_DONE) => {
-                let pkt = self.in_service.take().expect("TX_DONE without packet in service");
+                let pkt = self
+                    .in_service
+                    .take()
+                    .expect("TX_DONE without packet in service");
                 self.stats.forwarded_pkts += 1;
                 self.stats.forwarded_bytes += pkt.size as u64;
                 if pkt.kind == PacketKind::Data && !pkt.is_trimmed() {
@@ -495,7 +579,10 @@ mod tests {
     }
     impl Sink {
         fn new() -> Sink {
-            Sink { got: vec![], times: vec![] }
+            Sink {
+                got: vec![],
+                times: vec![],
+            }
         }
     }
     impl Component<Packet> for Sink {
@@ -529,7 +616,14 @@ mod tests {
         w.run_until_idle();
         let s = w.get::<Sink>(sink);
         // 9 KB at 10 Gb/s = 7.2 us each, back to back.
-        assert_eq!(s.times, vec![Time::from_ns(7_200), Time::from_ns(14_400), Time::from_ns(21_600)]);
+        assert_eq!(
+            s.times,
+            vec![
+                Time::from_ns(7_200),
+                Time::from_ns(14_400),
+                Time::from_ns(21_600)
+            ]
+        );
     }
 
     #[test]
@@ -552,7 +646,12 @@ mod tests {
             w.post(Time::ZERO, q, p);
         }
         w.run_until_idle();
-        let marked = w.get::<Sink>(sink).got.iter().filter(|p| p.flags.has(Flags::CE)).count();
+        let marked = w
+            .get::<Sink>(sink)
+            .got
+            .iter()
+            .filter(|p| p.flags.has(Flags::CE))
+            .count();
         // First packet goes into service, next 4 enqueue below/at threshold
         // boundary; occupancy exceeds 3 pkts from the 5th queued packet on.
         assert!(marked >= 5, "marked {marked}");
@@ -566,7 +665,11 @@ mod tests {
             w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
         }
         w.run_until_idle();
-        assert!(w.get::<Sink>(sink).got.iter().all(|p| !p.flags.has(Flags::CE)));
+        assert!(w
+            .get::<Sink>(sink)
+            .got
+            .iter()
+            .all(|p| !p.flags.has(Flags::CE)));
     }
 
     #[test]
@@ -585,7 +688,10 @@ mod tests {
         // Headers are prioritized: after the in-service packet, the trimmed
         // headers leave before the remaining full packets.
         let first_after_service = &s.got[1];
-        assert!(first_after_service.is_trimmed(), "header should jump the data queue");
+        assert!(
+            first_after_service.is_trimmed(),
+            "header should jump the data queue"
+        );
     }
 
     #[test]
@@ -602,8 +708,12 @@ mod tests {
         // The 9 packets that escape untrimmed (1 in service + 8 buffered):
         // with coin flips, some should be high seq numbers (tail trimming
         // replaced older tails), i.e. the untrimmed set is not simply 0..9.
-        let untrimmed: Vec<u64> =
-            s.got.iter().filter(|p| !p.is_trimmed()).map(|p| p.seq).collect();
+        let untrimmed: Vec<u64> = s
+            .got
+            .iter()
+            .filter(|p| !p.is_trimmed())
+            .map(|p| p.seq)
+            .collect();
         assert_eq!(untrimmed.len(), 9);
         assert!(
             untrimmed.iter().any(|&q| q >= 9),
@@ -636,7 +746,10 @@ mod tests {
             }
         }
         assert!(max_run <= 10, "header run {max_run} exceeds WRR ratio");
-        assert!(max_run >= 9, "WRR should allow long header runs under load: {max_run}");
+        assert!(
+            max_run >= 9,
+            "WRR should allow long header runs under load: {max_run}"
+        );
     }
 
     #[test]
@@ -673,6 +786,7 @@ mod tests {
                 data_cap_pkts: 2,
                 hdr_cap_bytes: 2 * HEADER_BYTES as u64,
                 hdr_bytes: 0,
+                data_bytes: 0,
                 hdr_run: 0,
                 wrr_ratio: 10,
                 bounce_to: None,
@@ -724,7 +838,12 @@ mod tests {
             Policy::lossless(40 * 9000, 10 * 9000, 5 * 9000),
         ));
         let pipe = w.add(crate::pipe::Pipe::new(Time::from_ns(500), down));
-        let up = w.add(Queue::new(Speed::gbps(10), pipe, LinkClass::Other, Policy::droptail(1000 * 9000)));
+        let up = w.add(Queue::new(
+            Speed::gbps(10),
+            pipe,
+            LinkClass::Other,
+            Policy::droptail(1000 * 9000),
+        ));
         w.get_mut::<Queue>(down).set_upstreams(vec![up]);
         for i in 0..100 {
             w.post(Time::ZERO, up, Packet::data(0, 1, 0, i, 9000));
@@ -745,10 +864,23 @@ mod tests {
     fn paused_queue_does_not_transmit() {
         let mut w: World<Packet> = World::new(5);
         let sink = w.add(Sink::new());
-        let q = w.add(Queue::new(Speed::gbps(10), sink, LinkClass::Other, Policy::droptail(100 * 9000)));
-        w.post(Time::ZERO, q, Packet::control(0, 0, 0, PacketKind::Pause { xoff: true }));
+        let q = w.add(Queue::new(
+            Speed::gbps(10),
+            sink,
+            LinkClass::Other,
+            Policy::droptail(100 * 9000),
+        ));
+        w.post(
+            Time::ZERO,
+            q,
+            Packet::control(0, 0, 0, PacketKind::Pause { xoff: true }),
+        );
         w.post(Time::from_ns(1), q, Packet::data(0, 1, 0, 0, 9000));
-        w.post(Time::from_us(100), q, Packet::control(0, 0, 0, PacketKind::Pause { xoff: false }));
+        w.post(
+            Time::from_us(100),
+            q,
+            Packet::control(0, 0, 0, PacketKind::Pause { xoff: false }),
+        );
         w.run_until_idle();
         let s = w.get::<Sink>(sink);
         assert_eq!(s.got.len(), 1);
@@ -760,7 +892,12 @@ mod tests {
     fn rate_change_applies_to_next_packet() {
         let mut w: World<Packet> = World::new(5);
         let sink = w.add(Sink::new());
-        let q = w.add(Queue::new(Speed::gbps(10), sink, LinkClass::Other, Policy::droptail(100 * 9000)));
+        let q = w.add(Queue::new(
+            Speed::gbps(10),
+            sink,
+            LinkClass::Other,
+            Policy::droptail(100 * 9000),
+        ));
         w.post(Time::ZERO, q, Packet::data(0, 1, 0, 0, 9000));
         w.run_until_idle();
         w.get_mut::<Queue>(q).set_rate(Speed::gbps(1));

@@ -41,7 +41,11 @@ pub struct Switch {
 
 impl Switch {
     pub fn new(ports: Vec<ComponentId>, router: Box<dyn Router>) -> Switch {
-        Switch { ports, router, rx_pkts: 0 }
+        Switch {
+            ports,
+            router,
+            rx_pkts: 0,
+        }
     }
 
     pub fn ports(&self) -> &[ComponentId] {

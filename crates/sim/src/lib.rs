@@ -36,4 +36,4 @@ pub mod time;
 pub mod world;
 
 pub use time::{Speed, Time};
-pub use world::{Component, ComponentId, Ctx, Event, World};
+pub use world::{set_default_scheduler, Component, ComponentId, Ctx, Event, SchedulerKind, World};

@@ -128,13 +128,13 @@ impl fmt::Display for Time {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0")
-        } else if ps % 1_000_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000_000) {
             write!(f, "{}s", ps / 1_000_000_000_000)
-        } else if ps % 1_000_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000_000) {
             write!(f, "{}ms", ps / 1_000_000_000)
-        } else if ps % 1_000_000 == 0 {
+        } else if ps.is_multiple_of(1_000_000) {
             write!(f, "{}us", ps / 1_000_000)
-        } else if ps % 1_000 == 0 {
+        } else if ps.is_multiple_of(1_000) {
             write!(f, "{}ns", ps / 1_000)
         } else {
             write!(f, "{}ps", ps)
@@ -216,7 +216,10 @@ mod tests {
         assert_eq!(format!("{}", Time::from_us(7)), "7us");
         assert_eq!(format!("{}", Time::from_ms(1)), "1ms");
         assert_eq!(format!("{}", Time::ZERO), "0");
-        assert_eq!(Time::from_us(1).saturating_sub(Time::from_ms(1)), Time::ZERO);
+        assert_eq!(
+            Time::from_us(1).saturating_sub(Time::from_ms(1)),
+            Time::ZERO
+        );
     }
 
     #[test]

@@ -6,10 +6,34 @@
 //! them during dispatch. Events at equal timestamps are delivered in posting
 //! order (a monotone sequence number breaks ties), which makes every run
 //! bit-reproducible for a given seed.
+//!
+//! # Scheduling
+//!
+//! Two scheduler implementations share that ordering contract:
+//!
+//! * [`SchedulerKind::TwoTier`] (default) — the hot path. Zero-delay
+//!   handoffs (`Ctx::forward`, the queue→pipe→switch→host chains that
+//!   dominate event counts) go to a plain FIFO "fast lane" and never touch
+//!   an ordered structure; short-delay timers (serialization, propagation,
+//!   pacing) go into a 1024-slot timing wheel; far-future timers
+//!   (retransmission timeouts and the like) overflow into a binary heap and
+//!   migrate into the wheel as its window slides forward.
+//! * [`SchedulerKind::Classic`] — the seed's single binary heap, kept as
+//!   the reference implementation. The golden-trace tests assert both
+//!   schedulers produce bit-identical event orderings, and the engine bench
+//!   measures the speedup of one over the other.
+//!
+//! Why the fast lane preserves ordering: sequence numbers are assigned in
+//! posting order, the clock only reaches an instant `t` after every event
+//! scheduled *for* `t` from earlier instants is already in the wheel, and
+//! every event posted *at* `t` for `t` lands behind them in the FIFO. So
+//! draining "due wheel batch, then fast lane" is exactly ascending
+//! `(time, seq)` order — what the classic heap produces.
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -65,17 +89,308 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// Which event-queue implementation a [`World`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Timing wheel + overflow heap + zero-delay fast lane (default).
+    TwoTier,
+    /// The seed's single binary heap — reference implementation.
+    Classic,
+}
+
+impl SchedulerKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::TwoTier => "two-tier",
+            SchedulerKind::Classic => "classic",
+        }
+    }
+}
+
+/// Process-wide default for new worlds: 0 = unset, 1 = two-tier,
+/// 2 = classic. Overridable via `NDP_SCHED=classic|two-tier` or
+/// [`set_default_scheduler`] (used by benches to A/B the engines without
+/// threading a parameter through every harness entry point).
+static DEFAULT_SCHED: AtomicU8 = AtomicU8::new(0);
+
+/// Set the scheduler used by subsequently created worlds.
+pub fn set_default_scheduler(kind: SchedulerKind) {
+    let v = match kind {
+        SchedulerKind::TwoTier => 1,
+        SchedulerKind::Classic => 2,
+    };
+    DEFAULT_SCHED.store(v, Ordering::Relaxed);
+}
+
+fn default_scheduler() -> SchedulerKind {
+    match DEFAULT_SCHED.load(Ordering::Relaxed) {
+        1 => SchedulerKind::TwoTier,
+        2 => SchedulerKind::Classic,
+        _ => {
+            let kind = match std::env::var("NDP_SCHED").as_deref() {
+                Ok("classic") => SchedulerKind::Classic,
+                Ok("two-tier") | Err(_) => SchedulerKind::TwoTier,
+                Ok(other) => {
+                    // A typo here would silently invalidate an A/B
+                    // comparison; be loud about the fallback.
+                    eprintln!(
+                        "NDP_SCHED={other:?} is not \"classic\" or \"two-tier\"; \
+                         using the two-tier scheduler"
+                    );
+                    SchedulerKind::TwoTier
+                }
+            };
+            set_default_scheduler(kind);
+            kind
+        }
+    }
+}
+
+/// Timing-wheel geometry: 1024 slots of 2^16 ps (≈65.5 ns) cover a window
+/// of ≈67 µs — serialization times, propagation delays and pull pacing all
+/// land in the wheel; millisecond-scale retransmission timers overflow to
+/// the heap. Both are powers of two so slot math is shifts and masks.
+const GRAN_SHIFT: u32 = 16;
+const SLOTS: usize = 1024;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+
+struct TwoTier<M> {
+    /// Events due at the current instant, drained before everything else
+    /// (ascending `seq`; extracted from the wheel as one batch).
+    due: VecDeque<Scheduled<M>>,
+    /// Zero-delay posts made *at* the current instant (FIFO == seq order;
+    /// all seqs here are larger than anything in `due`).
+    fast: VecDeque<Scheduled<M>>,
+    /// One rotation's worth of future events, bucketed by slot.
+    wheel: Vec<Vec<Scheduled<M>>>,
+    wheel_len: usize,
+    /// Time (ps) at which the cursor slot starts; the wheel window is
+    /// `[wheel_start, wheel_start + SLOTS << GRAN_SHIFT)`.
+    wheel_start: u64,
+    cursor: usize,
+    /// Events beyond the wheel window, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<Scheduled<M>>>,
+}
+
+impl<M> TwoTier<M> {
+    fn new() -> TwoTier<M> {
+        TwoTier {
+            due: VecDeque::new(),
+            fast: VecDeque::new(),
+            wheel: (0..SLOTS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            wheel_start: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Is slot number `slot_num` within one rotation of the window base?
+    /// Slot-difference form: safe against u64 overflow even for events at
+    /// `Time::MAX` (events are never posted before the window, so the
+    /// difference is well-defined).
+    #[inline]
+    fn in_window(&self, slot_num: u64) -> bool {
+        debug_assert!(slot_num >= self.wheel_start >> GRAN_SHIFT);
+        slot_num - (self.wheel_start >> GRAN_SHIFT) < SLOTS as u64
+    }
+
+    #[inline]
+    fn push_timed(&mut self, s: Scheduled<M>) {
+        let slot_num = s.at.as_ps() >> GRAN_SHIFT;
+        if self.in_window(slot_num) {
+            self.wheel[(slot_num & SLOT_MASK) as usize].push(s);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(s));
+        }
+    }
+
+    /// Advance the window so the cursor slot contains `slot_num`, pulling
+    /// any overflow events the slide uncovered into the wheel. The
+    /// invariant after every commit: the overflow heap only holds events at
+    /// or beyond the wheel window's end.
+    fn commit_cursor(&mut self, slot_num: u64) {
+        self.wheel_start = slot_num << GRAN_SHIFT;
+        self.cursor = (slot_num & SLOT_MASK) as usize;
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            let top_slot = top.at.as_ps() >> GRAN_SHIFT;
+            if !self.in_window(top_slot) {
+                break;
+            }
+            let Reverse(s) = self.overflow.pop().expect("peeked");
+            self.wheel[(top_slot & SLOT_MASK) as usize].push(s);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Refill `due` with the earliest timed batch, if it is due by
+    /// `horizon`. Leaves all state untouched when the next event lies
+    /// beyond the horizon, so interrupted runs can resume consistently.
+    fn refill_due(&mut self, horizon: Time) -> bool {
+        if self.wheel_len == 0 {
+            // Teleport: jump the window straight to the overflow's front.
+            match self.overflow.peek() {
+                Some(Reverse(top)) if top.at <= horizon => {
+                    let slot_num = top.at.as_ps() >> GRAN_SHIFT;
+                    self.commit_cursor(slot_num);
+                }
+                _ => return false,
+            }
+        } else {
+            // Slide: scan forward for the first non-empty slot. Scanning is
+            // cheap (an emptiness check per slot) and bounded by one
+            // rotation.
+            let base = self.wheel_start >> GRAN_SHIFT;
+            let mut ahead = 0u64;
+            loop {
+                let idx = ((base + ahead) & SLOT_MASK) as usize;
+                if !self.wheel[idx].is_empty() {
+                    break;
+                }
+                ahead += 1;
+                debug_assert!(ahead as usize <= SLOTS, "wheel_len desynced");
+            }
+            let bucket = &self.wheel[((base + ahead) & SLOT_MASK) as usize];
+            let t_min = bucket.iter().map(|s| s.at).min().expect("non-empty");
+            if t_min > horizon {
+                return false;
+            }
+            self.commit_cursor(base + ahead);
+        }
+        // Extract the batch at the earliest instant in the cursor slot.
+        // Bucket insertion order guarantees ascending seq within one
+        // timestamp (see commit_cursor's invariant + monotone windows), so
+        // `extract_if`'s stable drain hands us the batch already ordered.
+        let bucket = &mut self.wheel[self.cursor];
+        let t_min = bucket
+            .iter()
+            .map(|s| s.at)
+            .min()
+            .expect("committed slot non-empty");
+        debug_assert!(t_min <= horizon);
+        let before = bucket.len();
+        self.due.extend(bucket.extract_if(.., |s| s.at == t_min));
+        self.wheel_len -= before - self.wheel[self.cursor].len();
+        debug_assert!(self
+            .due
+            .iter()
+            .zip(self.due.iter().skip(1))
+            .all(|(a, b)| a.seq < b.seq));
+        true
+    }
+
+    fn pop_due(&mut self, horizon: Time) -> Option<Scheduled<M>> {
+        if let Some(s) = self.due.pop_front() {
+            return Some(s);
+        }
+        if let Some(front) = self.fast.front() {
+            if front.at <= horizon {
+                return self.fast.pop_front();
+            }
+            return None;
+        }
+        if self.refill_due(horizon) {
+            self.due.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.due.is_empty()
+            && self.fast.is_empty()
+            && self.wheel_len == 0
+            && self.overflow.is_empty()
+    }
+}
+
+/// The event queue: sequence numbering + one of the two scheduler
+/// implementations.
+struct EventQueue<M> {
+    /// Monotone posting counter; doubles as the equal-timestamp
+    /// tie-breaker and the total-events-posted statistic.
+    seq: u64,
+    imp: QueueImpl<M>,
+}
+
+enum QueueImpl<M> {
+    TwoTier(TwoTier<M>),
+    Classic(BinaryHeap<Reverse<Scheduled<M>>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(kind: SchedulerKind) -> EventQueue<M> {
+        let imp = match kind {
+            SchedulerKind::TwoTier => QueueImpl::TwoTier(TwoTier::new()),
+            SchedulerKind::Classic => QueueImpl::Classic(BinaryHeap::new()),
+        };
+        EventQueue { seq: 0, imp }
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        match self.imp {
+            QueueImpl::TwoTier(_) => SchedulerKind::TwoTier,
+            QueueImpl::Classic(_) => SchedulerKind::Classic,
+        }
+    }
+
+    #[inline]
+    fn post(&mut self, now: Time, at: Time, to: ComponentId, ev: Event<M>) {
+        debug_assert!(at >= now, "cannot schedule in the past");
+        self.seq += 1;
+        let s = Scheduled {
+            at,
+            seq: self.seq,
+            to,
+            ev,
+        };
+        match &mut self.imp {
+            QueueImpl::TwoTier(t) => {
+                if at <= now {
+                    // Zero-delay fast lane: the dominant event class
+                    // (queue→pipe→switch→host handoffs) skips the wheel and
+                    // heap entirely.
+                    t.fast.push_back(s);
+                } else {
+                    t.push_timed(s);
+                }
+            }
+            QueueImpl::Classic(h) => h.push(Reverse(s)),
+        }
+    }
+
+    #[inline]
+    fn pop_due(&mut self, horizon: Time) -> Option<Scheduled<M>> {
+        match &mut self.imp {
+            QueueImpl::TwoTier(t) => t.pop_due(horizon),
+            QueueImpl::Classic(h) => {
+                if h.peek().is_some_and(|Reverse(top)| top.at <= horizon) {
+                    h.pop().map(|Reverse(s)| s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match &self.imp {
+            QueueImpl::TwoTier(t) => t.is_empty(),
+            QueueImpl::Classic(h) => h.is_empty(),
+        }
+    }
+}
+
 /// Dispatch context: the only way a component can affect the world.
 pub struct Ctx<'a, M> {
     now: Time,
     self_id: ComponentId,
-    seq: &'a mut u64,
-    heap: &'a mut BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: &'a mut EventQueue<M>,
     rng: &'a mut SmallRng,
-    events_posted: &'a mut u64,
 }
 
-impl<'a, M> Ctx<'a, M> {
+impl<M> Ctx<'_, M> {
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.now
@@ -97,8 +412,9 @@ impl<'a, M> Ctx<'a, M> {
         self.post_at(self.now + delay, to, Event::Msg(msg));
     }
 
-    /// Deliver `msg` to `to` immediately (still via the heap, preserving
-    /// deterministic ordering).
+    /// Deliver `msg` to `to` immediately. Under the two-tier scheduler this
+    /// is a FIFO append — no ordered structure is touched — while still
+    /// preserving deterministic `(time, seq)` ordering.
     pub fn forward(&mut self, to: ComponentId, msg: M) {
         self.send(to, msg, Time::ZERO);
     }
@@ -121,34 +437,92 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     fn post_at(&mut self, at: Time, to: ComponentId, ev: Event<M>) {
-        *self.seq += 1;
-        *self.events_posted += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: *self.seq, to, ev }));
+        self.queue.post(self.now, at, to, ev);
     }
 }
 
-/// The simulation world: component arena + event heap + clock + RNG.
+/// Running FNV-1a hash over the dispatched event trace; pinned by the
+/// golden-trace determinism tests.
+#[derive(Clone, Copy, Debug)]
+struct TraceHash {
+    hash: u64,
+    len: u64,
+}
+
+impl TraceHash {
+    fn new() -> TraceHash {
+        TraceHash {
+            hash: 0xcbf2_9ce4_8422_2325,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        let mut h = self.hash;
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.hash = h;
+    }
+
+    fn record<M>(&mut self, at: Time, to: ComponentId, ev: &Event<M>) {
+        self.mix(at.as_ps());
+        let kind = match ev {
+            Event::Msg(_) => 0u64,
+            Event::Wake(tok) => 1 | (tok << 1),
+        };
+        self.mix((to as u64) << 32 | (kind & 0xFFFF_FFFF));
+        self.len += 1;
+    }
+}
+
+/// The simulation world: component arena + event queue + clock + RNG.
 pub struct World<M> {
     components: Vec<Option<Box<dyn Component<M>>>>,
-    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<M>,
     now: Time,
-    seq: u64,
     rng: SmallRng,
     events_processed: u64,
-    events_posted: u64,
+    trace: Option<TraceHash>,
 }
 
 impl<M: 'static> World<M> {
+    /// A world on the process-default scheduler (two-tier unless overridden
+    /// via `NDP_SCHED` or [`set_default_scheduler`]).
     pub fn new(seed: u64) -> World<M> {
+        World::with_scheduler(seed, default_scheduler())
+    }
+
+    /// A world on an explicit scheduler implementation.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> World<M> {
         World {
             components: Vec::new(),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             now: Time::ZERO,
-            seq: 0,
             rng: SmallRng::seed_from_u64(seed),
             events_processed: 0,
-            events_posted: 0,
+            trace: None,
         }
+    }
+
+    /// Which scheduler this world runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Start hashing the `(time, component, kind)` trace of every
+    /// dispatched event (used by the golden-trace determinism tests).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceHash::new());
+    }
+
+    /// The `(hash, length)` of the dispatched-event trace so far.
+    /// Panics if tracing was never enabled.
+    pub fn trace_hash(&self) -> (u64, u64) {
+        let t = self.trace.as_ref().expect("enable_trace() was not called");
+        (t.hash, t.len)
     }
 
     /// Register a component, returning its id.
@@ -172,16 +546,12 @@ impl<M: 'static> World<M> {
 
     /// Post a message to a component at an absolute time (harness-level).
     pub fn post(&mut self, at: Time, to: ComponentId, msg: M) {
-        self.seq += 1;
-        self.events_posted += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, to, ev: Event::Msg(msg) }));
+        self.queue.post(self.now, at, to, Event::Msg(msg));
     }
 
     /// Post a wake token to a component at an absolute time (harness-level).
     pub fn post_wake(&mut self, at: Time, to: ComponentId, token: u64) {
-        self.seq += 1;
-        self.events_posted += 1;
-        self.heap.push(Reverse(Scheduled { at, seq: self.seq, to, ev: Event::Wake(token) }));
+        self.queue.post(self.now, at, to, Event::Wake(token));
     }
 
     /// Current simulated time.
@@ -194,36 +564,40 @@ impl<M: 'static> World<M> {
         self.events_processed
     }
 
-    /// Run until the event heap empties or `horizon` passes.
+    /// Total events posted so far.
+    pub fn events_posted(&self) -> u64 {
+        self.queue.seq
+    }
+
+    /// Run until the event queue empties or `horizon` passes.
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, horizon: Time) -> u64 {
         let start = self.events_processed;
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.at > horizon {
-                break;
-            }
-            let Reverse(sched) = self.heap.pop().expect("peeked");
+        while let Some(sched) = self.queue.pop_due(horizon) {
             debug_assert!(sched.at >= self.now, "time went backwards");
             self.now = sched.at;
             self.events_processed += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.record(sched.at, sched.to, &sched.ev);
+            }
+            // Split borrow: the component slot and the event queue / RNG are
+            // disjoint fields, so dispatch hands out a `Ctx` without
+            // vacating the slot (the seed's take/re-insert dance is gone).
             let idx = sched.to as usize;
-            let mut comp = self.components[idx]
-                .take()
+            let comp = self.components[idx]
+                .as_mut()
                 .unwrap_or_else(|| panic!("event for missing component {idx}"));
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: sched.to,
-                seq: &mut self.seq,
-                heap: &mut self.heap,
+                queue: &mut self.queue,
                 rng: &mut self.rng,
-                events_posted: &mut self.events_posted,
             };
             comp.handle(sched.ev, &mut ctx);
-            self.components[idx] = Some(comp);
         }
         // Advance the clock to the horizon only if we drained everything
         // before it; otherwise the clock stays at the last dispatched event.
-        if self.heap.is_empty() && horizon != Time::MAX {
+        if self.queue.is_empty() && horizon != Time::MAX {
             self.now = self.now.max(horizon);
         }
         self.events_processed - start
@@ -277,13 +651,17 @@ impl<M: 'static> World<M> {
 
     /// Iterate over component ids (for post-run stat sweeps).
     pub fn ids(&self) -> impl Iterator<Item = ComponentId> {
-        (0..self.components.len() as ComponentId).into_iter()
+        0..self.components.len() as ComponentId
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn both_kinds() -> [SchedulerKind; 2] {
+        [SchedulerKind::TwoTier, SchedulerKind::Classic]
+    }
 
     struct Counter {
         ticks: u64,
@@ -305,43 +683,111 @@ mod tests {
     }
 
     fn counter() -> Counter {
-        Counter { ticks: 0, msgs: Vec::new() }
+        Counter {
+            ticks: 0,
+            msgs: Vec::new(),
+        }
     }
 
     #[test]
     fn delivers_in_time_order() {
-        let mut w: World<u32> = World::new(1);
-        let id = w.add(counter());
-        w.post(Time::from_us(5), id, 5);
-        w.post(Time::from_us(1), id, 1);
-        w.post(Time::from_us(3), id, 3);
-        w.run_until_idle();
-        let c = w.get::<Counter>(id);
-        assert_eq!(c.msgs.iter().map(|m| m.1).collect::<Vec<_>>(), vec![1, 3, 5]);
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post(Time::from_us(5), id, 5);
+            w.post(Time::from_us(1), id, 1);
+            w.post(Time::from_us(3), id, 3);
+            w.run_until_idle();
+            let c = w.get::<Counter>(id);
+            assert_eq!(
+                c.msgs.iter().map(|m| m.1).collect::<Vec<_>>(),
+                vec![1, 3, 5]
+            );
+        }
     }
 
     #[test]
     fn equal_timestamps_preserve_posting_order() {
-        let mut w: World<u32> = World::new(1);
-        let id = w.add(counter());
-        for i in 0..100 {
-            w.post(Time::from_us(7), id, i);
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            for i in 0..100 {
+                w.post(Time::from_us(7), id, i);
+            }
+            w.run_until_idle();
+            let c = w.get::<Counter>(id);
+            assert_eq!(
+                c.msgs.iter().map(|m| m.1).collect::<Vec<_>>(),
+                (0..100).collect::<Vec<_>>()
+            );
         }
-        w.run_until_idle();
-        let c = w.get::<Counter>(id);
-        assert_eq!(c.msgs.iter().map(|m| m.1).collect::<Vec<_>>(), (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn horizon_stops_dispatch_but_keeps_events() {
-        let mut w: World<u32> = World::new(1);
-        let id = w.add(counter());
-        w.post(Time::from_us(1), id, 1);
-        w.post(Time::from_ms(1), id, 2);
-        w.run_until(Time::from_us(10));
-        assert_eq!(w.get::<Counter>(id).msgs.len(), 1);
-        w.run_until_idle();
-        assert_eq!(w.get::<Counter>(id).msgs.len(), 2);
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post(Time::from_us(1), id, 1);
+            w.post(Time::from_ms(1), id, 2);
+            w.run_until(Time::from_us(10));
+            assert_eq!(w.get::<Counter>(id).msgs.len(), 1);
+            w.run_until_idle();
+            assert_eq!(w.get::<Counter>(id).msgs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn posts_straddling_an_interrupted_run_stay_ordered() {
+        // Regression guard for the window bookkeeping: a run stopped at a
+        // horizon far before the next (overflow-resident) event must not
+        // let later posts into the gap get reordered.
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post(Time::from_ms(5), id, 99); // far future: overflow tier
+            w.run_until(Time::from_us(10));
+            assert_eq!(w.get::<Counter>(id).msgs.len(), 0);
+            // Posted after the interrupted run, due before the overflow one.
+            w.post(Time::from_us(20), id, 1);
+            w.post(Time::from_ms(1), id, 2);
+            w.run_until_idle();
+            let got: Vec<u32> = w.get::<Counter>(id).msgs.iter().map(|m| m.1).collect();
+            assert_eq!(got, vec![1, 2, 99]);
+        }
+    }
+
+    #[test]
+    fn wheel_window_wraps_across_many_rotations() {
+        // Events spaced ~1 window apart force repeated slides/teleports.
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            let window_ps = (SLOTS as u64) << GRAN_SHIFT;
+            for i in 0..50u64 {
+                w.post(Time::from_ps(i * window_ps * 3 / 2 + 7), id, i as u32);
+            }
+            w.run_until_idle();
+            let got: Vec<u32> = w.get::<Counter>(id).msgs.iter().map(|m| m.1).collect();
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn events_near_time_max_are_dispatched() {
+        // The in-tree "start later via trigger" pattern posts at Time::MAX;
+        // slot arithmetic must not overflow near u64::MAX (regression).
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post(Time::from_us(1), id, 1);
+            w.post(Time::MAX, id, 3);
+            w.post(Time::from_ps(u64::MAX - 5), id, 2);
+            w.run_until_idle();
+            let got: Vec<u32> = w.get::<Counter>(id).msgs.iter().map(|m| m.1).collect();
+            assert_eq!(got, vec![1, 2, 3]);
+            assert_eq!(w.now(), Time::MAX);
+        }
     }
 
     struct PingPong {
@@ -369,15 +815,28 @@ mod tests {
 
     #[test]
     fn components_message_each_other() {
-        let mut w: World<u32> = World::new(1);
-        let a = w.reserve();
-        let b = w.add(PingPong { peer: a, left: 10, bounces: 0 });
-        w.install(a, PingPong { peer: b, left: 10, bounces: 0 });
-        w.post(Time::ZERO, a, 0);
-        w.run_until_idle();
-        let total = w.get::<PingPong>(a).bounces + w.get::<PingPong>(b).bounces;
-        assert_eq!(total, 21); // initial + 20 bounces
-        assert_eq!(w.now(), Time::from_ns(2000));
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let a = w.reserve();
+            let b = w.add(PingPong {
+                peer: a,
+                left: 10,
+                bounces: 0,
+            });
+            w.install(
+                a,
+                PingPong {
+                    peer: b,
+                    left: 10,
+                    bounces: 0,
+                },
+            );
+            w.post(Time::ZERO, a, 0);
+            w.run_until_idle();
+            let total = w.get::<PingPong>(a).bounces + w.get::<PingPong>(b).bounces;
+            assert_eq!(total, 21); // initial + 20 bounces
+            assert_eq!(w.now(), Time::from_ns(2000));
+        }
     }
 
     struct SelfTimer {
@@ -403,17 +862,72 @@ mod tests {
 
     #[test]
     fn timers_fire_in_order() {
-        let mut w: World<u32> = World::new(1);
-        let id = w.add(SelfTimer { fired: vec![] });
-        w.post(Time::ZERO, id, 0);
-        w.run_until_idle();
-        assert_eq!(w.get::<SelfTimer>(id).fired, vec![9, 7]);
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(SelfTimer { fired: vec![] });
+            w.post(Time::ZERO, id, 0);
+            w.run_until_idle();
+            assert_eq!(w.get::<SelfTimer>(id).fired, vec![9, 7]);
+        }
+    }
+
+    struct ZeroDelayChain {
+        next: Option<ComponentId>,
+        got: Vec<u32>,
+    }
+    impl Component<u32> for ZeroDelayChain {
+        fn handle(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            if let Event::Msg(v) = ev {
+                self.got.push(v);
+                if let Some(n) = self.next {
+                    ctx.forward(n, v + 1);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn fast_lane_interleaves_with_timed_events_in_seq_order() {
+        // Two timed events at the same instant; the first spawns a
+        // zero-delay chain. The second timed event (earlier seq) must still
+        // beat the chained zero-delay messages (later seqs).
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let c = w.reserve();
+            let b = w.add(ZeroDelayChain {
+                next: Some(c),
+                got: vec![],
+            });
+            w.install(
+                c,
+                ZeroDelayChain {
+                    next: None,
+                    got: vec![],
+                },
+            );
+            let log = w.add(counter());
+            // seq order at t=1us: msg->b (chains to c), msg->log.
+            w.post(Time::from_us(1), b, 10);
+            w.post(Time::from_us(1), log, 77);
+            w.run_until_idle();
+            // log must be dispatched before the chained message reaches c.
+            let log_time = w.get::<Counter>(log).msgs[0].0;
+            assert_eq!(log_time, Time::from_us(1).as_ps());
+            assert_eq!(w.get::<ZeroDelayChain>(c).got, vec![11]);
+            assert_eq!(w.events_processed(), 3);
+        }
     }
 
     #[test]
     fn determinism_same_seed_same_trace() {
-        fn trace(seed: u64) -> Vec<(u64, u32)> {
-            let mut w: World<u32> = World::new(seed);
+        fn trace(seed: u64, kind: SchedulerKind) -> Vec<(u64, u32)> {
+            let mut w: World<u32> = World::with_scheduler(seed, kind);
             let id = w.add(counter());
             // Use the rng through a component to make sure rng state is part
             // of the reproducibility contract.
@@ -442,19 +956,62 @@ mod tests {
             w.run_until_idle();
             w.get::<Counter>(id).msgs.clone()
         }
-        assert_eq!(trace(99), trace(99));
-        assert_ne!(trace(99), trace(100));
+        for kind in both_kinds() {
+            assert_eq!(trace(99, kind), trace(99, kind));
+            assert_ne!(trace(99, kind), trace(100, kind));
+        }
+        // And across schedulers: identical seed, identical delivery order.
+        assert_eq!(
+            trace(99, SchedulerKind::TwoTier),
+            trace(99, SchedulerKind::Classic)
+        );
+    }
+
+    #[test]
+    fn schedulers_agree_on_trace_hash() {
+        fn run(kind: SchedulerKind) -> (u64, u64) {
+            let mut w: World<u32> = World::with_scheduler(42, kind);
+            w.enable_trace();
+            let a = w.reserve();
+            let b = w.add(PingPong {
+                peer: a,
+                left: 40,
+                bounces: 0,
+            });
+            w.install(
+                a,
+                PingPong {
+                    peer: b,
+                    left: 40,
+                    bounces: 0,
+                },
+            );
+            let t = w.add(SelfTimer { fired: vec![] });
+            w.post(Time::ZERO, a, 0);
+            w.post(Time::from_ns(150), t, 0);
+            // Overflow tier; a Wake, because SelfTimer's Msg handler arms
+            // absolute timers that would lie 2 ms in the past here.
+            w.post_wake(Time::from_ms(2), t, 1);
+            w.run_until_idle();
+            w.trace_hash()
+        }
+        let (h1, n1) = run(SchedulerKind::TwoTier);
+        let (h2, n2) = run(SchedulerKind::Classic);
+        assert_eq!(n1, n2);
+        assert_eq!(h1, h2);
     }
 
     #[test]
     fn run_returns_event_count() {
-        let mut w: World<u32> = World::new(1);
-        let id = w.add(counter());
-        for i in 0..10 {
-            w.post(Time::from_us(i), id, i as u32);
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            for i in 0..10 {
+                w.post(Time::from_us(i), id, i as u32);
+            }
+            assert_eq!(w.run_until(Time::from_us(4)), 5);
+            assert_eq!(w.run_until_idle(), 5);
         }
-        assert_eq!(w.run_until(Time::from_us(4)), 5);
-        assert_eq!(w.run_until_idle(), 5);
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl FatTreeCfg {
     /// Paper defaults: 10 Gb/s links, 9 KB jumbograms, NDP switches with
     /// eight-packet queues, sender-chosen paths, RTS enabled.
     pub fn new(k: usize) -> FatTreeCfg {
-        assert!(k >= 2 && k % 2 == 0, "k must be even");
+        assert!(k >= 2 && k.is_multiple_of(2), "k must be even");
         FatTreeCfg {
             k,
             hosts_per_tor: k / 2,
@@ -218,23 +218,24 @@ impl FatTree {
         let aggs: Vec<ComponentId> = (0..n_aggs).map(|_| world.reserve()).collect();
         let cores: Vec<ComponentId> = (0..n_cores).map(|_| world.reserve()).collect();
 
-        let mk_link = |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &FatTreeCfg| {
-            let pipe = world.add(Pipe::new(cfg.link_delay, to));
-            let policy = if class == LinkClass::HostNic {
-                cfg.fabric.build_host_nic(cfg.mtu)
-            } else {
-                cfg.fabric.build(cfg.mtu)
+        let mk_link =
+            |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &FatTreeCfg| {
+                let pipe = world.add(Pipe::new(cfg.link_delay, to));
+                let policy = if class == LinkClass::HostNic {
+                    cfg.fabric.build_host_nic(cfg.mtu)
+                } else {
+                    cfg.fabric.build(cfg.mtu)
+                };
+                world.add(Queue::new(cfg.link_speed, pipe, class, policy))
             };
-            world.add(Queue::new(cfg.link_speed, pipe, class, policy))
-        };
 
         // Host <-> ToR links.
         let mut host_nic = Vec::with_capacity(n_hosts);
         let mut tor_down = vec![Vec::with_capacity(hpt); n_tors];
-        for h in 0..n_hosts {
+        for (h, &host) in hosts.iter().enumerate() {
             let tor = ix.pod_of(h as HostId) * half + ix.tor_in_pod_of(h as HostId);
             host_nic.push(mk_link(world, tors[tor], LinkClass::HostNic, &cfg));
-            tor_down[tor].push(mk_link(world, hosts[h], LinkClass::TorDown, &cfg));
+            tor_down[tor].push(mk_link(world, host, LinkClass::TorDown, &cfg));
         }
 
         // ToR <-> Agg links (within each pod).
@@ -260,6 +261,9 @@ impl FatTree {
         // Agg <-> Core links. Agg `a` (in-pod index) owns cores a*half..a*half+half.
         let mut agg_up = vec![Vec::with_capacity(half); n_aggs];
         let mut core_down = vec![vec![0; k]; n_cores];
+        // Index arithmetic (pod/agg/core offsets) IS the wiring spec here;
+        // iterator chains would bury it.
+        #[allow(clippy::needless_range_loop)]
         for pod in 0..k {
             for a in 0..half {
                 let agg = pod * half + a;
@@ -279,7 +283,15 @@ impl FatTree {
                 ports.extend(tor_up[tor].iter().copied());
                 world.install(
                     tors[tor],
-                    Switch::new(ports, Box::new(TorRouter { ix, pod, tor_in_pod: t, mode: cfg.route_mode })),
+                    Switch::new(
+                        ports,
+                        Box::new(TorRouter {
+                            ix,
+                            pod,
+                            tor_in_pod: t,
+                            mode: cfg.route_mode,
+                        }),
+                    ),
                 );
             }
             for a in 0..half {
@@ -288,12 +300,22 @@ impl FatTree {
                 ports.extend(agg_up[agg].iter().copied());
                 world.install(
                     aggs[agg],
-                    Switch::new(ports, Box::new(AggRouter { ix, pod, mode: cfg.route_mode })),
+                    Switch::new(
+                        ports,
+                        Box::new(AggRouter {
+                            ix,
+                            pod,
+                            mode: cfg.route_mode,
+                        }),
+                    ),
                 );
             }
         }
         for c in 0..n_cores {
-            world.install(cores[c], Switch::new(core_down[c].clone(), Box::new(CoreRouter { ix })));
+            world.install(
+                cores[c],
+                Switch::new(core_down[c].clone(), Box::new(CoreRouter { ix })),
+            );
         }
 
         // Install hosts.
@@ -388,7 +410,10 @@ impl FatTree {
     /// Number of distinct sender-selectable paths between two hosts.
     pub fn n_paths(&self, src: HostId, dst: HostId) -> u32 {
         let half = self.cfg.k / 2;
-        let ix = FtIndex { half, hpt: self.cfg.hosts_per_tor };
+        let ix = FtIndex {
+            half,
+            hpt: self.cfg.hosts_per_tor,
+        };
         if ix.pod_of(src) == ix.pod_of(dst) {
             if ix.tor_in_pod_of(src) == ix.tor_in_pod_of(dst) {
                 1
@@ -414,7 +439,9 @@ impl FatTree {
         let agg = pod * half + a;
         let core = a * half + m;
         world.get_mut::<Queue>(self.agg_up[agg][m]).set_rate(speed);
-        world.get_mut::<Queue>(self.core_down[core][pod]).set_rate(speed);
+        world
+            .get_mut::<Queue>(self.core_down[core][pod])
+            .set_rate(speed);
     }
 
     /// Aggregate queue statistics by link class (trim-location analysis).
@@ -464,7 +491,7 @@ mod tests {
     #[test]
     fn index_math() {
         let ix = FtIndex { half: 4, hpt: 4 }; // k=8
-        // Host 0: pod 0, tor 0, idx 0; host 17: pod 1, tor 0, idx 1.
+                                              // Host 0: pod 0, tor 0, idx 0; host 17: pod 1, tor 0, idx 1.
         assert_eq!(ix.pod_of(0), 0);
         assert_eq!(ix.pod_of(17), 1);
         assert_eq!(ix.tor_in_pod_of(17), 0);

@@ -34,13 +34,28 @@ impl BackToBack {
         let h1 = world.reserve();
         let mk = |world: &mut World<Packet>, to: ComponentId| {
             let pipe = world.add(Pipe::new(link_delay, to));
-            world.add(Queue::new(link_speed, pipe, LinkClass::HostNic, fabric.build_host_nic(mtu)))
+            world.add(Queue::new(
+                link_speed,
+                pipe,
+                LinkClass::HostNic,
+                fabric.build_host_nic(mtu),
+            ))
         };
         let nic0 = mk(world, h1);
         let nic1 = mk(world, h0);
-        world.install(h0, Host::new(0, nic0, link_speed, mtu).with_latency(latency.clone()));
-        world.install(h1, Host::new(1, nic1, link_speed, mtu).with_latency(latency));
-        BackToBack { hosts: [h0, h1], host_nic: [nic0, nic1], link_speed }
+        world.install(
+            h0,
+            Host::new(0, nic0, link_speed, mtu).with_latency(latency.clone()),
+        );
+        world.install(
+            h1,
+            Host::new(1, nic1, link_speed, mtu).with_latency(latency),
+        );
+        BackToBack {
+            hosts: [h0, h1],
+            host_nic: [nic0, nic1],
+            link_speed,
+        }
     }
 
     pub fn n_paths(&self) -> u32 {
@@ -82,14 +97,22 @@ impl TwoTierCfg {
     /// Figure 21's sender-limited topology: two ToRs of three hosts under
     /// a pair of spines. Hosts: A=0 B=1 C=2 | D=3 E=4 F=5.
     pub fn sender_limited() -> TwoTierCfg {
-        TwoTierCfg { n_tors: 2, hosts_per_tor: 3, ..TwoTierCfg::testbed() }
+        TwoTierCfg {
+            n_tors: 2,
+            hosts_per_tor: 3,
+            ..TwoTierCfg::testbed()
+        }
     }
 
     /// Figure 18/19's collateral-damage setup: one ToR with two hosts plus
     /// many sender racks — modelled as `n` single-host racks feeding two
     /// spines (aggregation switches).
     pub fn collateral(n_sender_racks: usize) -> TwoTierCfg {
-        TwoTierCfg { n_tors: 1 + n_sender_racks, hosts_per_tor: 2, ..TwoTierCfg::testbed() }
+        TwoTierCfg {
+            n_tors: 1 + n_sender_racks,
+            hosts_per_tor: 2,
+            ..TwoTierCfg::testbed()
+        }
     }
 
     pub fn n_hosts(&self) -> usize {
@@ -152,33 +175,34 @@ impl TwoTier {
         let tors: Vec<ComponentId> = (0..cfg.n_tors).map(|_| world.reserve()).collect();
         let spines: Vec<ComponentId> = (0..cfg.n_spines).map(|_| world.reserve()).collect();
 
-        let mk = |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &TwoTierCfg| {
-            let pipe = world.add(Pipe::new(cfg.link_delay, to));
-            let policy = if class == LinkClass::HostNic {
-                cfg.fabric.build_host_nic(cfg.mtu)
-            } else {
-                cfg.fabric.build(cfg.mtu)
+        let mk =
+            |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &TwoTierCfg| {
+                let pipe = world.add(Pipe::new(cfg.link_delay, to));
+                let policy = if class == LinkClass::HostNic {
+                    cfg.fabric.build_host_nic(cfg.mtu)
+                } else {
+                    cfg.fabric.build(cfg.mtu)
+                };
+                world.add(Queue::new(cfg.link_speed, pipe, class, policy))
             };
-            world.add(Queue::new(cfg.link_speed, pipe, class, policy))
-        };
 
         let mut host_nic = Vec::new();
         let mut tor_down = vec![Vec::new(); cfg.n_tors];
         let mut tor_up = vec![Vec::new(); cfg.n_tors];
         let mut spine_down = vec![Vec::new(); cfg.n_spines];
-        for h in 0..n_hosts {
+        for (h, &host) in hosts.iter().enumerate() {
             let tor = h / hpt;
             host_nic.push(mk(world, tors[tor], LinkClass::HostNic, &cfg));
-            tor_down[tor].push(mk(world, hosts[h], LinkClass::TorDown, &cfg));
+            tor_down[tor].push(mk(world, host, LinkClass::TorDown, &cfg));
         }
-        for tor in 0..cfg.n_tors {
-            for s in 0..cfg.n_spines {
-                tor_up[tor].push(mk(world, spines[s], LinkClass::TorUp, &cfg));
+        for up in tor_up.iter_mut() {
+            for &spine in &spines {
+                up.push(mk(world, spine, LinkClass::TorUp, &cfg));
             }
         }
-        for s in 0..cfg.n_spines {
-            for tor in 0..cfg.n_tors {
-                spine_down[s].push(mk(world, tors[tor], LinkClass::AggDown, &cfg));
+        for down in spine_down.iter_mut() {
+            for &tor in &tors {
+                down.push(mk(world, tor, LinkClass::AggDown, &cfg));
             }
         }
 
@@ -187,11 +211,21 @@ impl TwoTier {
             ports.extend(tor_up[tor].iter().copied());
             world.install(
                 tors[tor],
-                Switch::new(ports, Box::new(TtTorRouter { hpt, tor, n_spines: cfg.n_spines })),
+                Switch::new(
+                    ports,
+                    Box::new(TtTorRouter {
+                        hpt,
+                        tor,
+                        n_spines: cfg.n_spines,
+                    }),
+                ),
             );
         }
         for s in 0..cfg.n_spines {
-            world.install(spines[s], Switch::new(spine_down[s].clone(), Box::new(TtSpineRouter { hpt })));
+            world.install(
+                spines[s],
+                Switch::new(spine_down[s].clone(), Box::new(TtSpineRouter { hpt })),
+            );
         }
         for h in 0..n_hosts {
             world.install(
@@ -201,7 +235,16 @@ impl TwoTier {
             );
         }
 
-        let tt = TwoTier { cfg, hosts, host_nic, tors, spines, tor_down, tor_up, spine_down };
+        let tt = TwoTier {
+            cfg,
+            hosts,
+            host_nic,
+            tors,
+            spines,
+            tor_down,
+            tor_up,
+            spine_down,
+        };
         tt.finish_wiring(world);
         tt
     }
@@ -281,8 +324,12 @@ impl SingleBottleneck {
         let receiver = world.reserve();
         let sw = world.reserve();
         let rx_pipe = world.add(Pipe::new(link_delay, receiver));
-        let bottleneck =
-            world.add(Queue::new(link_speed, rx_pipe, LinkClass::TorDown, fabric.build(mtu)));
+        let bottleneck = world.add(Queue::new(
+            link_speed,
+            rx_pipe,
+            LinkClass::TorDown,
+            fabric.build(mtu),
+        ));
         if fabric.is_ndp() {
             world.get_mut::<Queue>(bottleneck).set_bounce_to(sw);
         }
@@ -313,12 +360,20 @@ impl SingleBottleneck {
             LinkClass::HostNic,
             fabric.build_host_nic(mtu),
         ));
-        world.install(receiver, Host::new(n_senders as HostId, rx_nic, link_speed, mtu));
+        world.install(
+            receiver,
+            Host::new(n_senders as HostId, rx_nic, link_speed, mtu),
+        );
         // Return switch: one port per sender, routed by dst id.
         let mut ret_ports = Vec::new();
         for &s in &senders {
             let pipe = world.add(Pipe::new(link_delay, s));
-            let q = world.add(Queue::new(link_speed, pipe, LinkClass::TorDown, fabric.build(mtu)));
+            let q = world.add(Queue::new(
+                link_speed,
+                pipe,
+                LinkClass::TorDown,
+                fabric.build(mtu),
+            ));
             ret_ports.push(q);
         }
         struct ByDst;
@@ -329,7 +384,13 @@ impl SingleBottleneck {
         }
         world.install(ret_sw, Switch::new(ret_ports, Box::new(ByDst)));
         world.install(sw, Switch::new(vec![bottleneck], Box::new(AllToPortZero)));
-        SingleBottleneck { senders, sender_nic, receiver, bottleneck, switch: sw }
+        SingleBottleneck {
+            senders,
+            sender_nic,
+            receiver,
+            bottleneck,
+            switch: sw,
+        }
     }
 }
 
@@ -389,6 +450,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // src/dst index pairs are the point
     fn two_tier_routes_all_pairs() {
         let mut w: World<Packet> = World::new(1);
         let tt = TwoTier::build(&mut w, TwoTierCfg::testbed());
@@ -400,9 +462,8 @@ mod tests {
                     continue;
                 }
                 for tag in 0..tt.n_paths(src as u32, dst as u32) {
-                    let pkt =
-                        Packet::data(src as u32, dst as u32, (src * n + dst) as u64, 0, 1500)
-                            .with_path(tag);
+                    let pkt = Packet::data(src as u32, dst as u32, (src * n + dst) as u64, 0, 1500)
+                        .with_path(tag);
                     w.post(Time::ZERO, tt.host_nic[src], pkt);
                     expected[dst] += 1;
                 }
@@ -430,7 +491,11 @@ mod tests {
             QueueSpec::ndp_default(),
         );
         for s in 0..4u32 {
-            w.post(Time::ZERO, sb.sender_nic[s as usize], Packet::data(s, 4, s as u64, 0, 9000));
+            w.post(
+                Time::ZERO,
+                sb.sender_nic[s as usize],
+                Packet::data(s, 4, s as u64, 0, 9000),
+            );
         }
         w.run_until_idle();
         assert_eq!(w.get::<Host>(sb.receiver).stats().unknown_flow_drops, 4);

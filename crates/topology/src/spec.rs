@@ -10,11 +10,19 @@ pub enum QueueSpec {
     /// NDP dual queue: `data_cap_pkts` full packets + equal header budget.
     Ndp { data_cap_pkts: usize },
     /// Plain FIFO with optional ECN marking threshold.
-    DropTail { cap_pkts: usize, ecn_thresh_pkts: Option<usize> },
+    DropTail {
+        cap_pkts: usize,
+        ecn_thresh_pkts: Option<usize>,
+    },
     /// Cut-payload FIFO (Figure 2 baseline).
     Cp { thresh_pkts: usize },
     /// PFC lossless with ECN (the DCQCN fabric).
-    Lossless { cap_pkts: usize, xoff_pkts: usize, xon_pkts: usize, ecn_thresh_pkts: Option<usize> },
+    Lossless {
+        cap_pkts: usize,
+        xoff_pkts: usize,
+        xon_pkts: usize,
+        ecn_thresh_pkts: Option<usize>,
+    },
 }
 
 impl QueueSpec {
@@ -25,12 +33,18 @@ impl QueueSpec {
 
     /// The paper's DCTCP fabric: 200-packet queues, 30-packet marking.
     pub fn dctcp_default() -> QueueSpec {
-        QueueSpec::DropTail { cap_pkts: 200, ecn_thresh_pkts: Some(30) }
+        QueueSpec::DropTail {
+            cap_pkts: 200,
+            ecn_thresh_pkts: Some(30),
+        }
     }
 
     /// The paper's MPTCP/TCP fabric: 200-packet drop-tail queues.
     pub fn droptail_default() -> QueueSpec {
-        QueueSpec::DropTail { cap_pkts: 200, ecn_thresh_pkts: None }
+        QueueSpec::DropTail {
+            cap_pkts: 200,
+            ecn_thresh_pkts: None,
+        }
     }
 
     /// The paper's DCQCN fabric: lossless Ethernet, 200-packet buffers,
@@ -46,7 +60,10 @@ impl QueueSpec {
 
     /// pHost fabric: small drop-tail queues (8 packets), no ECN.
     pub fn phost_default() -> QueueSpec {
-        QueueSpec::DropTail { cap_pkts: 8, ecn_thresh_pkts: None }
+        QueueSpec::DropTail {
+            cap_pkts: 8,
+            ecn_thresh_pkts: None,
+        }
     }
 
     /// Materialize the policy for a fabric queue with the given MTU.
@@ -54,26 +71,32 @@ impl QueueSpec {
         let b = mtu as u64;
         match self {
             QueueSpec::Ndp { data_cap_pkts } => Policy::ndp(data_cap_pkts, mtu),
-            QueueSpec::DropTail { cap_pkts, ecn_thresh_pkts } => match ecn_thresh_pkts {
+            QueueSpec::DropTail {
+                cap_pkts,
+                ecn_thresh_pkts,
+            } => match ecn_thresh_pkts {
                 Some(k) => Policy::droptail_ecn(cap_pkts as u64 * b, k as u64 * b),
                 None => Policy::droptail(cap_pkts as u64 * b),
             },
             QueueSpec::Cp { thresh_pkts } => Policy::cp(thresh_pkts as u64 * b),
-            QueueSpec::Lossless { cap_pkts, xoff_pkts, xon_pkts, ecn_thresh_pkts } => {
-                match ecn_thresh_pkts {
-                    Some(k) => Policy::lossless_ecn(
-                        cap_pkts as u64 * b,
-                        xoff_pkts as u64 * b,
-                        xon_pkts as u64 * b,
-                        k as u64 * b,
-                    ),
-                    None => Policy::lossless(
-                        cap_pkts as u64 * b,
-                        xoff_pkts as u64 * b,
-                        xon_pkts as u64 * b,
-                    ),
-                }
-            }
+            QueueSpec::Lossless {
+                cap_pkts,
+                xoff_pkts,
+                xon_pkts,
+                ecn_thresh_pkts,
+            } => match ecn_thresh_pkts {
+                Some(k) => Policy::lossless_ecn(
+                    cap_pkts as u64 * b,
+                    xoff_pkts as u64 * b,
+                    xon_pkts as u64 * b,
+                    k as u64 * b,
+                ),
+                None => Policy::lossless(
+                    cap_pkts as u64 * b,
+                    xoff_pkts as u64 * b,
+                    xon_pkts as u64 * b,
+                ),
+            },
         }
     }
 
@@ -107,14 +130,19 @@ mod tests {
             _ => panic!(),
         }
         match QueueSpec::dctcp_default() {
-            QueueSpec::DropTail { cap_pkts, ecn_thresh_pkts } => {
+            QueueSpec::DropTail {
+                cap_pkts,
+                ecn_thresh_pkts,
+            } => {
                 assert_eq!(cap_pkts, 200);
                 assert_eq!(ecn_thresh_pkts, Some(30));
             }
             _ => panic!(),
         }
         match QueueSpec::dcqcn_default() {
-            QueueSpec::Lossless { ecn_thresh_pkts, .. } => assert_eq!(ecn_thresh_pkts, Some(20)),
+            QueueSpec::Lossless {
+                ecn_thresh_pkts, ..
+            } => assert_eq!(ecn_thresh_pkts, Some(20)),
             _ => panic!(),
         }
     }

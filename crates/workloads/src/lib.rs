@@ -43,7 +43,10 @@ pub fn random_matrix(n: usize, rng: &mut SmallRng) -> Vec<usize> {
 
 /// `n` distinct workers (excluding the frontend) for an incast.
 pub fn incast(frontend: usize, n: usize, n_hosts: usize, rng: &mut SmallRng) -> Vec<usize> {
-    assert!(n < n_hosts, "incast degree must leave room for the frontend");
+    assert!(
+        n < n_hosts,
+        "incast degree must leave room for the frontend"
+    );
     let mut pool: Vec<usize> = (0..n_hosts).filter(|&h| h != frontend).collect();
     for i in (1..pool.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -57,7 +60,10 @@ pub fn incast(frontend: usize, n: usize, n_hosts: usize, rng: &mut SmallRng) -> 
 #[derive(Clone, Debug)]
 pub enum FlowSizeDist {
     Fixed(u64),
-    Uniform { lo: u64, hi: u64 },
+    Uniform {
+        lo: u64,
+        hi: u64,
+    },
     /// Synthetic match of the Facebook web workload's flow sizes [34]:
     /// dominated by sub-10 KB flows with a heavy tail to ~10 MB.
     FacebookWeb,
@@ -169,7 +175,9 @@ mod tests {
     #[test]
     fn closed_loop_gap_median_matches() {
         let mut r = rng();
-        let mut gaps: Vec<u64> = (0..20_000).map(|_| closed_loop_gap_ps(1_000_000_000, &mut r)).collect();
+        let mut gaps: Vec<u64> = (0..20_000)
+            .map(|_| closed_loop_gap_ps(1_000_000_000, &mut r))
+            .collect();
         gaps.sort_unstable();
         let median = gaps[gaps.len() / 2] as f64;
         assert!((median / 1e9 - 1.0).abs() < 0.05, "median {median}");

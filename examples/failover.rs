@@ -18,13 +18,26 @@ fn main() {
 
     // A long flow crossing pods (4 paths, one of which we will degrade).
     let size = 200_000_000u64; // 200 MB ~ 160 ms at line rate
-    let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(size) };
-    attach_flow(&mut world, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: ft.n_paths(0, 15),
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut world,
+        1,
+        (ft.hosts[0], 0),
+        (ft.hosts[15], 15),
+        cfg,
+        Time::ZERO,
+    );
 
     // Run 10 ms healthy.
     world.run_until(Time::from_ms(10));
     let healthy = ndp::core::flow::receiver_stats(&world, ft.hosts[15], 1).payload_bytes;
-    println!("after 10 ms healthy: {:.2} Gb/s", healthy as f64 * 8.0 / 0.010 / 1e9);
+    println!(
+        "after 10 ms healthy: {:.2} Gb/s",
+        healthy as f64 * 8.0 / 0.010 / 1e9
+    );
 
     // Degrade path 0's core link to 1 Gb/s.
     ft.degrade_core_link(&mut world, 0, 0, 0, Speed::gbps(1));

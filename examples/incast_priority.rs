@@ -60,7 +60,10 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    println!("prioritized straggler finished at {:.2} ms", prio_fct.as_ms());
+    println!(
+        "prioritized straggler finished at {:.2} ms",
+        prio_fct.as_ms()
+    );
     println!("last incast flow finished at    {:.2} ms", last.as_ms());
     println!(
         "ideal (all {} responses at 10 Gb/s): {:.2} ms",

@@ -14,19 +14,36 @@ fn main() {
     // 9 KB jumbograms, NDP switches with 8-packet data queues.
     let mut world: World<Packet> = World::new(1);
     let ft = FatTree::build(&mut world, FatTreeCfg::new(4));
-    println!("built a k=4 FatTree: {} hosts, {} components", ft.n_hosts(), world.len());
+    println!(
+        "built a k=4 FatTree: {} hosts, {} components",
+        ft.n_hosts(),
+        world.len()
+    );
 
     // Transfer 10 MB from host 0 to host 15 (different pods: 4 paths).
     let size = 10_000_000u64;
-    let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(size) };
-    attach_flow(&mut world, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: ft.n_paths(0, 15),
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut world,
+        1,
+        (ft.hosts[0], 0),
+        (ft.hosts[15], 15),
+        cfg,
+        Time::ZERO,
+    );
     world.run_until(Time::from_secs(1));
 
     let tx = ndp::core::flow::sender_stats(&world, ft.hosts[0], 1);
     let rx = ndp::core::flow::receiver_stats(&world, ft.hosts[15], 1);
     let fct = tx.fct().expect("flow should complete");
     println!("transferred {} bytes in {}", rx.payload_bytes, fct);
-    println!("goodput: {:.2} Gb/s", size as f64 * 8.0 / fct.as_secs() / 1e9);
+    println!(
+        "goodput: {:.2} Gb/s",
+        size as f64 * 8.0 / fct.as_secs() / 1e9
+    );
     println!(
         "data packets sent: {} (retransmissions: {}), headers NACKed: {}",
         tx.data_sent, tx.retransmissions, tx.nacks

@@ -17,7 +17,14 @@ fn run(fabric: QueueSpec, label: &str, t: &mut Table) {
     let n = 40;
     let span = Time::from_ms(5);
     let mut world: World<Packet> = World::new(11);
-    let sb = SingleBottleneck::build(&mut world, n, Speed::gbps(10), Time::from_us(1), 9000, fabric);
+    let sb = SingleBottleneck::build(
+        &mut world,
+        n,
+        Speed::gbps(10),
+        Time::from_us(1),
+        9000,
+        fabric,
+    );
     for s in 0..n {
         attach_blast(
             &mut world,
@@ -33,7 +40,9 @@ fn run(fabric: QueueSpec, label: &str, t: &mut Table) {
     let q = world.get::<Queue>(sb.bottleneck);
     let delivered: u64 = {
         let h = world.get::<Host>(sb.receiver);
-        (1..=n as u64).map(|f| h.endpoint::<CountSink>(f).payload_bytes).sum()
+        (1..=n as u64)
+            .map(|f| h.endpoint::<CountSink>(f).payload_bytes)
+            .sum()
     };
     let goodput = delivered as f64 * 8.0 / span.as_secs() / 1e9;
     t.row([
@@ -47,11 +56,29 @@ fn run(fabric: QueueSpec, label: &str, t: &mut Table) {
 }
 
 fn main() {
-    let mut t = Table::new(["switch", "goodput Gb/s", "trimmed", "dropped", "marked", "pauses"]);
+    let mut t = Table::new([
+        "switch",
+        "goodput Gb/s",
+        "trimmed",
+        "dropped",
+        "marked",
+        "pauses",
+    ]);
     run(QueueSpec::ndp_default(), "NDP (trim+prio+WRR)", &mut t);
     run(QueueSpec::Cp { thresh_pkts: 8 }, "CP (trim, FIFO)", &mut t);
-    run(QueueSpec::DropTail { cap_pkts: 8, ecn_thresh_pkts: None }, "drop-tail (8 pkts)", &mut t);
-    run(QueueSpec::dctcp_default(), "drop-tail+ECN (200 pkts)", &mut t);
+    run(
+        QueueSpec::DropTail {
+            cap_pkts: 8,
+            ecn_thresh_pkts: None,
+        },
+        "drop-tail (8 pkts)",
+        &mut t,
+    );
+    run(
+        QueueSpec::dctcp_default(),
+        "drop-tail+ECN (200 pkts)",
+        &mut t,
+    );
     run(QueueSpec::dcqcn_default(), "lossless PFC+ECN", &mut t);
     println!("{}", t.render());
     println!("note: unresponsive senders — transports are compared in the fig* binaries");

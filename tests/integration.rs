@@ -25,8 +25,19 @@ fn fig3_retransmission_beats_queue_drain() {
         QueueSpec::ndp_default(),
     );
     for s in 0..n {
-        let cfg = NdpFlowCfg { n_paths: 1, iw_pkts: 1, ..NdpFlowCfg::new(8936) };
-        attach_flow(&mut w, s as u64 + 1, (sb.senders[s], s as u32), (sb.receiver, n as u32), cfg, Time::ZERO);
+        let cfg = NdpFlowCfg {
+            n_paths: 1,
+            iw_pkts: 1,
+            ..NdpFlowCfg::new(8936)
+        };
+        attach_flow(
+            &mut w,
+            s as u64 + 1,
+            (sb.senders[s], s as u32),
+            (sb.receiver, n as u32),
+            cfg,
+            Time::ZERO,
+        );
     }
     w.run_until(Time::from_ms(10));
     // All packets delivered.
@@ -38,7 +49,11 @@ fn fig3_retransmission_beats_queue_drain() {
     let q = w.get::<Queue>(sb.bottleneck);
     assert!(q.stats.trimmed >= 1, "overflow packet should be trimmed");
     let last_done = (1..=n as u64)
-        .map(|f| ndp::core::flow::receiver_stats(&w, sb.receiver, f).completion_time.unwrap())
+        .map(|f| {
+            ndp::core::flow::receiver_stats(&w, sb.receiver, f)
+                .completion_time
+                .unwrap()
+        })
         .max()
         .unwrap();
     assert!(
@@ -55,7 +70,10 @@ fn same_seed_same_world() {
         let mut w: World<Packet> = World::new(seed);
         let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
         for (i, dst) in [5u32, 9, 13].iter().enumerate() {
-            let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, *dst), ..NdpFlowCfg::new(400_000) };
+            let cfg = NdpFlowCfg {
+                n_paths: ft.n_paths(0, *dst),
+                ..NdpFlowCfg::new(400_000)
+            };
             attach_flow(
                 &mut w,
                 i as u64 + 1,
@@ -94,7 +112,10 @@ fn payload_conservation_under_incast() {
     let size = 123_456u64;
     for s in 0..n {
         let src = (s + 1) as u32;
-        let cfg = NdpFlowCfg { n_paths: ft.n_paths(src, 0), ..NdpFlowCfg::new(size) };
+        let cfg = NdpFlowCfg {
+            n_paths: ft.n_paths(src, 0),
+            ..NdpFlowCfg::new(size)
+        };
         attach_flow(
             &mut w,
             s as u64 + 1,
@@ -124,8 +145,18 @@ fn ndp_beats_tcp_on_short_transfers_across_a_tree() {
     // NDP on NDP switches.
     let mut w1: World<Packet> = World::new(1);
     let ft1 = FatTree::build(&mut w1, FatTreeCfg::new(4));
-    let cfg = NdpFlowCfg { n_paths: ft1.n_paths(0, 15), ..NdpFlowCfg::new(size) };
-    attach_flow(&mut w1, 1, (ft1.hosts[0], 0), (ft1.hosts[15], 15), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: ft1.n_paths(0, 15),
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut w1,
+        1,
+        (ft1.hosts[0], 0),
+        (ft1.hosts[15], 15),
+        cfg,
+        Time::ZERO,
+    );
     w1.run_until(Time::from_secs(1));
     let ndp_fct = ndp::core::flow::receiver_stats(&w1, ft1.hosts[15], 1)
         .completion_time
@@ -142,7 +173,14 @@ fn ndp_beats_tcp_on_short_transfers_across_a_tree() {
         handshake: ndp::baselines::tcp::Handshake::ThreeWay,
         ..TcpCfg::new(size)
     };
-    attach_tcp_flow(&mut w2, 1, (ft2.hosts[0], 0), (ft2.hosts[15], 15), tcp_cfg, Time::ZERO);
+    attach_tcp_flow(
+        &mut w2,
+        1,
+        (ft2.hosts[0], 0),
+        (ft2.hosts[15], 15),
+        tcp_cfg,
+        Time::ZERO,
+    );
     w2.run_until(Time::from_secs(1));
     let h = w2.get::<Host>(ft2.hosts[15]);
     let tcp_fct = h
@@ -171,7 +209,14 @@ fn metadata_is_lossless_with_rts() {
             iw_pkts: 30,
             ..NdpFlowCfg::new(30 * 8936)
         };
-        attach_flow(&mut w, s as u64, (ft.hosts[s as usize], s), (ft.hosts[0], 0), cfg, Time::ZERO);
+        attach_flow(
+            &mut w,
+            s as u64,
+            (ft.hosts[s as usize], s),
+            (ft.hosts[0], 0),
+            cfg,
+            Time::ZERO,
+        );
     }
     w.run_until(Time::from_secs(2));
     let stats = ft.stats_by_class(&w);
@@ -185,7 +230,9 @@ fn metadata_is_lossless_with_rts() {
     assert_eq!(data_drops, 0, "nothing silently dropped");
     for s in 1..16u64 {
         assert!(
-            ndp::core::flow::receiver_stats(&w, ft.hosts[0], s).completion_time.is_some(),
+            ndp::core::flow::receiver_stats(&w, ft.hosts[0], s)
+                .completion_time
+                .is_some(),
             "flow {s} incomplete"
         );
     }
@@ -203,16 +250,29 @@ fn testbed_incast_is_near_ideal() {
             n_paths: tt.n_paths(s as u32, 0),
             ..NdpFlowCfg::new(size)
         };
-        attach_flow(&mut w, s as u64, (tt.hosts[s], s as u32), (tt.hosts[0], 0), cfg, Time::ZERO);
+        attach_flow(
+            &mut w,
+            s as u64,
+            (tt.hosts[s], s as u32),
+            (tt.hosts[0], 0),
+            cfg,
+            Time::ZERO,
+        );
     }
     w.run_until(Time::from_secs(2));
     let mut last = Time::ZERO;
     for s in 1..8u64 {
-        last = last
-            .max(ndp::core::flow::receiver_stats(&w, tt.hosts[0], s).completion_time.unwrap());
+        last = last.max(
+            ndp::core::flow::receiver_stats(&w, tt.hosts[0], s)
+                .completion_time
+                .unwrap(),
+        );
     }
     let ideal = Speed::gbps(10).tx_time(7 * (size + size / 100));
-    assert!(last < ideal + Time::from_ms(1), "last {last} vs ideal {ideal}");
+    assert!(
+        last < ideal + Time::from_ms(1),
+        "last {last} vs ideal {ideal}"
+    );
 }
 
 /// The sender's path scoreboard is reachable through the facade and
@@ -223,8 +283,18 @@ fn path_penalty_end_to_end() {
     let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
     ft.degrade_core_link(&mut w, 0, 0, 0, Speed::gbps(1));
     let size = 40_000_000u64;
-    let cfg = NdpFlowCfg { n_paths: ft.n_paths(0, 15), ..NdpFlowCfg::new(size) };
-    attach_flow(&mut w, 1, (ft.hosts[0], 0), (ft.hosts[15], 15), cfg, Time::ZERO);
+    let cfg = NdpFlowCfg {
+        n_paths: ft.n_paths(0, 15),
+        ..NdpFlowCfg::new(size)
+    };
+    attach_flow(
+        &mut w,
+        1,
+        (ft.hosts[0], 0),
+        (ft.hosts[15], 15),
+        cfg,
+        Time::ZERO,
+    );
     w.run_until(Time::from_secs(2));
     let tx = w.get::<Host>(ft.hosts[0]).endpoint::<NdpSender>(1);
     let fct = tx.stats.fct().expect("completes");

@@ -119,8 +119,7 @@ proptest! {
         // of outcomes equals the input.
         prop_assert_eq!(
             queue.stats.forwarded_pkts + queue.stats.dropped_data
-                + queue.queued_packets() as u64
-                + u64::from(queue.occupancy_bytes() > 0 && false), // readability
+                + queue.queued_packets() as u64,
             n_pkts as u64
         );
     }

@@ -1,0 +1,201 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the surface the bench crate uses — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark prints `name: mean time/iter (iters)` and, like the real
+//! crate, honours a substring filter passed on the command line
+//! (`cargo bench -- engine`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+    target_time: Duration,
+    sample_size: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm-up (also primes lazy state so timing excludes it).
+        black_box(body());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..self.sample_size {
+                black_box(body());
+            }
+            iters += self.sample_size;
+            if start.elapsed() >= self.target_time {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level handle, also usable directly via [`Criterion::bench_function`].
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_time: Duration,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` forwards everything after `--`; ignore
+        // flag-like arguments the real criterion accepts (e.g. `--bench`).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            measurement_time: Duration::from_secs(1),
+            sample_size: 1,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let time = self.measurement_time;
+        let sample = self.sample_size;
+        self.run_one(name, time, sample, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        time: Duration,
+        sample_size: u64,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            result: None,
+            target_time: time,
+            sample_size,
+        };
+        f(&mut b);
+        match b.result {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<40} {} /iter ({iters} iters)", fmt_ns(per));
+            }
+            _ => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} us", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns")
+    }
+}
+
+/// Group of related benchmarks; settings apply to members run through it.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let time = self
+            .measurement_time
+            .unwrap_or(self.parent.measurement_time);
+        let sample = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(&full, time, sample, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_function("work", |b| b.iter(|| black_box(21u64) * 2));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn macros_and_groups_run() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            result: None,
+            target_time: Duration::from_millis(1),
+            sample_size: 4,
+        };
+        b.iter(|| black_box(3u32).pow(2));
+        let (elapsed, iters) = b.result.expect("measured");
+        assert!(iters >= 4 && iters % 4 == 0);
+        assert!(elapsed >= Duration::from_millis(1));
+    }
+}

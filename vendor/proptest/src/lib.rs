@@ -1,0 +1,193 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro with
+//! `arg in strategy` bindings and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, integer and
+//! float range strategies, [`collection::vec`], and the `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs its cases
+//! from a deterministic per-test seed, and a failing case panics with the
+//! case number so it can be replayed by reducing `with_cases`.
+
+use rand::rngs::SmallRng;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)` — a `Vec` whose length is drawn
+    /// from `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test path so every test
+/// gets an independent, stable stream.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Without one: default config. (`#[test]` is matched as part of the
+    // attribute list and re-emitted with it.)
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $($rest)*);
+    };
+    // One test item at a time.
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let mut __proptest_rng =
+                    <::rand::rngs::SmallRng as ::rand::SeedableRng>::seed_from_u64(
+                        seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let _ = &case;
+                $body
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)) => {};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, f in 0.25f64..0.5, mut v in collection::vec(0u32..4, 1..9)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.5).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            v.sort_unstable();
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn inclusive_ranges_hit_both_ends(y in 0usize..=1) {
+            prop_assert!(y <= 1);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_path() {
+        assert_ne!(super::seed_for("a::b"), super::seed_for("a::c"));
+        assert_eq!(super::seed_for("a::b"), super::seed_for("a::b"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the exact surface it uses: [`rngs::SmallRng`] (xoshiro256++, the same
+//! algorithm `rand 0.8` uses for `SmallRng` on 64-bit targets, seeded via
+//! SplitMix64 like `seed_from_u64` upstream), the [`Rng`] extension trait
+//! with `gen`/`gen_range`/`gen_bool`, and [`SeedableRng::seed_from_u64`].
+//!
+//! Determinism contract: this generator defines the bit-exact event traces
+//! that the golden-trace tests pin. Changing the algorithm or the
+//! seeding path invalidates every committed trace hash — treat both as
+//! frozen.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface. Only `seed_from_u64` is provided; the workspace
+/// never seeds from byte arrays.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be drawn uniformly from the generator's full range
+/// (the shim's analogue of `Standard`-distribution sampling).
+pub trait Standard: Sized {
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u32 {
+    fn draw(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniformly samplable over a span.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_span(rng: &mut dyn RngCore, lo: Self, hi_excl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span(rng: &mut dyn RngCore, lo: $t, hi_excl: $t) -> $t {
+                debug_assert!(lo < hi_excl, "gen_range: empty range");
+                let span = (hi_excl - lo) as u64;
+                // Lemire multiply-shift; the bias for simulation-scale spans
+                // (< 2^32) is far below one part in 2^32.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_span(rng: &mut dyn RngCore, lo: f64, hi_excl: f64) -> f64 {
+        debug_assert!(lo < hi_excl, "gen_range: empty range");
+        lo + f64::draw(rng) * (hi_excl - lo)
+    }
+}
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_span(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = ((hi - lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range (e.g. 0..=u64::MAX): every value.
+                    return rng.next_u64() as $t;
+                }
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize);
+
+/// User-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind `rand 0.8`'s 64-bit `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = r.gen_range(0..=3);
+            assert!(w <= 3);
+            let f: f64 = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_enough_for_simulation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -342,6 +342,57 @@ pub fn attach_dcqcn_flow(
     world.post_wake(start, src.0, flow << 8);
 }
 
+/// DCQCN's [`Transport`] adapter: rate-based RoCE congestion control over
+/// the lossless (PFC) ECN-marking fabric.
+pub struct DcqcnTransport;
+
+pub static DCQCN: DcqcnTransport = DcqcnTransport;
+
+impl ndp_transport::Transport for DcqcnTransport {
+    fn label(&self) -> &'static str {
+        "DCQCN"
+    }
+
+    fn fabric(&self) -> ndp_transport::QueueSpec {
+        ndp_transport::QueueSpec::dcqcn_default()
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &ndp_transport::FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        _n_paths: u32,
+        mtu: u32,
+    ) {
+        let mut cfg = DcqcnCfg::new(spec.size);
+        cfg.mtu = mtu;
+        cfg.path = ndp_transport::flow_hash_path(spec.flow).max(1);
+        cfg.notify = spec.notify;
+        attach_dcqcn_flow(world, spec.flow, src, dst, cfg, spec.start);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<DcqcnReceiver>(flow)
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time> {
+        world
+            .get::<Host>(host)
+            .endpoint::<DcqcnReceiver>(flow)
+            .completion_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

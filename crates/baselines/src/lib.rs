@@ -14,7 +14,10 @@
 //!   for the Figure 2 switch-service comparison.
 //!
 //! Every sender/receiver is an [`ndp_net::host::Endpoint`]; attach helpers
-//! mirror `ndp_core::attach_flow`.
+//! mirror `ndp_core::attach_flow`. Each protocol file also exposes its
+//! [`ndp_transport::Transport`] adapter as a `static` (TCP and DCTCP are
+//! configured instances of one adapter), so the experiment harnesses can
+//! drive every baseline through the same object-safe surface.
 
 pub mod blast;
 pub mod dcqcn;
@@ -23,7 +26,7 @@ pub mod phost;
 pub mod tcp;
 
 pub use blast::{attach_blast, BlastSender, CountSink};
-pub use dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver, DcqcnSender};
-pub use mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver, MptcpSender};
-pub use phost::{attach_phost_flow, PHostCfg, PHostReceiver, PHostSender};
-pub use tcp::{attach_tcp_flow, Handshake, TcpCfg, TcpReceiver, TcpSender};
+pub use dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver, DcqcnSender, DCQCN};
+pub use mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver, MptcpSender, MPTCP};
+pub use phost::{attach_phost_flow, PHostCfg, PHostReceiver, PHostSender, PHOST};
+pub use tcp::{attach_tcp_flow, Handshake, TcpCfg, TcpReceiver, TcpSender, DCTCP, TCP};

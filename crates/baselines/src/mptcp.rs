@@ -483,6 +483,56 @@ pub fn attach_mptcp_flow(
     world.post_wake(start, src.0, flow << 8);
 }
 
+/// MPTCP's [`Transport`] adapter: 8 subflows on distinct paths, coupled
+/// by the LIA increase, over the TCP drop-tail fabric.
+pub struct MptcpTransport;
+
+pub static MPTCP: MptcpTransport = MptcpTransport;
+
+impl ndp_transport::Transport for MptcpTransport {
+    fn label(&self) -> &'static str {
+        "MPTCP"
+    }
+
+    fn fabric(&self) -> ndp_transport::QueueSpec {
+        ndp_transport::QueueSpec::droptail_default()
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &ndp_transport::FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        _n_paths: u32,
+        mtu: u32,
+    ) {
+        let mut cfg = MptcpCfg::new(spec.size);
+        cfg.mtu = mtu;
+        cfg.notify = spec.notify;
+        attach_mptcp_flow(world, spec.flow, src, dst, cfg, spec.start);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<MptcpReceiver>(flow)
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time> {
+        world
+            .get::<Host>(host)
+            .endpoint::<MptcpReceiver>(flow)
+            .completion_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

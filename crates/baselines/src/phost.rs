@@ -356,6 +356,56 @@ pub fn attach_phost_flow(
     world.post_wake(start, dst.0, flow << 8);
 }
 
+/// pHost's [`Transport`] adapter: receiver-driven credits *without* packet
+/// trimming, over small drop-tail queues (§6.2).
+pub struct PHostTransport;
+
+pub static PHOST: PHostTransport = PHostTransport;
+
+impl ndp_transport::Transport for PHostTransport {
+    fn label(&self) -> &'static str {
+        "pHost"
+    }
+
+    fn fabric(&self) -> ndp_transport::QueueSpec {
+        ndp_transport::QueueSpec::phost_default()
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &ndp_transport::FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        _n_paths: u32,
+        mtu: u32,
+    ) {
+        let mut cfg = PHostCfg::new(spec.size);
+        cfg.mtu = mtu;
+        cfg.notify = spec.notify;
+        attach_phost_flow(world, spec.flow, src, dst, cfg, spec.start);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<PHostReceiver>(flow)
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time> {
+        world
+            .get::<Host>(host)
+            .endpoint::<PHostReceiver>(flow)
+            .completion_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

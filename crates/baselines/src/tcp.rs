@@ -591,6 +591,75 @@ pub fn attach_tcp_flow(
     world.post_wake(start, src.0, flow << 8);
 }
 
+/// TCP's [`Transport`] adapter; DCTCP is the same adapter with the ECN
+/// control law (and its marking fabric) switched on.
+pub struct TcpTransport {
+    pub dctcp: bool,
+}
+
+/// TCP NewReno over 200-packet drop-tail queues.
+pub static TCP: TcpTransport = TcpTransport { dctcp: false };
+
+/// DCTCP over 200-packet queues with a 30-packet marking threshold.
+pub static DCTCP: TcpTransport = TcpTransport { dctcp: true };
+
+impl ndp_transport::Transport for TcpTransport {
+    fn label(&self) -> &'static str {
+        if self.dctcp {
+            "DCTCP"
+        } else {
+            "TCP"
+        }
+    }
+
+    fn fabric(&self) -> ndp_transport::QueueSpec {
+        if self.dctcp {
+            ndp_transport::QueueSpec::dctcp_default()
+        } else {
+            ndp_transport::QueueSpec::droptail_default()
+        }
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &ndp_transport::FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        _n_paths: u32,
+        mtu: u32,
+    ) {
+        let mut cfg = if self.dctcp {
+            TcpCfg::dctcp(spec.size)
+        } else {
+            TcpCfg::new(spec.size)
+        };
+        cfg.mtu = mtu;
+        cfg.path = ndp_transport::flow_hash_path(spec.flow);
+        cfg.notify = spec.notify;
+        attach_tcp_flow(world, spec.flow, src, dst, cfg, spec.start);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<TcpReceiver>(flow)
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time> {
+        world
+            .get::<Host>(host)
+            .endpoint::<TcpReceiver>(flow)
+            .completion_time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,21 @@
-//! Criterion benches: one per paper figure/table, each regenerating the
-//! figure at `Scale::Quick`. `cargo bench --workspace` therefore re-runs
-//! the entire evaluation; per-figure wall time also tracks simulator
-//! performance regressions.
+//! Criterion benches over the experiment registry: each timed bench
+//! resolves its experiment by id from `ndp_experiments::registry` and
+//! regenerates it at `Scale::Quick`, so the bench surface tracks the same
+//! registry the `ndp` CLI serves and new experiments can be timed by
+//! adding their id to `TIMED`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ndp_experiments as ex;
+use ndp_experiments::registry;
 use ndp_experiments::Scale;
+
+/// The timed subset: the multi-protocol campaigns (fig08/09/13/14/15/16/
+/// 19/23, full inline results) take minutes each even at quick scale, so
+/// the timed set covers the single-protocol figures plus the heaviest
+/// NDP-only campaign — enough to track simulator performance regressions
+/// across every subsystem (engine, switches, topologies, transports).
+const TIMED: &[&str] = &[
+    "fig02", "fig04", "fig10", "fig11", "fig12", "fig17", "fig20", "fig21", "fig22",
+];
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
@@ -15,32 +25,12 @@ fn bench_figures(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(1));
 
-    macro_rules! fig {
-        ($name:literal, $module:ident) => {
-            g.bench_function($name, |b| {
-                b.iter(|| {
-                    let rep = ex::$module::run(Scale::Quick);
-                    criterion::black_box(rep.headline())
-                })
-            });
-        };
+    for id in TIMED {
+        let exp = registry::find(id).expect("timed bench id must be registered");
+        g.bench_function(exp.id(), |b| {
+            b.iter(|| criterion::black_box(exp.run(Scale::Quick).headline()))
+        });
     }
-
-    // Every figure has a regenerating binary in ndp-experiments; the
-    // multi-protocol campaigns (fig08/09/13/14/15/16/19/23, full inline
-    // results) take minutes each even at quick scale, so the timed bench
-    // set covers the single-protocol figures plus the heaviest NDP-only
-    // campaign — enough to track simulator performance regressions across
-    // every subsystem (engine, switches, topologies, transports).
-    fig!("fig02_cp_collapse", fig02_cp_collapse);
-    fig!("fig04_latency_cdf", fig04_latency_cdf);
-    fig!("fig10_prioritization", fig10_prioritization);
-    fig!("fig11_iw_throughput", fig11_iw_throughput);
-    fig!("fig12_pull_spacing", fig12_pull_spacing);
-    fig!("fig17_iw_buffer_sweep", fig17_iw_buffer_sweep);
-    fig!("fig20_large_incast", fig20_large_incast);
-    fig!("fig21_sender_limited", fig21_sender_limited);
-    fig!("fig22_failure", fig22_failure);
 
     g.finish();
 }
@@ -48,7 +38,7 @@ fn bench_figures(c: &mut Criterion) {
 fn bench_engine(c: &mut Criterion) {
     // Raw simulator throughput: a 10 MB NDP transfer end to end.
     c.bench_function("engine/two_host_10MB", |b| {
-        b.iter(|| criterion::black_box(ex::quick::two_host_transfer(10_000_000).fct))
+        b.iter(|| criterion::black_box(ndp_experiments::quick::two_host_transfer(10_000_000).fct))
     });
 }
 

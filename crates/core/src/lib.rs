@@ -19,13 +19,17 @@
 //! * [`receiver`] — per-arrival ACK/NACK, pull queueing with priority,
 //!   last-packet pull cancellation, completion accounting.
 //! * [`flow`] — harness-level glue to attach a flow between two hosts.
+//! * [`transport`] — the [`ndp_transport::Transport`] adapter (plus the
+//!   Figure 22 no-path-penalty ablation as a configured instance).
 
 pub mod flow;
 pub mod path;
 pub mod receiver;
 pub mod sender;
+pub mod transport;
 
 pub use flow::{attach_flow, NdpFlowCfg};
 pub use path::PathSet;
 pub use receiver::{NdpReceiver, NdpReceiverStats};
 pub use sender::{NdpSender, NdpSenderStats};
+pub use transport::{NdpTransport, NDP, NDP_NO_PENALTY};

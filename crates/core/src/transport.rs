@@ -1,0 +1,83 @@
+//! NDP's [`Transport`] adapter — the bridge between the protocol-neutral
+//! experiment harnesses and [`crate::attach_flow`].
+//!
+//! The Figure 22 ablation (path penalty disabled, §3.2.3) is a configured
+//! instance of the same adapter, not a separate protocol.
+
+use ndp_net::host::Host;
+use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_sim::{ComponentId, Time, World};
+use ndp_transport::{FlowSpec, QueueSpec, Transport};
+
+use crate::receiver::NdpReceiver;
+use crate::{attach_flow, NdpFlowCfg};
+
+/// NDP over the trimming fabric, with the §3.2.3 path scoreboard on or off.
+pub struct NdpTransport {
+    pub label: &'static str,
+    pub path_penalty: bool,
+}
+
+/// The paper's NDP: per-packet multipath with the path penalty enabled.
+pub static NDP: NdpTransport = NdpTransport {
+    label: "NDP",
+    path_penalty: true,
+};
+
+/// Figure 22's ablation: keep spraying onto sick paths.
+pub static NDP_NO_PENALTY: NdpTransport = NdpTransport {
+    label: "NDP (no path penalty)",
+    path_penalty: false,
+};
+
+impl Transport for NdpTransport {
+    fn label(&self) -> &'static str {
+        self.label
+    }
+
+    fn fabric(&self) -> QueueSpec {
+        QueueSpec::ndp_default()
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        n_paths: u32,
+        mtu: u32,
+    ) {
+        let mut cfg = NdpFlowCfg::new(spec.size);
+        cfg.mtu = mtu;
+        cfg.n_paths = n_paths;
+        cfg.path_penalty = self.path_penalty;
+        cfg.high_priority = spec.prio;
+        cfg.notify = spec.notify;
+        if let Some(iw) = spec.iw {
+            cfg.iw_pkts = iw;
+        }
+        attach_flow(world, spec.flow, src, dst, cfg, spec.start);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<NdpReceiver>(flow)
+            .stats
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time> {
+        world
+            .get::<Host>(host)
+            .endpoint::<NdpReceiver>(flow)
+            .stats
+            .completion_time
+    }
+}

@@ -1,0 +1,114 @@
+//! The one CLI over the experiment registry.
+//!
+//! ```sh
+//! ndp list                      # every experiment id + title
+//! ndp run fig14                 # human-readable tables + headline
+//! ndp run fig14 --scale paper   # the paper's parameters
+//! ndp run fig16 --json          # machine-readable document
+//! ndp run all --json            # every experiment, one JSON array
+//! ```
+//!
+//! `--scale` defaults to `NDP_SCALE` (quick when unset). Exit codes:
+//! 0 success, 2 usage error.
+
+use ndp_experiments::json::Json;
+use ndp_experiments::registry::{self, Experiment};
+use ndp_experiments::Scale;
+
+const USAGE: &str = "\
+usage: ndp <command>
+
+commands:
+  list                                 list experiment ids and titles
+  run <id>|all [--scale paper|quick] [--json]
+                                       run one (or every) experiment;
+                                       --json emits a machine-readable
+                                       document instead of tables
+
+scale defaults to $NDP_SCALE (quick when unset).";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("ndp: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("--help" | "-h" | "help") => println!("{USAGE}"),
+        Some(other) => usage_error(&format!("unknown command '{other}'")),
+        None => usage_error("missing command"),
+    }
+}
+
+fn list() {
+    let width = registry::all()
+        .iter()
+        .map(|e| e.id().len())
+        .max()
+        .unwrap_or(0);
+    for exp in registry::all() {
+        println!("{:width$}  {}", exp.id(), exp.title());
+    }
+}
+
+fn run(args: &[String]) {
+    let mut target: Option<&str> = None;
+    let mut scale: Option<Scale> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--scale needs a value"));
+                scale = Some(
+                    Scale::parse(v).unwrap_or_else(|| usage_error(&format!("bad scale '{v}'"))),
+                );
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
+            id => {
+                if target.replace(id).is_some() {
+                    usage_error("more than one experiment id");
+                }
+            }
+        }
+    }
+    // Consult NDP_SCALE only when no explicit --scale was given, so a
+    // stale/typoed env var cannot override (or abort) an explicit flag.
+    let scale = scale.unwrap_or_else(Scale::from_env);
+    let Some(target) = target else {
+        usage_error("run needs an experiment id (or 'all')");
+    };
+    let selected: Vec<&'static dyn Experiment> = if target == "all" {
+        registry::all().to_vec()
+    } else {
+        match registry::find(target) {
+            Some(e) => vec![e],
+            None => usage_error(&format!("unknown experiment '{target}' (see 'ndp list')")),
+        }
+    };
+    let mut documents = Vec::new();
+    for exp in &selected {
+        if !json {
+            eprintln!("== {} — {} [{}] ==", exp.id(), exp.title(), scale.name());
+        }
+        let report = exp.run(scale);
+        if json {
+            documents.push(registry::document(*exp, scale, report.as_ref()));
+        } else {
+            println!("{report}");
+            println!("headline: {}", report.headline());
+        }
+    }
+    if json {
+        match documents.as_mut_slice() {
+            [single] => println!("{}", std::mem::replace(single, Json::Null).render()),
+            _ => println!("{}", Json::Arr(documents).render()),
+        }
+    }
+}

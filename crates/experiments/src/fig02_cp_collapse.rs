@@ -126,6 +126,42 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig02;
+
+impl crate::registry::Experiment for Fig02 {
+    fn id(&self) -> &'static str {
+        "fig02"
+    }
+    fn title(&self) -> &'static str {
+        "CP congestion collapse and phase effects vs the NDP switch"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|r| {
+                Json::obj([
+                    ("flows", Json::num(r.n_flows as f64)),
+                    ("ndp_mean_pct", Json::num(r.ndp_mean)),
+                    ("ndp_worst10_pct", Json::num(r.ndp_worst10)),
+                    ("cp_mean_pct", Json::num(r.cp_mean)),
+                    ("cp_worst10_pct", Json::num(r.cp_worst10)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -150,6 +150,38 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig04;
+
+impl crate::registry::Experiment for Fig04 {
+    fn id(&self) -> &'static str {
+        "fig04"
+    }
+    fn title(&self) -> &'static str {
+        "Per-packet delivery latency CDFs (permutation/random/incast)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        use crate::registry::{cdf_json, CDF_POINTS};
+        Json::obj([
+            ("unit", Json::str("us")),
+            ("permutation", cdf_json(&self.permutation, CDF_POINTS)),
+            ("random", cdf_json(&self.random, CDF_POINTS)),
+            ("incast_135k", cdf_json(&self.incast_135k, CDF_POINTS)),
+            ("incast_1350k", cdf_json(&self.incast_1350k, CDF_POINTS)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

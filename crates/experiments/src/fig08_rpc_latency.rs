@@ -256,6 +256,43 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig08;
+
+impl crate::registry::Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+    fn title(&self) -> &'static str {
+        "1KB RPC latency: NDP vs TCP/TFO, with and without deep sleep"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        use crate::registry::{cdf_json, CDF_POINTS};
+        Json::obj([
+            ("unit", Json::str("us")),
+            (
+                "stacks",
+                Json::arr(self.cdfs.iter().map(|(s, c)| {
+                    Json::obj([
+                        ("stack", Json::str(s.label())),
+                        ("rpc_latency", cdf_json(c, CDF_POINTS)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -144,6 +144,43 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig09;
+
+impl crate::registry::Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
+    }
+    fn title(&self) -> &'static str {
+        "Testbed 7:1 incast completion vs response size (NDP/TCP/optimum)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|r| {
+                Json::obj([
+                    ("size_bytes", Json::num(r.size as f64)),
+                    ("optimum_ms", Json::num(r.optimum_ms)),
+                    ("ndp_median_ms", Json::num(r.ndp_median_ms)),
+                    ("ndp_p90_ms", Json::num(r.ndp_p90_ms)),
+                    ("tcp_median_ms", Json::num(r.tcp_median_ms)),
+                    ("tcp_p90_ms", Json::num(r.tcp_p90_ms)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,8 +64,12 @@ pub fn run(_scale: Scale) -> Report {
 
 /// The paper also reports that for sizes 10 KB–1 MB the prio-vs-idle gap
 /// stays under 50 µs; expose the sweep for EXPERIMENTS.md.
-pub fn sweep() -> Vec<(u64, Time, Time)> {
-    [10_000u64, 50_000, 200_000, 500_000, 1_000_000]
+pub fn sweep(scale: Scale) -> Vec<(u64, Time, Time)> {
+    let sizes: &[u64] = match scale {
+        Scale::Paper => &[10_000, 50_000, 200_000, 500_000, 1_000_000],
+        Scale::Quick => &[10_000, 200_000, 1_000_000],
+    };
+    sizes
         .iter()
         .map(|&s| (s, trial(s, false, false, 6), trial(s, true, true, 6)))
         .collect()
@@ -107,6 +111,108 @@ impl std::fmt::Display for Report {
             "Figure 10 — short flow vs six long flows, one receiver\n{}",
             t.render()
         )
+    }
+}
+
+/// Registry entry.
+pub struct Fig10;
+
+impl crate::registry::Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+    fn title(&self) -> &'static str {
+        "Short-flow prioritization vs six long flows at one receiver"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("size_bytes", Json::num(self.size as f64)),
+            ("idle_us", Json::num(self.idle.as_us())),
+            ("with_prio_us", Json::num(self.with_prio.as_us())),
+            ("without_prio_us", Json::num(self.without_prio.as_us())),
+        ])
+    }
+}
+
+/// The §4 claim behind Figure 10: the prio-vs-idle gap stays small for
+/// every size from 10 KB to 1 MB. `sweep()` packaged as its own
+/// registry entry.
+pub struct SweepReport {
+    /// (size, idle FCT, prioritized-under-load FCT)
+    pub rows: Vec<(u64, Time, Time)>,
+}
+
+impl SweepReport {
+    pub fn headline(&self) -> String {
+        let worst = self
+            .rows
+            .iter()
+            .map(|&(_, idle, prio)| (prio - idle).as_us())
+            .fold(0.0, f64::max);
+        format!("worst prioritized-vs-idle FCT gap across 10KB..1MB: {worst:.0}us")
+    }
+}
+
+impl std::fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(["size (KB)", "idle (us)", "prioritized (us)", "gap (us)"]);
+        for &(size, idle, prio) in &self.rows {
+            t.row([
+                (size / 1000).to_string(),
+                format!("{:.1}", idle.as_us()),
+                format!("{:.1}", prio.as_us()),
+                format!("{:.1}", (prio - idle).as_us()),
+            ]);
+        }
+        write!(
+            f,
+            "Figure 10 (size sweep) — prioritized FCT vs idle FCT\n{}",
+            t.render()
+        )
+    }
+}
+
+impl crate::registry::Report for SweepReport {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|&(size, idle, prio)| {
+                Json::obj([
+                    ("size_bytes", Json::num(size as f64)),
+                    ("idle_us", Json::num(idle.as_us())),
+                    ("prio_us", Json::num(prio.as_us())),
+                ])
+            })),
+        )])
+    }
+}
+
+/// Registry entry for the size sweep.
+pub struct Fig10Sweep;
+
+impl crate::registry::Experiment for Fig10Sweep {
+    fn id(&self) -> &'static str {
+        "fig10_sweep"
+    }
+    fn title(&self) -> &'static str {
+        "Prioritization gap across flow sizes (10KB..1MB)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(SweepReport { rows: sweep(scale) })
     }
 }
 

@@ -121,6 +121,40 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig11;
+
+impl crate::registry::Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        "Back-to-back throughput vs NDP initial window"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|&(iw, perfect, experimental)| {
+                Json::obj([
+                    ("iw_pkts", Json::num(iw as f64)),
+                    ("perfect_gbps", Json::num(perfect)),
+                    ("experimental_gbps", Json::num(experimental)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

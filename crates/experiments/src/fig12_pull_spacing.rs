@@ -96,6 +96,36 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig12;
+
+impl crate::registry::Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+    fn title(&self) -> &'static str {
+        "PULL spacing at the sender (1500B vs 9000B packets)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        use crate::registry::{cdf_json, CDF_POINTS};
+        Json::obj([
+            ("unit", Json::str("us")),
+            ("spacing_1500", cdf_json(&self.spacing_1500, CDF_POINTS)),
+            ("spacing_9000", cdf_json(&self.spacing_9000, CDF_POINTS)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,40 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig13;
+
+impl crate::registry::Experiment for Fig13 {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+    fn title(&self) -> &'static str {
+        "200:1 incast FCT, perfect vs measured pull spacing"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|&(size, perfect, measured)| {
+                Json::obj([
+                    ("size_bytes", Json::num(size as f64)),
+                    ("perfect_us", Json::num(perfect)),
+                    ("measured_us", Json::num(measured)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

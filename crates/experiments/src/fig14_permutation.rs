@@ -100,6 +100,43 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig14;
+
+impl crate::registry::Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn title(&self) -> &'static str {
+        "Permutation per-flow throughput (NDP vs MPTCP/DCTCP/DCQCN)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "protocols",
+            Json::arr(self.results.iter().map(|(p, r)| {
+                Json::obj([
+                    ("proto", Json::str(p.label())),
+                    ("utilization", Json::num(r.utilization)),
+                    (
+                        "per_flow_gbps_sorted",
+                        Json::arr(r.per_flow_gbps.iter().map(|&g| Json::num(g))),
+                    ),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

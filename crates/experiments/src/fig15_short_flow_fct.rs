@@ -155,6 +155,44 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig15;
+
+impl crate::registry::Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn title(&self) -> &'static str {
+        "90KB FCTs under background load (standing-queue test)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        use crate::registry::{cdf_json, CDF_POINTS};
+        Json::obj([
+            ("unit", Json::str("ms")),
+            (
+                "protocols",
+                Json::arr(self.cdfs.iter().map(|(p, c)| {
+                    Json::obj([
+                        ("proto", Json::str(p.label())),
+                        ("samples", Json::num(c.len() as f64)),
+                        ("fct", cdf_json(c, CDF_POINTS)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,16 +58,8 @@ pub fn run(scale: Scale) -> Report {
         .map(|(point, r)| Row {
             n: point.n_senders,
             proto: point.proto,
-            first_ms: if r.fcts.is_empty() {
-                f64::NAN
-            } else {
-                r.first().as_ms()
-            },
-            last_ms: if r.fcts.is_empty() {
-                f64::NAN
-            } else {
-                r.last().as_ms()
-            },
+            first_ms: r.first().map_or(f64::NAN, |t| t.as_ms()),
+            last_ms: r.last().map_or(f64::NAN, |t| t.as_ms()),
             incomplete: r.incomplete,
         })
         .collect();
@@ -133,6 +125,50 @@ impl std::fmt::Display for Report {
             "Figure 16 — incast completion vs number of senders\n{}",
             t.render()
         )
+    }
+}
+
+/// Registry entry.
+pub struct Fig16;
+
+impl crate::registry::Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+    fn title(&self) -> &'static str {
+        "Incast completion vs number of senders (450KB responses)"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            (
+                "ideal",
+                Json::arr(self.ideal_ms.iter().map(|&(n, ms)| {
+                    Json::obj([("n", Json::num(n as f64)), ("ms", Json::num(ms))])
+                })),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("n", Json::num(r.n as f64)),
+                        ("proto", Json::str(r.proto.label())),
+                        ("first_ms", Json::num(r.first_ms)),
+                        ("last_ms", Json::num(r.last_ms)),
+                        ("incomplete", Json::num(r.incomplete as f64)),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 

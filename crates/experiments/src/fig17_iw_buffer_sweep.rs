@@ -126,6 +126,41 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig17;
+
+impl crate::registry::Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+    fn title(&self) -> &'static str {
+        "Permutation utilization vs initial window and buffer size"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|&(v, iw, util)| {
+                Json::obj([
+                    ("buffer_pkts", Json::num(v.buffer_pkts as f64)),
+                    ("mtu", Json::num(v.mtu as f64)),
+                    ("iw_pkts", Json::num(iw as f64)),
+                    ("utilization", Json::num(util)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,52 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig19;
+
+impl crate::registry::Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
+    }
+    fn title(&self) -> &'static str {
+        "Collateral damage of a same-ToR incast on a long flow"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let series = |ts: &ndp_metrics::TimeSeries| {
+            Json::arr(ts.rates_gbps().iter().map(|&(t, gbps)| {
+                Json::obj([("t_ms", Json::num(t.as_ms())), ("gbps", Json::num(gbps))])
+            }))
+        };
+        Json::obj([
+            ("incast_start_ms", Json::num(self.incast_start.as_ms())),
+            (
+                "traces",
+                Json::arr(self.traces.iter().map(|tr| {
+                    Json::obj([
+                        ("proto", Json::str(tr.proto.label())),
+                        (
+                            "long_flow_depressed_ms",
+                            Json::num(tr.long_flow_depressed_ms as f64),
+                        ),
+                        ("long_flow", series(&tr.long_flow)),
+                        ("incast", series(&tr.incast)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

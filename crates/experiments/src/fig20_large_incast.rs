@@ -135,6 +135,42 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig20;
+
+impl crate::registry::Experiment for Fig20 {
+    fn id(&self) -> &'static str {
+        "fig20"
+    }
+    fn title(&self) -> &'static str {
+        "Large-incast overhead and retransmission mechanisms"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "rows",
+            Json::arr(self.rows.iter().map(|r| {
+                Json::obj([
+                    ("iw_pkts", Json::num(r.iw as f64)),
+                    ("n", Json::num(r.n as f64)),
+                    ("overhead_pct", Json::num(r.overhead_pct)),
+                    ("rtx_nack_per_pkt", Json::num(r.rtx_nack_per_pkt)),
+                    ("rtx_rts_per_pkt", Json::num(r.rtx_rts_per_pkt)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -112,6 +112,40 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig21;
+
+impl crate::registry::Experiment for Fig21 {
+    fn id(&self) -> &'static str {
+        "fig21"
+    }
+    fn title(&self) -> &'static str {
+        "Sender-limited traffic: pull fair-queuing fills both bottlenecks"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            (
+                "flows",
+                Json::arr(self.flows.iter().map(|&(label, gbps)| {
+                    Json::obj([("flow", Json::str(label)), ("gbps", Json::num(gbps))])
+                })),
+            ),
+            ("total_from_a_gbps", Json::num(self.total_from_a)),
+            ("total_to_e_gbps", Json::num(self.total_to_e)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,43 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig22;
+
+impl crate::registry::Experiment for Fig22 {
+    fn id(&self) -> &'static str {
+        "fig22"
+    }
+    fn title(&self) -> &'static str {
+        "Permutation with one core link degraded to 1 Gb/s"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([(
+            "protocols",
+            Json::arr(self.results.iter().map(|(p, v)| {
+                Json::obj([
+                    ("proto", Json::str(p.label())),
+                    ("mean_gbps", Json::num(self.mean(*p))),
+                    (
+                        "per_flow_gbps_sorted",
+                        Json::arr(v.iter().map(|&g| Json::num(g))),
+                    ),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -211,6 +211,43 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Registry entry.
+pub struct Fig23;
+
+impl crate::registry::Experiment for Fig23 {
+    fn id(&self) -> &'static str {
+        "fig23"
+    }
+    fn title(&self) -> &'static str {
+        "Facebook web workload on a 4:1 oversubscribed fabric"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        use crate::registry::{cdf_json, CDF_POINTS};
+        Json::obj([(
+            "results",
+            Json::arr(self.results.iter().map(|r| {
+                Json::obj([
+                    ("proto", Json::str(r.proto.label())),
+                    ("conns_per_host", Json::num(r.conns_per_host as f64)),
+                    ("samples", Json::num(r.fct_cdf.len() as f64)),
+                    ("tor_up_trim_fraction", Json::num(r.tor_up_trim_fraction)),
+                    ("fct_ms", cdf_json(&r.fct_cdf, CDF_POINTS)),
+                ])
+            })),
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

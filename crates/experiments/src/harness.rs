@@ -1,20 +1,20 @@
-//! Shared experiment machinery: protocol dispatch, traffic-matrix runners
-//! and the completion-driven trigger component.
+//! Shared experiment machinery: scale knobs, traffic-matrix runners and
+//! the completion-driven trigger component.
+//!
+//! Protocol dispatch lives in the [`crate::transport`] registry — this
+//! module drives `&dyn Transport` objects and contains no per-protocol
+//! code at all.
 
 use std::any::Any;
 use std::collections::HashMap;
 
-use ndp_baselines::dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver};
-use ndp_baselines::mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver};
-use ndp_baselines::phost::{attach_phost_flow, PHostCfg, PHostReceiver};
-use ndp_baselines::tcp::{attach_tcp_flow, TcpCfg, TcpReceiver};
-use ndp_core::{attach_flow, NdpFlowCfg, NdpReceiver};
-use ndp_net::host::Host;
-use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_net::packet::{FlowId, Packet};
 use ndp_sim::{Component, ComponentId, Ctx, Event, Speed, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg, QueueSpec};
+use ndp_topology::{FatTree, FatTreeCfg};
 
-/// Scale knob: `paper()` reproduces the paper's parameters, `quick()`
+pub use crate::transport::{flow_hash_path, FlowSpec, Proto};
+
+/// Scale knob: `Paper` reproduces the paper's parameters, `Quick`
 /// shrinks everything for CI and Criterion benches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -23,10 +23,33 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parse a scale name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+
+    /// Read `NDP_SCALE`. Unset (or empty) means `Quick`; anything that is
+    /// not `paper`/`quick` (case-insensitive) is a hard error — a typoed
+    /// `NDP_SCALE=Papre` must not silently run a quick-scale campaign.
     pub fn from_env() -> Scale {
-        match std::env::var("NDP_SCALE").as_deref() {
-            Ok("paper") => Scale::Paper,
-            _ => Scale::Quick,
+        match std::env::var("NDP_SCALE") {
+            Err(_) => Scale::Quick,
+            Ok(v) if v.is_empty() => Scale::Quick,
+            Ok(v) => Scale::parse(&v).unwrap_or_else(|| {
+                panic!("NDP_SCALE must be 'paper' or 'quick' (case-insensitive), got '{v}'")
+            }),
+        }
+    }
+
+    /// The scale's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
         }
     }
 
@@ -54,83 +77,10 @@ impl Scale {
     }
 }
 
-/// The transports under evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Proto {
-    Ndp,
-    /// NDP with §3.2.3 path-penalty disabled (Figure 22's ablation).
-    NdpNoPenalty,
-    Tcp,
-    Dctcp,
-    Mptcp,
-    Dcqcn,
-    PHost,
-}
-
-impl Proto {
-    pub fn label(self) -> &'static str {
-        match self {
-            Proto::Ndp => "NDP",
-            Proto::NdpNoPenalty => "NDP (no path penalty)",
-            Proto::Tcp => "TCP",
-            Proto::Dctcp => "DCTCP",
-            Proto::Mptcp => "MPTCP",
-            Proto::Dcqcn => "DCQCN",
-            Proto::PHost => "pHost",
-        }
-    }
-
-    /// The switch service model this transport runs over (§6.1: NDP gets
-    /// 8-packet queues, DCTCP/MPTCP 200-packet, DCQCN lossless+ECN).
-    pub fn fabric(self) -> QueueSpec {
-        match self {
-            Proto::Ndp | Proto::NdpNoPenalty => QueueSpec::ndp_default(),
-            Proto::Tcp | Proto::Mptcp => QueueSpec::droptail_default(),
-            Proto::Dctcp => QueueSpec::dctcp_default(),
-            Proto::Dcqcn => QueueSpec::dcqcn_default(),
-            Proto::PHost => QueueSpec::phost_default(),
-        }
-    }
-}
-
 /// "Effectively infinite" flow size for long-running measurements: far
 /// more than any horizon can drain, small enough that per-packet state
 /// stays cheap.
 pub const LONG_FLOW: u64 = 1 << 30;
-
-/// Deterministic per-flow "ECMP hash" for single-path transports.
-pub fn flow_hash_path(flow: FlowId) -> u32 {
-    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
-}
-
-/// One flow to set up.
-#[derive(Clone, Debug)]
-pub struct FlowSpec {
-    pub flow: FlowId,
-    pub src: HostId,
-    pub dst: HostId,
-    pub size: u64,
-    pub start: Time,
-    pub prio: bool,
-    pub notify: Option<(ComponentId, u64)>,
-    /// Override NDP's initial window (None = paper default 30).
-    pub iw: Option<u64>,
-}
-
-impl FlowSpec {
-    pub fn new(flow: FlowId, src: HostId, dst: HostId, size: u64) -> FlowSpec {
-        FlowSpec {
-            flow,
-            src,
-            dst,
-            size,
-            start: Time::ZERO,
-            prio: false,
-            notify: None,
-            iw: None,
-        }
-    }
-}
 
 /// Attach `spec` using protocol `proto` on a FatTree.
 pub fn attach_on_fattree(world: &mut World<Packet>, ft: &FatTree, proto: Proto, spec: &FlowSpec) {
@@ -147,58 +97,14 @@ pub fn attach_generic(
     world: &mut World<Packet>,
     proto: Proto,
     spec: &FlowSpec,
-    src: (ComponentId, HostId),
-    dst: (ComponentId, HostId),
+    src: (ComponentId, u32),
+    dst: (ComponentId, u32),
     n_paths: u32,
     mtu: u32,
 ) {
-    match proto {
-        Proto::Ndp | Proto::NdpNoPenalty => {
-            let mut cfg = NdpFlowCfg::new(spec.size);
-            cfg.mtu = mtu;
-            cfg.n_paths = n_paths;
-            cfg.path_penalty = proto == Proto::Ndp;
-            cfg.high_priority = spec.prio;
-            cfg.notify = spec.notify;
-            if let Some(iw) = spec.iw {
-                cfg.iw_pkts = iw;
-            }
-            attach_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-        Proto::Tcp => {
-            let mut cfg = TcpCfg::new(spec.size);
-            cfg.mtu = mtu;
-            cfg.path = flow_hash_path(spec.flow);
-            cfg.notify = spec.notify;
-            attach_tcp_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-        Proto::Dctcp => {
-            let mut cfg = TcpCfg::dctcp(spec.size);
-            cfg.mtu = mtu;
-            cfg.path = flow_hash_path(spec.flow);
-            cfg.notify = spec.notify;
-            attach_tcp_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-        Proto::Mptcp => {
-            let mut cfg = MptcpCfg::new(spec.size);
-            cfg.mtu = mtu;
-            cfg.notify = spec.notify;
-            attach_mptcp_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-        Proto::Dcqcn => {
-            let mut cfg = DcqcnCfg::new(spec.size);
-            cfg.mtu = mtu;
-            cfg.path = flow_hash_path(spec.flow).max(1);
-            cfg.notify = spec.notify;
-            attach_dcqcn_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-        Proto::PHost => {
-            let mut cfg = PHostCfg::new(spec.size);
-            cfg.mtu = mtu;
-            cfg.notify = spec.notify;
-            attach_phost_flow(world, spec.flow, src, dst, cfg, spec.start);
-        }
-    }
+    proto
+        .transport()
+        .attach(world, spec, src, dst, n_paths, mtu);
 }
 
 /// Receiver-side delivered payload bytes for any protocol.
@@ -208,14 +114,7 @@ pub fn delivered_bytes(
     flow: FlowId,
     proto: Proto,
 ) -> u64 {
-    let h = world.get::<Host>(host);
-    match proto {
-        Proto::Ndp | Proto::NdpNoPenalty => h.endpoint::<NdpReceiver>(flow).stats.payload_bytes,
-        Proto::Tcp | Proto::Dctcp => h.endpoint::<TcpReceiver>(flow).payload_bytes,
-        Proto::Mptcp => h.endpoint::<MptcpReceiver>(flow).payload_bytes,
-        Proto::Dcqcn => h.endpoint::<DcqcnReceiver>(flow).payload_bytes,
-        Proto::PHost => h.endpoint::<PHostReceiver>(flow).payload_bytes,
-    }
+    proto.transport().delivered_bytes(world, host, flow)
 }
 
 /// Receiver-side completion time (absolute) for any protocol.
@@ -225,14 +124,7 @@ pub fn completion_time(
     flow: FlowId,
     proto: Proto,
 ) -> Option<Time> {
-    let h = world.get::<Host>(host);
-    match proto {
-        Proto::Ndp | Proto::NdpNoPenalty => h.endpoint::<NdpReceiver>(flow).stats.completion_time,
-        Proto::Tcp | Proto::Dctcp => h.endpoint::<TcpReceiver>(flow).completion_time,
-        Proto::Mptcp => h.endpoint::<MptcpReceiver>(flow).completion_time,
-        Proto::Dcqcn => h.endpoint::<DcqcnReceiver>(flow).completion_time,
-        Proto::PHost => h.endpoint::<PHostReceiver>(flow).completion_time,
-    }
+    proto.transport().completion_time(world, host, flow)
 }
 
 /// A completion-driven sequencer: when woken with a registered token it
@@ -330,7 +222,7 @@ pub(crate) fn permutation_world_run(point: &crate::sweep::PermutationPoint) -> P
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xDEAD);
     let dsts = ndp_workloads::permutation(n, &mut rng);
     for (src, &dst) in dsts.iter().enumerate() {
-        let mut spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
+        let mut spec = FlowSpec::new(src as u64 + 1, src as u32, dst as u32, LONG_FLOW);
         spec.iw = iw;
         attach_on_fattree(&mut world, &ft, proto, &spec);
     }
@@ -358,11 +250,22 @@ pub struct IncastResult {
 }
 
 impl IncastResult {
-    pub fn last(&self) -> Time {
-        self.fcts.iter().copied().max().unwrap_or(Time::MAX)
+    /// Completion time of the slowest *finished* flow; `None` when no flow
+    /// completed within the horizon. Note that with `incomplete > 0` the
+    /// true last-flow time is unknown (beyond the horizon), so callers
+    /// reporting overall completion should also check [`Self::complete`].
+    pub fn last(&self) -> Option<Time> {
+        self.fcts.iter().copied().max()
     }
-    pub fn first(&self) -> Time {
-        self.fcts.iter().copied().min().unwrap_or(Time::MAX)
+
+    /// Completion time of the fastest finished flow, if any.
+    pub fn first(&self) -> Option<Time> {
+        self.fcts.iter().copied().min()
+    }
+
+    /// Did every flow finish within the horizon?
+    pub fn complete(&self) -> bool {
+        self.incomplete == 0
     }
 }
 
@@ -412,7 +315,7 @@ pub(crate) fn incast_world_run(point: &crate::sweep::IncastPoint) -> IncastResul
     let frontend = 0usize;
     let workers = ndp_workloads::incast(frontend, n_senders, n, &mut rng);
     for (i, &w) in workers.iter().enumerate() {
-        let mut spec = FlowSpec::new(i as u64 + 1, w as HostId, frontend as HostId, size);
+        let mut spec = FlowSpec::new(i as u64 + 1, w as u32, frontend as u32, size);
         spec.iw = iw;
         attach_on_fattree(&mut world, &ft, proto, &spec);
     }
@@ -440,15 +343,7 @@ pub fn incast_ideal(n: usize, size: u64, link: Speed, mtu: u32) -> Time {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn flow_hash_is_deterministic_and_spread() {
-        let a = flow_hash_path(1);
-        assert_eq!(a, flow_hash_path(1));
-        let distinct: std::collections::HashSet<u32> =
-            (0..100).map(|f| flow_hash_path(f) % 16).collect();
-        assert!(distinct.len() > 8, "hash should spread across paths");
-    }
+    use ndp_topology::FatTreeCfg;
 
     #[test]
     fn small_ndp_permutation_has_high_utilization() {
@@ -478,9 +373,29 @@ mod tests {
                 2,
                 Time::from_secs(2),
             );
-            assert_eq!(r.incomplete, 0, "{:?} left flows incomplete", proto);
+            assert!(r.complete(), "{:?} left flows incomplete", proto);
             assert_eq!(r.fcts.len(), 8);
+            assert!(r.first() <= r.last());
         }
+    }
+
+    #[test]
+    fn empty_incast_result_has_no_fcts() {
+        let r = IncastResult {
+            fcts: Vec::new(),
+            incomplete: 3,
+        };
+        assert_eq!(r.last(), None);
+        assert_eq!(r.first(), None);
+        assert!(!r.complete());
+    }
+
+    #[test]
+    fn scale_parse_is_case_insensitive_and_strict() {
+        assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("papre"), None);
+        assert_eq!(Scale::Paper.name(), "paper");
     }
 
     #[test]

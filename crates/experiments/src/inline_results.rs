@@ -154,12 +154,10 @@ pub fn run(scale: Scale) -> Report {
         lb_source_util: src_util,
         lb_random_util: rnd_util,
         scaling,
-        phost_incast_ms: if ph.fcts.is_empty() {
-            f64::NAN
-        } else {
-            ph.last().as_ms()
-        },
-        ndp_incast_ms: nd.last().as_ms(),
+        phost_incast_ms: ph.last().map_or(f64::NAN, |t| t.as_ms()),
+        // NaN (JSON null) rather than a panic: one incomplete campaign
+        // must not abort a whole `ndp run all` batch.
+        ndp_incast_ms: nd.last().map_or(f64::NAN, |t| t.as_ms()),
         phost_perm_util: ph_perm.utilization,
         ndp_perm_util: nd_perm.utilization,
         side_effect_utils,
@@ -261,6 +259,58 @@ impl std::fmt::Display for Report {
             ]);
         }
         write!(f, "Inline results (§3.1.1, §6.1.1, §6.2)\n{}", t.render())
+    }
+}
+
+/// Registry entry.
+pub struct Inline;
+
+impl crate::registry::Experiment for Inline {
+    fn id(&self) -> &'static str {
+        "inline"
+    }
+    fn title(&self) -> &'static str {
+        "Inline (non-figure) claims: §3.1.1 LB, §6.1.1 side effects, §6.2 scaling/pHost"
+    }
+    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("lb_source_trim_pct", Json::num(self.lb_source_trim_pct)),
+            ("lb_random_trim_pct", Json::num(self.lb_random_trim_pct)),
+            ("lb_source_util", Json::num(self.lb_source_util)),
+            ("lb_random_util", Json::num(self.lb_random_util)),
+            (
+                "scaling",
+                Json::arr(self.scaling.iter().map(|&(hosts, util)| {
+                    Json::obj([
+                        ("hosts", Json::num(hosts as f64)),
+                        ("utilization", Json::num(util)),
+                    ])
+                })),
+            ),
+            ("phost_incast_ms", Json::num(self.phost_incast_ms)),
+            ("ndp_incast_ms", Json::num(self.ndp_incast_ms)),
+            ("phost_perm_util", Json::num(self.phost_perm_util)),
+            ("ndp_perm_util", Json::num(self.ndp_perm_util)),
+            (
+                "side_effect_utils",
+                Json::arr(self.side_effect_utils.iter().map(|&(p, util)| {
+                    Json::obj([
+                        ("proto", Json::str(p.label())),
+                        ("utilization", Json::num(util)),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 

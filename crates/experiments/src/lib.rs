@@ -1,16 +1,28 @@
 //! One runnable experiment per table/figure of the paper.
 //!
-//! Every module exposes `run(scale) -> Report` where the report's
-//! `Display` prints the same rows/series the paper's figure shows, plus a
-//! `headline()` summarizing the qualitative claim under test. Binaries in
-//! `src/bin/` are thin wrappers (`cargo run --release -p ndp-experiments
-//! --bin fig14_permutation`). `Scale::quick()` shrinks topologies and
-//! durations for CI and Criterion; `Scale::paper()` uses the paper's
-//! parameters.
+//! Every module exposes `run(scale) -> Report` plus a unit struct
+//! implementing [`registry::Experiment`]; reports implement
+//! [`registry::Report`] (`Display` prints the same rows/series the paper's
+//! figure shows, `headline()` summarizes the qualitative claim,
+//! `to_json()` is the machine-readable payload). The single `ndp` binary
+//! drives the registry:
+//!
+//! ```sh
+//! cargo run --release -p ndp-experiments --bin ndp -- list
+//! cargo run --release -p ndp-experiments --bin ndp -- run fig14 --scale paper --json
+//! ```
+//!
+//! `Scale::Quick` shrinks topologies and durations for CI and Criterion;
+//! `Scale::Paper` uses the paper's parameters. Protocol dispatch is the
+//! [`transport`] registry (`Proto` keys resolving to
+//! [`ndp_transport::Transport`] objects).
 
 pub mod harness;
+pub mod json;
 pub mod quick;
+pub mod registry;
 pub mod sweep;
+pub mod transport;
 
 pub mod fig02_cp_collapse;
 pub mod fig04_latency_cdf;
@@ -32,4 +44,6 @@ pub mod fig23_oversubscribed;
 pub mod inline_results;
 
 pub use harness::{Proto, Scale};
+pub use registry::{Experiment, Report};
 pub use sweep::SweepSpec;
+pub use transport::{Transport, TRANSPORTS};

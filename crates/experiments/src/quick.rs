@@ -49,6 +49,62 @@ pub fn two_host_transfer(bytes: u64) -> TransferReport {
     }
 }
 
+impl TransferReport {
+    pub fn headline(&self) -> String {
+        format!(
+            "{} MB over back-to-back 10G NDP: FCT {:.2} ms, goodput {:.2} Gb/s, {} rtx",
+            self.bytes / 1_000_000,
+            self.fct.as_ms(),
+            self.goodput_gbps,
+            self.retransmissions
+        )
+    }
+}
+
+impl std::fmt::Display for TransferReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Quickstart — two-host NDP transfer")?;
+        writeln!(f, "  bytes:       {}", self.bytes)?;
+        writeln!(f, "  fct:         {:.3} ms", self.fct.as_ms())?;
+        writeln!(f, "  goodput:     {:.2} Gb/s", self.goodput_gbps)?;
+        write!(f, "  rtx:         {}", self.retransmissions)
+    }
+}
+
+/// Registry entry: the crate's hello-world as a runnable experiment.
+pub struct Quickstart;
+
+impl crate::registry::Experiment for Quickstart {
+    fn id(&self) -> &'static str {
+        "quickstart"
+    }
+    fn title(&self) -> &'static str {
+        "Two-host NDP transfer hello-world (sanity check)"
+    }
+    fn run(&self, scale: crate::harness::Scale) -> Box<dyn crate::registry::Report> {
+        let bytes = match scale {
+            crate::harness::Scale::Paper => 100_000_000,
+            crate::harness::Scale::Quick => 10_000_000,
+        };
+        Box::new(two_host_transfer(bytes))
+    }
+}
+
+impl crate::registry::Report for TransferReport {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("bytes", Json::num(self.bytes as f64)),
+            ("fct_ms", Json::num(self.fct.as_ms())),
+            ("goodput_gbps", Json::num(self.goodput_gbps)),
+            ("retransmissions", Json::num(self.retransmissions as f64)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

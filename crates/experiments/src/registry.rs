@@ -1,0 +1,133 @@
+//! The experiment registry: every figure/table of the paper is one
+//! self-registering [`Experiment`] returning a machine-readable
+//! [`Report`], and the single `ndp` CLI drives them all.
+//!
+//! Adding a scenario is one module exposing a unit struct that implements
+//! [`Experiment`], plus one line in [`EXPERIMENTS`] — no new binary, no
+//! harness edits. `ndp list` / `ndp run <id>` pick it up automatically.
+
+use crate::harness::Scale;
+use crate::json::Json;
+
+/// What every experiment returns: human-readable (`Display` prints the
+/// paper's rows/series, `headline` compresses the qualitative claim) and
+/// machine-readable (`to_json`).
+pub trait Report: std::fmt::Display {
+    /// One-line summary of the quantitative claim under test.
+    fn headline(&self) -> String;
+
+    /// The figure's data as a JSON value (rendered by [`Json::render`]).
+    fn to_json(&self) -> Json;
+}
+
+/// One runnable experiment (a paper figure, table or inline claim).
+pub trait Experiment: Sync {
+    /// Short stable identifier (`fig14`, `inline`, ...) used by
+    /// `ndp run <id>`.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable one-liner for `ndp list`.
+    fn title(&self) -> &'static str;
+
+    fn run(&self, scale: Scale) -> Box<dyn Report>;
+}
+
+/// Every registered experiment, in presentation order. One line per
+/// experiment; the impl lives in the figure's own module.
+pub static EXPERIMENTS: &[&dyn Experiment] = &[
+    &crate::fig02_cp_collapse::Fig02,
+    &crate::fig04_latency_cdf::Fig04,
+    &crate::fig08_rpc_latency::Fig08,
+    &crate::fig09_testbed_incast::Fig09,
+    &crate::fig10_prioritization::Fig10,
+    &crate::fig10_prioritization::Fig10Sweep,
+    &crate::fig11_iw_throughput::Fig11,
+    &crate::fig12_pull_spacing::Fig12,
+    &crate::fig13_pull_jitter_incast::Fig13,
+    &crate::fig14_permutation::Fig14,
+    &crate::fig15_short_flow_fct::Fig15,
+    &crate::fig16_incast_scaling::Fig16,
+    &crate::fig17_iw_buffer_sweep::Fig17,
+    &crate::fig19_collateral::Fig19,
+    &crate::fig20_large_incast::Fig20,
+    &crate::fig21_sender_limited::Fig21,
+    &crate::fig22_failure::Fig22,
+    &crate::fig23_oversubscribed::Fig23,
+    &crate::inline_results::Inline,
+    &crate::quick::Quickstart,
+];
+
+/// All experiments in registration order.
+pub fn all() -> &'static [&'static dyn Experiment] {
+    EXPERIMENTS
+}
+
+/// Look an experiment up by id (exact match).
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.id() == id)
+}
+
+/// Percentile summary of a CDF as `[{"p":0.5,"v":...},...]`; an empty CDF
+/// becomes an empty array (not NaNs).
+pub fn cdf_json(c: &ndp_metrics::Cdf, ps: &[f64]) -> Json {
+    if c.is_empty() {
+        return Json::Arr(Vec::new());
+    }
+    Json::arr(
+        ps.iter()
+            .map(|&p| Json::obj([("p", Json::num(p)), ("v", Json::num(c.percentile(p)))])),
+    )
+}
+
+/// The percentile grid used by default for CDF-shaped figures.
+pub const CDF_POINTS: &[f64] = &[0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+
+/// The full machine-readable document for one run: id/title/scale
+/// envelope around the report's headline and data.
+pub fn document(exp: &dyn Experiment, scale: Scale, report: &dyn Report) -> Json {
+    Json::obj([
+        ("id", Json::str(exp.id())),
+        ("title", Json::str(exp.title())),
+        ("scale", Json::str(scale.name())),
+        ("headline", Json::str(report.headline())),
+        ("data", report.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_experiments_with_unique_ids() {
+        assert_eq!(EXPERIMENTS.len(), 20);
+        let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate experiment ids: {ids:?}");
+        for e in EXPERIMENTS {
+            assert!(!e.title().is_empty(), "{} has no title", e.id());
+            assert_eq!(find(e.id()).map(|f| f.id()), Some(e.id()));
+        }
+    }
+
+    #[test]
+    fn quick_report_json_round_trips_through_parser() {
+        // fig21 is the cheapest multi-flow figure: one 15 ms world.
+        let exp = find("fig21").expect("fig21 registered");
+        let report = exp.run(Scale::Quick);
+        let doc = document(exp, Scale::Quick, report.as_ref());
+        let text = doc.render();
+        let back = crate::json::parse(&text).expect("valid JSON");
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("fig21"));
+        assert_eq!(back.get("scale").and_then(Json::as_str), Some("quick"));
+        assert_eq!(
+            back.get("headline").and_then(Json::as_str),
+            Some(report.headline().as_str())
+        );
+        // The data payload survives untouched.
+        assert_eq!(back.get("data"), Some(&report.to_json()));
+        assert_eq!(back.render(), text);
+    }
+}

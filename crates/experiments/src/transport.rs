@@ -1,0 +1,111 @@
+//! The transport registry: `Proto` is a plain registry key; everything a
+//! protocol *does* lives behind its [`Transport`] impl next to its
+//! sender/receiver.
+//!
+//! Adding a transport to the evaluation is two steps:
+//!
+//! 1. implement [`Transport`] next to the new sender/receiver (see
+//!    `ndp_baselines::phost` for a template, or `ndp_core::transport` for
+//!    a multi-variant one), exposed as a `static`;
+//! 2. add a `Proto` variant and one line to [`TRANSPORTS`].
+//!
+//! No harness or figure module needs to change: they all dispatch through
+//! [`Proto::transport`].
+
+pub use ndp_transport::{flow_hash_path, FlowSpec, QueueSpec, Transport};
+
+/// The transports under evaluation — registry keys into [`TRANSPORTS`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proto {
+    Ndp,
+    /// NDP with §3.2.3 path-penalty disabled (Figure 22's ablation).
+    NdpNoPenalty,
+    Tcp,
+    Dctcp,
+    Mptcp,
+    Dcqcn,
+    PHost,
+}
+
+/// Every registered transport. One line per protocol; variants such as
+/// DCTCP or the no-penalty NDP ablation are configured `static` instances
+/// of a shared impl, not separate types.
+pub static TRANSPORTS: &[(Proto, &dyn Transport)] = &[
+    (Proto::Ndp, &ndp_core::NDP),
+    (Proto::NdpNoPenalty, &ndp_core::NDP_NO_PENALTY),
+    (Proto::Tcp, &ndp_baselines::TCP),
+    (Proto::Dctcp, &ndp_baselines::DCTCP),
+    (Proto::Mptcp, &ndp_baselines::MPTCP),
+    (Proto::Dcqcn, &ndp_baselines::DCQCN),
+    (Proto::PHost, &ndp_baselines::PHOST),
+];
+
+impl Proto {
+    /// Iterate every registered protocol, in registry order.
+    pub fn all() -> impl Iterator<Item = Proto> {
+        TRANSPORTS.iter().map(|&(p, _)| p)
+    }
+
+    /// Resolve this key to its transport object.
+    pub fn transport(self) -> &'static dyn Transport {
+        TRANSPORTS
+            .iter()
+            .find(|&&(p, _)| p == self)
+            .map(|&(_, t)| t)
+            .expect("every Proto variant is registered in TRANSPORTS")
+    }
+
+    pub fn label(self) -> &'static str {
+        self.transport().label()
+    }
+
+    /// The switch service model this transport runs over.
+    pub fn fabric(self) -> QueueSpec {
+        self.transport().fabric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_proto_resolves_and_labels_match_seed_behavior() {
+        // The registry must reproduce the seed harness's `match proto`
+        // tables exactly: label and fabric per protocol.
+        let expected: &[(Proto, &str, QueueSpec)] = &[
+            (Proto::Ndp, "NDP", QueueSpec::ndp_default()),
+            (
+                Proto::NdpNoPenalty,
+                "NDP (no path penalty)",
+                QueueSpec::ndp_default(),
+            ),
+            (Proto::Tcp, "TCP", QueueSpec::droptail_default()),
+            (Proto::Dctcp, "DCTCP", QueueSpec::dctcp_default()),
+            (Proto::Mptcp, "MPTCP", QueueSpec::droptail_default()),
+            (Proto::Dcqcn, "DCQCN", QueueSpec::dcqcn_default()),
+            (Proto::PHost, "pHost", QueueSpec::phost_default()),
+        ];
+        assert_eq!(expected.len(), TRANSPORTS.len());
+        for &(proto, label, fabric) in expected {
+            assert_eq!(proto.label(), label);
+            assert_eq!(proto.fabric(), fabric, "{proto:?} fabric");
+        }
+    }
+
+    #[test]
+    fn registry_keys_are_unique() {
+        for (i, &(p, _)) in TRANSPORTS.iter().enumerate() {
+            for &(q, _) in &TRANSPORTS[i + 1..] {
+                assert!(p != q, "duplicate registry key {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_iterates_the_registry_in_order() {
+        let keys: Vec<Proto> = Proto::all().collect();
+        assert_eq!(keys.len(), TRANSPORTS.len());
+        assert_eq!(keys[0], Proto::Ndp);
+    }
+}

@@ -5,7 +5,7 @@ use ndp_net::queue::Policy;
 /// Which switch service model the fabric uses. Capacities are expressed in
 /// MTU-sized packets, the unit the paper uses throughout ("8 packet output
 /// queues", "marking threshold 30 packets", ...).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueSpec {
     /// NDP dual queue: `data_cap_pkts` full packets + equal header budget.
     Ndp { data_cap_pkts: usize },

@@ -1,0 +1,121 @@
+//! The pluggable transport surface.
+//!
+//! The paper's evaluation is a matrix of transports × scenarios. Every
+//! transport under test — NDP itself and each baseline — implements one
+//! object-safe [`Transport`] trait: which fabric it runs over, how to
+//! attach a flow described by a [`FlowSpec`], and how to harvest
+//! receiver-side results. Experiment harnesses hold `&dyn Transport` and
+//! never know which protocol they are driving, so adding a protocol is a
+//! single impl next to its sender/receiver plus one registry line in
+//! `ndp-experiments` — no cross-cutting `match` edits.
+//!
+//! The trait lives in its own leaf crate (above `ndp-net`/`ndp-sim`/
+//! `ndp-topology`, below every protocol crate) so `ndp-core` and
+//! `ndp-baselines` can both implement it without a dependency cycle.
+
+use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_sim::{ComponentId, Time, World};
+
+pub use ndp_topology::QueueSpec;
+
+/// One flow to set up, in protocol-neutral terms.
+///
+/// Fields a given transport has no use for (e.g. `iw` for TCP, `prio` for
+/// DCQCN) are ignored by its [`Transport::attach`].
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    pub flow: FlowId,
+    pub src: HostId,
+    pub dst: HostId,
+    pub size: u64,
+    pub start: Time,
+    /// Receiver-side pull prioritization (NDP §3.2.2).
+    pub prio: bool,
+    /// Wake `(component, token)` when the flow completes.
+    pub notify: Option<(ComponentId, u64)>,
+    /// Override the transport's initial window in packets (None = its
+    /// default; NDP's paper default is 30).
+    pub iw: Option<u64>,
+}
+
+impl FlowSpec {
+    pub fn new(flow: FlowId, src: HostId, dst: HostId, size: u64) -> FlowSpec {
+        FlowSpec {
+            flow,
+            src,
+            dst,
+            size,
+            start: Time::ZERO,
+            prio: false,
+            notify: None,
+            iw: None,
+        }
+    }
+}
+
+/// Deterministic per-flow "ECMP hash" for single-path transports.
+pub fn flow_hash_path(flow: FlowId) -> u32 {
+    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
+}
+
+/// A transport under evaluation: attach flows, pick the fabric it runs
+/// over, harvest results. Object-safe — harnesses drive `&dyn Transport`.
+///
+/// Implementations live next to their sender/receiver (`ndp_core` for NDP,
+/// one file per baseline in `ndp_baselines`) and are exposed as `static`
+/// instances so a registry can hold `&'static dyn Transport`. Protocol
+/// variants (DCTCP vs TCP, the Figure 22 no-path-penalty ablation) are
+/// *configured instances* of the same impl, not separate types.
+pub trait Transport: Sync {
+    /// Human-readable name used in tables and headlines.
+    fn label(&self) -> &'static str;
+
+    /// The switch service model this transport runs over (§6.1: NDP gets
+    /// 8-packet trimming queues, DCTCP/MPTCP 200-packet drop-tail,
+    /// DCQCN lossless+ECN).
+    fn fabric(&self) -> QueueSpec;
+
+    /// Register sender/receiver endpoints for `spec` between explicit
+    /// host components and schedule the flow start.
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        n_paths: u32,
+        mtu: u32,
+    );
+
+    /// Receiver-side delivered payload bytes.
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64;
+
+    /// Receiver-side completion time (absolute), if the flow finished.
+    fn completion_time(
+        &self,
+        world: &World<Packet>,
+        host: ComponentId,
+        flow: FlowId,
+    ) -> Option<Time>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_hash_is_deterministic_and_spread() {
+        let a = flow_hash_path(1);
+        assert_eq!(a, flow_hash_path(1));
+        let distinct: std::collections::HashSet<u32> =
+            (0..100).map(|f| flow_hash_path(f) % 16).collect();
+        assert!(distinct.len() > 8, "hash should spread across paths");
+    }
+
+    #[test]
+    fn flow_spec_defaults() {
+        let s = FlowSpec::new(1, 2, 3, 100);
+        assert_eq!(s.start, Time::ZERO);
+        assert!(!s.prio && s.notify.is_none() && s.iw.is_none());
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`sim`] — deterministic discrete-event simulation engine
 //! * [`net`] — packets, queues (including the NDP trimming switch), pipes, hosts
 //! * [`topology`] — FatTree/Clos builders, path math, failure injection
+//! * [`transport`] — the pluggable `Transport` trait every protocol implements
 //! * [`core`] — the NDP receiver-driven transport protocol itself
 //! * [`baselines`] — TCP NewReno, DCTCP, MPTCP, DCQCN(+PFC), CP, pHost
 //! * [`workloads`] — permutation/random/incast/web traffic generators
@@ -27,4 +28,5 @@ pub use ndp_metrics as metrics;
 pub use ndp_net as net;
 pub use ndp_sim as sim;
 pub use ndp_topology as topology;
+pub use ndp_transport as transport;
 pub use ndp_workloads as workloads;

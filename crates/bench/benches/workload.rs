@@ -1,0 +1,41 @@
+//! Open-loop runner throughput: wall-clock cost of one quick-scale
+//! dynamic-traffic point (NDP, web-search sizes, 30 % load, k=4).
+//! `cargo bench --bench workload`; `workload_json` records the same
+//! point's flows/sec and events/sec in BENCH_workload.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndp_experiments::openloop::{openloop_run, DistKind};
+use ndp_experiments::sweep::OpenLoopPoint;
+use ndp_experiments::Proto;
+use ndp_sim::Time;
+use ndp_topology::FatTreeCfg;
+
+/// The fixed quick-scale point both the bench and BENCH_workload.json use.
+fn bench_point() -> OpenLoopPoint {
+    OpenLoopPoint {
+        proto: Proto::Ndp,
+        cfg: FatTreeCfg::new(4),
+        dist: DistKind::WebSearch,
+        load: 0.3,
+        seed: 7,
+        warmup: Time::from_ms(1),
+        measure: Time::from_ms(10),
+        drain: Time::from_ms(10),
+    }
+}
+
+fn bench_openloop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("openloop_ndp_websearch_k4_load30", |b| {
+        b.iter(|| {
+            let r = openloop_run(bench_point());
+            assert!(r.measured > 0, "degenerate bench point");
+            criterion::black_box(r.events_processed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_openloop);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn list() {
         .max()
         .unwrap_or(0);
     for exp in registry::all() {
-        println!("{:width$}  {}", exp.id(), exp.title());
+        println!("{:width$}  {}", exp.id(), exp.description());
     }
 }
 

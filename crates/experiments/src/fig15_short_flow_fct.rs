@@ -38,12 +38,9 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
             continue;
         }
         for _ in 0..bg_per_host {
-            let dst = loop {
-                let d = rand::Rng::gen_range(&mut rng, 0..n);
-                if d != src && d != probe_a && d != probe_b {
-                    break d;
-                }
-            };
+            let dst = ndp_workloads::uniform_where(n, &mut rng, |d| {
+                d != src && d != probe_a && d != probe_b
+            });
             let spec = FlowSpec::new(flow_id, src as HostId, dst as HostId, LONG_FLOW);
             flow_id += 1;
             attach_on_fattree(&mut world, &ft, proto, &spec);

@@ -57,12 +57,7 @@ fn trial(proto: Proto, scale: Scale, conns_per_host: usize, seed: u64) -> LoadRe
             let mut prev: Option<u64> = None;
             for j in 0..flows_per_slot {
                 // No rack locality: uniformly random remote destination.
-                let dst = loop {
-                    let d = rand::Rng::gen_range(&mut rng, 0..n);
-                    if d / hpt != host / hpt {
-                        break d;
-                    }
-                };
+                let dst = ndp_workloads::uniform_where(n, &mut rng, |d| d / hpt != host / hpt);
                 let size = dist.sample(&mut rng).max(64);
                 let gap = Time::from_ps(closed_loop_gap_ps(1_000_000_000, &mut rng));
                 let mut spec = FlowSpec::new(flow_id, host as HostId, dst as HostId, size);

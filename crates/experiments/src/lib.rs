@@ -19,6 +19,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod openloop;
 pub mod quick;
 pub mod registry;
 pub mod sweep;

@@ -29,6 +29,13 @@ pub trait Experiment: Sync {
     /// Human-readable one-liner for `ndp list`.
     fn title(&self) -> &'static str;
 
+    /// One-line description of what the experiment measures and its main
+    /// knobs, printed by `ndp list`. Defaults to the title; experiments
+    /// with non-obvious parameter grids override it.
+    fn description(&self) -> &'static str {
+        self.title()
+    }
+
     fn run(&self, scale: Scale) -> Box<dyn Report>;
 }
 
@@ -53,6 +60,9 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &crate::fig21_sender_limited::Fig21,
     &crate::fig22_failure::Fig22,
     &crate::fig23_oversubscribed::Fig23,
+    &crate::openloop::LoadWebsearch,
+    &crate::openloop::LoadDatamining,
+    &crate::openloop::OversubLoad,
     &crate::inline_results::Inline,
     &crate::quick::Quickstart,
 ];
@@ -99,8 +109,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twenty_experiments_with_unique_ids() {
-        assert_eq!(EXPERIMENTS.len(), 20);
+    fn twenty_three_experiments_with_unique_ids() {
+        assert_eq!(EXPERIMENTS.len(), 23);
         let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         let before = ids.len();
@@ -108,7 +118,21 @@ mod tests {
         assert_eq!(before, ids.len(), "duplicate experiment ids: {ids:?}");
         for e in EXPERIMENTS {
             assert!(!e.title().is_empty(), "{} has no title", e.id());
+            assert!(!e.description().is_empty(), "{} has no description", e.id());
             assert_eq!(find(e.id()).map(|f| f.id()), Some(e.id()));
+        }
+    }
+
+    #[test]
+    fn openloop_experiments_are_registered_with_rich_descriptions() {
+        for id in ["load_websearch", "load_datamining", "oversub_load"] {
+            let e = find(id).unwrap_or_else(|| panic!("{id} not registered"));
+            // The load sweeps describe their grid beyond the bare title.
+            assert_ne!(e.description(), e.title(), "{id} needs a description");
+            assert!(
+                e.description().contains("NDP"),
+                "{id} description should name the contending protocols"
+            );
         }
     }
 

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::harness::{IncastResult, PermutationResult, Proto};
+use crate::openloop::{DistKind, OpenLoopResult};
 
 /// Number of sweep workers.
 pub fn worker_threads() -> usize {
@@ -153,6 +154,26 @@ pub struct IncastPoint {
 /// Run an incast sweep; element `i` of the result matches point `i`.
 pub fn sweep_incast(spec: &SweepSpec<IncastPoint>) -> Vec<IncastResult> {
     spec.run(crate::harness::incast_world_run)
+}
+
+/// One open-loop dynamic-traffic simulation: protocol, topology, size
+/// distribution, offered load (fraction of the host NIC) and the
+/// warmup/measure/drain windows.
+#[derive(Clone, Debug)]
+pub struct OpenLoopPoint {
+    pub proto: Proto,
+    pub cfg: FatTreeCfg,
+    pub dist: DistKind,
+    pub load: f64,
+    pub seed: u64,
+    pub warmup: Time,
+    pub measure: Time,
+    pub drain: Time,
+}
+
+/// Run an open-loop sweep; element `i` of the result matches point `i`.
+pub fn sweep_openloop(spec: &SweepSpec<OpenLoopPoint>) -> Vec<OpenLoopResult> {
+    spec.run(crate::openloop::openloop_world_run)
 }
 
 #[cfg(test)]

@@ -8,10 +8,12 @@
 
 pub mod cdf;
 pub mod series;
+pub mod slowdown;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use series::TimeSeries;
+pub use slowdown::{size_bin, SlowdownBins, SLOWDOWN_BIN_EDGES, SLOWDOWN_BIN_LABELS};
 pub use table::Table;
 
 /// Jain's fairness index: 1.0 = perfectly fair.

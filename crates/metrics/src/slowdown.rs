@@ -1,0 +1,127 @@
+//! FCT slowdown, binned by flow size.
+//!
+//! Slowdown = actual flow-completion time ÷ the ideal transfer time the
+//! same flow would see alone on an unloaded network — 1.0 is perfect, and
+//! the open-loop load sweeps report its p50/p99 per flow-size class
+//! (mice suffer queueing, elephants suffer bandwidth sharing; one overall
+//! percentile hides which one a transport sacrifices).
+
+use crate::cdf::Cdf;
+
+/// Upper edges (bytes, inclusive) of all but the last size bin. The bins
+/// are the literature's usual mice/medium/large/elephant split.
+pub const SLOWDOWN_BIN_EDGES: &[u64] = &[10_000, 100_000, 1_000_000];
+
+/// Human-readable labels, index-aligned with [`SlowdownBins::bin`].
+pub const SLOWDOWN_BIN_LABELS: &[&str] = &["0-10KB", "10KB-100KB", "100KB-1MB", ">1MB"];
+
+/// Slowdown samples partitioned by flow size, plus the overall CDF.
+///
+/// Every bin always exists (possibly empty), so reports are
+/// shape-stable across loads and protocols — a consumer can rely on
+/// seeing all size classes even when a run produced no elephants.
+#[derive(Clone, Debug, Default)]
+pub struct SlowdownBins {
+    bins: Vec<Cdf>,
+    all: Cdf,
+}
+
+/// Index of the bin a flow of `bytes` falls into.
+pub fn size_bin(bytes: u64) -> usize {
+    SLOWDOWN_BIN_EDGES
+        .iter()
+        .position(|&edge| bytes <= edge)
+        .unwrap_or(SLOWDOWN_BIN_EDGES.len())
+}
+
+impl SlowdownBins {
+    pub fn new() -> SlowdownBins {
+        SlowdownBins {
+            bins: vec![Cdf::new(); SLOWDOWN_BIN_EDGES.len() + 1],
+            all: Cdf::new(),
+        }
+    }
+
+    /// Record one completed flow.
+    pub fn add(&mut self, bytes: u64, slowdown: f64) {
+        self.bins[size_bin(bytes)].add(slowdown);
+        self.all.add(slowdown);
+    }
+
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The slowdown CDF of one size bin.
+    pub fn bin(&self, i: usize) -> &Cdf {
+        &self.bins[i]
+    }
+
+    /// The slowdown CDF over all sizes.
+    pub fn overall(&self) -> &Cdf {
+        &self.all
+    }
+
+    /// Percentile of bin `i`, or NaN when the bin is empty (callers
+    /// render NaN as `-` / JSON null).
+    pub fn percentile(&self, i: usize, p: f64) -> f64 {
+        let c = &self.bins[i];
+        if c.is_empty() {
+            f64::NAN
+        } else {
+            c.percentile(p)
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment_matches_edges() {
+        assert_eq!(size_bin(1), 0);
+        assert_eq!(size_bin(10_000), 0);
+        assert_eq!(size_bin(10_001), 1);
+        assert_eq!(size_bin(100_000), 1);
+        assert_eq!(size_bin(999_999), 2);
+        assert_eq!(size_bin(1_000_001), 3);
+        assert_eq!(size_bin(u64::MAX), 3);
+        assert_eq!(SLOWDOWN_BIN_LABELS.len(), SLOWDOWN_BIN_EDGES.len() + 1);
+    }
+
+    #[test]
+    fn bins_collect_independently_and_overall_sees_all() {
+        let mut s = SlowdownBins::new();
+        s.add(1_000, 1.0); // bin 0
+        s.add(2_000, 3.0); // bin 0
+        s.add(50_000, 10.0); // bin 1
+        s.add(5_000_000, 2.0); // bin 3
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.bin(0).len(), 2);
+        assert_eq!(s.bin(1).len(), 1);
+        assert_eq!(s.bin(2).len(), 0);
+        assert_eq!(s.bin(3).len(), 1);
+        assert_eq!(s.overall().len(), 4);
+        assert_eq!(s.percentile(0, 0.5), 1.0);
+        assert_eq!(s.percentile(1, 0.99), 10.0);
+    }
+
+    #[test]
+    fn empty_bins_report_nan_not_panic() {
+        let s = SlowdownBins::new();
+        assert!(s.is_empty());
+        for i in 0..s.n_bins() {
+            assert!(s.percentile(i, 0.5).is_nan());
+        }
+    }
+}

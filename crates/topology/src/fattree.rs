@@ -425,6 +425,23 @@ impl FatTree {
         }
     }
 
+    /// Number of links a packet crosses from `src` to `dst`: 2 under the
+    /// same ToR (NIC + ToR-down), 4 within a pod, 6 across pods. The
+    /// unloaded-latency lower bound behind FCT-slowdown reporting.
+    pub fn n_hops(&self, src: HostId, dst: HostId) -> u32 {
+        let ix = FtIndex {
+            half: self.cfg.k / 2,
+            hpt: self.cfg.hosts_per_tor,
+        };
+        if ix.pod_of(src) != ix.pod_of(dst) {
+            6
+        } else if ix.tor_in_pod_of(src) != ix.tor_in_pod_of(dst) {
+            4
+        } else {
+            2
+        }
+    }
+
     /// Degrade the bidirectional link between agg `a` (in-pod index) of
     /// `pod` and its `m`-th core to `speed` (Figure 22's failure).
     pub fn degrade_core_link(
@@ -508,6 +525,18 @@ mod tests {
         assert_eq!(ft.n_paths(0, 1), 1); // same ToR
         assert_eq!(ft.n_paths(0, 2), 2); // same pod, different ToR
         assert_eq!(ft.n_paths(0, 5), 4); // different pod
+    }
+
+    #[test]
+    fn hop_counts() {
+        let mut w: World<Packet> = World::new(1);
+        let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+        assert_eq!(ft.n_hops(0, 1), 2); // same ToR
+        assert_eq!(ft.n_hops(0, 2), 4); // same pod, different ToR
+        assert_eq!(ft.n_hops(0, 5), 6); // different pod
+                                        // Consistent with the measured one-way latency test below:
+                                        // host 0 -> 15 crosses 6 links.
+        assert_eq!(ft.n_hops(0, 15), 6);
     }
 
     #[test]

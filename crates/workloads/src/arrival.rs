@@ -1,0 +1,140 @@
+//! Flow arrival processes for dynamic traffic.
+//!
+//! The open-loop evaluation ("FCT slowdown vs. offered load") drives each
+//! host with an independent arrival process whose rate is derived from a
+//! target load fraction of the host NIC: `rate = load × link_bps / (8 ×
+//! mean_flow_size)`. All sampling is inverse-transform over the world's
+//! seeded RNG stream, so equal seeds give bit-identical arrival times —
+//! the contract the parallel sweep layer relies on.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Picoseconds per second, the unit arrival gaps are expressed in.
+const PS_PER_S: f64 = 1e12;
+
+/// How a host decides when its next flow starts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals: exponential inter-arrival gaps with
+    /// mean `1/rate_hz` — the standard load-sweep model.
+    Poisson { rate_hz: f64 },
+    /// Deterministic fixed-rate arrivals: constant gap `1/rate_hz`
+    /// (isolates queueing from arrival burstiness).
+    FixedRate { rate_hz: f64 },
+    /// Closed-loop think time: exponential gap with the given *median*
+    /// (the paper's Figure 23 uses a 1 ms median inter-flow gap). As a
+    /// gap generator this is an exponential with mean `median / ln 2`.
+    ClosedLoop { median_gap_ps: u64 },
+}
+
+impl ArrivalProcess {
+    /// The Poisson process that offers `load` (fraction of `link_bps`)
+    /// given flows of `mean_flow_bytes` on average.
+    pub fn poisson_for_load(load: f64, link_bps: u64, mean_flow_bytes: f64) -> ArrivalProcess {
+        assert!(load > 0.0 && load < 1.5, "load {load} out of range");
+        assert!(mean_flow_bytes > 0.0);
+        ArrivalProcess::Poisson {
+            rate_hz: load * link_bps as f64 / (8.0 * mean_flow_bytes),
+        }
+    }
+
+    /// Mean inter-arrival gap in picoseconds.
+    pub fn mean_gap_ps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } | ArrivalProcess::FixedRate { rate_hz } => {
+                PS_PER_S / rate_hz
+            }
+            ArrivalProcess::ClosedLoop { median_gap_ps } => {
+                median_gap_ps as f64 / std::f64::consts::LN_2
+            }
+        }
+    }
+
+    /// Draw the next inter-arrival gap.
+    pub fn next_gap_ps(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            ArrivalProcess::Poisson { .. } | ArrivalProcess::ClosedLoop { .. } => {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                (-u.ln() * self.mean_gap_ps()) as u64
+            }
+            ArrivalProcess::FixedRate { .. } => self.mean_gap_ps() as u64,
+        }
+    }
+}
+
+/// Closed-loop arrival gaps: exponential with a given median (the paper
+/// uses a 1 ms median inter-flow gap for Figure 23).
+pub fn closed_loop_gap_ps(median_ps: u64, rng: &mut SmallRng) -> u64 {
+    ArrivalProcess::ClosedLoop {
+        median_gap_ps: median_ps,
+    }
+    .next_gap_ps(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_gap_mean_matches_rate() {
+        let rate = 50_000.0; // 50k flows/s => mean gap 20 us
+        let p = ArrivalProcess::Poisson { rate_hz: rate };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| p.next_gap_ps(&mut rng) as f64).sum();
+        let mean = sum / n as f64;
+        let expect = PS_PER_S / rate;
+        assert!(
+            (mean / expect - 1.0).abs() < 0.02,
+            "mean gap {mean:.0} ps vs 1/rate {expect:.0} ps"
+        );
+    }
+
+    #[test]
+    fn fixed_rate_gaps_are_constant() {
+        let p = ArrivalProcess::FixedRate { rate_hz: 1_000.0 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(p.next_gap_ps(&mut rng), 1_000_000_000); // 1 ms
+        }
+    }
+
+    #[test]
+    fn closed_loop_gap_median_matches() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut gaps: Vec<u64> = (0..20_000)
+            .map(|_| closed_loop_gap_ps(1_000_000_000, &mut rng))
+            .collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2] as f64;
+        assert!((median / 1e9 - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn load_resolves_to_rate() {
+        // 30 % of 10 Gb/s with 1.5 MB flows: 0.3 * 1.25e9 / 1.5e6 = 250/s.
+        let p = ArrivalProcess::poisson_for_load(0.3, 10_000_000_000, 1_500_000.0);
+        match p {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!((rate_hz - 250.0).abs() < 1e-9, "rate {rate_hz}");
+            }
+            other => panic!("expected Poisson, got {other:?}"),
+        }
+        assert!((p.mean_gap_ps() - 4e9).abs() < 1.0); // 4 ms mean gap
+    }
+
+    #[test]
+    fn equal_seeds_give_identical_gap_streams() {
+        let p = ArrivalProcess::Poisson { rate_hz: 1e6 };
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..1000)
+                .map(|_| p.next_gap_ps(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

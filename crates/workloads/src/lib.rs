@@ -1,17 +1,74 @@
-//! Traffic matrices and flow-size distributions for the evaluation.
+//! Traffic matrices, flow-size distributions and dynamic (open-loop)
+//! traffic for the evaluation.
+//!
+//! Static matrices (all flows start together):
 //!
 //! * [`permutation`] — the paper's worst-case matrix: every host sends to
 //!   exactly one host and receives from exactly one (a derangement).
 //! * [`random_matrix`] — each host sends to a uniformly random other host
 //!   (receivers may collide — the "Random" curve of Figure 4).
 //! * [`incast`] — N workers answer one frontend.
-//! * [`FlowSizeDist`] — flow-size models, including a synthetic match of
-//!   the Facebook *web* workload used in Figure 23 (heavy mass of tiny
-//!   flows, a thin tail of multi-MB ones; see DESIGN.md for the
-//!   substitution note).
+//! * [`FlowSizeDist`] — synthetic flow-size models (Figure 23's Facebook
+//!   web stand-in).
+//!
+//! Dynamic traffic (flows arrive over simulated time):
+//!
+//! * [`ArrivalProcess`] — Poisson / fixed-rate / closed-loop gap models,
+//!   with [`ArrivalProcess::poisson_for_load`] resolving a target load
+//!   fraction of the host NIC to an arrival rate.
+//! * [`EmpiricalCdf`] — piecewise-linear flow-size CDFs with an analytic
+//!   [`EmpiricalCdf::mean_size`]; the embedded *web search* and *data
+//!   mining* distributions are the literature's standard load-sweep mixes.
+//! * [`DynamicWorkload`] — merges per-host streams into one time-ordered
+//!   iterator of `(start, src, dst, bytes)` events.
+
+pub mod arrival;
+pub mod dynamic;
+pub mod empirical;
+
+pub use arrival::{closed_loop_gap_ps, ArrivalProcess};
+pub use dynamic::{DynamicWorkload, FlowEvent};
+pub use empirical::EmpiricalCdf;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Uniform draw from `0..n` restricted to values satisfying `keep`, by
+/// rejection. The shared destination sampler behind [`random_matrix`],
+/// [`DynamicWorkload`] and the experiment harnesses ("any host but
+/// myself", "any remote rack", ...).
+///
+/// The predicate must accept at least one value in `0..n` or this loops
+/// forever — matrix builders uphold that by construction (n ≥ 2 with a
+/// single excluded self).
+pub fn uniform_where(n: usize, rng: &mut SmallRng, keep: impl Fn(usize) -> bool) -> usize {
+    loop {
+        let d = rng.gen_range(0..n);
+        if keep(d) {
+            return d;
+        }
+    }
+}
+
+/// In-place Fisher–Yates shuffle — the single shuffle implementation
+/// behind [`permutation`] and [`incast`], so their draw sequences stay
+/// pinned in one place.
+fn fisher_yates<T>(xs: &mut [T], rng: &mut SmallRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Debug-time invariant for any destination matrix: in-range, never self.
+fn debug_assert_matrix(out: &[usize]) {
+    debug_assert!(
+        out.iter()
+            .enumerate()
+            .all(|(i, &d)| i != d && d < out.len()),
+        "matrix invariant violated: self-send or out-of-range destination"
+    );
+}
 
 /// A random derangement: `out[i]` is the destination of host `i`, never
 /// equal to `i`, and every host appears exactly once as a destination.
@@ -19,11 +76,9 @@ pub fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
     assert!(n >= 2);
     loop {
         let mut perm: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.gen_range(0..=i);
-            perm.swap(i, j);
-        }
+        fisher_yates(&mut perm, rng);
         if perm.iter().enumerate().all(|(i, &p)| i != p) {
+            debug_assert_matrix(&perm);
             return perm;
         }
     }
@@ -31,14 +86,9 @@ pub fn permutation(n: usize, rng: &mut SmallRng) -> Vec<usize> {
 
 /// Each host picks a uniformly random destination other than itself.
 pub fn random_matrix(n: usize, rng: &mut SmallRng) -> Vec<usize> {
-    (0..n)
-        .map(|i| loop {
-            let d = rng.gen_range(0..n);
-            if d != i {
-                break d;
-            }
-        })
-        .collect()
+    let out: Vec<usize> = (0..n).map(|i| uniform_where(n, rng, |d| d != i)).collect();
+    debug_assert_matrix(&out);
+    out
 }
 
 /// `n` distinct workers (excluding the frontend) for an incast.
@@ -48,11 +98,12 @@ pub fn incast(frontend: usize, n: usize, n_hosts: usize, rng: &mut SmallRng) -> 
         "incast degree must leave room for the frontend"
     );
     let mut pool: Vec<usize> = (0..n_hosts).filter(|&h| h != frontend).collect();
-    for i in (1..pool.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        pool.swap(i, j);
-    }
+    fisher_yates(&mut pool, rng);
     pool.truncate(n);
+    debug_assert!(
+        !pool.contains(&frontend) && pool.iter().all(|&w| w < n_hosts),
+        "incast workers must exclude the frontend and stay in range"
+    );
     pool
 }
 
@@ -102,15 +153,6 @@ impl FlowSizeDist {
     }
 }
 
-/// Closed-loop arrival gaps: exponential with a given median (the paper
-/// uses a 1 ms median inter-flow gap for Figure 23).
-pub fn closed_loop_gap_ps(median_ps: u64, rng: &mut SmallRng) -> u64 {
-    let u: f64 = rng.gen::<f64>().max(1e-12);
-    // median of Exp(λ) is ln2/λ.
-    let scale = median_ps as f64 / std::f64::consts::LN_2;
-    (-u.ln() * scale) as u64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +184,15 @@ mod tests {
     }
 
     #[test]
+    fn uniform_where_respects_predicate() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = uniform_where(10, &mut r, |d| d != 3 && d % 2 == 0);
+            assert!(d % 2 == 0 && d != 3 && d < 10);
+        }
+    }
+
+    #[test]
     fn incast_workers_are_distinct_and_exclude_frontend() {
         let mut r = rng();
         let workers = incast(7, 50, 128, &mut r);
@@ -170,17 +221,6 @@ mod tests {
         s.sort_unstable();
         let median = s[s.len() / 2] as f64;
         assert!(mean > 5.0 * median);
-    }
-
-    #[test]
-    fn closed_loop_gap_median_matches() {
-        let mut r = rng();
-        let mut gaps: Vec<u64> = (0..20_000)
-            .map(|_| closed_loop_gap_ps(1_000_000_000, &mut r))
-            .collect();
-        gaps.sort_unstable();
-        let median = gaps[gaps.len() / 2] as f64;
-        assert!((median / 1e9 - 1.0).abs() < 0.05, "median {median}");
     }
 
     #[test]

@@ -126,6 +126,78 @@ pub fn attach_blast(
     world.post_wake(start, src.0, flow << 8);
 }
 
+/// blast's [`ndp_transport::Transport`] adapter: an unresponsive CBR
+/// sender clocking MTU packets at its host's line rate until it has
+/// pushed `spec.size` bytes of payload, counted by a [`CountSink`].
+/// There is no completion handshake — `completion_time` is always `None`;
+/// the interesting quantity is delivered goodput under overload.
+pub struct BlastTransport;
+
+pub static BLAST: BlastTransport = BlastTransport;
+
+impl ndp_transport::Transport for BlastTransport {
+    fn label(&self) -> &'static str {
+        "blast"
+    }
+
+    fn fabric(&self) -> ndp_transport::QueueSpec {
+        ndp_transport::QueueSpec::ndp_default()
+    }
+
+    fn attach(
+        &self,
+        world: &mut World<Packet>,
+        spec: &ndp_transport::FlowSpec,
+        src: (ComponentId, HostId),
+        dst: (ComponentId, HostId),
+        _n_paths: u32,
+        mtu: u32,
+    ) {
+        let rate = world.get::<Host>(src.0).link_rate();
+        let per = (mtu - HEADER_BYTES) as u64;
+        let limit = spec.size.div_ceil(per).max(1);
+        let sender = BlastSender::new(spec.flow, dst.1, mtu, rate).with_limit(limit);
+        world
+            .get_mut::<Host>(src.0)
+            .add_endpoint(spec.flow, Box::new(sender));
+        world
+            .get_mut::<Host>(dst.0)
+            .add_endpoint(spec.flow, Box::new(CountSink::new()));
+        world.post_wake(spec.start, src.0, spec.flow << 8);
+    }
+
+    fn delivered_bytes(&self, world: &World<Packet>, host: ComponentId, flow: FlowId) -> u64 {
+        world
+            .get::<Host>(host)
+            .endpoint::<CountSink>(flow)
+            .payload_bytes
+    }
+
+    fn completion_time(
+        &self,
+        _world: &World<Packet>,
+        _host: ComponentId,
+        _flow: FlowId,
+    ) -> Option<Time> {
+        None
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> ndp_transport::FlowHarvest {
+        ndp_transport::detach_endpoints::<CountSink>(world, src_host, dst_host, flow, |r| {
+            ndp_transport::FlowHarvest {
+                delivered_bytes: r.payload_bytes,
+                completion_time: None,
+            }
+        })
+    }
+}
+
 /// Fair-share goodput fraction for a flow: what it delivered vs an equal
 /// split of the bottleneck's payload capacity over `span`.
 pub fn fair_share_fraction(

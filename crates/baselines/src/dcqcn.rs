@@ -304,6 +304,8 @@ impl Endpoint for DcqcnReceiver {
         }
         if self.payload_bytes >= self.total && self.completion_time.is_none() {
             self.completion_time = Some(ctx.now());
+            let fct = self.first_arrival.map_or(Time::ZERO, |t| ctx.now() - t);
+            ctx.complete(self.payload_bytes, fct);
             if let Some((comp, tok)) = self.notify {
                 ctx.notify(comp, tok);
             }
@@ -390,6 +392,21 @@ impl ndp_transport::Transport for DcqcnTransport {
             .get::<Host>(host)
             .endpoint::<DcqcnReceiver>(flow)
             .completion_time
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> ndp_transport::FlowHarvest {
+        ndp_transport::detach_endpoints::<DcqcnReceiver>(world, src_host, dst_host, flow, |r| {
+            ndp_transport::FlowHarvest {
+                delivered_bytes: r.payload_bytes,
+                completion_time: r.completion_time,
+            }
+        })
     }
 }
 

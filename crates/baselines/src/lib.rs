@@ -25,7 +25,7 @@ pub mod mptcp;
 pub mod phost;
 pub mod tcp;
 
-pub use blast::{attach_blast, BlastSender, CountSink};
+pub use blast::{attach_blast, BlastSender, CountSink, BLAST};
 pub use dcqcn::{attach_dcqcn_flow, DcqcnCfg, DcqcnReceiver, DcqcnSender, DCQCN};
 pub use mptcp::{attach_mptcp_flow, MptcpCfg, MptcpReceiver, MptcpSender, MPTCP};
 pub use phost::{attach_phost_flow, PHostCfg, PHostReceiver, PHostSender, PHOST};

@@ -369,6 +369,7 @@ pub struct MptcpReceiver {
     ooo: Vec<BTreeMap<u64, u64>>,
     pub payload_bytes: u64,
     pub completion_time: Option<Time>,
+    pub first_arrival: Option<Time>,
     total: u64,
     notify: Option<(ComponentId, u64)>,
 }
@@ -382,6 +383,7 @@ impl MptcpReceiver {
             ooo: vec![BTreeMap::new(); n_subflows],
             payload_bytes: 0,
             completion_time: None,
+            first_arrival: None,
             total,
             notify: None,
         }
@@ -407,6 +409,9 @@ impl Endpoint for MptcpReceiver {
         let sf = pkt.subflow as usize;
         if sf >= self.n_subflows {
             return;
+        }
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(ctx.now());
         }
         let start = pkt.seq;
         let end = pkt.seq + pkt.payload as u64;
@@ -444,6 +449,8 @@ impl Endpoint for MptcpReceiver {
         ctx.send(ack);
         if self.payload_bytes >= self.total && self.completion_time.is_none() {
             self.completion_time = Some(ctx.now());
+            let fct = self.first_arrival.map_or(Time::ZERO, |t| ctx.now() - t);
+            ctx.complete(self.payload_bytes, fct);
             if let Some((comp, tok)) = self.notify {
                 ctx.notify(comp, tok);
             }
@@ -530,6 +537,21 @@ impl ndp_transport::Transport for MptcpTransport {
             .get::<Host>(host)
             .endpoint::<MptcpReceiver>(flow)
             .completion_time
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> ndp_transport::FlowHarvest {
+        ndp_transport::detach_endpoints::<MptcpReceiver>(world, src_host, dst_host, flow, |r| {
+            ndp_transport::FlowHarvest {
+                delivered_bytes: r.payload_bytes,
+                completion_time: r.completion_time,
+            }
+        })
     }
 }
 

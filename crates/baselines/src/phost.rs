@@ -291,6 +291,8 @@ impl Endpoint for PHostReceiver {
                 self.done = true;
                 self.completion_time = Some(ctx.now());
                 ctx.pull_cancel();
+                let fct = self.first_arrival.map_or(Time::ZERO, |t| ctx.now() - t);
+                ctx.complete(self.payload_bytes, fct);
                 if let Some((comp, tok)) = self.notify {
                     ctx.notify(comp, tok);
                 }
@@ -403,6 +405,21 @@ impl ndp_transport::Transport for PHostTransport {
             .get::<Host>(host)
             .endpoint::<PHostReceiver>(flow)
             .completion_time
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> ndp_transport::FlowHarvest {
+        ndp_transport::detach_endpoints::<PHostReceiver>(world, src_host, dst_host, flow, |r| {
+            ndp_transport::FlowHarvest {
+                delivered_bytes: r.payload_bytes,
+                completion_time: r.completion_time,
+            }
+        })
     }
 }
 

@@ -551,6 +551,8 @@ impl Endpoint for TcpReceiver {
         if let Some(total) = self.total {
             if self.rcv_nxt >= total && self.completion_time.is_none() {
                 self.completion_time = Some(ctx.now());
+                let fct = self.first_arrival.map_or(Time::ZERO, |t| ctx.now() - t);
+                ctx.complete(self.payload_bytes, fct);
                 if let Some((comp, tok)) = self.notify {
                     ctx.notify(comp, tok);
                 }
@@ -657,6 +659,21 @@ impl ndp_transport::Transport for TcpTransport {
             .get::<Host>(host)
             .endpoint::<TcpReceiver>(flow)
             .completion_time
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> ndp_transport::FlowHarvest {
+        ndp_transport::detach_endpoints::<TcpReceiver>(world, src_host, dst_host, flow, |r| {
+            ndp_transport::FlowHarvest {
+                delivered_bytes: r.payload_bytes,
+                completion_time: r.completion_time,
+            }
+        })
     }
 }
 

@@ -43,18 +43,28 @@ fn main() {
         last = Some(r);
     }
     let r = last.expect("at least one rep");
+    assert_eq!(
+        r.live_components_end, r.live_components_baseline,
+        "live components must drain back to the pre-traffic baseline"
+    );
     let json = format!(
         "{{\n  \"workload\": \"open-loop NDP, websearch sizes, 30% load, k=4 FatTree, 21 ms simulated, seed 7\",\n  \
            \"offered_flows\": {},\n  \
            \"events\": {},\n  \
            \"best_secs\": {:.4},\n  \
            \"flows_per_sec\": {:.0},\n  \
-           \"events_per_sec\": {:.0}\n}}\n",
+           \"events_per_sec\": {:.0},\n  \
+           \"peak_live_flows\": {},\n  \
+           \"peak_live_components\": {},\n  \
+           \"live_components_baseline\": {}\n}}\n",
         r.offered,
         r.events_processed,
         best,
         r.offered as f64 / best,
         r.events_processed as f64 / best,
+        r.peak_live_flows,
+        r.peak_live_components,
+        r.live_components_baseline,
     );
     print!("{json}");
     std::fs::write("BENCH_workload.json", json).expect("write BENCH_workload.json");

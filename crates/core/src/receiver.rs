@@ -119,6 +119,11 @@ impl NdpReceiver {
         // connection id into time-wait (§3.2.2 at-most-once semantics).
         ctx.pull_cancel();
         ctx.enter_time_wait();
+        let fct = self
+            .stats
+            .first_arrival
+            .map_or(Time::ZERO, |t| ctx.now() - t);
+        ctx.complete(self.stats.payload_bytes, fct);
         if let Some((comp, tok)) = self.notify {
             ctx.notify(comp, tok);
         }

@@ -7,7 +7,7 @@
 use ndp_net::host::Host;
 use ndp_net::packet::{FlowId, HostId, Packet};
 use ndp_sim::{ComponentId, Time, World};
-use ndp_transport::{FlowSpec, QueueSpec, Transport};
+use ndp_transport::{FlowHarvest, FlowSpec, QueueSpec, Transport};
 
 use crate::receiver::NdpReceiver;
 use crate::{attach_flow, NdpFlowCfg};
@@ -79,5 +79,20 @@ impl Transport for NdpTransport {
             .endpoint::<NdpReceiver>(flow)
             .stats
             .completion_time
+    }
+
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> FlowHarvest {
+        ndp_transport::detach_endpoints::<NdpReceiver>(world, src_host, dst_host, flow, |r| {
+            FlowHarvest {
+                delivered_bytes: r.stats.payload_bytes,
+                completion_time: r.stats.completion_time,
+            }
+        })
     }
 }

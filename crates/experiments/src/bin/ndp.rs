@@ -97,9 +97,11 @@ fn run(args: &[String]) {
         if !json {
             eprintln!("== {} — {} [{}] ==", exp.id(), exp.title(), scale.name());
         }
+        let started = std::time::Instant::now();
         let report = exp.run(scale);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         if json {
-            documents.push(registry::document(*exp, scale, report.as_ref()));
+            documents.push(registry::document(*exp, scale, report.as_ref(), wall_ms));
         } else {
             println!("{report}");
             println!("headline: {}", report.headline());

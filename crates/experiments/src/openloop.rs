@@ -7,31 +7,42 @@
 //!
 //! [`ndp_workloads::DynamicWorkload`] turns (hosts × [`ArrivalProcess`] ×
 //! [`EmpiricalCdf`]) into a time-ordered stream of `(start, src, dst,
-//! bytes)` events. Every flow is attached up front with the
-//! `start = Time::MAX` sentinel (endpoints registered, nothing scheduled),
-//! and a [`Spawner`] component walks the start schedule *inside* simulated
-//! time, waking each flow's endpoints at its arrival instant — so flow
-//! starts interleave with packet events exactly as an application would
-//! issue them, not as a t=0 thundering herd.
+//! bytes)` events. The [`Spawner`] component walks that stream lazily,
+//! *inside* simulated time: at each flow's arrival instant it constructs
+//! the flow's [`FlowSpec`] and attaches its endpoints through the
+//! engine's deferred-op queue — so flow starts interleave with packet
+//! events exactly as an application would issue them, and a flow costs
+//! nothing before it arrives. When a flow's receiver reports completion,
+//! the Spawner records its slowdown sample and detaches both endpoints
+//! via [`crate::transport::Transport::detach`], freeing their state
+//! immediately. Live state — host endpoint maps, pull-queue entries,
+//! spawner bookkeeping — is therefore O(flows in flight), not O(flows
+//! ever offered), which is what makes long measure windows at high load
+//! affordable.
 //!
 //! # Windows
 //!
 //! A run has three phases: `warmup` (arrivals happen but are not
 //! measured, letting queues reach steady state), `measure` (arrivals are
 //! measured), and `drain` (no new arrivals; in-flight measured flows may
-//! still complete). Each measured flow's FCT is taken against its own
-//! start time and normalized by [`ideal_fct`] — the unloaded-network
-//! lower bound — to give its slowdown.
+//! still complete). The runner steps the world in chunks, streaming
+//! completed flows into [`SlowdownBins`] after each chunk, and the drain
+//! phase ends as soon as the live-flow gauge hits zero — `drain` is a
+//! cap, not a fixed horizon. Each measured flow's FCT is taken against
+//! its own start time and normalized by [`ideal_fct`] — the
+//! unloaded-network lower bound — to give its slowdown.
 
 use std::any::Any;
+use std::collections::HashMap;
 
 use ndp_metrics::{SlowdownBins, Table, SLOWDOWN_BIN_LABELS};
 use ndp_net::packet::{FlowId, HostId, Packet, HEADER_BYTES};
+use ndp_net::{CompletionSink, Host};
 use ndp_sim::{Component, ComponentId, Ctx, Event, Time, World};
 use ndp_topology::{FatTree, FatTreeCfg};
-use ndp_workloads::{ArrivalProcess, DynamicWorkload, EmpiricalCdf};
+use ndp_workloads::{ArrivalProcess, DynamicWorkload, EmpiricalCdf, FlowEvent};
 
-use crate::harness::{attach_on_fattree, completion_time, FlowSpec, Proto, Scale};
+use crate::harness::{FlowSpec, Proto, Scale};
 use crate::sweep::{sweep_openloop, OpenLoopPoint, SweepSpec};
 
 /// Which embedded flow-size distribution a load sweep draws from.
@@ -57,64 +68,170 @@ impl DistKind {
     }
 }
 
-/// The spawner's self-wake token. Hosts never receive it: flow-start
-/// tokens are `flow << 8` and flow ids start at 1.
+/// The spawner's self-wake token. Completion wakes carry the flow id, and
+/// flow ids start at 1 and count up, so `u64::MAX` can never collide.
 const SPAWN_TICK: u64 = u64::MAX;
 
-/// Starts flows at their scheduled arrival instants.
+/// One in-flight flow's bookkeeping, dropped the instant it completes.
+#[derive(Clone, Copy, Debug)]
+struct LiveFlow {
+    start: Time,
+    bytes: u64,
+    src: HostId,
+    dst: HostId,
+    /// Did the flow arrive inside the measurement window?
+    measured: bool,
+}
+
+/// A finished flow's slowdown sample, buffered until the runner's next
+/// streaming drain.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedFlow {
+    pub bytes: u64,
+    pub slowdown: f64,
+    pub measured: bool,
+}
+
+/// Drives the whole flow lifecycle inside simulated time.
 ///
-/// Holds the `(start, src host, dst host, flow)` schedule sorted by start
-/// time and rides a single self-wake chain through it; at each due entry
-/// it wakes both endpoints with the flow's start token (token 0), exactly
-/// what `Transport::attach` would have scheduled for a concrete start.
-/// Waking the destination too is what pHost needs to arm its receiver
-/// token timeout; for every other transport the receiver's `on_start` is
-/// a no-op passive open.
+/// The spawner owns the (lazy) arrival stream. Riding a single self-wake
+/// chain, it attaches each flow via a deferred world op *at its arrival
+/// instant* — endpoints for a flow that hasn't arrived yet simply don't
+/// exist. Each flow's `FlowSpec.notify` points back at the spawner, so on
+/// completion it books the slowdown sample and defers a
+/// [`crate::transport::Transport::detach`] that frees both endpoints.
 pub struct Spawner {
-    schedule: Vec<(Time, ComponentId, ComponentId, FlowId)>,
-    next: usize,
-    /// Flows started so far (diagnostics / tests).
+    proto: Proto,
+    ft: FatTree,
+    arrivals: Box<dyn Iterator<Item = FlowEvent> + Send>,
+    /// Next arrival, pulled from the stream but not yet due.
+    pending: Option<FlowEvent>,
+    next_flow: FlowId,
+    warmup: Time,
+    live: HashMap<FlowId, LiveFlow>,
+    /// Completed-flow samples since the runner's last drain.
+    pub completed: Vec<CompletedFlow>,
+    /// Flows attached so far (every arrival offered gets attached).
     pub started: u64,
+    /// Arrivals that fell inside the measurement window.
+    pub measured_arrivals: usize,
+    /// High-water mark of concurrently live flows.
+    pub peak_live: usize,
 }
 
 impl Spawner {
-    /// Build a spawner and arm its first wake-up. `schedule` must be
-    /// sorted by start time (the workload iterator yields it that way).
+    /// Install a spawner over an arrival stream and arm its first wake-up.
+    /// `arrivals` must be time-ordered (the workload iterator yields it
+    /// that way).
     pub fn install_into(
         world: &mut World<Packet>,
-        schedule: Vec<(Time, ComponentId, ComponentId, FlowId)>,
+        proto: Proto,
+        ft: FatTree,
+        arrivals: impl Iterator<Item = FlowEvent> + Send + 'static,
+        warmup: Time,
     ) -> ComponentId {
-        debug_assert!(
-            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
-            "spawner schedule must be sorted by start time"
-        );
-        let first = schedule.first().map(|&(at, ..)| at);
+        let mut arrivals: Box<dyn Iterator<Item = FlowEvent> + Send> = Box::new(arrivals);
+        let pending = arrivals.next();
+        let first = pending.as_ref().map(|ev| Time::from_ps(ev.start_ps));
         let id = world.add(Spawner {
-            schedule,
-            next: 0,
+            proto,
+            ft,
+            arrivals,
+            pending,
+            next_flow: 1,
+            warmup,
+            live: HashMap::new(),
+            completed: Vec::new(),
             started: 0,
+            measured_arrivals: 0,
+            peak_live: 0,
         });
         if let Some(at) = first {
             world.post_wake(at, id, SPAWN_TICK);
         }
         id
     }
+
+    /// Flows currently in flight.
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Attach one arrival (now due) through the deferred-op path.
+    fn spawn(&mut self, ev: FlowEvent, ctx: &mut Ctx<'_, Packet>) {
+        let flow = self.next_flow;
+        self.next_flow += 1;
+        let start = ctx.now();
+        debug_assert_eq!(start.as_ps(), ev.start_ps, "spawn wake drifted");
+        let measured = start >= self.warmup;
+        self.started += 1;
+        if measured {
+            self.measured_arrivals += 1;
+        }
+        self.live.insert(
+            flow,
+            LiveFlow {
+                start,
+                bytes: ev.bytes,
+                src: ev.src,
+                dst: ev.dst,
+                measured,
+            },
+        );
+        self.peak_live = self.peak_live.max(self.live.len());
+        let mut spec = FlowSpec::new(flow, ev.src, ev.dst, ev.bytes);
+        spec.start = start;
+        spec.notify = Some((ctx.self_id(), flow));
+        let proto = self.proto;
+        let src = (self.ft.hosts[ev.src as usize], ev.src);
+        let dst = (self.ft.hosts[ev.dst as usize], ev.dst);
+        let n_paths = self.ft.n_paths(ev.src, ev.dst);
+        let mtu = self.ft.cfg.mtu;
+        ctx.defer(move |w| {
+            crate::harness::attach_generic(w, proto, &spec, src, dst, n_paths, mtu);
+        });
+    }
+
+    /// A flow's receiver reported completion: book the sample, free the
+    /// endpoints.
+    fn finish(&mut self, flow: FlowId, ctx: &mut Ctx<'_, Packet>) {
+        let Some(meta) = self.live.remove(&flow) else {
+            return; // duplicate notify — already retired
+        };
+        let fct = ctx.now() - meta.start;
+        let ideal = ideal_fct(&self.ft, meta.src, meta.dst, meta.bytes);
+        self.completed.push(CompletedFlow {
+            bytes: meta.bytes,
+            slowdown: fct.as_ps() as f64 / ideal.as_ps() as f64,
+            measured: meta.measured,
+        });
+        let proto = self.proto;
+        let src = self.ft.hosts[meta.src as usize];
+        let dst = self.ft.hosts[meta.dst as usize];
+        ctx.defer(move |w| {
+            proto.transport().detach(w, src, dst, flow);
+        });
+    }
 }
 
 impl Component<Packet> for Spawner {
     fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
-        if !matches!(ev, Event::Wake(SPAWN_TICK)) {
-            return;
-        }
-        while let Some(&(at, src, dst, flow)) = self.schedule.get(self.next) {
-            if at > ctx.now() {
-                ctx.wake_at(at, SPAWN_TICK);
-                break;
-            }
-            ctx.wake_other(src, Time::ZERO, flow << 8);
-            ctx.wake_other(dst, Time::ZERO, flow << 8);
-            self.next += 1;
-            self.started += 1;
+        match ev {
+            Event::Wake(SPAWN_TICK) => loop {
+                if self.pending.is_none() {
+                    self.pending = self.arrivals.next();
+                }
+                let Some(ev) = self.pending else { break };
+                let at = Time::from_ps(ev.start_ps);
+                if at > ctx.now() {
+                    ctx.wake_at(at, SPAWN_TICK);
+                    break;
+                }
+                self.pending = None;
+                self.spawn(ev, ctx);
+            },
+            Event::Wake(flow) => self.finish(flow, ctx),
+            Event::Msg(_) => {}
         }
     }
     fn as_any(&self) -> &dyn Any {
@@ -151,8 +268,21 @@ pub struct OpenLoopResult {
     pub incomplete: usize,
     /// All flows offered (warmup + measured).
     pub offered: usize,
+    /// Payload bytes delivered by completed flows, as reported through
+    /// the world-level completion sink.
+    pub delivered_bytes: u64,
     /// Engine events dispatched (bench fuel).
     pub events_processed: u64,
+    /// High-water mark of concurrently in-flight flows — with lazy attach
+    /// and retirement this is ≪ `offered` on any long run.
+    pub peak_live_flows: usize,
+    /// Arena population before any traffic was attached.
+    pub live_components_baseline: usize,
+    /// Arena population after the drain (back to baseline when every flow
+    /// retired cleanly).
+    pub live_components_end: usize,
+    /// Arena high-water mark over the whole run.
+    pub peak_live_components: usize,
 }
 
 /// Run one open-loop point. One-shot entry point (benches, ad-hoc runs):
@@ -171,52 +301,83 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
     let mut world: World<Packet> = World::new(point.seed);
     let ft = FatTree::build(&mut world, cfg);
     let n = ft.n_hosts();
+    // Totals-only: the runner consumes the sink's delivered-bytes
+    // accounting, while per-flow samples come from the Spawner — no
+    // per-record buffer to churn.
+    let sink = world.add(CompletionSink::totals_only());
+    for &h in &ft.hosts {
+        world.get_mut::<Host>(h).set_completion_sink(sink);
+    }
+    let live_components_baseline = world.live_components();
     let sizes = point.dist.cdf();
     let process =
         ArrivalProcess::poisson_for_load(point.load, ft.cfg.link_speed.as_bps(), sizes.mean_size());
     let arrivals_end = point.warmup + point.measure;
     // The arrival stream is a function of (seed, load, dist) only — every
     // protocol at the same point sees the identical flow sequence, so
-    // comparisons are paired, not merely distributionally matched.
+    // comparisons are paired, not merely distributionally matched. The
+    // Spawner consumes it lazily, one flow per arrival instant.
     let workload =
         DynamicWorkload::new(n, process, sizes, point.seed ^ 0xD15C, arrivals_end.as_ps());
-    let mut flows: Vec<(FlowId, Time, u32, u32, u64)> = Vec::new();
-    let mut schedule: Vec<(Time, ComponentId, ComponentId, FlowId)> = Vec::new();
-    for (i, ev) in workload.enumerate() {
-        let flow = i as FlowId + 1;
-        let mut spec = FlowSpec::new(flow, ev.src, ev.dst, ev.bytes);
-        // Endpoints only; the Spawner owns the start schedule.
-        spec.start = Time::MAX;
-        attach_on_fattree(&mut world, &ft, point.proto, &spec);
-        let start = Time::from_ps(ev.start_ps);
-        schedule.push((
-            start,
-            ft.hosts[ev.src as usize],
-            ft.hosts[ev.dst as usize],
-            flow,
-        ));
-        flows.push((flow, start, ev.src, ev.dst, ev.bytes));
-    }
-    let offered = flows.len();
-    Spawner::install_into(&mut world, schedule);
-    world.run_until(arrivals_end + point.drain);
+    let sp = Spawner::install_into(&mut world, point.proto, ft.clone(), workload, point.warmup);
 
+    // Step the world in chunks, streaming each chunk's completed flows
+    // into the bins and freeing the sink's record buffer, so no
+    // O(total arrivals) structure survives the run. `drain` caps the tail;
+    // the run actually ends when the live-flow gauge reaches zero.
+    let cap = arrivals_end + point.drain;
+    let chunk = Time::from_ps((point.measure.as_ps() / 8).max(Time::from_ms(1).as_ps()));
     let mut slowdown = SlowdownBins::new();
-    let mut measured = 0usize;
-    let mut incomplete = 0usize;
-    for &(flow, start, src, dst, bytes) in &flows {
-        if start < point.warmup {
-            continue;
-        }
-        measured += 1;
-        match completion_time(&world, ft.hosts[dst as usize], flow, point.proto) {
-            Some(done) => {
-                let ideal = ideal_fct(&ft, src, dst, bytes);
-                slowdown.add(bytes, (done - start).as_ps() as f64 / ideal.as_ps() as f64);
+    let mut done = false;
+    while !done {
+        let target = (world.now() + chunk).min(cap);
+        done = target == cap;
+        world.run_until(target);
+        let batch = std::mem::take(&mut world.get_mut::<Spawner>(sp).completed);
+        for c in &batch {
+            if c.measured {
+                slowdown.add(c.bytes, c.slowdown);
             }
-            None => incomplete += 1,
+        }
+        if world.now() >= arrivals_end && world.get::<Spawner>(sp).live_flows() == 0 {
+            done = true;
         }
     }
+    let (completed_flows, delivered_bytes) = {
+        let s = world.get::<CompletionSink>(sink);
+        (s.total_flows, s.total_bytes)
+    };
+
+    // Flows still live at the cap are the incomplete ones; detach them so
+    // the world drains back to its pre-traffic component population.
+    let (stragglers, offered, measured, peak_live_flows) = {
+        let s = world.get_mut::<Spawner>(sp);
+        let stragglers: Vec<(FlowId, LiveFlow)> = s.live.drain().collect();
+        (
+            stragglers,
+            s.started as usize,
+            s.measured_arrivals,
+            s.peak_live,
+        )
+    };
+    debug_assert_eq!(
+        completed_flows as usize + stragglers.len(),
+        offered,
+        "sink reports must account for every non-straggler flow"
+    );
+    let mut incomplete = 0usize;
+    for (flow, meta) in stragglers {
+        if meta.measured {
+            incomplete += 1;
+        }
+        point.proto.transport().detach(
+            &mut world,
+            ft.hosts[meta.src as usize],
+            ft.hosts[meta.dst as usize],
+            flow,
+        );
+    }
+    world.retire(sp);
     OpenLoopResult {
         proto: point.proto,
         load: point.load,
@@ -224,7 +385,12 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
         measured,
         incomplete,
         offered,
+        delivered_bytes,
         events_processed: world.events_processed(),
+        peak_live_flows,
+        live_components_baseline,
+        live_components_end: world.live_components(),
+        peak_live_components: world.peak_live_components(),
     }
 }
 
@@ -409,6 +575,18 @@ impl std::fmt::Display for LoadSweepReport {
 impl crate::registry::Report for LoadSweepReport {
     fn headline(&self) -> String {
         self.headline()
+    }
+
+    fn run_stats(&self) -> crate::registry::RunStats {
+        crate::registry::RunStats {
+            events_processed: Some(self.rows.iter().map(|r| r.events_processed).sum()),
+            peak_live_components: self
+                .rows
+                .iter()
+                .map(|r| r.peak_live_components as u64)
+                .max(),
+            peak_live_flows: self.rows.iter().map(|r| r.peak_live_flows as u64).max(),
+        }
     }
 
     fn to_json(&self) -> crate::json::Json {
@@ -635,24 +813,77 @@ mod tests {
     }
 
     #[test]
-    fn spawner_starts_flows_at_their_scheduled_times() {
+    fn spawner_attaches_at_arrival_and_retires_on_completion() {
         let mut w: World<Packet> = World::new(1);
         let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
-        let mut spec = FlowSpec::new(1, 0, 15, 90_000);
-        spec.start = Time::MAX;
-        attach_on_fattree(&mut w, &ft, Proto::Ndp, &spec);
+        let baseline = w.live_components();
         let start = Time::from_us(50);
-        let sp = Spawner::install_into(&mut w, vec![(start, ft.hosts[0], ft.hosts[15], 1)]);
+        let arrival = FlowEvent {
+            start_ps: start.as_ps(),
+            src: 0,
+            dst: 15,
+            bytes: 90_000,
+        };
+        let sp = Spawner::install_into(
+            &mut w,
+            Proto::Ndp,
+            ft.clone(),
+            std::iter::once(arrival),
+            Time::ZERO,
+        );
+        // Before the arrival instant nothing exists for the flow.
+        w.run_until(Time::from_us(49));
+        assert_eq!(w.get::<Host>(ft.hosts[0]).n_endpoints(), 0);
+        assert_eq!(w.get::<Spawner>(sp).started, 0);
         w.run_until(Time::from_ms(20));
-        assert_eq!(w.get::<Spawner>(sp).started, 1);
-        let done = completion_time(&w, ft.hosts[15], 1, Proto::Ndp).expect("flow completed");
-        assert!(done > start, "completed at {done} before start {start}");
-        let fct = done - start;
+        let s = w.get::<Spawner>(sp);
+        assert_eq!(s.started, 1);
+        assert_eq!(s.live_flows(), 0, "completed flow must leave the live set");
+        assert_eq!(s.peak_live, 1);
+        assert_eq!(s.completed.len(), 1);
+        let fct_over_ideal = s.completed[0].slowdown;
+        // Unloaded network: the flow runs at ideal speed, give ~200 us of
+        // slack over the ~78 us ideal.
         let ideal = ideal_fct(&ft, 0, 15, 90_000);
-        assert!(fct >= ideal, "fct {fct} below ideal {ideal}");
+        let bound = (ideal + Time::from_us(200)).as_ps() as f64 / ideal.as_ps() as f64;
+        assert!(fct_over_ideal >= 0.99, "slowdown {fct_over_ideal}");
+        assert!(fct_over_ideal < bound, "unloaded slowdown {fct_over_ideal}");
+        // Both endpoints were detached the instant the flow finished.
+        assert_eq!(w.get::<Host>(ft.hosts[0]).n_endpoints(), 0);
+        assert_eq!(w.get::<Host>(ft.hosts[15]).n_endpoints(), 0);
+        // Retiring the spawner returns the arena to its pre-traffic state.
+        w.retire(sp);
+        assert_eq!(w.live_components(), baseline);
+    }
+
+    #[test]
+    fn openloop_live_state_returns_to_baseline_and_peak_is_bounded() {
+        let r = openloop_world_run(&quick_point(Proto::Ndp, 0.4, 5));
+        assert!(r.offered > 20, "want a non-trivial run, got {}", r.offered);
+        // Everything the traffic attached was freed again; only the
+        // stragglers' detach (if any) happened post-run.
+        assert_eq!(
+            r.live_components_end, r.live_components_baseline,
+            "arena must drain back to the pre-traffic baseline"
+        );
+        // Lazy attach keeps the in-flight population far below the total
+        // offered load, and the arena never grows with arrivals at all
+        // (endpoints live inside hosts).
         assert!(
-            fct < ideal + Time::from_us(200),
-            "unloaded fct {fct} far above ideal {ideal}"
+            r.peak_live_flows < r.offered,
+            "peak {} vs offered {}",
+            r.peak_live_flows,
+            r.offered
+        );
+        assert_eq!(
+            r.peak_live_components,
+            r.live_components_baseline + 1,
+            "only the spawner joins the arena during traffic"
+        );
+        // The world-level sink accounted for the completed flows' payload.
+        assert!(
+            r.delivered_bytes > 0,
+            "completion sink must report delivered bytes"
         );
     }
 }

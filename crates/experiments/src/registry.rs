@@ -9,6 +9,19 @@
 use crate::harness::Scale;
 use crate::json::Json;
 
+/// Run observability an experiment can expose alongside its data: engine
+/// fuel burned and the live-state gauges of the flow-lifecycle machinery.
+/// `None` fields render as JSON `null` — not every experiment tracks them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Engine events dispatched, summed over every world the run built.
+    pub events_processed: Option<u64>,
+    /// Highest arena population any world reached.
+    pub peak_live_components: Option<u64>,
+    /// Highest in-flight flow count any world reached.
+    pub peak_live_flows: Option<u64>,
+}
+
 /// What every experiment returns: human-readable (`Display` prints the
 /// paper's rows/series, `headline` compresses the qualitative claim) and
 /// machine-readable (`to_json`).
@@ -18,6 +31,12 @@ pub trait Report: std::fmt::Display {
 
     /// The figure's data as a JSON value (rendered by [`Json::render`]).
     fn to_json(&self) -> Json;
+
+    /// Run observability for the CLI envelope (events processed, live
+    /// gauges). Defaults to all-unknown.
+    fn run_stats(&self) -> RunStats {
+        RunStats::default()
+    }
 }
 
 /// One runnable experiment (a paper figure, table or inline claim).
@@ -93,13 +112,25 @@ pub fn cdf_json(c: &ndp_metrics::Cdf, ps: &[f64]) -> Json {
 pub const CDF_POINTS: &[f64] = &[0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
 
 /// The full machine-readable document for one run: id/title/scale
-/// envelope around the report's headline and data.
-pub fn document(exp: &dyn Experiment, scale: Scale, report: &dyn Report) -> Json {
+/// envelope around the report's headline and data, plus the `run` block
+/// with wall-clock and the report's [`RunStats`] (nulls where untracked).
+pub fn document(exp: &dyn Experiment, scale: Scale, report: &dyn Report, wall_ms: f64) -> Json {
+    let stats = report.run_stats();
+    let opt = |v: Option<u64>| v.map_or(Json::Null, |x| Json::num(x as f64));
     Json::obj([
         ("id", Json::str(exp.id())),
         ("title", Json::str(exp.title())),
         ("scale", Json::str(scale.name())),
         ("headline", Json::str(report.headline())),
+        (
+            "run",
+            Json::obj([
+                ("wall_ms", Json::num(wall_ms)),
+                ("events_processed", opt(stats.events_processed)),
+                ("peak_live_components", opt(stats.peak_live_components)),
+                ("peak_live_flows", opt(stats.peak_live_flows)),
+            ]),
+        ),
         ("data", report.to_json()),
     ])
 }
@@ -141,11 +172,15 @@ mod tests {
         // fig21 is the cheapest multi-flow figure: one 15 ms world.
         let exp = find("fig21").expect("fig21 registered");
         let report = exp.run(Scale::Quick);
-        let doc = document(exp, Scale::Quick, report.as_ref());
+        let doc = document(exp, Scale::Quick, report.as_ref(), 12.5);
         let text = doc.render();
         let back = crate::json::parse(&text).expect("valid JSON");
         assert_eq!(back.get("id").and_then(Json::as_str), Some("fig21"));
         assert_eq!(back.get("scale").and_then(Json::as_str), Some("quick"));
+        // The run envelope is always present; untracked gauges are null.
+        let run = back.get("run").expect("run envelope");
+        assert_eq!(run.get("wall_ms").and_then(Json::as_f64), Some(12.5));
+        assert_eq!(run.get("events_processed"), Some(&Json::Null));
         assert_eq!(
             back.get("headline").and_then(Json::as_str),
             Some(report.headline().as_str())

@@ -12,7 +12,7 @@
 //! No harness or figure module needs to change: they all dispatch through
 //! [`Proto::transport`].
 
-pub use ndp_transport::{flow_hash_path, FlowSpec, QueueSpec, Transport};
+pub use ndp_transport::{flow_hash_path, FlowHarvest, FlowSpec, QueueSpec, Transport};
 
 /// The transports under evaluation — registry keys into [`TRANSPORTS`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +25,8 @@ pub enum Proto {
     Mptcp,
     Dcqcn,
     PHost,
+    /// Unresponsive CBR blast (Figure 2's overload traffic).
+    Blast,
 }
 
 /// Every registered transport. One line per protocol; variants such as
@@ -38,6 +40,7 @@ pub static TRANSPORTS: &[(Proto, &dyn Transport)] = &[
     (Proto::Mptcp, &ndp_baselines::MPTCP),
     (Proto::Dcqcn, &ndp_baselines::DCQCN),
     (Proto::PHost, &ndp_baselines::PHOST),
+    (Proto::Blast, &ndp_baselines::BLAST),
 ];
 
 impl Proto {
@@ -85,6 +88,7 @@ mod tests {
             (Proto::Mptcp, "MPTCP", QueueSpec::droptail_default()),
             (Proto::Dcqcn, "DCQCN", QueueSpec::dcqcn_default()),
             (Proto::PHost, "pHost", QueueSpec::phost_default()),
+            (Proto::Blast, "blast", QueueSpec::ndp_default()),
         ];
         assert_eq!(expected.len(), TRANSPORTS.len());
         for &(proto, label, fabric) in expected {
@@ -107,5 +111,48 @@ mod tests {
         let keys: Vec<Proto> = Proto::all().collect();
         assert_eq!(keys.len(), TRANSPORTS.len());
         assert_eq!(keys[0], Proto::Ndp);
+    }
+
+    #[test]
+    fn every_transport_detaches_and_harvests() {
+        use ndp_net::{Host, Packet};
+        use ndp_sim::{Time, World};
+        use ndp_topology::{FatTree, FatTreeCfg};
+        // Every registered protocol must free its endpoint state on detach
+        // and hand back the same results the read-only accessors reported.
+        for proto in Proto::all() {
+            let cfg = FatTreeCfg::new(4).with_fabric(proto.fabric());
+            let mut w: World<Packet> = World::new(7);
+            let ft = FatTree::build(&mut w, cfg);
+            let spec = FlowSpec::new(1, 0, 15, 90_000);
+            let t = proto.transport();
+            t.attach(
+                &mut w,
+                &spec,
+                (ft.hosts[0], 0),
+                (ft.hosts[15], 15),
+                ft.n_paths(0, 15),
+                ft.cfg.mtu,
+            );
+            w.run_until(Time::from_ms(50));
+            let delivered = t.delivered_bytes(&w, ft.hosts[15], 1);
+            let done = t.completion_time(&w, ft.hosts[15], 1);
+            if proto == Proto::Blast {
+                // CBR blast rounds the size up to whole MTU packets and has
+                // no completion handshake.
+                assert!(delivered >= 90_000, "blast delivered {delivered}");
+            } else {
+                assert_eq!(delivered, 90_000, "{proto:?} must deliver the flow");
+                assert!(done.is_some(), "{proto:?} must record completion");
+            }
+            let h = t.detach(&mut w, ft.hosts[0], ft.hosts[15], 1);
+            assert_eq!(h.delivered_bytes, delivered, "{proto:?} harvest bytes");
+            assert_eq!(h.completion_time, done, "{proto:?} harvest fct");
+            assert_eq!(w.get::<Host>(ft.hosts[0]).n_endpoints(), 0, "{proto:?}");
+            assert_eq!(w.get::<Host>(ft.hosts[15]).n_endpoints(), 0, "{proto:?}");
+            // Detaching again is a harmless no-op with an empty harvest.
+            let again = t.detach(&mut w, ft.hosts[0], ft.hosts[15], 1);
+            assert_eq!(again, FlowHarvest::default(), "{proto:?} re-detach");
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! The world-level flow-completion sink.
+//!
+//! Endpoints used to hold their final statistics until a post-run
+//! harvest sweep downcast every endpoint of every host — which forces
+//! per-flow state to live as long as the world, O(total arrivals). With a
+//! [`CompletionSink`] registered on each host, a finishing endpoint
+//! reports `(flow, fct, delivered_bytes)` the instant it completes (via
+//! [`crate::host::EndpointCtx::complete`], which routes through the
+//! engine's deferred-op queue), so the harness can stream results into
+//! its metrics and free the endpoint immediately. Live state then tracks
+//! flows *in flight*, not flows ever offered.
+
+use std::any::Any;
+
+use ndp_sim::{Component, Ctx, Event, Time};
+
+use crate::packet::{FlowId, HostId, Packet};
+
+/// One completed flow, as reported by its receiving endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowDone {
+    pub flow: FlowId,
+    /// The reporting (receiver-side) host.
+    pub host: HostId,
+    /// Absolute completion instant.
+    pub completed_at: Time,
+    /// Receiver-measured completion time (first arrival → done).
+    pub fct: Time,
+    pub delivered_bytes: u64,
+}
+
+/// Collects [`FlowDone`] records as flows finish. The consumer (an
+/// experiment runner) drains [`CompletionSink::take_done`] periodically —
+/// between run chunks or after the run — so the buffer holds one drain
+/// interval's completions, not the whole campaign's. A consumer that only
+/// needs the lifetime totals should build the sink with
+/// [`CompletionSink::totals_only`] and skip per-record buffering entirely.
+pub struct CompletionSink {
+    done: Vec<FlowDone>,
+    buffer_records: bool,
+    /// Flows reported over the sink's lifetime (not reset by drains).
+    pub total_flows: u64,
+    /// Payload bytes those flows delivered.
+    pub total_bytes: u64,
+}
+
+impl Default for CompletionSink {
+    fn default() -> CompletionSink {
+        CompletionSink::new()
+    }
+}
+
+impl CompletionSink {
+    pub fn new() -> CompletionSink {
+        CompletionSink {
+            done: Vec::new(),
+            buffer_records: true,
+            total_flows: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// A sink that keeps only the lifetime counters — for consumers that
+    /// never read individual [`FlowDone`] records, completions cost two
+    /// counter bumps instead of a buffered record.
+    pub fn totals_only() -> CompletionSink {
+        CompletionSink {
+            buffer_records: false,
+            ..CompletionSink::new()
+        }
+    }
+
+    /// Record one completion (called from a deferred world op).
+    pub fn record(&mut self, rec: FlowDone) {
+        self.total_flows += 1;
+        self.total_bytes += rec.delivered_bytes;
+        if self.buffer_records {
+            self.done.push(rec);
+        }
+    }
+
+    /// Take everything reported since the last drain.
+    pub fn take_done(&mut self) -> Vec<FlowDone> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Records currently buffered (i.e. not yet drained).
+    pub fn pending(&self) -> usize {
+        self.done.len()
+    }
+}
+
+impl Component<Packet> for CompletionSink {
+    fn handle(&mut self, _ev: Event<Packet>, _ctx: &mut Ctx<'_, Packet>) {
+        // Passive: records arrive through deferred ops, not events.
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_and_drains() {
+        let mut s = CompletionSink::new();
+        let rec = |flow, bytes| FlowDone {
+            flow,
+            host: 0,
+            completed_at: Time::from_us(flow),
+            fct: Time::from_us(1),
+            delivered_bytes: bytes,
+        };
+        s.record(rec(1, 100));
+        s.record(rec(2, 50));
+        assert_eq!(s.pending(), 2);
+        let batch = s.take_done();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(s.pending(), 0);
+        s.record(rec(3, 10));
+        assert_eq!(s.take_done().len(), 1);
+        // Lifetime totals survive drains.
+        assert_eq!(s.total_flows, 3);
+        assert_eq!(s.total_bytes, 160);
+        // Totals-only mode never buffers records.
+        let mut t = CompletionSink::totals_only();
+        t.record(rec(4, 25));
+        t.record(rec(5, 25));
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.total_flows, 2);
+        assert_eq!(t.total_bytes, 50);
+    }
+}

@@ -218,6 +218,19 @@ impl PullQueue {
         self.flows.values().any(|f| f.pending > 0)
     }
 
+    /// Drop all state for a flow (endpoint retirement), including any
+    /// queued round-robin slot — a later flow reusing the id must start
+    /// with a clean single slot in its own priority class.
+    fn remove(&mut self, flow: FlowId) {
+        if let Some(e) = self.flows.remove(&flow) {
+            if e.in_rr {
+                for q in &mut self.rr {
+                    q.retain(|&f| f != flow);
+                }
+            }
+        }
+    }
+
     /// Next pull to emit: (flow, peer, counter-value). Round robin within
     /// the highest non-empty priority class.
     fn pop(&mut self) -> Option<(FlowId, HostId, u64)> {
@@ -269,8 +282,15 @@ struct HostCore {
     last_rx: Time,
     trace_pulls: bool,
     time_wait: HashMap<FlowId, Time>,
+    /// Time-wait entries in expiry order (expiries are monotone: always
+    /// `now + MSL`), so the table purges itself in O(1) amortized instead
+    /// of growing with every connection ever closed.
+    time_wait_order: VecDeque<(FlowId, Time)>,
     /// Optional goodput trace: (bucket width, delivered bytes per bucket).
     rx_trace: Option<(Time, Vec<u64>)>,
+    /// World-level [`crate::completion::CompletionSink`], if the harness
+    /// registered one; completing endpoints report through it.
+    completion_sink: Option<ComponentId>,
     pub stats: HostStats,
 }
 
@@ -386,11 +406,47 @@ impl<'a, 'b> EndpointCtx<'a, 'b> {
         self.sim.wake_other(target, Time::ZERO, token);
     }
 
+    /// Report this flow as finished to the world-level
+    /// [`crate::completion::CompletionSink`], if the harness registered
+    /// one (no-op otherwise). `fct` is the receiver-measured completion
+    /// time; the record lands in the sink through the engine's deferred-op
+    /// queue, immediately after the current dispatch.
+    pub fn complete(&mut self, delivered_bytes: u64, fct: Time) {
+        let Some(sink) = self.core.completion_sink else {
+            return;
+        };
+        let rec = crate::completion::FlowDone {
+            flow: self.flow,
+            host: self.core.id,
+            completed_at: self.sim.now(),
+            fct,
+            delivered_bytes,
+        };
+        self.sim.defer(move |w| {
+            w.get_mut::<crate::completion::CompletionSink>(sink)
+                .record(rec);
+        });
+    }
+
     /// Enter time-wait: reject duplicate connection attempts for one MSL
     /// (§3.2.2 at-most-once semantics).
     pub fn enter_time_wait(&mut self) {
-        let until = self.sim.now() + MSL;
+        let now = self.sim.now();
+        let until = now + MSL;
         self.core.time_wait.insert(self.flow, until);
+        self.core.time_wait_order.push_back((self.flow, until));
+        // Opportunistically purge expired entries so the table tracks
+        // connections inside the MSL window, not every flow ever closed.
+        while let Some(&(flow, exp)) = self.core.time_wait_order.front() {
+            if exp > now {
+                break;
+            }
+            self.core.time_wait_order.pop_front();
+            // Only drop the map entry if it wasn't refreshed since.
+            if self.core.time_wait.get(&flow) == Some(&exp) {
+                self.core.time_wait.remove(&flow);
+            }
+        }
     }
 }
 
@@ -417,7 +473,9 @@ impl Host {
                 last_rx: Time::ZERO,
                 trace_pulls: false,
                 time_wait: HashMap::new(),
+                time_wait_order: VecDeque::new(),
                 rx_trace: None,
+                completion_sink: None,
                 stats: HostStats::default(),
             },
             endpoints: HashMap::new(),
@@ -450,13 +508,39 @@ impl Host {
         self.core.id
     }
 
+    /// This host's NIC link rate.
+    pub fn link_rate(&self) -> Speed {
+        self.core.link_rate
+    }
+
     pub fn stats(&self) -> &HostStats {
         &self.core.stats
+    }
+
+    /// Route completion reports from this host's endpoints to a
+    /// world-level [`crate::completion::CompletionSink`].
+    pub fn set_completion_sink(&mut self, sink: ComponentId) {
+        self.core.completion_sink = Some(sink);
     }
 
     pub fn add_endpoint(&mut self, flow: FlowId, ep: Box<dyn Endpoint>) {
         let prev = self.endpoints.insert(flow, ep);
         assert!(prev.is_none(), "flow {flow} already registered on host");
+    }
+
+    /// Retire a flow's endpoint: free its state machine and purge its pull
+    /// queue entry. Events still in flight for the flow are dropped by the
+    /// dispatch miss path (and duplicate SYNs by time-wait), so removal is
+    /// safe mid-run. Returns the endpoint for final harvesting.
+    pub fn remove_endpoint(&mut self, flow: FlowId) -> Option<Box<dyn Endpoint>> {
+        self.core.pull.remove(flow);
+        self.endpoints.remove(&flow)
+    }
+
+    /// Number of endpoints currently attached (the per-host live-flow
+    /// gauge).
+    pub fn n_endpoints(&self) -> usize {
+        self.endpoints.len()
     }
 
     /// Downcast an endpoint for post-run harvesting.
@@ -840,6 +924,137 @@ mod tests {
         let p: &Probe = h.endpoint(7);
         assert_eq!(p.pkts.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(h.stats().delivered_pkts, 2);
+    }
+
+    #[test]
+    fn remove_endpoint_frees_state_and_skips_stale_pulls() {
+        let (mut w, host, nic) = setup(5);
+        // Queue five pulls, then retire the flow before the pacer drains
+        // them: no pull may be emitted for a removed endpoint.
+        w.post_wake(Time::ZERO, host, 7 << 8);
+        w.run_until(Time::ZERO); // first pull fires at t=0
+        let h = w.get_mut::<Host>(host);
+        assert_eq!(h.n_endpoints(), 1);
+        let ep = h.remove_endpoint(7);
+        assert!(ep.is_some(), "removed endpoint is handed back for harvest");
+        assert!(ep.unwrap().as_any().downcast_ref::<Probe>().is_some());
+        assert_eq!(h.n_endpoints(), 0);
+        assert!(h.remove_endpoint(7).is_none(), "second removal is a no-op");
+        w.run_until_idle();
+        let pulls = w
+            .get::<NicSink>(nic)
+            .got
+            .iter()
+            .filter(|(_, p)| p.kind == PacketKind::Pull)
+            .count();
+        assert_eq!(pulls, 1, "only the pre-removal pull may go out");
+        // The flow's pending timer is dropped by the miss path, not
+        // delivered to a ghost.
+        assert_eq!(w.get::<Host>(host).stats().unknown_flow_drops, 1);
+    }
+
+    #[test]
+    fn reattached_flow_id_gets_a_single_clean_rr_slot() {
+        // Retire a flow while its round-robin slot is still queued, then
+        // reuse the id: the new flow must hold exactly one rr slot (no
+        // double pull share from a stale slot).
+        let mut w: World<Packet> = World::new(9);
+        let nic = w.add(NicSink { got: vec![] });
+        let mut h = Host::new(0, nic, Speed::gbps(10), 9000);
+        let mut a = Probe::new();
+        a.pulls_on_start = 4;
+        h.add_endpoint(7, Box::new(a));
+        let host = w.add(h);
+        w.post_wake(Time::ZERO, host, 7 << 8);
+        w.run_until(Time::ZERO); // one pull emitted; rr slot still queued
+        let h = w.get_mut::<Host>(host);
+        h.remove_endpoint(7);
+        let mut a2 = Probe::new();
+        a2.pulls_on_start = 3;
+        let mut b = Probe::new();
+        b.pulls_on_start = 3;
+        h.add_endpoint(7, Box::new(a2));
+        h.add_endpoint(8, Box::new(b));
+        w.post_wake(Time::from_us(1), host, 7 << 8);
+        w.post_wake(Time::from_us(1), host, 8 << 8);
+        w.run_until_idle();
+        let flows: Vec<FlowId> = w
+            .get::<NicSink>(nic)
+            .got
+            .iter()
+            .filter(|(_, p)| p.kind == PacketKind::Pull)
+            .map(|(_, p)| p.flow)
+            .collect();
+        // First pull from the retired incarnation, then strict alternation:
+        // a stale extra slot for flow 7 would serve it twice per cycle.
+        assert_eq!(flows, vec![7, 7, 8, 7, 8, 7, 8]);
+    }
+
+    #[test]
+    fn completion_reports_reach_the_world_sink() {
+        use crate::completion::CompletionSink;
+        struct Finisher;
+        impl Endpoint for Finisher {
+            fn on_start(&mut self, _c: &mut EndpointCtx<'_, '_>) {}
+            fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+                ctx.complete(pkt.payload as u64, Time::from_us(3));
+            }
+            fn on_timer(&mut self, _t: u8, _c: &mut EndpointCtx<'_, '_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut w: World<Packet> = World::new(9);
+        let nic = w.add(NicSink { got: vec![] });
+        let sink = w.add(CompletionSink::new());
+        let mut h = Host::new(4, nic, Speed::gbps(10), 9000);
+        h.set_completion_sink(sink);
+        h.add_endpoint(7, Box::new(Finisher));
+        let host = w.add(h);
+        w.post(Time::from_us(1), host, Packet::data(1, 4, 7, 0, 9000));
+        w.run_until_idle();
+        let s = w.get::<CompletionSink>(sink);
+        assert_eq!(s.total_flows, 1);
+        let recs = w.get_mut::<CompletionSink>(sink).take_done();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].flow, 7);
+        assert_eq!(recs[0].host, 4);
+        assert_eq!(recs[0].completed_at, Time::from_us(1));
+        assert_eq!(recs[0].fct, Time::from_us(3));
+    }
+
+    #[test]
+    fn timewait_table_purges_expired_entries() {
+        let mut w: World<Packet> = World::new(9);
+        let nic = w.add(NicSink { got: vec![] });
+        struct Waiter;
+        impl Endpoint for Waiter {
+            fn on_start(&mut self, _c: &mut EndpointCtx<'_, '_>) {}
+            fn on_packet(&mut self, _p: Packet, ctx: &mut EndpointCtx<'_, '_>) {
+                ctx.enter_time_wait();
+            }
+            fn on_timer(&mut self, _t: u8, _c: &mut EndpointCtx<'_, '_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut h = Host::new(0, nic, Speed::gbps(10), 9000);
+        for f in 1..=20u64 {
+            h.add_endpoint(f, Box::new(Waiter));
+        }
+        let host = w.add(h);
+        // Each flow closes 1 ms after the previous: by the time flow k
+        // closes, flows < k have been out of time-wait for (k-1) MSLs.
+        for f in 1..=20u64 {
+            w.post(Time::from_ms(f), host, Packet::data(1, 0, f, 0, 9000));
+        }
+        w.run_until_idle();
+        let core = &w.get::<Host>(host).core;
+        assert!(
+            core.time_wait.len() <= 2,
+            "time-wait table must purge itself, kept {}",
+            core.time_wait.len()
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! [`host::Endpoint`]) plus the NDP receiver machinery that is shared by all
 //! connections terminating at a host: the single pull queue and its pacer.
 
+pub mod completion;
 pub mod host;
 pub mod p4;
 pub mod packet;
@@ -28,6 +29,7 @@ pub mod pipe;
 pub mod queue;
 pub mod switch;
 
+pub use completion::{CompletionSink, FlowDone};
 pub use host::{Endpoint, EndpointCtx, Host, HostLatency, PullPriority};
 pub use packet::{Flags, FlowId, HostId, Packet, PacketKind, PathTag, HEADER_BYTES};
 pub use pipe::Pipe;

@@ -36,4 +36,6 @@ pub mod time;
 pub mod world;
 
 pub use time::{Speed, Time};
-pub use world::{set_default_scheduler, Component, ComponentId, Ctx, Event, SchedulerKind, World};
+pub use world::{
+    set_default_scheduler, Component, ComponentId, Ctx, Event, SchedulerKind, World, WorldOp,
+};

@@ -40,8 +40,49 @@ use rand::SeedableRng;
 
 use crate::time::Time;
 
-/// Index of a component in its world's arena.
-pub type ComponentId = u32;
+/// Handle to a component in its world's arena: a slot index plus the
+/// slot's generation at allocation time.
+///
+/// Slots are reclaimed when components are [retired](World::retire) and
+/// handed out again by a free list; the generation disambiguates the slot's
+/// successive occupants, so an event (or a saved id) addressed to a retired
+/// component can never reach the slot's new tenant — dispatch drops stale
+/// events, `try_get` returns `None`, and `get`/`get_mut` panic loudly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId {
+    idx: u32,
+    gen: u32,
+}
+
+impl ComponentId {
+    /// Placeholder for "not wired yet" tables (never dispatchable: no slot
+    /// ever carries this generation at `u32::MAX`).
+    pub const DANGLING: ComponentId = ComponentId {
+        idx: u32::MAX,
+        gen: u32::MAX,
+    };
+
+    /// The slot index (stable for the component's lifetime; reused after
+    /// retirement, which is what the generation guards against).
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+
+    /// The allocation generation of this handle's slot.
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.gen == 0 {
+            write!(f, "{}", self.idx)
+        } else {
+            write!(f, "{}v{}", self.idx, self.gen)
+        }
+    }
+}
 
 /// What a component receives when dispatched.
 #[derive(Debug)]
@@ -105,6 +146,15 @@ impl SchedulerKind {
             SchedulerKind::Classic => "classic",
         }
     }
+
+    /// Parse a scheduler name as accepted by `NDP_SCHED`.
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "two-tier" => Some(SchedulerKind::TwoTier),
+            "classic" => Some(SchedulerKind::Classic),
+            _ => None,
+        }
+    }
 }
 
 /// Process-wide default for new worlds: 0 = unset, 1 = two-tier,
@@ -128,22 +178,25 @@ fn default_scheduler() -> SchedulerKind {
         2 => SchedulerKind::Classic,
         _ => {
             let kind = match std::env::var("NDP_SCHED").as_deref() {
-                Ok("classic") => SchedulerKind::Classic,
-                Ok("two-tier") | Err(_) => SchedulerKind::TwoTier,
-                Ok(other) => {
-                    // A typo here would silently invalidate an A/B
-                    // comparison; be loud about the fallback.
-                    eprintln!(
-                        "NDP_SCHED={other:?} is not \"classic\" or \"two-tier\"; \
-                         using the two-tier scheduler"
-                    );
-                    SchedulerKind::TwoTier
-                }
+                Err(_) | Ok("") => SchedulerKind::TwoTier,
+                // A typo here would silently invalidate an A/B comparison;
+                // refuse to run, matching NDP_SCALE's strictness.
+                Ok(v) => SchedulerKind::parse(v).unwrap_or_else(|| {
+                    panic!("NDP_SCHED must be 'classic' or 'two-tier', got '{v}'")
+                }),
             };
             set_default_scheduler(kind);
             kind
         }
     }
+}
+
+/// Out-of-line panic for events addressed to a vacated (reserved or
+/// never-installed) slot, keeping the dispatch loop's hot body small.
+#[cold]
+#[inline(never)]
+fn missing_component(id: ComponentId) -> ! {
+    panic!("event for missing component {id}")
 }
 
 /// Timing-wheel geometry: 1024 slots of 2^16 ps (≈65.5 ns) cover a window
@@ -382,12 +435,19 @@ impl<M> EventQueue<M> {
     }
 }
 
+/// A deferred structural mutation of the world, requested from inside a
+/// dispatch (where only a [`Ctx`] is available) and executed with full
+/// `&mut World` access immediately after the current component's handler
+/// returns — see [`Ctx::defer`].
+pub type WorldOp<M> = Box<dyn FnOnce(&mut World<M>) + Send>;
+
 /// Dispatch context: the only way a component can affect the world.
 pub struct Ctx<'a, M> {
     now: Time,
     self_id: ComponentId,
     queue: &'a mut EventQueue<M>,
     rng: &'a mut SmallRng,
+    deferred: &'a mut Vec<WorldOp<M>>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -439,6 +499,16 @@ impl<M> Ctx<'_, M> {
     fn post_at(&mut self, at: Time, to: ComponentId, ev: Event<M>) {
         self.queue.post(self.now, at, to, ev);
     }
+
+    /// Request a structural world mutation (attach or retire component
+    /// subgraphs, install endpoints, ...) that cannot be expressed through
+    /// the event queue. The op runs with `&mut World` as soon as the
+    /// current handler returns, before the next event is dispatched, so
+    /// ordering stays deterministic. Ops queued by an op run in the same
+    /// drain, at the same instant.
+    pub fn defer(&mut self, op: impl FnOnce(&mut World<M>) + Send + 'static) {
+        self.deferred.push(Box::new(op));
+    }
 }
 
 /// Running FNV-1a hash over the dispatched event trace; pinned by the
@@ -473,14 +543,41 @@ impl TraceHash {
             Event::Msg(_) => 0u64,
             Event::Wake(tok) => 1 | (tok << 1),
         };
-        self.mix((to as u64) << 32 | (kind & 0xFFFF_FFFF));
+        // The slot index alone keeps the hash identical to the pre-
+        // retirement format for worlds that never recycle a slot (all the
+        // pinned golden traces).
+        self.mix((to.idx as u64) << 32 | (kind & 0xFFFF_FFFF));
         self.len += 1;
     }
 }
 
+/// One arena slot: its current generation plus occupancy state.
+enum Slot<M> {
+    /// Reclaimed; queued on the free list for reuse.
+    Free,
+    /// Id handed out by [`World::reserve`], component not yet installed.
+    Reserved,
+    Occupied(Box<dyn Component<M>>),
+}
+
+struct SlotEntry<M> {
+    gen: u32,
+    state: Slot<M>,
+}
+
 /// The simulation world: component arena + event queue + clock + RNG.
+///
+/// The arena is a free-list slab: [`World::retire`] reclaims a slot and
+/// bumps its generation, so live state tracks *current* components, not
+/// everything ever attached. [`World::live_components`] /
+/// [`World::peak_live_components`] gauge that population.
 pub struct World<M> {
-    components: Vec<Option<Box<dyn Component<M>>>>,
+    slots: Vec<SlotEntry<M>>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
+    stale_dropped: u64,
+    deferred: Vec<WorldOp<M>>,
     queue: EventQueue<M>,
     now: Time,
     rng: SmallRng,
@@ -498,7 +595,12 @@ impl<M: 'static> World<M> {
     /// A world on an explicit scheduler implementation.
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> World<M> {
         World {
-            components: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak_live: 0,
+            stale_dropped: 0,
+            deferred: Vec::new(),
             queue: EventQueue::new(kind),
             now: Time::ZERO,
             rng: SmallRng::seed_from_u64(seed),
@@ -525,23 +627,82 @@ impl<M: 'static> World<M> {
         (t.hash, t.len)
     }
 
+    /// Allocate a slot (reusing a retired one when available) and return
+    /// its id at the slot's current generation.
+    fn alloc(&mut self, state: Slot<M>) -> ComponentId {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        if let Some(idx) = self.free.pop() {
+            let entry = &mut self.slots[idx as usize];
+            debug_assert!(matches!(entry.state, Slot::Free));
+            entry.state = state;
+            ComponentId {
+                idx,
+                gen: entry.gen,
+            }
+        } else {
+            self.slots.push(SlotEntry { gen: 0, state });
+            ComponentId {
+                idx: (self.slots.len() - 1) as u32,
+                gen: 0,
+            }
+        }
+    }
+
     /// Register a component, returning its id.
     pub fn add<C: Component<M> + 'static>(&mut self, c: C) -> ComponentId {
-        self.components.push(Some(Box::new(c)));
-        (self.components.len() - 1) as ComponentId
+        self.alloc(Slot::Occupied(Box::new(c)))
     }
 
     /// Reserve a slot to break wiring cycles: get the id now, install later.
     pub fn reserve(&mut self) -> ComponentId {
-        self.components.push(None);
-        (self.components.len() - 1) as ComponentId
+        self.alloc(Slot::Reserved)
     }
 
     /// Install a component into a reserved slot.
     pub fn install<C: Component<M> + 'static>(&mut self, id: ComponentId, c: C) {
-        let slot = &mut self.components[id as usize];
-        assert!(slot.is_none(), "slot {id} already installed");
-        *slot = Some(Box::new(c));
+        let entry = &mut self.slots[id.idx as usize];
+        assert!(entry.gen == id.gen, "slot {id} was retired");
+        assert!(
+            matches!(entry.state, Slot::Reserved),
+            "slot {id} already installed"
+        );
+        entry.state = Slot::Occupied(Box::new(c));
+    }
+
+    /// Retire a component: drop its state, reclaim the slot for reuse and
+    /// bump the slot generation so any event still in flight to `id` (or
+    /// any stale copy of the handle) can never reach the slot's next
+    /// occupant. Idempotent: retiring an already-retired id is a no-op
+    /// returning `false`.
+    pub fn retire(&mut self, id: ComponentId) -> bool {
+        let Some(entry) = self.slots.get_mut(id.idx as usize) else {
+            return false;
+        };
+        if entry.gen != id.gen || matches!(entry.state, Slot::Free) {
+            return false;
+        }
+        entry.state = Slot::Free;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.live -= 1;
+        true
+    }
+
+    /// Components currently attached (occupied + reserved slots) — the
+    /// live-state gauge the retirement machinery keeps O(concurrent).
+    pub fn live_components(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of [`World::live_components`].
+    pub fn peak_live_components(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Events that arrived for a retired slot and were dropped at dispatch.
+    pub fn stale_events_dropped(&self) -> u64 {
+        self.stale_dropped
     }
 
     /// Post a message to a component at an absolute time (harness-level).
@@ -576,6 +737,14 @@ impl<M: 'static> World<M> {
         while let Some(sched) = self.queue.pop_due(horizon) {
             debug_assert!(sched.at >= self.now, "time went backwards");
             self.now = sched.at;
+            let entry = &mut self.slots[sched.to.idx as usize];
+            if entry.gen != sched.to.gen {
+                // Stale event to a retired slot: the generation check is
+                // what makes retirement safe — the slot's next occupant
+                // never sees its predecessor's traffic.
+                self.stale_dropped += 1;
+                continue;
+            }
             self.events_processed += 1;
             if let Some(tr) = &mut self.trace {
                 tr.record(sched.at, sched.to, &sched.ev);
@@ -583,17 +752,20 @@ impl<M: 'static> World<M> {
             // Split borrow: the component slot and the event queue / RNG are
             // disjoint fields, so dispatch hands out a `Ctx` without
             // vacating the slot (the seed's take/re-insert dance is gone).
-            let idx = sched.to as usize;
-            let comp = self.components[idx]
-                .as_mut()
-                .unwrap_or_else(|| panic!("event for missing component {idx}"));
+            let Slot::Occupied(comp) = &mut entry.state else {
+                missing_component(sched.to)
+            };
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: sched.to,
                 queue: &mut self.queue,
                 rng: &mut self.rng,
+                deferred: &mut self.deferred,
             };
             comp.handle(sched.ev, &mut ctx);
+            if !self.deferred.is_empty() {
+                self.drain_deferred();
+            }
         }
         // Advance the clock to the horizon only if we drained everything
         // before it; otherwise the clock stays at the last dispatched event.
@@ -603,6 +775,20 @@ impl<M: 'static> World<M> {
         self.events_processed - start
     }
 
+    /// Drain deferred world ops before the next dispatch: attach / retire
+    /// requests made mid-handler run here, with full `&mut World`, at the
+    /// current instant. Ops an op defers run in the same drain. Out of
+    /// line: the dispatch loop only pays a length check per event.
+    #[inline(never)]
+    fn drain_deferred(&mut self) {
+        while !self.deferred.is_empty() {
+            let ops = std::mem::take(&mut self.deferred);
+            for op in ops {
+                op(self);
+            }
+        }
+    }
+
     /// Run until no events remain.
     pub fn run_until_idle(&mut self) -> u64 {
         self.run_until(Time::MAX)
@@ -610,48 +796,62 @@ impl<M: 'static> World<M> {
 
     /// Immutable access to a component, downcast to its concrete type.
     ///
-    /// Panics if the id is invalid or the type does not match — both are
-    /// harness bugs, not recoverable conditions.
+    /// Panics if the id is invalid, retired, or the type does not match —
+    /// all are harness bugs, not recoverable conditions.
     pub fn get<C: 'static>(&self, id: ComponentId) -> &C {
-        self.components[id as usize]
-            .as_ref()
-            .expect("component vacated")
-            .as_any()
+        let entry = &self.slots[id.idx as usize];
+        assert!(entry.gen == id.gen, "component {id} was retired");
+        let Slot::Occupied(c) = &entry.state else {
+            panic!("component {id} vacated")
+        };
+        c.as_any()
             .downcast_ref::<C>()
             .unwrap_or_else(|| panic!("component {id} has unexpected type"))
     }
 
     /// Mutable access to a component, downcast to its concrete type.
     pub fn get_mut<C: 'static>(&mut self, id: ComponentId) -> &mut C {
-        self.components[id as usize]
-            .as_mut()
-            .expect("component vacated")
-            .as_any_mut()
+        let entry = &mut self.slots[id.idx as usize];
+        assert!(entry.gen == id.gen, "component {id} was retired");
+        let Slot::Occupied(c) = &mut entry.state else {
+            panic!("component {id} vacated")
+        };
+        c.as_any_mut()
             .downcast_mut::<C>()
             .unwrap_or_else(|| panic!("component {id} has unexpected type"))
     }
 
-    /// Try to view a component as `C`, returning `None` on type mismatch.
+    /// Try to view a component as `C`: `None` for retired/stale ids,
+    /// reserved slots and type mismatches.
     pub fn try_get<C: 'static>(&self, id: ComponentId) -> Option<&C> {
-        self.components
-            .get(id as usize)?
-            .as_ref()?
-            .as_any()
-            .downcast_ref::<C>()
+        let entry = self.slots.get(id.idx as usize)?;
+        if entry.gen != id.gen {
+            return None;
+        }
+        match &entry.state {
+            Slot::Occupied(c) => c.as_any().downcast_ref::<C>(),
+            _ => None,
+        }
     }
 
-    /// Number of registered components.
+    /// Number of live (non-retired) components.
     pub fn len(&self) -> usize {
-        self.components.len()
+        self.live
     }
 
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.live == 0
     }
 
-    /// Iterate over component ids (for post-run stat sweeps).
-    pub fn ids(&self) -> impl Iterator<Item = ComponentId> {
-        0..self.components.len() as ComponentId
+    /// Iterate over live component ids, at their current generations (for
+    /// post-run stat sweeps).
+    pub fn ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, e)| {
+            (!matches!(e.state, Slot::Free)).then_some(ComponentId {
+                idx: i as u32,
+                gen: e.gen,
+            })
+        })
     }
 }
 
@@ -1020,5 +1220,105 @@ mod tests {
         let mut w: World<u32> = World::new(1);
         let id = w.add(counter());
         let _ = w.get::<SelfTimer>(id);
+    }
+
+    #[test]
+    fn retire_reclaims_slot_and_bumps_generation() {
+        let mut w: World<u32> = World::with_scheduler(1, SchedulerKind::TwoTier);
+        let a = w.add(counter());
+        let b = w.add(counter());
+        assert_eq!(w.live_components(), 2);
+        assert!(w.retire(a));
+        assert!(!w.retire(a), "second retire is a no-op");
+        assert_eq!(w.live_components(), 1);
+        // The next add reuses a's slot under a fresh generation.
+        let c = w.add(counter());
+        assert_eq!(c.index(), a.index());
+        assert_ne!(c.generation(), a.generation());
+        assert_eq!(w.live_components(), 2);
+        assert_eq!(w.peak_live_components(), 2);
+        // Stale handles are dead: try_get misses, ids() yields only live.
+        assert!(w.try_get::<Counter>(a).is_none());
+        assert!(w.try_get::<Counter>(c).is_some());
+        let ids: Vec<ComponentId> = w.ids().collect();
+        assert_eq!(ids, vec![c, b]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn stale_event_never_reaches_recycled_slot() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let victim = w.add(counter());
+            // An event is in flight to `victim` when it is retired...
+            w.post(Time::from_us(10), victim, 99);
+            w.retire(victim);
+            // ...and its slot is immediately recycled.
+            let tenant = w.add(counter());
+            assert_eq!(tenant.index(), victim.index());
+            w.post(Time::from_us(20), tenant, 7);
+            w.run_until_idle();
+            let c = w.get::<Counter>(tenant);
+            assert_eq!(
+                c.msgs.iter().map(|m| m.1).collect::<Vec<_>>(),
+                vec![7],
+                "the stale event must not leak to the new occupant"
+            );
+            assert_eq!(w.stale_events_dropped(), 1);
+            assert_eq!(w.events_processed(), 1);
+        }
+    }
+
+    struct Retirer {
+        target: ComponentId,
+        spawn_replacement: bool,
+    }
+    impl Component<u32> for Retirer {
+        fn handle(&mut self, _ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            let target = self.target;
+            let spawn = self.spawn_replacement;
+            ctx.defer(move |w| {
+                w.retire(target);
+                if spawn {
+                    let id = w.add(Counter {
+                        ticks: 0,
+                        msgs: Vec::new(),
+                    });
+                    // Deferred ops can post into the world they mutate.
+                    w.post(w.now(), id, 1);
+                }
+            });
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn deferred_ops_retire_and_attach_mid_run() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let victim = w.add(counter());
+            let r = w.add(Retirer {
+                target: victim,
+                spawn_replacement: true,
+            });
+            // The victim has a timer due after its retirement instant.
+            w.post(Time::from_us(9), victim, 5);
+            w.post_wake(Time::from_us(1), r, 0);
+            w.run_until_idle();
+            assert_eq!(w.live_components(), 2, "victim gone, replacement live");
+            assert_eq!(w.stale_events_dropped(), 1);
+            // The replacement reused the victim's slot and got its message.
+            let replacement = w
+                .ids()
+                .find(|&id| id.index() == victim.index())
+                .expect("slot reused");
+            assert_ne!(replacement, victim);
+            assert_eq!(w.get::<Counter>(replacement).msgs, vec![(1_000_000, 1)]);
+        }
     }
 }

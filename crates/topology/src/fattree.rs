@@ -179,6 +179,9 @@ impl Router for CoreRouter {
 }
 
 /// A built FatTree: component ids for hosts, switches and every queue.
+/// `Clone` is cheap (id vectors only) — harness components that attach
+/// flows mid-run (e.g. the open-loop `Spawner`) carry their own copy.
+#[derive(Clone)]
 pub struct FatTree {
     pub cfg: FatTreeCfg,
     /// Host components, indexed by [`HostId`].
@@ -260,7 +263,7 @@ impl FatTree {
 
         // Agg <-> Core links. Agg `a` (in-pod index) owns cores a*half..a*half+half.
         let mut agg_up = vec![Vec::with_capacity(half); n_aggs];
-        let mut core_down = vec![vec![0; k]; n_cores];
+        let mut core_down = vec![vec![ComponentId::DANGLING; k]; n_cores];
         // Index arithmetic (pod/agg/core offsets) IS the wiring spec here;
         // iterator chains would bury it.
         #[allow(clippy::needless_range_loop)]

@@ -58,6 +58,44 @@ pub fn flow_hash_path(flow: FlowId) -> u32 {
     (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
 }
 
+/// Final receiver-side accounting for one flow, returned by
+/// [`Transport::detach`] as the endpoints are freed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowHarvest {
+    pub delivered_bytes: u64,
+    /// Absolute completion instant, `None` if the flow never finished
+    /// (or the transport has no completion notion, e.g. blast).
+    pub completion_time: Option<Time>,
+}
+
+/// The shared body of every [`Transport::detach`]: remove the sender's
+/// endpoint, remove the receiver's, and harvest the receiver as `R`.
+///
+/// A missing flow (already detached) yields the default (empty) harvest —
+/// detach is idempotent. A receiver that exists but is not an `R` panics
+/// loudly, matching `Host::endpoint`'s behaviour: that is a mis-wired
+/// transport, not a recoverable condition.
+pub fn detach_endpoints<R: 'static>(
+    world: &mut World<Packet>,
+    src_host: ComponentId,
+    dst_host: ComponentId,
+    flow: FlowId,
+    harvest: impl FnOnce(&R) -> FlowHarvest,
+) -> FlowHarvest {
+    use ndp_net::Host;
+    world.get_mut::<Host>(src_host).remove_endpoint(flow);
+    match world.get_mut::<Host>(dst_host).remove_endpoint(flow) {
+        None => FlowHarvest::default(),
+        Some(ep) => {
+            let r = ep
+                .as_any()
+                .downcast_ref::<R>()
+                .unwrap_or_else(|| panic!("receiver for flow {flow} has unexpected type"));
+            harvest(r)
+        }
+    }
+}
+
 /// A transport under evaluation: attach flows, pick the fabric it runs
 /// over, harvest results. Object-safe — harnesses drive `&dyn Transport`.
 ///
@@ -97,6 +135,23 @@ pub trait Transport: Sync {
         host: ComponentId,
         flow: FlowId,
     ) -> Option<Time>;
+
+    /// Harvest the flow's final results and free both endpoints' state
+    /// (sender on `src_host`, receiver on `dst_host`).
+    ///
+    /// This is the retirement half of the lifecycle: [`Transport::attach`]
+    /// can be called mid-run (typically from a deferred world op at the
+    /// flow's arrival instant) and `detach` frees everything the attach
+    /// registered — so a long open-loop run's live state is bounded by the
+    /// flows in flight, not the flows ever offered. Idempotent: detaching
+    /// an unknown flow returns a default (empty) harvest.
+    fn detach(
+        &self,
+        world: &mut World<Packet>,
+        src_host: ComponentId,
+        dst_host: ComponentId,
+        flow: FlowId,
+    ) -> FlowHarvest;
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! Long-window open-loop run: the O(concurrent) memory claim, end to end.
+//!
+//! Runs the quick-scale web-search load point at high load with a **10×**
+//! measure window (200 ms simulated vs the sweep's 20 ms) and asserts the
+//! flow-lifecycle invariants that make such windows affordable:
+//!
+//! * peak in-flight flows stay far below total arrivals (lazy attach +
+//!   retirement — live state does not scale with the window length);
+//! * after the drain, the component arena is back at its pre-traffic
+//!   population (every endpoint was freed);
+//! * drain ends when the live-flow gauge hits zero, not at a fixed horizon.
+//!
+//! ```sh
+//! cargo run --release --example long_window
+//! ```
+//!
+//! CI runs this and fails on any violated invariant (exit code != 0).
+
+use ndp::experiments::openloop::{openloop_run, DistKind};
+use ndp::experiments::sweep::OpenLoopPoint;
+use ndp::experiments::Proto;
+use ndp::sim::Time;
+use ndp::topology::FatTreeCfg;
+
+fn main() {
+    let point = OpenLoopPoint {
+        proto: Proto::Ndp,
+        cfg: FatTreeCfg::new(4),
+        dist: DistKind::WebSearch,
+        load: 0.5,
+        seed: 7,
+        warmup: Time::from_ms(2),
+        // 10x the quick-scale sweep's measure window.
+        measure: Time::from_ms(200),
+        drain: Time::from_ms(20),
+    };
+    let started = std::time::Instant::now();
+    let r = openloop_run(point);
+    let wall = started.elapsed().as_secs_f64();
+
+    println!("long-window open-loop NDP @50% load, websearch sizes, 222 ms simulated");
+    println!("  offered flows        : {}", r.offered);
+    println!("  measured / incomplete: {} / {}", r.measured, r.incomplete);
+    println!(
+        "  delivered payload    : {:.1} MB",
+        r.delivered_bytes as f64 / 1e6
+    );
+    println!("  events processed     : {}", r.events_processed);
+    println!("  peak live flows      : {}", r.peak_live_flows);
+    println!(
+        "  live components      : baseline {} -> peak {} -> end {}",
+        r.live_components_baseline, r.peak_live_components, r.live_components_end
+    );
+    println!("  wall clock           : {wall:.2}s");
+    let p99 = r.slowdown.overall().percentile(0.99);
+    println!("  overall p99 slowdown : {p99:.1}");
+
+    // The point of the refactor: a 10x window costs the same live state.
+    assert!(r.offered > 200, "expected a long arrival stream");
+    assert!(
+        r.peak_live_flows * 4 < r.offered,
+        "peak live flows {} must be << total arrivals {}",
+        r.peak_live_flows,
+        r.offered
+    );
+    assert_eq!(
+        r.live_components_end, r.live_components_baseline,
+        "arena must return to the pre-traffic baseline after the drain"
+    );
+    assert_eq!(
+        r.peak_live_components,
+        r.live_components_baseline + 1,
+        "traffic must not grow the arena (only the spawner is added)"
+    );
+    assert!(
+        r.slowdown.len() + r.incomplete == r.measured,
+        "every measured flow is either binned or incomplete"
+    );
+    println!("ok: live state is O(concurrent flows), arena drained to baseline");
+}

@@ -124,6 +124,91 @@ proptest! {
         );
     }
 
+    /// Retirement safety: under any interleaving of adds, retires and
+    /// in-flight events, (a) a stale event is never delivered to a slot's
+    /// new occupant, (b) every event sent to a live component arrives,
+    /// (c) `ids()` / `try_get` exactly track the live population.
+    #[test]
+    fn retirement_never_misdelivers(ops in proptest::collection::vec(0u8..10, 1..80), seed in 0u64..1000) {
+        use ndp::sim::{Component, ComponentId, Ctx, Event, World};
+        use std::any::Any;
+        /// Records every payload it receives; payloads encode the id the
+        /// harness addressed, so misdelivery is detectable.
+        struct Tagged { tag: u64, got: Vec<u64> }
+        impl Component<u64> for Tagged {
+            fn handle(&mut self, ev: Event<u64>, _ctx: &mut Ctx<'_, u64>) {
+                if let Event::Msg(v) = ev { self.got.push(v); }
+            }
+            fn as_any(&self) -> &dyn Any { self }
+            fn as_any_mut(&mut self) -> &mut dyn Any { self }
+        }
+        let mut w: World<u64> = World::new(seed);
+        let mut live: Vec<(ComponentId, u64)> = Vec::new();
+        let mut retired: Vec<(ComponentId, u64)> = Vec::new();
+        // Events posted while a component was live but retired before the
+        // run are stale too; track in-flight counts per target.
+        let mut pending: std::collections::HashMap<ComponentId, u64> =
+            std::collections::HashMap::new();
+        let mut next_tag = 0u64;
+        let mut expect_stale = 0u64;
+        let mut t = 0u64;
+        for &op in &ops {
+            t += 1;
+            match op {
+                // Add a fresh component (reuses retired slots).
+                0..=3 => {
+                    let tag = { next_tag += 1; next_tag };
+                    let id = w.add(Tagged { tag, got: vec![] });
+                    live.push((id, tag));
+                }
+                // Retire one live component (round-robin victim); whatever
+                // was already addressed to it must now be dropped.
+                4..=5 => {
+                    if !live.is_empty() {
+                        let victim = live.remove(t as usize % live.len());
+                        prop_assert!(w.retire(victim.0));
+                        expect_stale += pending.remove(&victim.0).unwrap_or(0);
+                        retired.push(victim);
+                    }
+                }
+                // Post to a live component.
+                6..=8 => {
+                    if !live.is_empty() {
+                        let (id, tag) = live[t as usize % live.len()];
+                        w.post(ndp::sim::Time::from_us(t), id, tag);
+                        *pending.entry(id).or_default() += 1;
+                    }
+                }
+                // Post to a retired id: must vanish.
+                _ => {
+                    if !retired.is_empty() {
+                        let (id, tag) = retired[t as usize % retired.len()];
+                        w.post(ndp::sim::Time::from_us(t), id, tag);
+                        expect_stale += 1;
+                    }
+                }
+            }
+        }
+        let sent_live: u64 = pending.values().sum();
+        w.run_until_idle();
+        prop_assert_eq!(w.live_components(), live.len());
+        let seen: Vec<ComponentId> = w.ids().collect();
+        prop_assert_eq!(seen.len(), live.len());
+        let mut delivered = 0u64;
+        for &(id, tag) in &live {
+            let c = w.try_get::<Tagged>(id).expect("live component visible");
+            prop_assert_eq!(c.tag, tag);
+            // Every payload delivered here was addressed to this tag.
+            prop_assert!(c.got.iter().all(|&v| v == tag), "misdelivered: {:?}", c.got);
+            delivered += c.got.len() as u64;
+        }
+        for &(id, _) in &retired {
+            prop_assert!(w.try_get::<Tagged>(id).is_none(), "stale id resolved");
+        }
+        prop_assert_eq!(delivered, sent_live, "live sends must all arrive");
+        prop_assert_eq!(w.stale_events_dropped(), expect_stale);
+    }
+
     /// Fair-share fractions from the blast sink are within [0, ~1] for any
     /// sender count (no accounting leaks).
     #[test]

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ndp_experiments::harness::{permutation_run, Proto};
+use ndp_experiments::topo::TopoSpec;
 use ndp_sim::{set_default_scheduler, SchedulerKind, Time};
 use ndp_topology::FatTreeCfg;
 
@@ -16,7 +17,13 @@ fn bench_engine_schedulers(c: &mut Criterion) {
         g.bench_function(&format!("permutation_k8/{}", kind.label()), |b| {
             set_default_scheduler(kind);
             b.iter(|| {
-                let r = permutation_run(Proto::Ndp, FatTreeCfg::new(8), Time::from_ms(2), 7, None);
+                let r = permutation_run(
+                    Proto::Ndp,
+                    TopoSpec::fattree(FatTreeCfg::new(8)),
+                    Time::from_ms(2),
+                    7,
+                    None,
+                );
                 criterion::black_box(r.utilization)
             });
             set_default_scheduler(SchedulerKind::TwoTier);

@@ -28,7 +28,7 @@ fn bench_figures(c: &mut Criterion) {
     for id in TIMED {
         let exp = registry::find(id).expect("timed bench id must be registered");
         g.bench_function(exp.id(), |b| {
-            b.iter(|| criterion::black_box(exp.run(Scale::Quick).headline()))
+            b.iter(|| criterion::black_box(exp.run(Scale::Quick, None).headline()))
         });
     }
 

@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ndp_experiments::openloop::{openloop_run, DistKind};
 use ndp_experiments::sweep::OpenLoopPoint;
+use ndp_experiments::topo::TopoSpec;
 use ndp_experiments::Proto;
 use ndp_sim::Time;
 use ndp_topology::FatTreeCfg;
@@ -14,7 +15,7 @@ use ndp_topology::FatTreeCfg;
 fn bench_point() -> OpenLoopPoint {
     OpenLoopPoint {
         proto: Proto::Ndp,
-        cfg: FatTreeCfg::new(4),
+        topo: TopoSpec::fattree(FatTreeCfg::new(4)),
         dist: DistKind::WebSearch,
         load: 0.3,
         seed: 7,

@@ -8,6 +8,7 @@
 //! scheduler to filter scheduling noise.
 
 use ndp_experiments::harness::{permutation_run, Proto};
+use ndp_experiments::topo::TopoSpec;
 use ndp_sim::{set_default_scheduler, SchedulerKind, Time};
 use ndp_topology::FatTreeCfg;
 use std::time::Instant;
@@ -29,7 +30,13 @@ fn measure(kind: SchedulerKind, reps: usize) -> Measurement {
     let mut events = 0;
     for _ in 0..reps {
         let start = Instant::now();
-        let r = permutation_run(Proto::Ndp, FatTreeCfg::new(8), Time::from_ms(2), 7, None);
+        let r = permutation_run(
+            Proto::Ndp,
+            TopoSpec::fattree(FatTreeCfg::new(8)),
+            Time::from_ms(2),
+            7,
+            None,
+        );
         let secs = start.elapsed().as_secs_f64();
         assert!(
             r.utilization > 0.5,

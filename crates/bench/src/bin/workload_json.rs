@@ -9,6 +9,7 @@
 
 use ndp_experiments::openloop::{openloop_run, DistKind, OpenLoopResult};
 use ndp_experiments::sweep::OpenLoopPoint;
+use ndp_experiments::topo::TopoSpec;
 use ndp_experiments::Proto;
 use ndp_sim::Time;
 use ndp_topology::FatTreeCfg;
@@ -17,7 +18,7 @@ use std::time::Instant;
 fn point() -> OpenLoopPoint {
     OpenLoopPoint {
         proto: Proto::Ndp,
-        cfg: FatTreeCfg::new(4),
+        topo: TopoSpec::fattree(FatTreeCfg::new(4)),
         dist: DistKind::WebSearch,
         load: 0.3,
         seed: 7,

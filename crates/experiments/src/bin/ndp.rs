@@ -2,17 +2,22 @@
 //!
 //! ```sh
 //! ndp list                      # every experiment id + title
+//! ndp topos                     # every registered topology
 //! ndp run fig14                 # human-readable tables + headline
 //! ndp run fig14 --scale paper   # the paper's parameters
 //! ndp run fig16 --json          # machine-readable document
+//! ndp run topo_matrix --topo leafspine
+//!                               # topology-neutral run on one fabric
 //! ndp run all --json            # every experiment, one JSON array
 //! ```
 //!
-//! `--scale` defaults to `NDP_SCALE` (quick when unset). Exit codes:
-//! 0 success, 2 usage error.
+//! `--scale` defaults to `NDP_SCALE` (quick when unset); `--topo`
+//! defaults to `NDP_TOPO` (each experiment's own fabric when unset).
+//! Exit codes: 0 success, 2 usage error.
 
 use ndp_experiments::json::Json;
 use ndp_experiments::registry::{self, Experiment};
+use ndp_experiments::topo::{self, TopoEntry};
 use ndp_experiments::Scale;
 
 const USAGE: &str = "\
@@ -20,12 +25,16 @@ usage: ndp <command>
 
 commands:
   list                                 list experiment ids and titles
-  run <id>|all [--scale paper|quick] [--json]
+  topos                                list registered topologies
+  run <id>|all [--scale paper|quick] [--topo <name>] [--json]
                                        run one (or every) experiment;
+                                       --topo overrides the fabric of
+                                       topology-neutral experiments;
                                        --json emits a machine-readable
                                        document instead of tables
 
-scale defaults to $NDP_SCALE (quick when unset).";
+scale defaults to $NDP_SCALE (quick when unset); topology defaults to
+$NDP_TOPO (each experiment's own fabric when unset).";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("ndp: {msg}\n\n{USAGE}");
@@ -36,6 +45,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => list(),
+        Some("topos") => topos(),
         Some("run") => run(&args[1..]),
         Some("--help" | "-h" | "help") => println!("{USAGE}"),
         Some(other) => usage_error(&format!("unknown command '{other}'")),
@@ -54,9 +64,21 @@ fn list() {
     }
 }
 
+fn topos() {
+    let width = topo::TOPOLOGIES
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(0);
+    for entry in topo::TOPOLOGIES {
+        println!("{:width$}  {}", entry.name, entry.describe);
+    }
+}
+
 fn run(args: &[String]) {
     let mut target: Option<&str> = None;
     let mut scale: Option<Scale> = None;
+    let mut topo_flag: Option<&'static TopoEntry> = None;
     let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +92,14 @@ fn run(args: &[String]) {
                     Scale::parse(v).unwrap_or_else(|| usage_error(&format!("bad scale '{v}'"))),
                 );
             }
+            "--topo" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--topo needs a value"));
+                topo_flag = Some(topo::find_topo(v).unwrap_or_else(|| {
+                    usage_error(&format!("unknown topology '{v}' (see 'ndp topos')"))
+                }));
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             id => {
                 if target.replace(id).is_some() {
@@ -78,9 +108,14 @@ fn run(args: &[String]) {
             }
         }
     }
-    // Consult NDP_SCALE only when no explicit --scale was given, so a
-    // stale/typoed env var cannot override (or abort) an explicit flag.
+    // Consult NDP_SCALE/NDP_TOPO only when no explicit flag was given, so
+    // a stale/typoed env var cannot override (or abort) an explicit flag.
     let scale = scale.unwrap_or_else(Scale::from_env);
+    let topo_env = if topo_flag.is_none() {
+        topo::topo_from_env()
+    } else {
+        None
+    };
     let Some(target) = target else {
         usage_error("run needs an experiment id (or 'all')");
     };
@@ -92,16 +127,44 @@ fn run(args: &[String]) {
             None => usage_error(&format!("unknown experiment '{target}' (see 'ndp list')")),
         }
     };
+    // An explicit --topo on a fixed-shape experiment is a usage error; the
+    // NDP_TOPO *default* merely doesn't apply to fixed-shape experiments
+    // (so `ndp run all` under NDP_TOPO still works).
+    if let (Some(entry), [single]) = (topo_flag, selected.as_slice()) {
+        if !single.supports_topo() {
+            usage_error(&format!(
+                "experiment '{}' has a fixed topology and does not accept --topo {}",
+                single.id(),
+                entry.name
+            ));
+        }
+    }
     let mut documents = Vec::new();
     for exp in &selected {
+        let topo = topo_flag.or(topo_env).filter(|_| exp.supports_topo());
         if !json {
-            eprintln!("== {} — {} [{}] ==", exp.id(), exp.title(), scale.name());
+            let suffix = topo
+                .map(|t| format!(" --topo {}", t.name))
+                .unwrap_or_default();
+            eprintln!(
+                "== {} — {} [{}{}] ==",
+                exp.id(),
+                exp.title(),
+                scale.name(),
+                suffix
+            );
         }
         let started = std::time::Instant::now();
-        let report = exp.run(scale);
+        let report = exp.run(scale, topo);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         if json {
-            documents.push(registry::document(*exp, scale, report.as_ref(), wall_ms));
+            documents.push(registry::document(
+                *exp,
+                scale,
+                topo,
+                report.as_ref(),
+                wall_ms,
+            ));
         } else {
             println!("{report}");
             println!("headline: {}", report.headline());

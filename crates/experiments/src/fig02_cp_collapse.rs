@@ -136,7 +136,11 @@ impl crate::registry::Experiment for Fig02 {
     fn title(&self) -> &'static str {
         "CP congestion collapse and phase effects vs the NDP switch"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -160,7 +160,11 @@ impl crate::registry::Experiment for Fig04 {
     fn title(&self) -> &'static str {
         "Per-packet delivery latency CDFs (permutation/random/incast)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

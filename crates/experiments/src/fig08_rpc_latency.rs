@@ -266,7 +266,11 @@ impl crate::registry::Experiment for Fig08 {
     fn title(&self) -> &'static str {
         "1KB RPC latency: NDP vs TCP/TFO, with and without deep sleep"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -31,15 +31,11 @@ pub struct Report {
 /// Both protocols run over the *testbed's* shallow-buffered switches
 /// (the NetFPGA output queues hold ~8 jumbograms) — on the real testbed
 /// TCP did not get different hardware, and its incast losses + 200 ms
-/// MinRTO are exactly what Figure 9's p90 shows.
+/// MinRTO are exactly what Figure 9's p90 shows. The shallow buffer is a
+/// property of the scenario, so it is applied uniformly to whatever
+/// fabric the registry hands back — no per-protocol dispatch here.
 fn trial(proto: Proto, size: u64, seed: u64) -> Time {
-    let fabric = match proto {
-        Proto::Tcp => ndp_topology::QueueSpec::DropTail {
-            cap_pkts: 8,
-            ecn_thresh_pkts: None,
-        },
-        _ => proto.fabric(),
-    };
+    let fabric = proto.fabric().with_data_cap(8);
     let cfg = TwoTierCfg::testbed().with_fabric(fabric);
     let mut world: World<Packet> = World::new(seed);
     let tt = TwoTier::build(&mut world, cfg);
@@ -154,7 +150,11 @@ impl crate::registry::Experiment for Fig09 {
     fn title(&self) -> &'static str {
         "Testbed 7:1 incast completion vs response size (NDP/TCP/optimum)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -124,7 +124,11 @@ impl crate::registry::Experiment for Fig10 {
     fn title(&self) -> &'static str {
         "Short-flow prioritization vs six long flows at one receiver"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }
@@ -211,7 +215,11 @@ impl crate::registry::Experiment for Fig10Sweep {
     fn title(&self) -> &'static str {
         "Prioritization gap across flow sizes (10KB..1MB)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(SweepReport { rows: sweep(scale) })
     }
 }

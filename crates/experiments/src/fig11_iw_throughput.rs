@@ -131,7 +131,11 @@ impl crate::registry::Experiment for Fig11 {
     fn title(&self) -> &'static str {
         "Back-to-back throughput vs NDP initial window"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -106,7 +106,11 @@ impl crate::registry::Experiment for Fig12 {
     fn title(&self) -> &'static str {
         "PULL spacing at the sender (1500B vs 9000B packets)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

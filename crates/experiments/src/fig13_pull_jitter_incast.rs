@@ -12,7 +12,7 @@ use ndp_net::packet::{HostId, Packet};
 use ndp_sim::{Time, World};
 use ndp_topology::{FatTree, FatTreeCfg};
 
-use crate::harness::{attach_on_fattree, completion_time, FlowSpec, Proto, Scale};
+use crate::harness::{attach_on, completion_time, FlowSpec, Proto, Scale};
 
 pub struct Report {
     /// (flow size, perfect-pulls last FCT us, jittered-pulls last FCT us)
@@ -38,7 +38,7 @@ fn trial(scale: Scale, size: u64, jitter: bool, seed: u64) -> Time {
     let workers = ndp_workloads::incast(0, n_senders.min(n - 1), n, &mut rng);
     for (i, &w) in workers.iter().enumerate() {
         let spec = FlowSpec::new(i as u64 + 1, w as HostId, 0, size);
-        attach_on_fattree(&mut world, &ft, Proto::Ndp, &spec);
+        attach_on(&mut world, &ft, Proto::Ndp, &spec);
     }
     world.run_until(Time::from_secs(5));
     let mut last = Time::ZERO;
@@ -111,7 +111,11 @@ impl crate::registry::Experiment for Fig13 {
     fn title(&self) -> &'static str {
         "200:1 incast FCT, perfect vs measured pull spacing"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

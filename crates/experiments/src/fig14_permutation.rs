@@ -12,15 +12,22 @@ use ndp_topology::FatTreeCfg;
 
 use crate::harness::{PermutationResult, Proto, Scale};
 use crate::sweep::{sweep_permutation, PermutationPoint, SweepSpec};
+use crate::topo::{TopoEntry, TopoSpec};
 
 pub struct Report {
     pub results: Vec<(Proto, PermutationResult)>,
 }
 
-pub fn run(scale: Scale) -> Report {
+pub fn run(scale: Scale, topo: Option<&'static TopoEntry>) -> Report {
     let duration = match scale {
         Scale::Paper => Time::from_ms(30),
         Scale::Quick => Time::from_ms(10),
+    };
+    // Default fabric: the figure's own "big" FatTree (432 hosts at paper
+    // scale); any registered topology can stand in via --topo.
+    let fabric = match topo {
+        Some(e) => e.spec(scale),
+        None => TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
     };
     let protos = [Proto::Ndp, Proto::Mptcp, Proto::Dctcp, Proto::Dcqcn];
     let spec = SweepSpec::new(
@@ -29,7 +36,7 @@ pub fn run(scale: Scale) -> Report {
             .iter()
             .map(|&proto| PermutationPoint {
                 proto,
-                cfg: FatTreeCfg::new(scale.big_k()),
+                topo: fabric.clone(),
                 duration,
                 seed: 7,
                 iw: None,
@@ -110,8 +117,15 @@ impl crate::registry::Experiment for Fig14 {
     fn title(&self) -> &'static str {
         "Permutation per-flow throughput (NDP vs MPTCP/DCTCP/DCQCN)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
-        Box::new(run(scale))
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale, topo))
     }
 }
 
@@ -143,7 +157,7 @@ mod tests {
 
     #[test]
     fn ranking_matches_paper() {
-        let rep = run(Scale::Quick);
+        let rep = run(Scale::Quick, None);
         let ndp = rep.utilization(Proto::Ndp);
         let mptcp = rep.utilization(Proto::Mptcp);
         let dctcp = rep.utilization(Proto::Dctcp);

@@ -11,9 +11,7 @@ use ndp_net::packet::{HostId, Packet};
 use ndp_sim::{ComponentId, Time, World};
 use ndp_topology::{FatTree, FatTreeCfg};
 
-use crate::harness::{
-    attach_on_fattree, completion_time, FlowSpec, Proto, Scale, Trigger, LONG_FLOW,
-};
+use crate::harness::{attach_on, completion_time, FlowSpec, Proto, Scale, Trigger, LONG_FLOW};
 
 pub struct Report {
     pub cdfs: Vec<(Proto, Cdf)>,
@@ -43,7 +41,7 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
             });
             let spec = FlowSpec::new(flow_id, src as HostId, dst as HostId, LONG_FLOW);
             flow_id += 1;
-            attach_on_fattree(&mut world, &ft, proto, &spec);
+            attach_on(&mut world, &ft, proto, &spec);
         }
     }
     // Probes: a chain of 90KB transfers A->B, each started when the
@@ -59,7 +57,7 @@ fn probe_fcts(proto: Proto, scale: Scale, seed: u64) -> Cdf {
         let mut spec = FlowSpec::new(flow, probe_a as HostId, probe_b as HostId, 90_000);
         spec.notify = Some((trig, flow));
         spec.start = if i == 0 { Time::from_ms(1) } else { Time::MAX };
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, &ft, proto, &spec);
         if i + 1 < n_probes {
             trigger.on(
                 flow,
@@ -162,7 +160,11 @@ impl crate::registry::Experiment for Fig15 {
     fn title(&self) -> &'static str {
         "90KB FCTs under background load (standing-queue test)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

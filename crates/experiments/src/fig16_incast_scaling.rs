@@ -12,6 +12,7 @@ use ndp_topology::FatTreeCfg;
 
 use crate::harness::{incast_ideal, Proto, Scale};
 use crate::sweep::{sweep_incast, IncastPoint, SweepSpec};
+use crate::topo::TopoSpec;
 
 pub struct Row {
     pub n: usize,
@@ -43,7 +44,7 @@ pub fn run(scale: Scale) -> Report {
         &protos,
         |&n, &proto| IncastPoint {
             proto,
-            cfg: FatTreeCfg::new(scale.big_k()),
+            topo: TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
             n_senders: n,
             size,
             iw: None,
@@ -138,7 +139,11 @@ impl crate::registry::Experiment for Fig16 {
     fn title(&self) -> &'static str {
         "Incast completion vs number of senders (450KB responses)"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

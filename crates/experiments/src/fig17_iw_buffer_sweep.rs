@@ -72,7 +72,9 @@ pub fn run(scale: Scale) -> Report {
                     });
                 PermutationPoint {
                     proto: Proto::Ndp,
-                    cfg,
+                    // Pinned: the buffer size IS the scenario knob, so the
+                    // transport's default fabric must not override it.
+                    topo: crate::topo::TopoSpec::fattree_pinned(cfg),
                     duration,
                     seed: 23,
                     iw: Some(iw),
@@ -136,7 +138,11 @@ impl crate::registry::Experiment for Fig17 {
     fn title(&self) -> &'static str {
         "Permutation utilization vs initial window and buffer size"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

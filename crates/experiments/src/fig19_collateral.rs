@@ -168,7 +168,11 @@ impl crate::registry::Experiment for Fig19 {
     fn title(&self) -> &'static str {
         "Collateral damage of a same-ToR incast on a long flow"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -17,7 +17,7 @@ use ndp_net::packet::{HostId, Packet};
 use ndp_sim::{Speed, Time, World};
 use ndp_topology::{FatTree, FatTreeCfg};
 
-use crate::harness::{attach_on_fattree, completion_time, incast_ideal, FlowSpec, Proto, Scale};
+use crate::harness::{attach_on, completion_time, incast_ideal, FlowSpec, Proto, Scale};
 use crate::sweep::SweepSpec;
 
 pub struct Row {
@@ -43,7 +43,7 @@ fn trial(scale: Scale, n: usize, iw: u64, seed: u64) -> Row {
     for (i, &w) in workers.iter().enumerate() {
         let mut spec = FlowSpec::new(i as u64 + 1, w as HostId, 0, size);
         spec.iw = Some(iw);
-        attach_on_fattree(&mut world, &ft, Proto::Ndp, &spec);
+        attach_on(&mut world, &ft, Proto::Ndp, &spec);
     }
     world.run_until(Time::from_secs(60));
     let mut last = Time::ZERO;
@@ -145,7 +145,11 @@ impl crate::registry::Experiment for Fig20 {
     fn title(&self) -> &'static str {
         "Large-incast overhead and retransmission mechanisms"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -122,7 +122,11 @@ impl crate::registry::Experiment for Fig21 {
     fn title(&self) -> &'static str {
         "Sender-limited traffic: pull fair-queuing fills both bottlenecks"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -8,10 +8,11 @@
 
 use ndp_metrics::Table;
 use ndp_net::packet::{HostId, Packet};
+use ndp_net::queue::LinkClass;
 use ndp_sim::{Speed, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg};
+use ndp_topology::{FatTree, FatTreeCfg, Topology};
 
-use crate::harness::{attach_on_fattree, delivered_bytes, FlowSpec, Proto, Scale, LONG_FLOW};
+use crate::harness::{attach_on, delivered_bytes, FlowSpec, Proto, Scale, LONG_FLOW};
 
 pub struct Report {
     /// (protocol, sorted per-flow Gb/s)
@@ -26,14 +27,24 @@ fn trial(proto: Proto, scale: Scale, seed: u64) -> Vec<f64> {
     let cfg = FatTreeCfg::new(k).with_fabric(proto.fabric());
     let mut world: World<Packet> = World::new(seed);
     let ft = FatTree::build(&mut world, cfg);
-    // Degrade pod 0, agg 0, uplink 0 in both directions.
-    ft.degrade_core_link(&mut world, 0, 0, 0, Speed::gbps(1));
+    // Degrade pod 0, agg 0, uplink 0 in both directions, through the
+    // generic Topology failure-injection surface: pick the two
+    // directional links by label from the fabric's link enumeration.
+    for label in ["agg_up[0][0]", "core_down[0][0]"] {
+        let link = ft
+            .links()
+            .into_iter()
+            .find(|l| l.label == label)
+            .expect("k>=4 FatTree has the degraded core link");
+        debug_assert!(matches!(link.class, LinkClass::AggUp | LinkClass::CoreDown));
+        ft.set_link_speed(&mut world, link.queue, Speed::gbps(1));
+    }
     let n = ft.n_hosts();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
     let dsts = ndp_workloads::permutation(n, &mut rng);
     for (src, &dst) in dsts.iter().enumerate() {
         let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, &ft, proto, &spec);
     }
     let duration = match scale {
         Scale::Paper => Time::from_ms(30),
@@ -118,7 +129,11 @@ impl crate::registry::Experiment for Fig22 {
     fn title(&self) -> &'static str {
         "Permutation with one core link degraded to 1 Gb/s"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

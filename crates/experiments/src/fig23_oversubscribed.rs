@@ -12,10 +12,10 @@ use ndp_metrics::{Cdf, Table};
 use ndp_net::packet::{HostId, Packet};
 use ndp_net::queue::LinkClass;
 use ndp_sim::{ComponentId, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg};
+use ndp_topology::{FatTree, FatTreeCfg, Topology};
 use ndp_workloads::{closed_loop_gap_ps, FlowSizeDist};
 
-use crate::harness::{attach_on_fattree, completion_time, FlowSpec, Proto, Scale, Trigger};
+use crate::harness::{attach_on, completion_time, FlowSpec, Proto, Scale, Trigger};
 
 pub struct LoadResult {
     pub proto: Proto,
@@ -67,7 +67,7 @@ fn trial(proto: Proto, scale: Scale, conns_per_host: usize, seed: u64) -> LoadRe
                 } else {
                     Time::MAX
                 };
-                attach_on_fattree(&mut world, &ft, proto, &spec);
+                attach_on(&mut world, &ft, proto, &spec);
                 let origin = match prev {
                     None => Ok(spec.start),
                     Some(p) => {
@@ -216,7 +216,11 @@ impl crate::registry::Experiment for Fig23 {
     fn title(&self) -> &'static str {
         "Facebook web workload on a 4:1 oversubscribed fabric"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

@@ -1,16 +1,19 @@
 //! Shared experiment machinery: scale knobs, traffic-matrix runners and
 //! the completion-driven trigger component.
 //!
-//! Protocol dispatch lives in the [`crate::transport`] registry — this
-//! module drives `&dyn Transport` objects and contains no per-protocol
-//! code at all.
+//! Protocol dispatch lives in the [`crate::transport`] registry and
+//! fabric shapes in the [`crate::topo`] registry — this module drives
+//! `&dyn Transport` objects over `&dyn Topology` fabrics and contains no
+//! per-protocol or per-topology code at all.
 
 use std::any::Any;
 use std::collections::HashMap;
 
 use ndp_net::packet::{FlowId, Packet};
 use ndp_sim::{Component, ComponentId, Ctx, Event, Speed, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg};
+use ndp_topology::Topology;
+
+use crate::topo::TopoSpec;
 
 pub use crate::transport::{flow_hash_path, FlowSpec, Proto};
 
@@ -53,7 +56,7 @@ impl Scale {
         }
     }
 
-    /// FatTree parameter k for "the 432-host network" experiments.
+    /// Fabric scale parameter k for "the 432-host network" experiments.
     pub fn big_k(self) -> usize {
         match self {
             Scale::Paper => 12, // 432 hosts
@@ -61,7 +64,7 @@ impl Scale {
         }
     }
 
-    /// FatTree parameter k for "the 8192-host network" experiments.
+    /// Fabric scale parameter k for "the 8192-host network" experiments.
     pub fn huge_k(self) -> usize {
         match self {
             Scale::Paper => 32, // 8192 hosts
@@ -82,12 +85,13 @@ impl Scale {
 /// stays cheap.
 pub const LONG_FLOW: u64 = 1 << 30;
 
-/// Attach `spec` using protocol `proto` on a FatTree.
-pub fn attach_on_fattree(world: &mut World<Packet>, ft: &FatTree, proto: Proto, spec: &FlowSpec) {
-    let mtu = ft.cfg.mtu;
-    let n_paths = ft.n_paths(spec.src, spec.dst);
-    let src = (ft.hosts[spec.src as usize], spec.src);
-    let dst = (ft.hosts[spec.dst as usize], spec.dst);
+/// Attach `spec` using protocol `proto` on any topology: the path count,
+/// host components and MTU all come from the [`Topology`] surface.
+pub fn attach_on(world: &mut World<Packet>, topo: &dyn Topology, proto: Proto, spec: &FlowSpec) {
+    let mtu = topo.mtu();
+    let n_paths = topo.n_paths(spec.src, spec.dst);
+    let src = (topo.host(spec.src), spec.src);
+    let dst = (topo.host(spec.dst), spec.dst);
     attach_generic(world, proto, spec, src, dst, n_paths, mtu);
 }
 
@@ -186,14 +190,14 @@ pub struct PermutationResult {
 /// parallel sweep harness as a single-point grid.
 pub fn permutation_run(
     proto: Proto,
-    cfg: FatTreeCfg,
+    topo: TopoSpec,
     duration: Time,
     seed: u64,
     iw: Option<u64>,
 ) -> PermutationResult {
     let point = crate::sweep::PermutationPoint {
         proto,
-        cfg,
+        topo,
         duration,
         seed,
         iw,
@@ -207,33 +211,25 @@ pub fn permutation_run(
 /// own seeded world, so concurrent executions are independent and
 /// bit-reproducible.
 pub(crate) fn permutation_world_run(point: &crate::sweep::PermutationPoint) -> PermutationResult {
-    let crate::sweep::PermutationPoint {
-        proto,
-        cfg,
-        duration,
-        seed,
-        iw,
-    } = point;
-    let (proto, duration, seed, iw) = (*proto, *duration, *seed, *iw);
-    let cfg = cfg.clone().with_fabric(proto.fabric());
+    let (proto, duration, seed, iw) = (point.proto, point.duration, point.seed, point.iw);
     let mut world: World<Packet> = World::new(seed);
-    let ft = FatTree::build(&mut world, cfg);
-    let n = ft.n_hosts();
+    let topo = point.topo.build(&mut world, proto.fabric());
+    let n = topo.n_hosts();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xDEAD);
     let dsts = ndp_workloads::permutation(n, &mut rng);
     for (src, &dst) in dsts.iter().enumerate() {
         let mut spec = FlowSpec::new(src as u64 + 1, src as u32, dst as u32, LONG_FLOW);
         spec.iw = iw;
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, topo.as_ref(), proto, &spec);
     }
     world.run_until(duration);
     let mut per_flow = Vec::with_capacity(n);
     for (src, &dst) in dsts.iter().enumerate() {
-        let bytes = delivered_bytes(&world, ft.hosts[dst], src as u64 + 1, proto);
+        let bytes = delivered_bytes(&world, topo.host(dst as u32), src as u64 + 1, proto);
         per_flow.push(bytes as f64 * 8.0 / duration.as_secs() / 1e9);
     }
     per_flow.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let line = ft.cfg.link_speed.as_gbps();
+    let line = topo.host_link_speed().as_gbps();
     let utilization = per_flow.iter().sum::<f64>() / (n as f64 * line);
     PermutationResult {
         per_flow_gbps: per_flow,
@@ -269,11 +265,12 @@ impl IncastResult {
     }
 }
 
-/// Run an N:1 incast of `size`-byte responses on a FatTree. One-shot entry
+/// Run an N:1 incast of `size`-byte responses on the point's topology.
+/// One-shot entry
 /// point: routes through the parallel sweep harness as a single-point grid.
 pub fn incast_run(
     proto: Proto,
-    cfg: FatTreeCfg,
+    topo: TopoSpec,
     n_senders: usize,
     size: u64,
     iw: Option<u64>,
@@ -282,7 +279,7 @@ pub fn incast_run(
 ) -> IncastResult {
     let point = crate::sweep::IncastPoint {
         proto,
-        cfg,
+        topo,
         n_senders,
         size,
         iw,
@@ -296,34 +293,30 @@ pub fn incast_run(
 
 /// The simulation behind one [`crate::sweep::IncastPoint`].
 pub(crate) fn incast_world_run(point: &crate::sweep::IncastPoint) -> IncastResult {
-    let crate::sweep::IncastPoint {
-        proto,
-        cfg,
-        n_senders,
-        size,
-        iw,
-        seed,
-        horizon,
-    } = point;
-    let (proto, n_senders, size, iw, seed, horizon) =
-        (*proto, *n_senders, *size, *iw, *seed, *horizon);
-    let cfg = cfg.clone().with_fabric(proto.fabric());
+    let (proto, n_senders, size, iw, seed, horizon) = (
+        point.proto,
+        point.n_senders,
+        point.size,
+        point.iw,
+        point.seed,
+        point.horizon,
+    );
     let mut world: World<Packet> = World::new(seed);
-    let ft = FatTree::build(&mut world, cfg);
-    let n = ft.n_hosts();
+    let topo = point.topo.build(&mut world, proto.fabric());
+    let n = topo.n_hosts();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xBEEF);
     let frontend = 0usize;
     let workers = ndp_workloads::incast(frontend, n_senders, n, &mut rng);
     for (i, &w) in workers.iter().enumerate() {
         let mut spec = FlowSpec::new(i as u64 + 1, w as u32, frontend as u32, size);
         spec.iw = iw;
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, topo.as_ref(), proto, &spec);
     }
     world.run_until(horizon);
     let mut fcts = Vec::new();
     let mut incomplete = 0;
     for i in 0..workers.len() {
-        match completion_time(&world, ft.hosts[frontend], i as u64 + 1, proto) {
+        match completion_time(&world, topo.host(frontend as u32), i as u64 + 1, proto) {
             Some(t) => fcts.push(t),
             None => incomplete += 1,
         }
@@ -343,17 +336,15 @@ pub fn incast_ideal(n: usize, size: u64, link: Speed, mtu: u32) -> Time {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndp_topology::FatTreeCfg;
+
+    /// The registry's quick-scale full-bisection fabric (16 hosts).
+    fn quick_fattree() -> TopoSpec {
+        crate::topo::registered("fattree").spec(Scale::Quick)
+    }
 
     #[test]
     fn small_ndp_permutation_has_high_utilization() {
-        let r = permutation_run(
-            Proto::Ndp,
-            FatTreeCfg::new(4),
-            Time::from_ms(5),
-            1,
-            Some(30),
-        );
+        let r = permutation_run(Proto::Ndp, quick_fattree(), Time::from_ms(5), 1, Some(30));
         assert!(
             r.utilization > 0.85,
             "NDP permutation utilization {}",
@@ -366,7 +357,7 @@ mod tests {
         for proto in [Proto::Ndp, Proto::Dctcp, Proto::Dcqcn] {
             let r = incast_run(
                 proto,
-                FatTreeCfg::new(4),
+                quick_fattree(),
                 8,
                 90_000,
                 None,
@@ -376,6 +367,27 @@ mod tests {
             assert!(r.complete(), "{:?} left flows incomplete", proto);
             assert_eq!(r.fcts.len(), 8);
             assert!(r.first() <= r.last());
+        }
+    }
+
+    #[test]
+    fn permutation_runs_on_every_registered_multi_host_topology() {
+        // The harness is topology-neutral: the same permutation runner
+        // drives every fabric shape in the registry and NDP keeps the
+        // full-bisection ones busy.
+        for entry in crate::topo::TOPOLOGIES {
+            let spec = entry.spec(Scale::Quick);
+            if spec.n_hosts() < 4 {
+                continue; // a 2-host permutation is just one flow pair
+            }
+            let r = permutation_run(Proto::Ndp, spec, Time::from_ms(2), 3, Some(30));
+            assert_eq!(r.per_flow_gbps.len(), entry.spec(Scale::Quick).n_hosts());
+            assert!(
+                r.utilization > 0.1,
+                "{}: utilization {}",
+                entry.name,
+                r.utilization
+            );
         }
     }
 

@@ -14,12 +14,12 @@ use ndp_metrics::Table;
 use ndp_net::packet::{HostId, Packet};
 use ndp_net::queue::LinkClass;
 use ndp_sim::{Time, World};
-use ndp_topology::{FatTree, FatTreeCfg, RouteMode};
+use ndp_topology::{FatTree, FatTreeCfg, RouteMode, Topology};
 
 use crate::harness::{
-    attach_on_fattree, delivered_bytes, incast_run, permutation_run, FlowSpec, Proto, Scale,
-    LONG_FLOW,
+    attach_on, delivered_bytes, incast_run, permutation_run, FlowSpec, Proto, Scale, LONG_FLOW,
 };
+use crate::topo::TopoSpec;
 
 pub struct Report {
     pub lb_source_trim_pct: f64,
@@ -49,7 +49,7 @@ fn lb_comparison(scale: Scale, mode: RouteMode, seed: u64) -> (f64, f64) {
     let dsts = ndp_workloads::permutation(n, &mut rng);
     for (src, &dst) in dsts.iter().enumerate() {
         let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
-        attach_on_fattree(&mut world, &ft, Proto::Ndp, &spec);
+        attach_on(&mut world, &ft, Proto::Ndp, &spec);
     }
     let duration = match scale {
         Scale::Paper => Time::from_ms(20),
@@ -91,7 +91,7 @@ pub fn run(scale: Scale) -> Report {
         .map(|&k| {
             let r = permutation_run(
                 Proto::Ndp,
-                FatTreeCfg::new(k),
+                TopoSpec::fattree(FatTreeCfg::new(k)),
                 match scale {
                     Scale::Paper => Time::from_ms(15),
                     Scale::Quick => Time::from_ms(8),
@@ -111,7 +111,7 @@ pub fn run(scale: Scale) -> Report {
     let incast_size = 450_000u64;
     let ph = incast_run(
         Proto::PHost,
-        FatTreeCfg::new(scale.big_k()),
+        TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
         n_incast,
         incast_size,
         None,
@@ -120,7 +120,7 @@ pub fn run(scale: Scale) -> Report {
     );
     let nd = incast_run(
         Proto::Ndp,
-        FatTreeCfg::new(scale.big_k()),
+        TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
         n_incast,
         incast_size,
         None,
@@ -129,14 +129,14 @@ pub fn run(scale: Scale) -> Report {
     );
     let ph_perm = permutation_run(
         Proto::PHost,
-        FatTreeCfg::new(scale.big_k()),
+        TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
         Time::from_ms(10),
         11,
         None,
     );
     let nd_perm = permutation_run(
         Proto::Ndp,
-        FatTreeCfg::new(scale.big_k()),
+        TopoSpec::fattree(FatTreeCfg::new(scale.big_k())),
         Time::from_ms(10),
         11,
         None,
@@ -179,13 +179,13 @@ fn side_effects(proto: Proto, scale: Scale, seed: u64) -> f64 {
     let dsts = ndp_workloads::permutation(n, &mut rng);
     for (src, &dst) in dsts.iter().enumerate() {
         let spec = FlowSpec::new(src as u64 + 1, src as HostId, dst as HostId, LONG_FLOW);
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, &ft, proto, &spec);
     }
     // Long-lived incast onto host 0 from a quarter of the hosts.
     for (fid, i) in (10_000u64..).zip(0..(n / 4).max(8).min(n - 1)) {
         let src = 1 + i;
         let spec = FlowSpec::new(fid, src as HostId, 0, LONG_FLOW);
-        attach_on_fattree(&mut world, &ft, proto, &spec);
+        attach_on(&mut world, &ft, proto, &spec);
     }
     let duration = match scale {
         Scale::Paper => Time::from_ms(20),
@@ -272,7 +272,11 @@ impl crate::registry::Experiment for Inline {
     fn title(&self) -> &'static str {
         "Inline (non-figure) claims: §3.1.1 LB, §6.1.1 side effects, §6.2 scaling/pHost"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(run(scale))
     }
 }

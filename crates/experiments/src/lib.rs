@@ -15,7 +15,9 @@
 //! `Scale::Quick` shrinks topologies and durations for CI and Criterion;
 //! `Scale::Paper` uses the paper's parameters. Protocol dispatch is the
 //! [`transport`] registry (`Proto` keys resolving to
-//! [`ndp_transport::Transport`] objects).
+//! [`ndp_transport::Transport`] objects); fabric dispatch is the [`topo`]
+//! registry (names resolving to buildable [`topo::TopoSpec`]s behind
+//! `ndp run <id> --topo <name>` / `NDP_TOPO`).
 
 pub mod harness;
 pub mod json;
@@ -23,6 +25,8 @@ pub mod openloop;
 pub mod quick;
 pub mod registry;
 pub mod sweep;
+pub mod topo;
+pub mod topo_matrix;
 pub mod transport;
 
 pub mod fig02_cp_collapse;
@@ -47,4 +51,5 @@ pub mod inline_results;
 pub use harness::{Proto, Scale};
 pub use registry::{Experiment, Report};
 pub use sweep::SweepSpec;
+pub use topo::{find_topo, topo_from_env, TopoEntry, TopoSpec, TOPOLOGIES};
 pub use transport::{Transport, TRANSPORTS};

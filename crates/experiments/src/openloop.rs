@@ -29,21 +29,29 @@
 //! completed flows into [`SlowdownBins`] after each chunk, and the drain
 //! phase ends as soon as the live-flow gauge hits zero — `drain` is a
 //! cap, not a fixed horizon. Each measured flow's FCT is taken against
-//! its own start time and normalized by [`ideal_fct`] — the
-//! unloaded-network lower bound — to give its slowdown.
+//! its own start time and normalized by [`Topology::ideal_fct`] — the
+//! topology's own unloaded-network lower bound, computed from its
+//! per-hop link speeds — to give its slowdown.
+//!
+//! The whole pipeline is topology-neutral: the [`Spawner`] and runner
+//! hold `Arc<dyn Topology>`/[`crate::topo::TopoSpec`] and the default
+//! fabric comes from the [`crate::topo`] registry, so the same sweep
+//! runs on any registered shape via `ndp run <id> --topo <name>`.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ndp_metrics::{SlowdownBins, Table, SLOWDOWN_BIN_LABELS};
-use ndp_net::packet::{FlowId, HostId, Packet, HEADER_BYTES};
+use ndp_net::packet::{FlowId, HostId, Packet};
 use ndp_net::{CompletionSink, Host};
 use ndp_sim::{Component, ComponentId, Ctx, Event, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg};
+use ndp_topology::Topology;
 use ndp_workloads::{ArrivalProcess, DynamicWorkload, EmpiricalCdf, FlowEvent};
 
 use crate::harness::{FlowSpec, Proto, Scale};
 use crate::sweep::{sweep_openloop, OpenLoopPoint, SweepSpec};
+use crate::topo::{registered, TopoEntry, TopoSpec};
 
 /// Which embedded flow-size distribution a load sweep draws from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,7 +110,7 @@ pub struct CompletedFlow {
 /// [`crate::transport::Transport::detach`] that frees both endpoints.
 pub struct Spawner {
     proto: Proto,
-    ft: FatTree,
+    topo: Arc<dyn Topology>,
     arrivals: Box<dyn Iterator<Item = FlowEvent> + Send>,
     /// Next arrival, pulled from the stream but not yet due.
     pending: Option<FlowEvent>,
@@ -126,7 +134,7 @@ impl Spawner {
     pub fn install_into(
         world: &mut World<Packet>,
         proto: Proto,
-        ft: FatTree,
+        topo: Arc<dyn Topology>,
         arrivals: impl Iterator<Item = FlowEvent> + Send + 'static,
         warmup: Time,
     ) -> ComponentId {
@@ -135,7 +143,7 @@ impl Spawner {
         let first = pending.as_ref().map(|ev| Time::from_ps(ev.start_ps));
         let id = world.add(Spawner {
             proto,
-            ft,
+            topo,
             arrivals,
             pending,
             next_flow: 1,
@@ -183,10 +191,10 @@ impl Spawner {
         spec.start = start;
         spec.notify = Some((ctx.self_id(), flow));
         let proto = self.proto;
-        let src = (self.ft.hosts[ev.src as usize], ev.src);
-        let dst = (self.ft.hosts[ev.dst as usize], ev.dst);
-        let n_paths = self.ft.n_paths(ev.src, ev.dst);
-        let mtu = self.ft.cfg.mtu;
+        let src = (self.topo.host(ev.src), ev.src);
+        let dst = (self.topo.host(ev.dst), ev.dst);
+        let n_paths = self.topo.n_paths(ev.src, ev.dst);
+        let mtu = self.topo.mtu();
         ctx.defer(move |w| {
             crate::harness::attach_generic(w, proto, &spec, src, dst, n_paths, mtu);
         });
@@ -199,15 +207,15 @@ impl Spawner {
             return; // duplicate notify — already retired
         };
         let fct = ctx.now() - meta.start;
-        let ideal = ideal_fct(&self.ft, meta.src, meta.dst, meta.bytes);
+        let ideal = self.topo.ideal_fct(meta.src, meta.dst, meta.bytes);
         self.completed.push(CompletedFlow {
             bytes: meta.bytes,
             slowdown: fct.as_ps() as f64 / ideal.as_ps() as f64,
             measured: meta.measured,
         });
         let proto = self.proto;
-        let src = self.ft.hosts[meta.src as usize];
-        let dst = self.ft.hosts[meta.dst as usize];
+        let src = self.topo.host(meta.src);
+        let dst = self.topo.host(meta.dst);
         ctx.defer(move |w| {
             proto.transport().detach(w, src, dst, flow);
         });
@@ -240,20 +248,6 @@ impl Component<Packet> for Spawner {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
-}
-
-/// Ideal (unloaded-network) completion time of a `bytes` flow from `src`
-/// to `dst`: the first packet store-and-forwards across every link, the
-/// rest pipeline behind it at line rate. A true lower bound in this
-/// equal-speed store-and-forward fabric, so slowdowns are ≥ 1.
-pub fn ideal_fct(ft: &FatTree, src: HostId, dst: HostId, bytes: u64) -> Time {
-    let per = (ft.cfg.mtu - HEADER_BYTES) as u64;
-    let pkts = bytes.div_ceil(per);
-    let wire = bytes + pkts * HEADER_BYTES as u64;
-    let first = bytes.min(per) + HEADER_BYTES as u64;
-    let hops = ft.n_hops(src, dst) as u64;
-    ft.cfg.link_speed.tx_time(hops * first + (wire - first))
-        + Time::from_ps(ft.cfg.link_delay.as_ps() * hops)
 }
 
 /// One protocol × load point of an open-loop sweep.
@@ -297,21 +291,25 @@ pub fn openloop_run(point: OpenLoopPoint) -> OpenLoopResult {
 /// world, so concurrent sweep executions are independent and
 /// bit-reproducible regardless of `NDP_THREADS`.
 pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
-    let cfg = point.cfg.clone().with_fabric(point.proto.fabric());
     let mut world: World<Packet> = World::new(point.seed);
-    let ft = FatTree::build(&mut world, cfg);
-    let n = ft.n_hosts();
+    let topo: Arc<dyn Topology> = Arc::from(point.topo.build(&mut world, point.proto.fabric()));
+    let n = topo.n_hosts();
     // Totals-only: the runner consumes the sink's delivered-bytes
     // accounting, while per-flow samples come from the Spawner — no
     // per-record buffer to churn.
     let sink = world.add(CompletionSink::totals_only());
-    for &h in &ft.hosts {
-        world.get_mut::<Host>(h).set_completion_sink(sink);
+    for h in 0..n {
+        world
+            .get_mut::<Host>(topo.host(h as HostId))
+            .set_completion_sink(sink);
     }
     let live_components_baseline = world.live_components();
     let sizes = point.dist.cdf();
-    let process =
-        ArrivalProcess::poisson_for_load(point.load, ft.cfg.link_speed.as_bps(), sizes.mean_size());
+    let process = ArrivalProcess::poisson_for_load(
+        point.load,
+        topo.host_link_speed().as_bps(),
+        sizes.mean_size(),
+    );
     let arrivals_end = point.warmup + point.measure;
     // The arrival stream is a function of (seed, load, dist) only — every
     // protocol at the same point sees the identical flow sequence, so
@@ -319,7 +317,13 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
     // Spawner consumes it lazily, one flow per arrival instant.
     let workload =
         DynamicWorkload::new(n, process, sizes, point.seed ^ 0xD15C, arrivals_end.as_ps());
-    let sp = Spawner::install_into(&mut world, point.proto, ft.clone(), workload, point.warmup);
+    let sp = Spawner::install_into(
+        &mut world,
+        point.proto,
+        topo.clone(),
+        workload,
+        point.warmup,
+    );
 
     // Step the world in chunks, streaming each chunk's completed flows
     // into the bins and freeing the sink's record buffer, so no
@@ -329,8 +333,13 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
     let chunk = Time::from_ps((point.measure.as_ps() / 8).max(Time::from_ms(1).as_ps()));
     let mut slowdown = SlowdownBins::new();
     let mut done = false;
+    let mut target = Time::ZERO;
     while !done {
-        let target = (world.now() + chunk).min(cap);
+        // `run_until` leaves `now()` at the last processed event, which
+        // can sit *before* the chunk boundary when a chunk is eventless
+        // (sparse arrivals on a 2-host fabric) — so the boundary grid
+        // must advance monotonically on its own, not off `now()`.
+        target = (target.max(world.now()) + chunk).min(cap);
         done = target == cap;
         world.run_until(target);
         let batch = std::mem::take(&mut world.get_mut::<Spawner>(sp).completed);
@@ -370,12 +379,10 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
         if meta.measured {
             incomplete += 1;
         }
-        point.proto.transport().detach(
-            &mut world,
-            ft.hosts[meta.src as usize],
-            ft.hosts[meta.dst as usize],
-            flow,
-        );
+        point
+            .proto
+            .transport()
+            .detach(&mut world, topo.host(meta.src), topo.host(meta.dst), flow);
     }
     world.retire(sp);
     OpenLoopResult {
@@ -420,7 +427,7 @@ fn windows(dist: DistKind, scale: Scale) -> (Time, Time, Time) {
 /// Build and run a (load × protocol) grid for one distribution/topology.
 fn run_grid(
     dist: DistKind,
-    cfg: FatTreeCfg,
+    topo: TopoSpec,
     loads: &[f64],
     scale: Scale,
     seed: u64,
@@ -431,7 +438,7 @@ fn run_grid(
         for &proto in SWEEP_PROTOS {
             points.push(OpenLoopPoint {
                 proto,
-                cfg: cfg.clone(),
+                topo: topo.clone(),
                 dist,
                 load,
                 // One seed per load point, shared across protocols: every
@@ -450,6 +457,10 @@ fn run_grid(
 pub struct LoadSweepReport {
     pub dist: DistKind,
     pub oversub: bool,
+    /// `Some(name)` when a `--topo`/`NDP_TOPO` override replaced the
+    /// sweep's default fabric (shown in the rendered header and recorded
+    /// in the CLI document envelope).
+    pub topo_override: Option<&'static str>,
     pub loads: Vec<f64>,
     pub rows: Vec<OpenLoopResult>,
 }
@@ -463,30 +474,33 @@ fn fmt_or_dash(x: f64, prec: usize) -> String {
 }
 
 impl LoadSweepReport {
-    fn run(dist: DistKind, oversub: bool, scale: Scale, seed: u64) -> LoadSweepReport {
-        let (cfg, loads): (FatTreeCfg, Vec<f64>) = match (oversub, scale) {
-            // Full-bisection fabrics sweep load up to 80 % of the NIC; the
-            // 4:1 oversubscribed fabric saturates its ToR uplinks near
-            // ~28 % NIC load (uniform destinations), so its sweep stays
-            // below that knee.
-            (false, Scale::Paper) => (
-                FatTreeCfg::new(8),
-                (1..=8).map(|i| i as f64 / 10.0).collect(),
-            ),
-            (false, Scale::Quick) => (FatTreeCfg::new(4), vec![0.1, 0.3, 0.5]),
-            (true, Scale::Paper) => (
-                FatTreeCfg::new(8).with_hosts_per_tor(16),
-                vec![0.05, 0.10, 0.15, 0.20, 0.25],
-            ),
-            (true, Scale::Quick) => (
-                FatTreeCfg::new(4).with_hosts_per_tor(8),
-                vec![0.05, 0.10, 0.20],
-            ),
+    fn run(
+        dist: DistKind,
+        oversub: bool,
+        scale: Scale,
+        seed: u64,
+        topo: Option<&'static TopoEntry>,
+    ) -> LoadSweepReport {
+        // Full-bisection fabrics sweep load up to 80 % of the NIC; the
+        // 4:1 oversubscribed fabric saturates its ToR uplinks near
+        // ~28 % NIC load (uniform destinations), so its sweep stays
+        // below that knee.
+        let loads: Vec<f64> = match (oversub, scale) {
+            (false, Scale::Paper) => (1..=8).map(|i| i as f64 / 10.0).collect(),
+            (false, Scale::Quick) => vec![0.1, 0.3, 0.5],
+            (true, Scale::Paper) => vec![0.05, 0.10, 0.15, 0.20, 0.25],
+            (true, Scale::Quick) => vec![0.05, 0.10, 0.20],
         };
-        let rows = run_grid(dist, cfg, &loads, scale, seed);
+        // Default fabrics come from the topology registry: the canonical
+        // full-bisection shape, or the Figure-23 4:1 variant.
+        let default = registered(if oversub { "oversubscribed" } else { "fattree" });
+        let spec = topo.unwrap_or(default).spec(scale);
+        let topo_override = topo.map(|e| e.name);
+        let rows = run_grid(dist, spec, &loads, scale, seed);
         LoadSweepReport {
             dist,
             oversub,
+            topo_override,
             loads,
             rows,
         }
@@ -514,9 +528,12 @@ impl LoadSweepReport {
             .map(|&p| format!("{} {}", p.label(), fmt_or_dash(self.p99(p, top), 1)))
             .collect();
         format!(
-            "{}{} @{:.0}% load: p99 FCT slowdown {}",
+            "{}{}{} @{:.0}% load: p99 FCT slowdown {}",
             self.dist.label(),
             if self.oversub { " (4:1 oversub)" } else { "" },
+            self.topo_override
+                .map(|t| format!(" on {t}"))
+                .unwrap_or_default(),
             top * 100.0,
             per_proto.join(", ")
         )
@@ -560,13 +577,16 @@ impl std::fmt::Display for LoadSweepReport {
         }
         write!(
             f,
-            "Open-loop {} load sweep{} — FCT slowdown by flow size\n{}",
+            "Open-loop {} load sweep{}{} — FCT slowdown by flow size\n{}",
             self.dist.label(),
             if self.oversub {
                 " (4:1 oversubscribed fabric)"
             } else {
                 ""
             },
+            self.topo_override
+                .map(|t| format!(" on {t}"))
+                .unwrap_or_default(),
             t.render()
         )
     }
@@ -656,12 +676,20 @@ impl crate::registry::Experiment for LoadWebsearch {
         "Open-loop Poisson arrivals from the DCTCP web-search size CDF; \
          NDP vs DCTCP vs pHost, p50/p99 slowdown per size bin per load"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(LoadSweepReport::run(
             DistKind::WebSearch,
             false,
             scale,
             0xA100,
+            topo,
         ))
     }
 }
@@ -677,12 +705,20 @@ impl crate::registry::Experiment for LoadDatamining {
         "Open-loop Poisson arrivals from the VL2 data-mining size CDF \
          (half single-packet, ~13 MB mean); NDP vs DCTCP vs pHost slowdown"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(LoadSweepReport::run(
             DistKind::DataMining,
             false,
             scale,
             0xB200,
+            topo,
         ))
     }
 }
@@ -696,14 +732,22 @@ impl crate::registry::Experiment for OversubLoad {
     }
     fn description(&self) -> &'static str {
         "Web-search load sweep on the Figure-23 style 4:1 oversubscribed \
-         FatTree: slowdown under scarce core capacity, NDP vs DCTCP vs pHost"
+         fabric: slowdown under scarce core capacity, NDP vs DCTCP vs pHost"
     }
-    fn run(&self, scale: Scale) -> Box<dyn crate::registry::Report> {
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         Box::new(LoadSweepReport::run(
             DistKind::WebSearch,
             true,
             scale,
             0xC300,
+            topo,
         ))
     }
 }
@@ -715,7 +759,7 @@ mod tests {
     fn quick_point(proto: Proto, load: f64, seed: u64) -> OpenLoopPoint {
         OpenLoopPoint {
             proto,
-            cfg: FatTreeCfg::new(4),
+            topo: registered("fattree").spec(Scale::Quick),
             dist: DistKind::WebSearch,
             load,
             seed,
@@ -789,33 +833,13 @@ mod tests {
     }
 
     #[test]
-    fn ideal_fct_matches_unloaded_one_way_latency() {
-        // Cross-pod single full packet on the k=4 defaults: 6 links of
-        // 7.2 us serialization + 1 us propagation each (see the topology
-        // one-way latency test).
-        let mut w: World<Packet> = World::new(1);
-        let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
-        let bytes = (9000 - HEADER_BYTES) as u64;
-        assert_eq!(
-            ideal_fct(&ft, 0, 15, bytes),
-            Time::from_ns(6 * 7_200) + Time::from_us(6)
-        );
-        // Two packets: one extra line-rate serialization behind the first.
-        assert_eq!(
-            ideal_fct(&ft, 0, 15, 2 * bytes),
-            Time::from_ns(7 * 7_200) + Time::from_us(6)
-        );
-        // Same-ToR flows only cross 2 links.
-        assert_eq!(
-            ideal_fct(&ft, 0, 1, bytes),
-            Time::from_ns(2 * 7_200) + Time::from_us(2)
-        );
-    }
-
-    #[test]
     fn spawner_attaches_at_arrival_and_retires_on_completion() {
         let mut w: World<Packet> = World::new(1);
-        let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+        let topo: Arc<dyn Topology> = Arc::from(
+            registered("fattree")
+                .spec(Scale::Quick)
+                .build(&mut w, Proto::Ndp.fabric()),
+        );
         let baseline = w.live_components();
         let start = Time::from_us(50);
         let arrival = FlowEvent {
@@ -827,13 +851,13 @@ mod tests {
         let sp = Spawner::install_into(
             &mut w,
             Proto::Ndp,
-            ft.clone(),
+            topo.clone(),
             std::iter::once(arrival),
             Time::ZERO,
         );
         // Before the arrival instant nothing exists for the flow.
         w.run_until(Time::from_us(49));
-        assert_eq!(w.get::<Host>(ft.hosts[0]).n_endpoints(), 0);
+        assert_eq!(w.get::<Host>(topo.host(0)).n_endpoints(), 0);
         assert_eq!(w.get::<Spawner>(sp).started, 0);
         w.run_until(Time::from_ms(20));
         let s = w.get::<Spawner>(sp);
@@ -844,16 +868,47 @@ mod tests {
         let fct_over_ideal = s.completed[0].slowdown;
         // Unloaded network: the flow runs at ideal speed, give ~200 us of
         // slack over the ~78 us ideal.
-        let ideal = ideal_fct(&ft, 0, 15, 90_000);
+        let ideal = topo.ideal_fct(0, 15, 90_000);
         let bound = (ideal + Time::from_us(200)).as_ps() as f64 / ideal.as_ps() as f64;
         assert!(fct_over_ideal >= 0.99, "slowdown {fct_over_ideal}");
         assert!(fct_over_ideal < bound, "unloaded slowdown {fct_over_ideal}");
         // Both endpoints were detached the instant the flow finished.
-        assert_eq!(w.get::<Host>(ft.hosts[0]).n_endpoints(), 0);
-        assert_eq!(w.get::<Host>(ft.hosts[15]).n_endpoints(), 0);
+        assert_eq!(w.get::<Host>(topo.host(0)).n_endpoints(), 0);
+        assert_eq!(w.get::<Host>(topo.host(15)).n_endpoints(), 0);
         // Retiring the spawner returns the arena to its pre-traffic state.
         w.retire(sp);
         assert_eq!(w.live_components(), baseline);
+    }
+
+    #[test]
+    fn openloop_runs_on_every_registered_topology() {
+        // The pipeline is fabric-agnostic: the same point measures flows
+        // and books sane slowdowns on every registered shape.
+        for entry in crate::topo::TOPOLOGIES {
+            let mut point = quick_point(Proto::Ndp, 0.2, 11);
+            point.topo = entry.spec(Scale::Quick);
+            let r = openloop_world_run(&point);
+            assert!(r.measured > 0, "{}: no measured flows", entry.name);
+            assert!(
+                !r.slowdown.is_empty(),
+                "{}: no measured flow completed",
+                entry.name
+            );
+            // ideal_fct is computed from the topology's own per-hop
+            // speeds, so it stays a true lower bound even on the
+            // oversubscribed shapes.
+            assert!(
+                r.slowdown.overall().min() >= 0.99,
+                "{}: slowdown below ideal: {}",
+                entry.name,
+                r.slowdown.overall().min()
+            );
+            assert_eq!(
+                r.live_components_end, r.live_components_baseline,
+                "{}: arena must drain to baseline",
+                entry.name
+            );
+        }
     }
 
     #[test]

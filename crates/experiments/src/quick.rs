@@ -81,7 +81,11 @@ impl crate::registry::Experiment for Quickstart {
     fn title(&self) -> &'static str {
         "Two-host NDP transfer hello-world (sanity check)"
     }
-    fn run(&self, scale: crate::harness::Scale) -> Box<dyn crate::registry::Report> {
+    fn run(
+        &self,
+        scale: crate::harness::Scale,
+        _topo: Option<&'static crate::topo::TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
         let bytes = match scale {
             crate::harness::Scale::Paper => 100_000_000,
             crate::harness::Scale::Quick => 10_000_000,

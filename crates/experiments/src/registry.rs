@@ -8,6 +8,7 @@
 
 use crate::harness::Scale;
 use crate::json::Json;
+use crate::topo::TopoEntry;
 
 /// Run observability an experiment can expose alongside its data: engine
 /// fuel burned and the live-state gauges of the flow-lifecycle machinery.
@@ -55,7 +56,21 @@ pub trait Experiment: Sync {
         self.title()
     }
 
-    fn run(&self, scale: Scale) -> Box<dyn Report>;
+    /// Does this experiment accept a topology override? Topology-neutral
+    /// experiments (the load sweeps, the permutation matrix, the
+    /// transport × topology matrix) run on any registered fabric;
+    /// fixed-shape figures (the testbed replicas, back-to-back
+    /// calibrations) ignore overrides and return `false` here so the CLI
+    /// can reject an explicit `--topo` instead of silently no-opping.
+    fn supports_topo(&self) -> bool {
+        false
+    }
+
+    /// Run at `scale`, optionally on an overridden topology from the
+    /// [`crate::topo::TOPOLOGIES`] registry (`None` = the experiment's
+    /// default fabric; ignored when [`Experiment::supports_topo`] is
+    /// false).
+    fn run(&self, scale: Scale, topo: Option<&'static TopoEntry>) -> Box<dyn Report>;
 }
 
 /// Every registered experiment, in presentation order. One line per
@@ -82,6 +97,7 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &crate::openloop::LoadWebsearch,
     &crate::openloop::LoadDatamining,
     &crate::openloop::OversubLoad,
+    &crate::topo_matrix::TopoMatrix,
     &crate::inline_results::Inline,
     &crate::quick::Quickstart,
 ];
@@ -111,16 +127,26 @@ pub fn cdf_json(c: &ndp_metrics::Cdf, ps: &[f64]) -> Json {
 /// The percentile grid used by default for CDF-shaped figures.
 pub const CDF_POINTS: &[f64] = &[0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
 
-/// The full machine-readable document for one run: id/title/scale
+/// The full machine-readable document for one run: id/title/scale/topo
 /// envelope around the report's headline and data, plus the `run` block
 /// with wall-clock and the report's [`RunStats`] (nulls where untracked).
-pub fn document(exp: &dyn Experiment, scale: Scale, report: &dyn Report, wall_ms: f64) -> Json {
+/// `topo` is the resolved `--topo`/`NDP_TOPO` override (`null` when the
+/// experiment ran on its own default fabric) — without it, archived
+/// documents from different fabrics would be indistinguishable.
+pub fn document(
+    exp: &dyn Experiment,
+    scale: Scale,
+    topo: Option<&'static TopoEntry>,
+    report: &dyn Report,
+    wall_ms: f64,
+) -> Json {
     let stats = report.run_stats();
     let opt = |v: Option<u64>| v.map_or(Json::Null, |x| Json::num(x as f64));
     Json::obj([
         ("id", Json::str(exp.id())),
         ("title", Json::str(exp.title())),
         ("scale", Json::str(scale.name())),
+        ("topo", topo.map_or(Json::Null, |t| Json::str(t.name))),
         ("headline", Json::str(report.headline())),
         (
             "run",
@@ -140,8 +166,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twenty_three_experiments_with_unique_ids() {
-        assert_eq!(EXPERIMENTS.len(), 23);
+    fn twenty_four_experiments_with_unique_ids() {
+        assert_eq!(EXPERIMENTS.len(), 24);
         let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         let before = ids.len();
@@ -168,15 +194,35 @@ mod tests {
     }
 
     #[test]
+    fn topology_neutral_experiments_accept_topo_overrides() {
+        for id in [
+            "fig14",
+            "load_websearch",
+            "load_datamining",
+            "oversub_load",
+            "topo_matrix",
+        ] {
+            let e = find(id).unwrap_or_else(|| panic!("{id} not registered"));
+            assert!(e.supports_topo(), "{id} should accept --topo");
+        }
+        // Fixed-shape figures reject overrides so the CLI can error.
+        for id in ["fig09", "fig11", "fig21"] {
+            assert!(!find(id).unwrap().supports_topo(), "{id} is fixed-shape");
+        }
+    }
+
+    #[test]
     fn quick_report_json_round_trips_through_parser() {
         // fig21 is the cheapest multi-flow figure: one 15 ms world.
         let exp = find("fig21").expect("fig21 registered");
-        let report = exp.run(Scale::Quick);
-        let doc = document(exp, Scale::Quick, report.as_ref(), 12.5);
+        let report = exp.run(Scale::Quick, None);
+        let doc = document(exp, Scale::Quick, None, report.as_ref(), 12.5);
         let text = doc.render();
         let back = crate::json::parse(&text).expect("valid JSON");
         assert_eq!(back.get("id").and_then(Json::as_str), Some("fig21"));
         assert_eq!(back.get("scale").and_then(Json::as_str), Some("quick"));
+        // No override ran: the envelope records the default fabric as null.
+        assert_eq!(back.get("topo"), Some(&Json::Null));
         // The run envelope is always present; untracked gauges are null.
         let run = back.get("run").expect("run envelope");
         assert_eq!(run.get("wall_ms").and_then(Json::as_f64), Some(12.5));

@@ -16,12 +16,12 @@
 //! debugging and for A/B-ing the harness itself).
 
 use ndp_sim::Time;
-use ndp_topology::FatTreeCfg;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::harness::{IncastResult, PermutationResult, Proto};
 use crate::openloop::{DistKind, OpenLoopResult};
+use crate::topo::TopoSpec;
 
 /// Number of sweep workers.
 pub fn worker_threads() -> usize {
@@ -128,7 +128,7 @@ fn run_parallel<P: Sync, R: Send>(
 #[derive(Clone, Debug)]
 pub struct PermutationPoint {
     pub proto: Proto,
-    pub cfg: FatTreeCfg,
+    pub topo: TopoSpec,
     pub duration: Time,
     pub seed: u64,
     pub iw: Option<u64>,
@@ -143,7 +143,7 @@ pub fn sweep_permutation(spec: &SweepSpec<PermutationPoint>) -> Vec<PermutationR
 #[derive(Clone, Debug)]
 pub struct IncastPoint {
     pub proto: Proto,
-    pub cfg: FatTreeCfg,
+    pub topo: TopoSpec,
     pub n_senders: usize,
     pub size: u64,
     pub iw: Option<u64>,
@@ -162,7 +162,7 @@ pub fn sweep_incast(spec: &SweepSpec<IncastPoint>) -> Vec<IncastResult> {
 #[derive(Clone, Debug)]
 pub struct OpenLoopPoint {
     pub proto: Proto,
-    pub cfg: FatTreeCfg,
+    pub topo: TopoSpec,
     pub dist: DistKind,
     pub load: f64,
     pub seed: u64,
@@ -204,7 +204,7 @@ mod tests {
         // independent seeded world.
         let mk = |seed: u64| PermutationPoint {
             proto: Proto::Ndp,
-            cfg: FatTreeCfg::new(4),
+            topo: crate::topo::registered("fattree").spec(crate::harness::Scale::Quick),
             duration: Time::from_ms(2),
             seed,
             iw: Some(30),
@@ -214,7 +214,7 @@ mod tests {
         for (point, got) in spec.points.iter().zip(&par) {
             let serial = permutation_run(
                 point.proto,
-                point.cfg.clone(),
+                point.topo.clone(),
                 point.duration,
                 point.seed,
                 point.iw,
@@ -232,7 +232,7 @@ mod tests {
     fn parallel_incast_matches_serial_exactly() {
         let point = IncastPoint {
             proto: Proto::Ndp,
-            cfg: FatTreeCfg::new(4),
+            topo: crate::topo::registered("fattree").spec(crate::harness::Scale::Quick),
             n_senders: 6,
             size: 90_000,
             iw: None,
@@ -243,7 +243,7 @@ mod tests {
         let par = sweep_incast(&spec);
         let serial = incast_run(
             point.proto,
-            point.cfg.clone(),
+            point.topo.clone(),
             point.n_senders,
             point.size,
             point.iw,

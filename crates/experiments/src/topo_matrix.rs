@@ -1,0 +1,413 @@
+//! The transport × topology scenario matrix: the cross-product the whole
+//! evaluation API exists for.
+//!
+//! For every registered fabric shape in the default axis ({fattree,
+//! leafspine, oversubscribed}, or just the one named by `--topo`) and
+//! every contending protocol ({NDP, DCTCP, pHost}), one report runs three
+//! canonical scenarios through the topology-neutral harnesses:
+//!
+//! * **permutation** — long-running worst-case matrix, per-host goodput
+//!   as a fraction of the access line rate;
+//! * **incast** — N:1 synchronized responses, last-flow completion;
+//! * **open-loop websearch** — Poisson arrivals at a fixed offered load,
+//!   FCT slowdown per size bin against the topology's own per-hop-speed
+//!   ideal.
+//!
+//! Every cell is one independent seeded world, so the full matrix fans
+//! out across cores through the sweep harness. Adding a topology to
+//! [`crate::topo::TOPOLOGIES`] or a transport to
+//! [`crate::transport::TRANSPORTS`] grows this report with zero edits
+//! here beyond the axis lists.
+
+use ndp_metrics::{Table, SLOWDOWN_BIN_LABELS};
+use ndp_sim::Time;
+
+use crate::harness::{Proto, Scale};
+use crate::openloop::{DistKind, OpenLoopResult, SWEEP_PROTOS};
+use crate::sweep::{
+    sweep_incast, sweep_openloop, sweep_permutation, IncastPoint, OpenLoopPoint, SweepSpec,
+};
+use crate::topo::{registered, TopoEntry};
+
+/// The default topology axis: the full-bisection three-tier fabric, the
+/// rack-scale two-tier fabric, and the scarce-core 4:1 variant.
+pub const MATRIX_TOPOS: &[&str] = &["fattree", "leafspine", "oversubscribed"];
+
+/// One (topology, protocol) cell of the matrix.
+pub struct Cell {
+    pub topo: &'static str,
+    pub proto: Proto,
+    /// Permutation per-host goodput over the access line rate.
+    pub perm_utilization: f64,
+    /// Actual incast fan-in of this cell: the configured sender count,
+    /// capped at the fabric's host count minus the frontend.
+    pub incast_senders: usize,
+    /// N:1 incast last-flow completion (NaN if nothing finished).
+    pub incast_last_ms: f64,
+    pub incast_incomplete: usize,
+    /// Open-loop websearch point at the matrix load.
+    pub openloop: OpenLoopResult,
+}
+
+pub struct Report {
+    /// Offered load of the open-loop scenario (fraction of the NIC).
+    pub load: f64,
+    pub cells: Vec<Cell>,
+}
+
+pub fn run(scale: Scale, topo: Option<&'static TopoEntry>) -> Report {
+    let entries: Vec<&'static TopoEntry> = match topo {
+        Some(e) => vec![e],
+        None => MATRIX_TOPOS.iter().map(|n| registered(n)).collect(),
+    };
+    let protos = SWEEP_PROTOS;
+    let (perm_duration, incast_senders, incast_size) = match scale {
+        Scale::Paper => (Time::from_ms(20), 32, 450_000u64),
+        Scale::Quick => (Time::from_ms(5), 8, 90_000),
+    };
+    // Oversubscribed shapes saturate their uplinks near 25 % NIC load
+    // with uniform destinations, so one matrix load must stay comparable
+    // across shapes without collapsing the scarce-core ones.
+    let load = 0.2;
+    let (warmup, measure, drain) = match scale {
+        Scale::Paper => (Time::from_ms(5), Time::from_ms(50), Time::from_ms(40)),
+        Scale::Quick => (Time::from_ms(2), Time::from_ms(15), Time::from_ms(15)),
+    };
+
+    let cells: Vec<(usize, Proto)> = entries
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, _)| protos.iter().map(move |&p| (ti, p)))
+        .collect();
+
+    let perm = SweepSpec::new(
+        "topo_matrix: permutation",
+        cells
+            .iter()
+            .map(|&(ti, proto)| crate::sweep::PermutationPoint {
+                proto,
+                topo: entries[ti].spec(scale),
+                duration: perm_duration,
+                seed: 71,
+                iw: None,
+            })
+            .collect(),
+    );
+    let incast = SweepSpec::new(
+        "topo_matrix: incast",
+        cells
+            .iter()
+            .map(|&(ti, proto)| IncastPoint {
+                proto,
+                topo: entries[ti].spec(scale),
+                n_senders: incast_senders.min(entries[ti].spec(scale).n_hosts() - 1),
+                size: incast_size,
+                iw: None,
+                seed: 72,
+                horizon: Time::from_secs(10),
+            })
+            .collect(),
+    );
+    let openloop = SweepSpec::new(
+        "topo_matrix: openloop websearch",
+        cells
+            .iter()
+            .map(|&(ti, proto)| OpenLoopPoint {
+                proto,
+                topo: entries[ti].spec(scale),
+                dist: DistKind::WebSearch,
+                load,
+                // One seed per topology, shared across protocols: paired
+                // arrival sequences within each fabric column.
+                seed: 0xD400 + ti as u64,
+                warmup,
+                measure,
+                drain,
+            })
+            .collect(),
+    );
+
+    let perm_results = sweep_permutation(&perm);
+    let incast_results = sweep_incast(&incast);
+    let openloop_results = sweep_openloop(&openloop);
+
+    let rows = cells
+        .iter()
+        .zip(perm_results)
+        .zip(incast_results)
+        .zip(openloop_results)
+        .map(|(((&(ti, proto), p), i), o)| Cell {
+            topo: entries[ti].name,
+            proto,
+            perm_utilization: p.utilization,
+            // Small fabrics cap the fan-in; report what actually ran.
+            incast_senders: incast_senders.min(entries[ti].spec(scale).n_hosts() - 1),
+            incast_last_ms: i.last().map_or(f64::NAN, |t| t.as_ms()),
+            incast_incomplete: i.incomplete,
+            openloop: o,
+        })
+        .collect();
+    Report { load, cells: rows }
+}
+
+fn fmt_or_dash(x: f64, prec: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.prec$}")
+    } else {
+        "-".into()
+    }
+}
+
+impl Report {
+    /// Overall p99 slowdown of one cell, NaN when nothing completed.
+    pub fn p99(&self, topo: &str, proto: Proto) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.topo == topo && c.proto == proto)
+            .map(|c| {
+                if c.openloop.slowdown.is_empty() {
+                    f64::NAN
+                } else {
+                    c.openloop.slowdown.overall().percentile(0.99)
+                }
+            })
+            .unwrap_or(f64::NAN)
+    }
+
+    pub fn utilization(&self, topo: &str, proto: Proto) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.topo == topo && c.proto == proto)
+            .map(|c| c.perm_utilization)
+            .unwrap_or(f64::NAN)
+    }
+
+    pub fn headline(&self) -> String {
+        let topos: Vec<&str> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.topo) {
+                    seen.push(c.topo);
+                }
+            }
+            seen
+        };
+        let per_topo: Vec<String> = topos
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{t}: NDP util {:.0}%/p99 {}",
+                    100.0 * self.utilization(t, Proto::Ndp),
+                    fmt_or_dash(self.p99(t, Proto::Ndp), 1)
+                )
+            })
+            .collect();
+        format!(
+            "{} topologies x {} protocols @{:.0}% load — {}",
+            topos.len(),
+            SWEEP_PROTOS.len(),
+            self.load * 100.0,
+            per_topo.join("; ")
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec![
+            "topology".to_string(),
+            "protocol".into(),
+            "perm util %".into(),
+            "incast N:1 (ms)".into(),
+            "flows".into(),
+            "incompl".into(),
+        ];
+        for label in SLOWDOWN_BIN_LABELS {
+            header.push(format!("{label} p50/p99"));
+        }
+        header.push("all p50/p99".into());
+        let mut t = Table::new(header);
+        for c in &self.cells {
+            let mut row = vec![
+                c.topo.to_string(),
+                c.proto.label().to_string(),
+                format!("{:.1}", 100.0 * c.perm_utilization),
+                format!(
+                    "{}:1 {}",
+                    c.incast_senders,
+                    fmt_or_dash(c.incast_last_ms, 2)
+                ),
+                c.openloop.measured.to_string(),
+                c.openloop.incomplete.to_string(),
+            ];
+            for i in 0..c.openloop.slowdown.n_bins() {
+                row.push(format!(
+                    "{}/{}",
+                    fmt_or_dash(c.openloop.slowdown.percentile(i, 0.50), 1),
+                    fmt_or_dash(c.openloop.slowdown.percentile(i, 0.99), 1)
+                ));
+            }
+            let all = c.openloop.slowdown.overall();
+            row.push(if all.is_empty() {
+                "-/-".into()
+            } else {
+                format!("{:.1}/{:.1}", all.percentile(0.50), all.percentile(0.99))
+            });
+            t.row(row);
+        }
+        write!(
+            f,
+            "Transport x topology matrix — permutation, incast and open-loop websearch @{:.0}% load\n{}",
+            self.load * 100.0,
+            t.render()
+        )
+    }
+}
+
+/// Registry entry.
+pub struct TopoMatrix;
+
+impl crate::registry::Experiment for TopoMatrix {
+    fn id(&self) -> &'static str {
+        "topo_matrix"
+    }
+    fn title(&self) -> &'static str {
+        "Transport x topology matrix (permutation/incast/open-loop per fabric shape)"
+    }
+    fn description(&self) -> &'static str {
+        "Permutation goodput, N:1 incast completion and open-loop websearch \
+         slowdown for NDP vs DCTCP vs pHost across {fattree, leafspine, \
+         oversubscribed} (or just the fabric named by --topo)"
+    }
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale, topo))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+
+    fn run_stats(&self) -> crate::registry::RunStats {
+        crate::registry::RunStats {
+            events_processed: Some(self.cells.iter().map(|c| c.openloop.events_processed).sum()),
+            peak_live_components: self
+                .cells
+                .iter()
+                .map(|c| c.openloop.peak_live_components as u64)
+                .max(),
+            peak_live_flows: self
+                .cells
+                .iter()
+                .map(|c| c.openloop.peak_live_flows as u64)
+                .max(),
+        }
+    }
+
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("load", Json::num(self.load)),
+            (
+                "bins",
+                Json::arr(SLOWDOWN_BIN_LABELS.iter().map(|&l| Json::str(l))),
+            ),
+            (
+                "cells",
+                Json::arr(self.cells.iter().map(|c| {
+                    let all = c.openloop.slowdown.overall();
+                    let (p50, p99) = if all.is_empty() {
+                        (f64::NAN, f64::NAN)
+                    } else {
+                        (all.percentile(0.50), all.percentile(0.99))
+                    };
+                    Json::obj([
+                        ("topo", Json::str(c.topo)),
+                        ("proto", Json::str(c.proto.label())),
+                        ("perm_utilization", Json::num(c.perm_utilization)),
+                        ("incast_senders", Json::num(c.incast_senders as f64)),
+                        ("incast_last_ms", Json::num(c.incast_last_ms)),
+                        ("incast_incomplete", Json::num(c.incast_incomplete as f64)),
+                        ("measured", Json::num(c.openloop.measured as f64)),
+                        ("incomplete", Json::num(c.openloop.incomplete as f64)),
+                        (
+                            "overall",
+                            Json::obj([
+                                ("n", Json::num(all.len() as f64)),
+                                ("p50", Json::num(p50)),
+                                ("p99", Json::num(p99)),
+                            ]),
+                        ),
+                        (
+                            "slowdown_bins",
+                            Json::arr((0..c.openloop.slowdown.n_bins()).map(|i| {
+                                Json::obj([
+                                    ("bin", Json::str(SLOWDOWN_BIN_LABELS[i])),
+                                    ("n", Json::num(c.openloop.slowdown.bin(i).len() as f64)),
+                                    ("p50", Json::num(c.openloop.slowdown.percentile(i, 0.50))),
+                                    ("p99", Json::num(c.openloop.slowdown.percentile(i, 0.99))),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_topologies_and_protocols_with_populated_cells() {
+        let rep = run(Scale::Quick, None);
+        assert_eq!(rep.cells.len(), MATRIX_TOPOS.len() * SWEEP_PROTOS.len());
+        let topos: std::collections::HashSet<&str> = rep.cells.iter().map(|c| c.topo).collect();
+        assert_eq!(topos.len(), 3);
+        for c in &rep.cells {
+            assert!(
+                c.openloop.measured > 0,
+                "{}/{}: no measured flows",
+                c.topo,
+                c.proto.label()
+            );
+            assert!(
+                !c.openloop.slowdown.is_empty(),
+                "{}/{}: empty slowdown bins",
+                c.topo,
+                c.proto.label()
+            );
+            assert!(
+                c.perm_utilization > 0.0,
+                "{}/{}: dead permutation",
+                c.topo,
+                c.proto.label()
+            );
+        }
+        // NDP keeps full-bisection fabrics busy and leads DCTCP's p99 on
+        // the scarce-core shape.
+        assert!(rep.utilization("fattree", Proto::Ndp) > 0.85);
+        assert!(rep.utilization("leafspine", Proto::Ndp) > 0.85);
+        assert!(
+            rep.utilization("oversubscribed", Proto::Ndp) < rep.utilization("fattree", Proto::Ndp)
+        );
+    }
+
+    #[test]
+    fn single_topology_restriction_populates_one_column() {
+        let rep = run(Scale::Quick, Some(crate::topo::registered("leafspine")));
+        assert_eq!(rep.cells.len(), SWEEP_PROTOS.len());
+        assert!(rep.cells.iter().all(|c| c.topo == "leafspine"));
+        assert!(rep.cells.iter().all(|c| c.openloop.measured > 0));
+    }
+}

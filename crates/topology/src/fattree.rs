@@ -18,13 +18,14 @@
 use ndp_net::host::{Host, HostLatency};
 use ndp_net::packet::{HostId, Packet};
 use ndp_net::pipe::Pipe;
-use ndp_net::queue::{LinkClass, Queue, QueueStats};
+use ndp_net::queue::{LinkClass, Queue};
 use ndp_net::switch::{Router, Switch};
 use ndp_sim::{ComponentId, Speed, Time, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::spec::QueueSpec;
+use crate::topology::{push_links_1d, push_links_2d, Hop, LinkRef, Topology};
 
 /// How switches pick uplinks for packets heading up the tree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -446,7 +447,9 @@ impl FatTree {
     }
 
     /// Degrade the bidirectional link between agg `a` (in-pod index) of
-    /// `pod` and its `m`-th core to `speed` (Figure 22's failure).
+    /// `pod` and its `m`-th core to `speed` (Figure 22's failure) — a
+    /// convenience wrapper over [`Topology::set_link_speed`] for the
+    /// fabric's own index arithmetic.
     pub fn degrade_core_link(
         &self,
         world: &mut World<Packet>,
@@ -458,40 +461,63 @@ impl FatTree {
         let half = self.cfg.k / 2;
         let agg = pod * half + a;
         let core = a * half + m;
-        world.get_mut::<Queue>(self.agg_up[agg][m]).set_rate(speed);
-        world
-            .get_mut::<Queue>(self.core_down[core][pod])
-            .set_rate(speed);
+        self.set_link_speed(world, self.agg_up[agg][m], speed);
+        self.set_link_speed(world, self.core_down[core][pod], speed);
+    }
+}
+
+impl Topology for FatTree {
+    fn label(&self) -> &'static str {
+        "fattree"
     }
 
-    /// Aggregate queue statistics by link class (trim-location analysis).
-    pub fn stats_by_class(&self, world: &World<Packet>) -> Vec<(LinkClass, QueueStats)> {
-        let mut acc: Vec<(LinkClass, QueueStats)> = Vec::new();
-        let add = |class: LinkClass, st: &QueueStats, acc: &mut Vec<(LinkClass, QueueStats)>| {
-            let slot = match acc.iter_mut().find(|(c, _)| *c == class) {
-                Some((_, s)) => s,
-                None => {
-                    acc.push((class, QueueStats::default()));
-                    &mut acc.last_mut().unwrap().1
-                }
+    fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn host(&self, h: HostId) -> ComponentId {
+        self.hosts[h as usize]
+    }
+
+    fn host_nic(&self, h: HostId) -> ComponentId {
+        self.host_nic[h as usize]
+    }
+
+    fn mtu(&self) -> u32 {
+        self.cfg.mtu
+    }
+
+    fn host_link_speed(&self) -> Speed {
+        self.cfg.link_speed
+    }
+
+    fn n_paths(&self, src: HostId, dst: HostId) -> u32 {
+        FatTree::n_paths(self, src, dst)
+    }
+
+    fn n_hops(&self, src: HostId, dst: HostId) -> u32 {
+        FatTree::n_hops(self, src, dst)
+    }
+
+    fn path_profile(&self, src: HostId, dst: HostId) -> Vec<Hop> {
+        vec![
+            Hop {
+                speed: self.cfg.link_speed,
+                delay: self.cfg.link_delay,
             };
-            slot.forwarded_pkts += st.forwarded_pkts;
-            slot.forwarded_bytes += st.forwarded_bytes;
-            slot.payload_bytes += st.payload_bytes;
-            slot.trimmed += st.trimmed;
-            slot.bounced += st.bounced;
-            slot.dropped_data += st.dropped_data;
-            slot.dropped_ctrl += st.dropped_ctrl;
-            slot.ecn_marked += st.ecn_marked;
-            slot.xoff_sent += st.xoff_sent;
-            slot.max_occupancy_bytes = slot.max_occupancy_bytes.max(st.max_occupancy_bytes);
-        };
-        for id in world.ids() {
-            if let Some(q) = world.try_get::<Queue>(id) {
-                add(q.class(), &q.stats, &mut acc);
-            }
-        }
-        acc
+            FatTree::n_hops(self, src, dst) as usize
+        ]
+    }
+
+    fn links(&self) -> Vec<LinkRef> {
+        let mut out = Vec::new();
+        push_links_1d(&mut out, "host_nic", LinkClass::HostNic, &self.host_nic);
+        push_links_2d(&mut out, "tor_down", LinkClass::TorDown, &self.tor_down);
+        push_links_2d(&mut out, "tor_up", LinkClass::TorUp, &self.tor_up);
+        push_links_2d(&mut out, "agg_down", LinkClass::AggDown, &self.agg_down);
+        push_links_2d(&mut out, "agg_up", LinkClass::AggUp, &self.agg_up);
+        push_links_2d(&mut out, "core_down", LinkClass::CoreDown, &self.core_down);
+        out
     }
 }
 

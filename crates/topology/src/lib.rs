@@ -1,5 +1,9 @@
-//! Topology builders: k-ary FatTrees, two-tier testbed replicas,
-//! back-to-back host pairs and single-bottleneck setups.
+//! Topology builders: k-ary FatTrees, leaf-spine fabrics with an
+//! oversubscription knob, two-tier testbed replicas, back-to-back host
+//! pairs and single-bottleneck setups — all behind one object-safe
+//! [`Topology`] trait (host/path arithmetic, ideal-FCT lower bounds, link
+//! enumeration, runtime failure injection) so experiment harnesses never
+//! name a concrete fabric.
 //!
 //! The central trick (DESIGN.md §5): in a folded Clos the complete path
 //! between two hosts is determined by the uplink choices made on the way
@@ -14,9 +18,13 @@
 //! harvesting and failure injection).
 
 pub mod fattree;
+pub mod leafspine;
 pub mod small;
 pub mod spec;
+pub mod topology;
 
 pub use fattree::{FatTree, FatTreeCfg, RouteMode};
+pub use leafspine::{LeafSpine, LeafSpineCfg};
 pub use small::{BackToBack, SingleBottleneck, TwoTier, TwoTierCfg};
 pub use spec::QueueSpec;
+pub use topology::{ideal_fct_over, Hop, LinkRef, Topology, FAILED_LINK_SPEED};

@@ -13,12 +13,15 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::spec::QueueSpec;
+use crate::topology::{push_links_1d, push_links_2d, Hop, LinkRef, Topology};
 
 /// Two hosts wired NIC-to-NIC (the paper's §5.1/§6 calibration setup).
 pub struct BackToBack {
     pub hosts: [ComponentId; 2],
     pub host_nic: [ComponentId; 2],
     pub link_speed: Speed,
+    pub link_delay: Time,
+    pub mtu: u32,
 }
 
 impl BackToBack {
@@ -55,11 +58,52 @@ impl BackToBack {
             hosts: [h0, h1],
             host_nic: [nic0, nic1],
             link_speed,
+            link_delay,
+            mtu,
         }
     }
+}
 
-    pub fn n_paths(&self) -> u32 {
+impl Topology for BackToBack {
+    fn label(&self) -> &'static str {
+        "backtoback"
+    }
+
+    fn n_hosts(&self) -> usize {
+        2
+    }
+
+    fn host(&self, h: HostId) -> ComponentId {
+        self.hosts[h as usize]
+    }
+
+    fn host_nic(&self, h: HostId) -> ComponentId {
+        self.host_nic[h as usize]
+    }
+
+    fn mtu(&self) -> u32 {
+        self.mtu
+    }
+
+    fn host_link_speed(&self) -> Speed {
+        self.link_speed
+    }
+
+    fn n_paths(&self, _src: HostId, _dst: HostId) -> u32 {
         1
+    }
+
+    fn path_profile(&self, _src: HostId, _dst: HostId) -> Vec<Hop> {
+        vec![Hop {
+            speed: self.link_speed,
+            delay: self.link_delay,
+        }]
+    }
+
+    fn links(&self) -> Vec<LinkRef> {
+        let mut out = Vec::new();
+        push_links_1d(&mut out, "host_nic", LinkClass::HostNic, &self.host_nic);
+        out
     }
 }
 
@@ -291,6 +335,60 @@ impl TwoTier {
         } else {
             self.cfg.n_spines as u32
         }
+    }
+}
+
+impl Topology for TwoTier {
+    fn label(&self) -> &'static str {
+        "twotier"
+    }
+
+    fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn host(&self, h: HostId) -> ComponentId {
+        self.hosts[h as usize]
+    }
+
+    fn host_nic(&self, h: HostId) -> ComponentId {
+        self.host_nic[h as usize]
+    }
+
+    fn mtu(&self) -> u32 {
+        self.cfg.mtu
+    }
+
+    fn host_link_speed(&self) -> Speed {
+        self.cfg.link_speed
+    }
+
+    fn n_paths(&self, src: HostId, dst: HostId) -> u32 {
+        TwoTier::n_paths(self, src, dst)
+    }
+
+    fn path_profile(&self, src: HostId, dst: HostId) -> Vec<Hop> {
+        let hop = Hop {
+            speed: self.cfg.link_speed,
+            delay: self.cfg.link_delay,
+        };
+        let hpt = self.cfg.hosts_per_tor as u32;
+        // Same rack: NIC + ToR-down. Cross rack: NIC, ToR-up, spine-down,
+        // ToR-down.
+        if src / hpt == dst / hpt {
+            vec![hop; 2]
+        } else {
+            vec![hop; 4]
+        }
+    }
+
+    fn links(&self) -> Vec<LinkRef> {
+        let mut out = Vec::new();
+        push_links_1d(&mut out, "host_nic", LinkClass::HostNic, &self.host_nic);
+        push_links_2d(&mut out, "tor_down", LinkClass::TorDown, &self.tor_down);
+        push_links_2d(&mut out, "tor_up", LinkClass::TorUp, &self.tor_up);
+        push_links_2d(&mut out, "spine_down", LinkClass::AggDown, &self.spine_down);
+        out
     }
 }
 

@@ -100,6 +100,38 @@ impl QueueSpec {
         }
     }
 
+    /// The same service model with its data capacity capped at `pkts`
+    /// packets — shallow-buffer scenarios (the NetFPGA testbed's ~8
+    /// jumbogram output queues) apply to every protocol that runs there,
+    /// so the cap is a property of the scenario, not of the transport.
+    /// Thresholds that scale with the buffer (ECN marking, PFC Xoff/Xon)
+    /// are clamped to stay inside the new capacity.
+    pub fn with_data_cap(self, pkts: usize) -> QueueSpec {
+        match self {
+            QueueSpec::Ndp { .. } => QueueSpec::Ndp {
+                data_cap_pkts: pkts,
+            },
+            QueueSpec::DropTail {
+                ecn_thresh_pkts, ..
+            } => QueueSpec::DropTail {
+                cap_pkts: pkts,
+                ecn_thresh_pkts: ecn_thresh_pkts.map(|t| t.min(pkts)),
+            },
+            QueueSpec::Cp { .. } => QueueSpec::Cp { thresh_pkts: pkts },
+            QueueSpec::Lossless {
+                xoff_pkts,
+                xon_pkts,
+                ecn_thresh_pkts,
+                ..
+            } => QueueSpec::Lossless {
+                cap_pkts: pkts,
+                xoff_pkts: xoff_pkts.min(pkts),
+                xon_pkts: xon_pkts.min(pkts),
+                ecn_thresh_pkts: ecn_thresh_pkts.map(|t| t.min(pkts)),
+            },
+        }
+    }
+
     /// Host NIC policy matching this fabric. NDP NICs keep the priority
     /// (header-first) behaviour but with a deep data queue — hosts never
     /// trim their own traffic; other fabrics get a deep drop-tail NIC.
@@ -122,6 +154,43 @@ impl QueueSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_data_cap_preserves_service_model() {
+        // NDP stays NDP, drop-tail stays drop-tail; only capacities move.
+        assert_eq!(
+            QueueSpec::ndp_default().with_data_cap(8),
+            QueueSpec::Ndp { data_cap_pkts: 8 }
+        );
+        assert_eq!(
+            QueueSpec::droptail_default().with_data_cap(8),
+            QueueSpec::DropTail {
+                cap_pkts: 8,
+                ecn_thresh_pkts: None
+            }
+        );
+        // Dependent thresholds are clamped inside the new capacity.
+        assert_eq!(
+            QueueSpec::dctcp_default().with_data_cap(8),
+            QueueSpec::DropTail {
+                cap_pkts: 8,
+                ecn_thresh_pkts: Some(8)
+            }
+        );
+        match QueueSpec::dcqcn_default().with_data_cap(8) {
+            QueueSpec::Lossless {
+                cap_pkts,
+                xoff_pkts,
+                xon_pkts,
+                ecn_thresh_pkts,
+            } => {
+                assert_eq!(cap_pkts, 8);
+                assert!(xoff_pkts <= 8 && xon_pkts <= 8);
+                assert_eq!(ecn_thresh_pkts, Some(8));
+            }
+            other => panic!("lossless stayed lossless, got {other:?}"),
+        }
+    }
 
     #[test]
     fn defaults_match_paper_parameters() {

@@ -18,6 +18,7 @@
 
 use ndp::experiments::openloop::{openloop_run, DistKind};
 use ndp::experiments::sweep::OpenLoopPoint;
+use ndp::experiments::topo::TopoSpec;
 use ndp::experiments::Proto;
 use ndp::sim::Time;
 use ndp::topology::FatTreeCfg;
@@ -25,7 +26,7 @@ use ndp::topology::FatTreeCfg;
 fn main() {
     let point = OpenLoopPoint {
         proto: Proto::Ndp,
-        cfg: FatTreeCfg::new(4),
+        topo: TopoSpec::fattree(FatTreeCfg::new(4)),
         dist: DistKind::WebSearch,
         load: 0.5,
         seed: 7,

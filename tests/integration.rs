@@ -5,7 +5,9 @@ use ndp::baselines::tcp::{attach_tcp_flow, TcpCfg};
 use ndp::core::{attach_flow, NdpFlowCfg, NdpSender};
 use ndp::net::{Host, Packet, Queue};
 use ndp::sim::{Speed, Time, World};
-use ndp::topology::{FatTree, FatTreeCfg, QueueSpec, SingleBottleneck, TwoTier, TwoTierCfg};
+use ndp::topology::{
+    FatTree, FatTreeCfg, QueueSpec, SingleBottleneck, Topology, TwoTier, TwoTierCfg,
+};
 
 /// §3.1 / Figure 3: priority-forwarded headers let a retransmission arrive
 /// before the congested queue drains, so the bottleneck link never idles

@@ -240,3 +240,113 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Topology-registry invariants: every registered fabric shape must uphold the
+// `Topology` contract the experiment harnesses build on.
+
+mod topology_invariants {
+    use ndp::experiments::topo::{TopoEntry, TOPOLOGIES};
+    use ndp::experiments::{Proto, Scale};
+    use ndp::net::{Host, Packet};
+    use ndp::sim::{Time, World};
+    use ndp::topology::{QueueSpec, Topology};
+    use ndp::transport::FlowSpec;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn build(entry: &TopoEntry, fabric: QueueSpec) -> (World<Packet>, Box<dyn Topology>) {
+        let mut w: World<Packet> = World::new(1);
+        let topo = entry.spec(Scale::Quick).build(&mut w, fabric);
+        (w, topo)
+    }
+
+    /// A deterministic (src, dst) pair with src != dst.
+    fn pair(n: usize, seed: u64) -> (u32, u32) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let src = rng.gen_range(0..n);
+        let dst = (src + 1 + rng.gen_range(0..n - 1)) % n;
+        (src as u32, dst as u32)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Path and hop counts are symmetric, and a tagged raw packet
+        /// injected at any source reaches the right destination for every
+        /// valid path tag — on every registered topology.
+        #[test]
+        fn paths_are_symmetric_and_every_tag_delivers(
+            ti in 0usize..TOPOLOGIES.len(),
+            seed in 0u64..10_000,
+        ) {
+            let entry = &TOPOLOGIES[ti];
+            let (mut w, topo) = build(entry, QueueSpec::ndp_default());
+            let (src, dst) = pair(topo.n_hosts(), seed);
+            prop_assert_eq!(
+                topo.n_paths(src, dst), topo.n_paths(dst, src),
+                "{}: n_paths asymmetric for ({}, {})", entry.name, src, dst
+            );
+            prop_assert_eq!(
+                topo.n_hops(src, dst), topo.n_hops(dst, src),
+                "{}: n_hops asymmetric for ({}, {})", entry.name, src, dst
+            );
+            prop_assert!(topo.n_paths(src, dst) >= 1);
+            prop_assert_eq!(
+                topo.n_hops(src, dst) as usize,
+                topo.path_profile(src, dst).len(),
+                "{}: hop count disagrees with the path profile", entry.name
+            );
+            let n_paths = topo.n_paths(src, dst);
+            for tag in 0..n_paths {
+                let pkt = Packet::data(src, dst, 1000 + tag as u64, 0, topo.mtu())
+                    .with_path(tag);
+                w.post(Time::ZERO, topo.host_nic(src), pkt);
+            }
+            w.run_until_idle();
+            // No endpoints are registered, so deliveries land in the
+            // unknown-flow counter — a delivery proof per tag.
+            let h = w.get::<Host>(topo.host(dst));
+            prop_assert_eq!(
+                h.stats().unknown_flow_drops + h.stats().timewait_rejects,
+                n_paths as u64,
+                "{}: not every tag of ({}, {}) delivered", entry.name, src, dst
+            );
+        }
+
+        /// `ideal_fct` is a true lower bound on an unloaded single-flow
+        /// run for every registered topology — including the shapes with
+        /// slow uplinks, whose bound comes from per-hop speeds.
+        #[test]
+        fn ideal_fct_is_a_lower_bound_on_an_unloaded_run(
+            ti in 0usize..TOPOLOGIES.len(),
+            seed in 0u64..10_000,
+            size in 1u64..400_000,
+        ) {
+            let entry = &TOPOLOGIES[ti];
+            let proto = Proto::Ndp;
+            let (mut w, topo) = build(entry, proto.fabric());
+            let (src, dst) = pair(topo.n_hosts(), seed);
+            let spec = FlowSpec::new(1, src, dst, size);
+            proto.transport().attach(
+                &mut w,
+                &spec,
+                (topo.host(src), src),
+                (topo.host(dst), dst),
+                topo.n_paths(src, dst),
+                topo.mtu(),
+            );
+            w.run_until(Time::from_secs(5));
+            let done = proto
+                .transport()
+                .completion_time(&w, topo.host(dst), 1)
+                .expect("unloaded flow must complete");
+            let ideal = topo.ideal_fct(src, dst, size);
+            prop_assert!(
+                done >= ideal,
+                "{}: measured FCT {} beat the 'ideal' bound {} for ({}, {}, {}B)",
+                entry.name, done, ideal, src, dst, size
+            );
+        }
+    }
+}

@@ -1,85 +1,281 @@
-//! Regenerate `BENCH_engine.json`: events/sec of the k=8 NDP permutation
-//! workload under the classic (binary heap) and two-tier (wheel + fast
-//! lane) schedulers, plus the speedup ratio.
+//! Regenerate (or gate on) `BENCH_engine.json`: the hot-path engine suite.
 //!
-//! Usage: `cargo run --release -p ndp-bench --bin engine_json [reps]`
-//! from the repository root; writes `BENCH_engine.json` to the current
-//! directory. The best of `reps` runs (default 3) is reported per
-//! scheduler to filter scheduling noise.
+//! Three workloads with very different event mixes — steady long-flow
+//! permutation, a trim-heavy large incast, and dynamic open-loop traffic —
+//! each measured as *effective* events/sec: the unfused reference event
+//! count (explicit `Pipe` per link, the seed's wiring) divided by the wall
+//! time of the fused-hop run that produces bit-identical results. That
+//! credits hop fusion for the events it makes unnecessary while staying
+//! comparable with the committed pre-fusion events/sec trajectory.
+//!
+//! Usage (from the repository root):
+//!
+//! ```sh
+//! cargo run --release -p ndp-bench --bin engine_json [reps]      # regenerate
+//! cargo run --release -p ndp-bench --bin engine_json -- --check  # CI perf gate
+//! ```
+//!
+//! `--check` re-measures the suite and exits non-zero if the geometric-mean
+//! events/sec regressed more than 10% below the committed
+//! `BENCH_engine.json`; commits tagged `[skip-perf-gate]` bypass it in CI.
+//! The best of `reps` runs (default 3) is reported per workload to filter
+//! scheduling noise.
 
-use ndp_experiments::harness::{permutation_run, Proto};
+use ndp_experiments::harness::{incast_run, permutation_run, Proto};
+use ndp_experiments::json;
+use ndp_experiments::openloop::{openloop_run, DistKind};
+use ndp_experiments::sweep::OpenLoopPoint;
 use ndp_experiments::topo::TopoSpec;
-use ndp_sim::{set_default_scheduler, SchedulerKind, Time};
-use ndp_topology::FatTreeCfg;
+use ndp_sim::Time;
+use ndp_topology::{FatTreeCfg, LeafSpineCfg};
 use std::time::Instant;
 
-struct Measurement {
-    events: u64,
+/// The committed two-tier events/sec of the pre-fusion single-workload
+/// suite (NDP permutation, k=8): the trajectory this suite is gated
+/// against.
+const PRE_FUSION_EPS: f64 = 15_905_998.0;
+
+/// Allowed relative slack before `--check` fails the build.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Run one workload to completion and return its dispatched-event count.
+/// `fused` selects the default fused-hop wiring or the seed's explicit
+/// `Pipe` reference; both produce bit-identical protocol behaviour (pinned
+/// by the golden traces and the fused/unfused A/B proptests).
+fn run_permutation(fused: bool) -> u64 {
+    let cfg = if fused {
+        FatTreeCfg::new(8)
+    } else {
+        FatTreeCfg::new(8).unfused()
+    };
+    let r = permutation_run(
+        Proto::Ndp,
+        TopoSpec::fattree(cfg),
+        Time::from_ms(2),
+        7,
+        None,
+    );
+    assert!(
+        r.utilization > 0.5,
+        "degenerate permutation (util {:.2})",
+        r.utilization
+    );
+    r.events_processed
+}
+
+fn run_incast(fused: bool) -> u64 {
+    // 431-to-1 over a k=12 fat-tree (432 hosts), 450 KB per sender — the
+    // paper's large-incast shape, dominated by trims and retransmissions.
+    let cfg = if fused {
+        FatTreeCfg::new(12)
+    } else {
+        FatTreeCfg::new(12).unfused()
+    };
+    let r = incast_run(
+        Proto::Ndp,
+        TopoSpec::fattree(cfg),
+        431,
+        450_000,
+        None,
+        7,
+        Time::from_ms(500),
+    );
+    assert_eq!(r.incomplete, 0, "incast did not finish within the horizon");
+    r.events_processed
+}
+
+fn run_openloop(fused: bool) -> u64 {
+    let cfg = if fused {
+        LeafSpineCfg::new(8, 4, 4)
+    } else {
+        LeafSpineCfg::new(8, 4, 4).unfused()
+    };
+    let r = openloop_run(OpenLoopPoint {
+        proto: Proto::Ndp,
+        topo: TopoSpec::leafspine(cfg),
+        dist: DistKind::WebSearch,
+        load: 0.6,
+        seed: 7,
+        warmup: Time::from_ms(2),
+        measure: Time::from_ms(20),
+        drain: Time::from_ms(20),
+    });
+    assert!(r.measured > 0, "open-loop point measured no flows");
+    r.events_processed
+}
+
+struct Workload {
+    name: &'static str,
+    describe: &'static str,
+    run: fn(bool) -> u64,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "permutation_k8",
+        describe: "NDP permutation, k=8 FatTree (128 hosts), 2 ms simulated, seed 7",
+        run: run_permutation,
+    },
+    Workload {
+        name: "incast_432",
+        describe: "NDP 431-to-1 incast, k=12 FatTree (432 hosts), 450 KB per sender, seed 7",
+        run: run_incast,
+    },
+    Workload {
+        name: "openloop_websearch_60",
+        describe: "open-loop web-search at 60% load, quick leaf-spine (32 hosts), 20 ms measured",
+        run: run_openloop,
+    },
+];
+
+struct Row {
+    name: &'static str,
+    describe: &'static str,
+    ref_events: u64,
+    fused_events: u64,
+    ref_secs: f64,
     best_secs: f64,
 }
 
-impl Measurement {
+impl Row {
+    /// Effective events/sec: reference (unfused) work over fused wall time.
     fn events_per_sec(&self) -> f64 {
-        self.events as f64 / self.best_secs
+        self.ref_events as f64 / self.best_secs
     }
 }
 
-fn measure(kind: SchedulerKind, reps: usize) -> Measurement {
-    set_default_scheduler(kind);
-    let mut best = f64::INFINITY;
-    let mut events = 0;
+fn measure(w: &Workload, reps: usize) -> Row {
+    eprintln!("measuring {} ({reps} reps)...", w.name);
+    // Unfused runs fix the reference event count (a pure function of the
+    // workload) and a same-machine, same-build reference wall time.
+    let mut ref_events = 0;
+    let mut ref_secs = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
-        let r = permutation_run(
-            Proto::Ndp,
-            TopoSpec::fattree(FatTreeCfg::new(8)),
-            Time::from_ms(2),
-            7,
-            None,
-        );
-        let secs = start.elapsed().as_secs_f64();
-        assert!(
-            r.utilization > 0.5,
-            "degenerate workload (util {:.2})",
-            r.utilization
-        );
-        events = r.events_processed;
-        best = best.min(secs);
+        ref_events = (w.run)(false);
+        ref_secs = ref_secs.min(start.elapsed().as_secs_f64());
     }
-    set_default_scheduler(SchedulerKind::TwoTier);
-    Measurement {
-        events,
+    let mut best = f64::INFINITY;
+    let mut fused_events = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let events = (w.run)(true);
+        best = best.min(start.elapsed().as_secs_f64());
+        if fused_events != 0 {
+            assert_eq!(events, fused_events, "{} is nondeterministic", w.name);
+        }
+        fused_events = events;
+    }
+    assert!(
+        fused_events < ref_events,
+        "{}: fusion must dispatch fewer events ({fused_events} vs {ref_events})",
+        w.name
+    );
+    Row {
+        name: w.name,
+        describe: w.describe,
+        ref_events,
+        fused_events,
+        ref_secs,
         best_secs: best,
     }
 }
 
+fn geomean(rates: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = rates.fold((0.0, 0u32), |(s, n), r| (s + r.ln(), n + 1));
+    (sum / n as f64).exp()
+}
+
+fn render(rows: &[Row]) -> String {
+    let g = geomean(rows.iter().map(Row::events_per_sec));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"suite\": \"engine hot-path: effective events/sec = unfused-reference \
+         events / fused wall seconds, best of N reps\",\n",
+    );
+    out.push_str(&format!(
+        "  \"pre_fusion_two_tier_events_per_sec\": {PRE_FUSION_EPS:.0},\n"
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\",\n      \"describe\": \"{}\",\n      \
+             \"ref_events\": {}, \"fused_events\": {}, \"ref_secs\": {:.4}, \
+             \"secs\": {:.4}, \"events_per_sec\": {:.0} }}{}\n",
+            r.name,
+            r.describe,
+            r.ref_events,
+            r.fused_events,
+            r.ref_secs,
+            r.best_secs,
+            r.events_per_sec(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"geomean_events_per_sec\": {g:.0},\n"));
+    out.push_str(&format!(
+        "  \"speedup_vs_pre_fusion\": {:.3}\n",
+        g / PRE_FUSION_EPS
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// `--check`: re-measure and compare against the committed file.
+fn check(reps: usize) -> ! {
+    let committed = std::fs::read_to_string("BENCH_engine.json")
+        .expect("BENCH_engine.json must exist (run engine_json without --check first)");
+    let doc = json::parse(&committed).expect("BENCH_engine.json must be valid JSON");
+    let committed_geomean = doc
+        .get("geomean_events_per_sec")
+        .and_then(json::Json::as_f64)
+        .expect("committed suite must record geomean_events_per_sec");
+    let rows: Vec<Row> = WORKLOADS.iter().map(|w| measure(w, reps)).collect();
+    let got = geomean(rows.iter().map(Row::events_per_sec));
+    let floor = committed_geomean * (1.0 - REGRESSION_TOLERANCE);
+    println!(
+        "perf gate: measured geomean {got:.0} events/sec vs committed {committed_geomean:.0} \
+         (floor {floor:.0})"
+    );
+    for r in &rows {
+        println!("  {:>24}: {:.0} events/sec", r.name, r.events_per_sec());
+    }
+    if got < floor {
+        eprintln!(
+            "perf gate FAILED: events/sec regressed more than {:.0}% below the committed \
+             baseline; fix the regression or regenerate BENCH_engine.json (and justify it), \
+             or tag the commit [skip-perf-gate]",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate OK");
+    std::process::exit(0);
+}
+
 fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
-    eprintln!("measuring classic scheduler ({reps} reps)...");
-    let classic = measure(SchedulerKind::Classic, reps);
-    eprintln!("measuring two-tier scheduler ({reps} reps)...");
-    let two_tier = measure(SchedulerKind::TwoTier, reps);
-    assert_eq!(
-        classic.events, two_tier.events,
-        "schedulers must process identical event counts for a fixed seed"
-    );
-    let json = format!(
-        "{{\n  \"workload\": \"NDP permutation, k=8 FatTree (128 hosts), 2 ms simulated, seed 7\",\n  \
-           \"events\": {},\n  \
-           \"classic\": {{ \"secs\": {:.4}, \"events_per_sec\": {:.0} }},\n  \
-           \"two_tier\": {{ \"secs\": {:.4}, \"events_per_sec\": {:.0} }},\n  \
-           \"speedup\": {:.3}\n}}\n",
-        classic.events,
-        classic.best_secs,
-        classic.events_per_sec(),
-        two_tier.best_secs,
-        two_tier.events_per_sec(),
-        two_tier.events_per_sec() / classic.events_per_sec(),
-    );
-    print!("{json}");
-    std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
+    let mut reps = 3usize;
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            gate = true;
+        } else if let Ok(n) = arg.parse() {
+            reps = n;
+        } else {
+            panic!("unrecognized argument '{arg}' (expected a rep count or --check)");
+        }
+    }
+    if gate {
+        check(reps);
+    }
+    let rows: Vec<Row> = WORKLOADS.iter().map(|w| measure(w, reps)).collect();
+    let out = render(&rows);
+    // The pretty writer above must stay machine-readable: --check (and any
+    // downstream tooling) reloads the committed file through the parser.
+    json::parse(&out).expect("rendered suite must be valid JSON");
+    print!("{out}");
+    std::fs::write("BENCH_engine.json", out).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
 }

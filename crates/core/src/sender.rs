@@ -8,11 +8,11 @@
 //! packets, i.e. corruption — the retransmission timeout.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ndp_net::host::{Endpoint, EndpointCtx};
 use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, HEADER_BYTES};
-use ndp_sim::{ComponentId, Time};
+use ndp_sim::{ComponentId, FxHashSet, Time};
 
 use crate::path::PathSet;
 
@@ -100,7 +100,7 @@ pub struct NdpSender {
     next_new: u64,
     /// Packets queued for retransmission (pulled before new data).
     rtx_q: VecDeque<u64>,
-    rtx_set: HashSet<u64>,
+    rtx_set: FxHashSet<u64>,
     acked: Vec<bool>,
     acked_count: u64,
     /// seq -> (send time, path) for packets awaiting ACK/NACK.
@@ -110,7 +110,7 @@ pub struct NdpSender {
     /// Highest pull counter honoured.
     pull_ctr: u64,
     /// First-window sequences returned to sender (RTS echo suppression).
-    first_window_rts: HashSet<u64>,
+    first_window_rts: FxHashSet<u64>,
     iw_sent: u64,
     /// Ring of recent feedback kinds (true = ACK) for the RTS "mostly
     /// ACKed" rule.
@@ -137,13 +137,13 @@ impl NdpSender {
             total_pkts,
             next_new: 0,
             rtx_q: VecDeque::new(),
-            rtx_set: HashSet::new(),
+            rtx_set: FxHashSet::default(),
             acked: vec![false; total_pkts as usize],
             acked_count: 0,
             outstanding: BTreeMap::new(),
             feedback: 0,
             pull_ctr: 0,
-            first_window_rts: HashSet::new(),
+            first_window_rts: FxHashSet::default(),
             iw_sent: 0,
             recent: VecDeque::new(),
             paths,

@@ -243,6 +243,8 @@ pub struct IncastResult {
     /// Per-flow completion times relative to the common start.
     pub fcts: Vec<Time>,
     pub incomplete: usize,
+    /// Events the engine dispatched for this run (engine-bench fuel).
+    pub events_processed: u64,
 }
 
 impl IncastResult {
@@ -321,7 +323,11 @@ pub(crate) fn incast_world_run(point: &crate::sweep::IncastPoint) -> IncastResul
             None => incomplete += 1,
         }
     }
-    IncastResult { fcts, incomplete }
+    IncastResult {
+        fcts,
+        incomplete,
+        events_processed: world.events_processed(),
+    }
 }
 
 /// Ideal (store-and-forward, fully pipelined) last-flow completion for an
@@ -396,6 +402,7 @@ mod tests {
         let r = IncastResult {
             fcts: Vec::new(),
             incomplete: 3,
+            events_processed: 0,
         };
         assert_eq!(r.last(), None);
         assert_eq!(r.first(), None);

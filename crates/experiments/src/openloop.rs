@@ -45,7 +45,7 @@ use std::sync::Arc;
 use ndp_metrics::{SlowdownBins, Table, SLOWDOWN_BIN_LABELS};
 use ndp_net::packet::{FlowId, HostId, Packet};
 use ndp_net::{CompletionSink, Host};
-use ndp_sim::{Component, ComponentId, Ctx, Event, Time, World};
+use ndp_sim::{Component, ComponentId, Ctx, Event, EventKindCounts, Time, World};
 use ndp_topology::Topology;
 use ndp_workloads::{ArrivalProcess, DynamicWorkload, EmpiricalCdf, FlowEvent};
 
@@ -267,6 +267,9 @@ pub struct OpenLoopResult {
     pub delivered_bytes: u64,
     /// Engine events dispatched (bench fuel).
     pub events_processed: u64,
+    /// Per-kind tally of posted events (zero-delay forwards, timed
+    /// messages, timer wakes) — the scheduler-lane mix of the run.
+    pub event_kinds: EventKindCounts,
     /// High-water mark of concurrently in-flight flows — with lazy attach
     /// and retirement this is ≪ `offered` on any long run.
     pub peak_live_flows: usize,
@@ -351,6 +354,11 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
         if world.now() >= arrivals_end && world.get::<Spawner>(sp).live_flows() == 0 {
             done = true;
         }
+        // Scheduler buckets never shrink mid-run (capacity reuse keeps
+        // refills allocation-free); releasing burst capacity at chunk
+        // boundaries keeps a long sweep point from holding its peak-burst
+        // memory through the whole measure + drain tail.
+        world.shrink_idle();
     }
     let (completed_flows, delivered_bytes) = {
         let s = world.get::<CompletionSink>(sink);
@@ -394,6 +402,7 @@ pub(crate) fn openloop_world_run(point: &OpenLoopPoint) -> OpenLoopResult {
         offered,
         delivered_bytes,
         events_processed: world.events_processed(),
+        event_kinds: world.event_kind_counts(),
         peak_live_flows,
         live_components_baseline,
         live_components_end: world.live_components(),
@@ -600,6 +609,7 @@ impl crate::registry::Report for LoadSweepReport {
     fn run_stats(&self) -> crate::registry::RunStats {
         crate::registry::RunStats {
             events_processed: Some(self.rows.iter().map(|r| r.events_processed).sum()),
+            event_kinds: Some(self.rows.iter().map(|r| r.event_kinds).sum()),
             peak_live_components: self
                 .rows
                 .iter()
@@ -788,6 +798,13 @@ mod tests {
         // at the median.
         let p50 = r.slowdown.overall().percentile(0.5);
         assert!(p50 < 4.0, "NDP median slowdown {p50:.2}");
+        // The per-kind tally accounts for at least every dispatched event
+        // (posts at the cap may go undispatched, never the reverse), and a
+        // packet run exercises all three scheduler lanes.
+        assert!(r.event_kinds.total() >= r.events_processed);
+        assert!(r.event_kinds.forward > 0, "no zero-delay handoffs?");
+        assert!(r.event_kinds.timed_msg > 0, "no timed messages?");
+        assert!(r.event_kinds.wake > 0, "no timer wakes?");
     }
 
     #[test]

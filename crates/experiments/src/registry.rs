@@ -17,6 +17,9 @@ use crate::topo::TopoEntry;
 pub struct RunStats {
     /// Engine events dispatched, summed over every world the run built.
     pub events_processed: Option<u64>,
+    /// Per-kind tally of posted events (forwards / timed messages / timer
+    /// wakes), summed over every world the run built.
+    pub event_kinds: Option<ndp_sim::EventKindCounts>,
     /// Highest arena population any world reached.
     pub peak_live_components: Option<u64>,
     /// Highest in-flight flow count any world reached.
@@ -142,6 +145,19 @@ pub fn document(
 ) -> Json {
     let stats = report.run_stats();
     let opt = |v: Option<u64>| v.map_or(Json::Null, |x| Json::num(x as f64));
+    // Wall-clock throughput, derivable only when the run tracked its event
+    // count (and actually took time).
+    let events_per_sec = match stats.events_processed {
+        Some(ev) if wall_ms > 0.0 => Json::num(ev as f64 / (wall_ms / 1e3)),
+        _ => Json::Null,
+    };
+    let event_kinds = stats.event_kinds.map_or(Json::Null, |k| {
+        Json::obj([
+            ("forward", Json::num(k.forward as f64)),
+            ("timed_msg", Json::num(k.timed_msg as f64)),
+            ("wake", Json::num(k.wake as f64)),
+        ])
+    });
     Json::obj([
         ("id", Json::str(exp.id())),
         ("title", Json::str(exp.title())),
@@ -153,6 +169,8 @@ pub fn document(
             Json::obj([
                 ("wall_ms", Json::num(wall_ms)),
                 ("events_processed", opt(stats.events_processed)),
+                ("events_per_sec", events_per_sec),
+                ("event_kinds", event_kinds),
                 ("peak_live_components", opt(stats.peak_live_components)),
                 ("peak_live_flows", opt(stats.peak_live_flows)),
             ]),
@@ -227,6 +245,10 @@ mod tests {
         let run = back.get("run").expect("run envelope");
         assert_eq!(run.get("wall_ms").and_then(Json::as_f64), Some(12.5));
         assert_eq!(run.get("events_processed"), Some(&Json::Null));
+        // Derived throughput and the per-kind split are null exactly when
+        // the report didn't track its event counts.
+        assert_eq!(run.get("events_per_sec"), Some(&Json::Null));
+        assert_eq!(run.get("event_kinds"), Some(&Json::Null));
         assert_eq!(
             back.get("headline").and_then(Json::as_str),
             Some(report.headline().as_str())

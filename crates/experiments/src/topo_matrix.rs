@@ -299,6 +299,7 @@ impl crate::registry::Report for Report {
     fn run_stats(&self) -> crate::registry::RunStats {
         crate::registry::RunStats {
             events_processed: Some(self.cells.iter().map(|c| c.openloop.events_processed).sum()),
+            event_kinds: Some(self.cells.iter().map(|c| c.openloop.event_kinds).sum()),
             peak_live_components: self
                 .cells
                 .iter()

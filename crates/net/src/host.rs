@@ -14,9 +14,9 @@
 //! imperfect pull spacing (Figures 12/13).
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use ndp_sim::{Component, ComponentId, Ctx, Event, Speed, Time};
+use ndp_sim::{Component, ComponentId, Ctx, Event, FxHashMap, Speed, Time};
 use rand::Rng;
 
 use crate::packet::{Flags, FlowId, HostId, Packet, PacketKind};
@@ -182,7 +182,7 @@ struct FlowPull {
 /// The single per-host pull queue shared by every connection (§3.2).
 #[derive(Default)]
 struct PullQueue {
-    flows: HashMap<FlowId, FlowPull>,
+    flows: FxHashMap<FlowId, FlowPull>,
     rr: [VecDeque<FlowId>; 2],
 }
 
@@ -281,7 +281,7 @@ struct HostCore {
     next_pull_at: Time,
     last_rx: Time,
     trace_pulls: bool,
-    time_wait: HashMap<FlowId, Time>,
+    time_wait: FxHashMap<FlowId, Time>,
     /// Time-wait entries in expiry order (expiries are monotone: always
     /// `now + MSL`), so the table purges itself in O(1) amortized instead
     /// of growing with every connection ever closed.
@@ -291,6 +291,13 @@ struct HostCore {
     /// World-level [`crate::completion::CompletionSink`], if the harness
     /// registered one; completing endpoints report through it.
     completion_sink: Option<ComponentId>,
+    /// Same-tick transmit burst being assembled during one endpoint
+    /// dispatch. All packets share the NIC target and `tx_delay`, so the
+    /// whole window goes out as one scheduler train instead of one post
+    /// per packet — flushed before any other post so the train occupies
+    /// exactly the consecutive sequence numbers the individual posts
+    /// would have held.
+    tx_train: Vec<Packet>,
     pub stats: HostStats,
 }
 
@@ -321,6 +328,26 @@ impl HostCore {
             None => base,
         };
         self.next_pull_at = sim.now() + gap;
+    }
+
+    fn flush_tx(&mut self, sim: &mut Ctx<'_, Packet>) {
+        match self.tx_train.len() {
+            0 => {}
+            // The dominant case — one data packet per pull — posts plainly
+            // and keeps the buffer's capacity, so the steady-state TX path
+            // stays allocation-free.
+            1 => {
+                let pkt = self.tx_train.pop().expect("len checked");
+                sim.send(self.nic, pkt, self.latency.tx_delay);
+            }
+            // A real burst (initial window, retransmission sweep): hand the
+            // buffer over as one scheduler train; the allocation for the
+            // next buffer amortizes over the burst.
+            _ => {
+                let train = std::mem::take(&mut self.tx_train);
+                sim.send_train(self.nic, train, self.latency.tx_delay);
+            }
+        }
     }
 
     fn arm_pacer(&mut self, sim: &mut Ctx<'_, Packet>) {
@@ -363,23 +390,26 @@ impl<'a, 'b> EndpointCtx<'a, 'b> {
         self.core.mtu
     }
 
-    /// Transmit a packet through the host NIC.
+    /// Transmit a packet through the host NIC. Consecutive sends within
+    /// one endpoint callback are coalesced into a single scheduler train
+    /// (burst batching); delivery times and order are unchanged.
     pub fn send(&mut self, mut pkt: Packet) {
         if pkt.sent == Time::ZERO {
             pkt.sent = self.sim.now();
         }
-        self.sim
-            .send(self.core.nic, pkt, self.core.latency.tx_delay);
+        self.core.tx_train.push(pkt);
     }
 
     /// Arm a flow-local timer; it arrives back via [`Endpoint::on_timer`].
     pub fn timer_in(&mut self, delay: Time, token: u8) {
         debug_assert!(token != TOKEN_START, "token 0 is reserved for start");
+        self.core.flush_tx(self.sim);
         self.sim.wake_in(delay, (self.flow << 8) | token as u64);
     }
 
     /// Queue a PULL towards `peer` for this flow (the host pacer sends it).
     pub fn pull_request(&mut self, peer: HostId, prio: PullPriority) {
+        self.core.flush_tx(self.sim);
         self.core.pull.request(self.flow, peer, prio);
         self.core.arm_pacer(self.sim);
     }
@@ -403,6 +433,7 @@ impl<'a, 'b> EndpointCtx<'a, 'b> {
 
     /// Completion (or other milestone) notification to a harness component.
     pub fn notify(&mut self, target: ComponentId, token: u64) {
+        self.core.flush_tx(self.sim);
         self.sim.wake_other(target, Time::ZERO, token);
     }
 
@@ -412,6 +443,7 @@ impl<'a, 'b> EndpointCtx<'a, 'b> {
     /// time; the record lands in the sink through the engine's deferred-op
     /// queue, immediately after the current dispatch.
     pub fn complete(&mut self, delivered_bytes: u64, fct: Time) {
+        self.core.flush_tx(self.sim);
         let Some(sink) = self.core.completion_sink else {
             return;
         };
@@ -453,7 +485,7 @@ impl<'a, 'b> EndpointCtx<'a, 'b> {
 /// The host component.
 pub struct Host {
     core: HostCore,
-    endpoints: HashMap<FlowId, Box<dyn Endpoint>>,
+    endpoints: FxHashMap<FlowId, Box<dyn Endpoint>>,
     /// Packets waiting out host processing delay (FIFO, fixed delay).
     proc_q: VecDeque<(Time, Packet)>,
 }
@@ -472,13 +504,14 @@ impl Host {
                 next_pull_at: Time::ZERO,
                 last_rx: Time::ZERO,
                 trace_pulls: false,
-                time_wait: HashMap::new(),
+                time_wait: FxHashMap::default(),
                 time_wait_order: VecDeque::new(),
                 rx_trace: None,
                 completion_sink: None,
+                tx_train: Vec::new(),
                 stats: HostStats::default(),
             },
-            endpoints: HashMap::new(),
+            endpoints: FxHashMap::default(),
             proc_q: VecDeque::new(),
         }
     }
@@ -575,6 +608,7 @@ impl Host {
             let mut ctx = EndpointCtx { sim, core, flow };
             f(ep.as_mut(), &mut ctx);
         }
+        core.flush_tx(sim);
         core.arm_pacer(sim);
     }
 
@@ -602,6 +636,7 @@ impl Host {
             let mut ctx = EndpointCtx { sim, core, flow };
             ep.on_packet(pkt, &mut ctx);
         }
+        core.flush_tx(sim);
         core.arm_pacer(sim);
     }
 }

@@ -208,6 +208,12 @@ impl Policy {
 }
 
 /// One egress port: policy + serializer.
+///
+/// In *fused* form ([`Queue::fused`]) the queue also models the wire: the
+/// TX-done post carries the downstream propagation delay directly, so a
+/// packet crossing a hop costs one scheduled event instead of the
+/// queue→[`crate::pipe::Pipe`]→next pair. The standalone `Pipe` remains for
+/// raw-injection tests and paths without an upstream serializer.
 pub struct Queue {
     rate: Speed,
     next: ComponentId,
@@ -218,6 +224,12 @@ pub struct Queue {
     in_service: Option<Packet>,
     /// Number of outstanding Xoff pauses applied to *us* by downstream.
     paused: u32,
+    /// Fused-hop propagation delay (ZERO = deliver same-tick, the unfused
+    /// behaviour where a separate `Pipe` models the wire).
+    wire_delay: Time,
+    /// Fused-hop corruption probability (mirrors `Pipe::with_corruption`).
+    wire_corrupt_prob: f64,
+    pub wire_corrupted: u64,
     pub stats: QueueStats,
 }
 
@@ -230,8 +242,35 @@ impl Queue {
             policy,
             in_service: None,
             paused: 0,
+            wire_delay: Time::ZERO,
+            wire_corrupt_prob: 0.0,
+            wire_corrupted: 0,
             stats: QueueStats::default(),
         }
+    }
+
+    /// A queue with the wire folded in: transmitted packets arrive at
+    /// `next` after `wire_delay` as a single scheduled event, with no
+    /// intermediate `Pipe` dispatch.
+    pub fn fused(
+        rate: Speed,
+        next: ComponentId,
+        wire_delay: Time,
+        class: LinkClass,
+        policy: Policy,
+    ) -> Queue {
+        let mut q = Queue::new(rate, next, class, policy);
+        q.wire_delay = wire_delay;
+        q
+    }
+
+    /// Enable fault injection on the fused wire: drop each transmitted
+    /// packet with probability `p` (the fused analogue of
+    /// [`crate::pipe::Pipe::with_corruption`]).
+    pub fn with_wire_corruption(mut self, p: f64) -> Queue {
+        assert!((0.0..=1.0).contains(&p));
+        self.wire_corrupt_prob = p;
+        self
     }
 
     pub fn class(&self) -> LinkClass {
@@ -500,6 +539,22 @@ impl Queue {
         self.start_tx_if_possible(ctx);
     }
 
+    /// Hand a transmitted packet to the downstream component. The corrupt
+    /// check runs first and with the same draw condition as `Pipe`'s, so a
+    /// fused hop consumes the RNG stream exactly like the queue+pipe pair
+    /// it replaces (no draw at all when corruption is disabled).
+    fn deliver_downstream(&mut self, pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
+        if self.wire_corrupt_prob > 0.0 && ctx.rng().gen::<f64>() < self.wire_corrupt_prob {
+            self.wire_corrupted += 1;
+            return;
+        }
+        if self.wire_delay.is_zero() {
+            ctx.forward(self.next, pkt);
+        } else {
+            ctx.send(self.next, pkt, self.wire_delay);
+        }
+    }
+
     fn after_dequeue(&mut self, ctx: &mut Ctx<'_, Packet>) {
         if let Policy::Lossless {
             bytes,
@@ -548,7 +603,7 @@ impl Component<Packet> for Queue {
                 if pkt.kind == PacketKind::Data && !pkt.is_trimmed() {
                     self.stats.payload_bytes += pkt.payload as u64;
                 }
-                ctx.forward(self.next, pkt);
+                self.deliver_downstream(pkt, ctx);
                 self.after_dequeue(ctx);
                 self.start_tx_if_possible(ctx);
             }
@@ -886,6 +941,91 @@ mod tests {
         assert_eq!(s.got.len(), 1);
         // Released only after the resume at t=100us, plus 7.2us tx.
         assert_eq!(s.times[0], Time::from_us(100) + Time::from_ns(7_200));
+    }
+
+    #[test]
+    fn fused_hop_matches_queue_plus_pipe_timing() {
+        let delay = Time::from_us(1);
+        // Reference: queue -> pipe -> sink.
+        let mut wa: World<Packet> = World::new(5);
+        let sink_a = wa.add(Sink::new());
+        let pipe = wa.add(crate::pipe::Pipe::new(delay, sink_a));
+        let qa = wa.add(Queue::new(
+            Speed::gbps(10),
+            pipe,
+            LinkClass::Other,
+            Policy::droptail(100 * 9000),
+        ));
+        // Fused: queue carries the wire delay itself.
+        let mut wb: World<Packet> = World::new(5);
+        let sink_b = wb.add(Sink::new());
+        let qb = wb.add(Queue::fused(
+            Speed::gbps(10),
+            sink_b,
+            delay,
+            LinkClass::Other,
+            Policy::droptail(100 * 9000),
+        ));
+        for i in 0..5 {
+            wa.post(Time::ZERO, qa, Packet::data(0, 1, 0, i, 9000));
+            wb.post(Time::ZERO, qb, Packet::data(0, 1, 0, i, 9000));
+        }
+        wa.run_until_idle();
+        wb.run_until_idle();
+        let sa = wa.get::<Sink>(sink_a);
+        let sb = wb.get::<Sink>(sink_b);
+        assert_eq!(sa.times, sb.times, "fused hop must preserve arrival times");
+        let seqs_a: Vec<u64> = sa.got.iter().map(|p| p.seq).collect();
+        let seqs_b: Vec<u64> = sb.got.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs_a, seqs_b, "fused hop must preserve arrival order");
+        // Fused run dispatched fewer events (no pipe hops).
+        assert!(wb.events_processed() < wa.events_processed());
+    }
+
+    #[test]
+    fn fused_corruption_matches_pipe_corruption_exactly() {
+        // Same seed, same draw condition and order => the fused wire must
+        // corrupt the exact same packets as a trailing Pipe would.
+        let delay = Time::from_ns(500);
+        let p = 0.25;
+        let mut wa: World<Packet> = World::new(11);
+        let sink_a = wa.add(Sink::new());
+        let pipe = wa.add(crate::pipe::Pipe::new(delay, sink_a).with_corruption(p));
+        let qa = wa.add(Queue::new(
+            Speed::gbps(10),
+            pipe,
+            LinkClass::Other,
+            Policy::droptail(10_000 * 9000),
+        ));
+        let mut wb: World<Packet> = World::new(11);
+        let sink_b = wb.add(Sink::new());
+        let qb = wb.add(
+            Queue::fused(
+                Speed::gbps(10),
+                sink_b,
+                delay,
+                LinkClass::Other,
+                Policy::droptail(10_000 * 9000),
+            )
+            .with_wire_corruption(p),
+        );
+        for i in 0..2_000 {
+            wa.post(Time::from_ns(i), qa, Packet::data(0, 1, 0, i, 1500));
+            wb.post(Time::from_ns(i), qb, Packet::data(0, 1, 0, i, 1500));
+        }
+        wa.run_until_idle();
+        wb.run_until_idle();
+        let sa = wa.get::<Sink>(sink_a);
+        let sb = wb.get::<Sink>(sink_b);
+        let seqs_a: Vec<u64> = sa.got.iter().map(|p| p.seq).collect();
+        let seqs_b: Vec<u64> = sb.got.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs_a, seqs_b, "same survivors in the same order");
+        assert_eq!(sa.times, sb.times);
+        assert_eq!(
+            wa.get::<crate::pipe::Pipe>(pipe).corrupted,
+            wb.get::<Queue>(qb).wire_corrupted
+        );
+        assert!(wb.get::<Queue>(qb).wire_corrupted > 0);
     }
 
     #[test]

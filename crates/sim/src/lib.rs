@@ -32,10 +32,13 @@
 //! assert_eq!(world.get::<Echo>(id).heard, 7);
 //! ```
 
+pub mod fxhash;
 pub mod time;
 pub mod world;
 
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use time::{Speed, Time};
 pub use world::{
-    set_default_scheduler, Component, ComponentId, Ctx, Event, SchedulerKind, World, WorldOp,
+    set_default_scheduler, Component, ComponentId, Ctx, Event, EventKindCounts, SchedulerKind,
+    World, WorldOp,
 };

@@ -172,8 +172,16 @@ impl Speed {
     /// Serialization time for `bytes` at this speed.
     pub fn tx_time(self, bytes: u64) -> Time {
         debug_assert!(self.0 > 0, "zero link speed");
-        let bits = bytes as u128 * 8;
-        Time(((bits * 1_000_000_000_000u128) / self.0 as u128) as u64)
+        // This runs once per packet per hop (every TX start), so the wide
+        // division matters: for packet-sized operands the product fits u64
+        // and one native `div` replaces the u128 `__udivti3` call. Both
+        // branches compute the identical integer quotient.
+        if bytes <= u64::MAX / 8_000_000_000_000 {
+            Time((bytes * 8_000_000_000_000) / self.0)
+        } else {
+            let bits = bytes as u128 * 8;
+            Time(((bits * 1_000_000_000_000u128) / self.0 as u128) as u64)
+        }
     }
 
     /// How many bytes this link transfers in `t` (rounding down).

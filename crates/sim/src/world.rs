@@ -110,7 +110,18 @@ struct Scheduled<M> {
     at: Time,
     seq: u64,
     to: ComponentId,
-    ev: Event<M>,
+    payload: Payload<M>,
+}
+
+/// What a [`Scheduled`] entry carries: a single event, or a same-instant
+/// train of messages coalesced into one scheduler entry ([`Ctx::send_train`]).
+/// Components never see the train form — dispatch expands it into
+/// consecutive [`Event::Msg`] deliveries, each counted and traced exactly as
+/// if it had been posted individually, so a train is indistinguishable from
+/// the back-to-back posts it replaces (same trace hash, same event count).
+enum Payload<M> {
+    One(Event<M>),
+    Train(Vec<M>),
 }
 
 impl<M> PartialEq for Scheduled<M> {
@@ -216,6 +227,14 @@ struct TwoTier<M> {
     fast: VecDeque<Scheduled<M>>,
     /// One rotation's worth of future events, bucketed by slot.
     wheel: Vec<Vec<Scheduled<M>>>,
+    /// Earliest timestamp in each bucket (`Time::MAX` when empty), kept
+    /// exact on every push/extract so refills never rescan a bucket to
+    /// find their batch instant.
+    min_at: Vec<Time>,
+    /// Occupancy bitmap over the wheel slots (bit i == slot i non-empty):
+    /// sliding to the next busy slot is a couple of word scans instead of
+    /// up to a rotation of per-bucket emptiness probes.
+    occ: [u64; SLOTS / 64],
     wheel_len: usize,
     /// Time (ps) at which the cursor slot starts; the wheel window is
     /// `[wheel_start, wheel_start + SLOTS << GRAN_SHIFT)`.
@@ -231,11 +250,38 @@ impl<M> TwoTier<M> {
             due: VecDeque::new(),
             fast: VecDeque::new(),
             wheel: (0..SLOTS).map(|_| Vec::new()).collect(),
+            min_at: vec![Time::MAX; SLOTS],
+            occ: [0; SLOTS / 64],
             wheel_len: 0,
             wheel_start: 0,
             cursor: 0,
             overflow: BinaryHeap::new(),
         }
+    }
+
+    #[inline]
+    fn mark_occupied(occ: &mut [u64; SLOTS / 64], idx: usize) {
+        occ[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, idx: usize) {
+        self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// Distance (in slots) from the window base to the first occupied
+    /// slot. Caller guarantees `wheel_len > 0`, so the scan terminates.
+    #[inline]
+    fn first_occupied_ahead(&self, base: u64) -> u64 {
+        let start = (base & SLOT_MASK) as usize;
+        let mut w = start >> 6;
+        let mut word = self.occ[w] & (u64::MAX << (start & 63));
+        while word == 0 {
+            w = (w + 1) % (SLOTS / 64);
+            word = self.occ[w];
+        }
+        let idx = (w << 6) + word.trailing_zeros() as usize;
+        (idx.wrapping_sub(start) & SLOT_MASK as usize) as u64
     }
 
     /// Is slot number `slot_num` within one rotation of the window base?
@@ -252,7 +298,13 @@ impl<M> TwoTier<M> {
     fn push_timed(&mut self, s: Scheduled<M>) {
         let slot_num = s.at.as_ps() >> GRAN_SHIFT;
         if self.in_window(slot_num) {
-            self.wheel[(slot_num & SLOT_MASK) as usize].push(s);
+            let idx = (slot_num & SLOT_MASK) as usize;
+            let m = &mut self.min_at[idx];
+            if s.at < *m {
+                *m = s.at;
+            }
+            Self::mark_occupied(&mut self.occ, idx);
+            self.wheel[idx].push(s);
             self.wheel_len += 1;
         } else {
             self.overflow.push(Reverse(s));
@@ -272,65 +324,97 @@ impl<M> TwoTier<M> {
                 break;
             }
             let Reverse(s) = self.overflow.pop().expect("peeked");
-            self.wheel[(top_slot & SLOT_MASK) as usize].push(s);
+            let idx = (top_slot & SLOT_MASK) as usize;
+            let m = &mut self.min_at[idx];
+            if s.at < *m {
+                *m = s.at;
+            }
+            Self::mark_occupied(&mut self.occ, idx);
+            self.wheel[idx].push(s);
             self.wheel_len += 1;
         }
     }
 
-    /// Refill `due` with the earliest timed batch, if it is due by
-    /// `horizon`. Leaves all state untouched when the next event lies
-    /// beyond the horizon, so interrupted runs can resume consistently.
-    fn refill_due(&mut self, horizon: Time) -> bool {
+    /// Advance to the earliest timed batch, if it is due by `horizon`:
+    /// return its first event and stage the rest (if any) in `due`.
+    /// Leaves all state untouched when the next event lies beyond the
+    /// horizon, so interrupted runs can resume consistently.
+    fn refill_pop(&mut self, horizon: Time) -> Option<Scheduled<M>> {
+        let t_min;
         if self.wheel_len == 0 {
             // Teleport: jump the window straight to the overflow's front.
+            // The heap top is the globally earliest timed event, so it is
+            // also the earliest in the cursor slot it lands in — no scan.
             match self.overflow.peek() {
                 Some(Reverse(top)) if top.at <= horizon => {
+                    t_min = top.at;
                     let slot_num = top.at.as_ps() >> GRAN_SHIFT;
                     self.commit_cursor(slot_num);
                 }
-                _ => return false,
+                _ => return None,
             }
         } else {
-            // Slide: scan forward for the first non-empty slot. Scanning is
-            // cheap (an emptiness check per slot) and bounded by one
-            // rotation.
+            // Slide: the occupancy bitmap hands us the next busy slot, and
+            // the bucket-min cache its batch instant — no bucket scan.
             let base = self.wheel_start >> GRAN_SHIFT;
-            let mut ahead = 0u64;
-            loop {
-                let idx = ((base + ahead) & SLOT_MASK) as usize;
-                if !self.wheel[idx].is_empty() {
-                    break;
-                }
-                ahead += 1;
-                debug_assert!(ahead as usize <= SLOTS, "wheel_len desynced");
-            }
-            let bucket = &self.wheel[((base + ahead) & SLOT_MASK) as usize];
-            let t_min = bucket.iter().map(|s| s.at).min().expect("non-empty");
+            let ahead = self.first_occupied_ahead(base);
+            t_min = self.min_at[((base + ahead) & SLOT_MASK) as usize];
             if t_min > horizon {
-                return false;
+                return None;
             }
+            // The commit can only pull overflow events into slots beyond
+            // the *old* window's end — never into the cursor slot (a slot
+            // number congruent to it mod SLOTS would lie outside the new
+            // window) — so the cached `t_min` stays the cursor's minimum.
             self.commit_cursor(base + ahead);
+        }
+        let cursor = self.cursor;
+        let bucket = &mut self.wheel[cursor];
+        debug_assert_eq!(
+            bucket.iter().map(|s| s.at).min(),
+            Some(t_min),
+            "bucket-min cache desynced from cursor bucket"
+        );
+        debug_assert!(t_min <= horizon);
+        if bucket.len() == 1 {
+            // Singleton bucket — the common case for spread-out timers:
+            // hand the event straight out, skipping the batch extraction
+            // and the `due` round-trip entirely.
+            let s = bucket.pop();
+            self.wheel_len -= 1;
+            self.min_at[cursor] = Time::MAX;
+            self.clear_occupied(cursor);
+            return s;
         }
         // Extract the batch at the earliest instant in the cursor slot.
         // Bucket insertion order guarantees ascending seq within one
         // timestamp (see commit_cursor's invariant + monotone windows), so
         // `extract_if`'s stable drain hands us the batch already ordered.
-        let bucket = &mut self.wheel[self.cursor];
-        let t_min = bucket
-            .iter()
-            .map(|s| s.at)
-            .min()
-            .expect("committed slot non-empty");
-        debug_assert!(t_min <= horizon);
+        // The same pass recomputes the min of what stays behind.
+        let mut rest_min = Time::MAX;
         let before = bucket.len();
-        self.due.extend(bucket.extract_if(.., |s| s.at == t_min));
-        self.wheel_len -= before - self.wheel[self.cursor].len();
+        self.due.extend(bucket.extract_if(.., |s| {
+            if s.at == t_min {
+                true
+            } else {
+                if s.at < rest_min {
+                    rest_min = s.at;
+                }
+                false
+            }
+        }));
+        let bucket_len = self.wheel[cursor].len();
+        self.wheel_len -= before - bucket_len;
+        self.min_at[cursor] = rest_min;
+        if bucket_len == 0 {
+            self.clear_occupied(cursor);
+        }
         debug_assert!(self
             .due
             .iter()
             .zip(self.due.iter().skip(1))
             .all(|(a, b)| a.seq < b.seq));
-        true
+        self.due.pop_front()
     }
 
     fn pop_due(&mut self, horizon: Time) -> Option<Scheduled<M>> {
@@ -343,11 +427,7 @@ impl<M> TwoTier<M> {
             }
             return None;
         }
-        if self.refill_due(horizon) {
-            self.due.pop_front()
-        } else {
-            None
-        }
+        self.refill_pop(horizon)
     }
 
     fn is_empty(&self) -> bool {
@@ -356,17 +436,91 @@ impl<M> TwoTier<M> {
             && self.wheel_len == 0
             && self.overflow.is_empty()
     }
+
+    /// Release burst-sized capacity held since the last traffic peak.
+    ///
+    /// During a run the wheel buckets and the `due`/`fast` lanes deliberately
+    /// never shrink — `extract_if` drains a bucket in place and the next
+    /// rotation reuses its allocation, which is what keeps steady-state
+    /// refills allocation-free. The flip side is that one incast burst pins
+    /// its high-water allocation for the rest of the process, which matters
+    /// for long sweep campaigns running many worlds. Called between sweep
+    /// points (see `World::shrink_idle`), this trims everything back to a
+    /// small per-structure floor while keeping pending events intact.
+    fn shrink_idle(&mut self) {
+        // Floor keeps the common steady-state capacity so the next burst
+        // doesn't start from zero.
+        const KEEP: usize = 32;
+        self.due.shrink_to(KEEP);
+        self.fast.shrink_to(KEEP);
+        for bucket in &mut self.wheel {
+            if bucket.capacity() > KEEP {
+                bucket.shrink_to(KEEP.max(bucket.len()));
+            }
+        }
+        if self.overflow.capacity() > KEEP {
+            self.overflow.shrink_to(KEEP.max(self.overflow.len()));
+        }
+    }
+}
+
+/// Per-kind tally of posted events (see [`World::event_kind_counts`]).
+///
+/// The forward/timed split mirrors the two-tier scheduler's lanes: zero
+/// delay (`forward`) is the dominant packet-handoff class that rides the
+/// FIFO fast lane; positive-delay messages (`timed_msg`, wire arrivals and
+/// serialization completions) and timer wakes (`wake`) go through the wheel.
+/// Train posts count one per carried message, matching `events_processed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventKindCounts {
+    /// Zero-delay message handoffs (`Ctx::forward` / same-instant sends).
+    pub forward: u64,
+    /// Messages posted with a positive delay (wire arrivals, TX completions).
+    pub timed_msg: u64,
+    /// Timer wakes (pacers, retransmission timeouts, TX-done wakes).
+    pub wake: u64,
+}
+
+impl EventKindCounts {
+    pub fn total(self) -> u64 {
+        self.forward + self.timed_msg + self.wake
+    }
+}
+
+impl std::ops::Add for EventKindCounts {
+    type Output = EventKindCounts;
+    fn add(self, rhs: EventKindCounts) -> EventKindCounts {
+        EventKindCounts {
+            forward: self.forward + rhs.forward,
+            timed_msg: self.timed_msg + rhs.timed_msg,
+            wake: self.wake + rhs.wake,
+        }
+    }
+}
+
+impl std::iter::Sum for EventKindCounts {
+    fn sum<I: Iterator<Item = EventKindCounts>>(iter: I) -> EventKindCounts {
+        iter.fold(EventKindCounts::default(), |a, b| a + b)
+    }
 }
 
 /// The event queue: sequence numbering + one of the two scheduler
 /// implementations.
 struct EventQueue<M> {
     /// Monotone posting counter; doubles as the equal-timestamp
-    /// tie-breaker and the total-events-posted statistic.
+    /// tie-breaker.
     seq: u64,
+    /// Messages carried by trains beyond the first, so
+    /// `events_posted = seq + train_extra` keeps counting individual events.
+    train_extra: u64,
+    kinds: EventKindCounts,
     imp: QueueImpl<M>,
 }
 
+// One queue per world, so the variant size gap (the wheel's inline
+// occupancy bitmap) costs nothing — boxing it would put a pointer chase
+// on every scheduler touch instead.
+#[allow(clippy::large_enum_variant)]
 enum QueueImpl<M> {
     TwoTier(TwoTier<M>),
     Classic(BinaryHeap<Reverse<Scheduled<M>>>),
@@ -378,7 +532,12 @@ impl<M> EventQueue<M> {
             SchedulerKind::TwoTier => QueueImpl::TwoTier(TwoTier::new()),
             SchedulerKind::Classic => QueueImpl::Classic(BinaryHeap::new()),
         };
-        EventQueue { seq: 0, imp }
+        EventQueue {
+            seq: 0,
+            train_extra: 0,
+            kinds: EventKindCounts::default(),
+            imp,
+        }
     }
 
     fn kind(&self) -> SchedulerKind {
@@ -391,18 +550,61 @@ impl<M> EventQueue<M> {
     #[inline]
     fn post(&mut self, now: Time, at: Time, to: ComponentId, ev: Event<M>) {
         debug_assert!(at >= now, "cannot schedule in the past");
+        match &ev {
+            Event::Wake(_) => self.kinds.wake += 1,
+            Event::Msg(_) if at <= now => self.kinds.forward += 1,
+            Event::Msg(_) => self.kinds.timed_msg += 1,
+        }
         self.seq += 1;
         let s = Scheduled {
             at,
             seq: self.seq,
             to,
-            ev,
+            payload: Payload::One(ev),
         };
+        self.push_scheduled(now, s);
+    }
+
+    /// Post a same-instant message train as one scheduler entry. The train
+    /// occupies a single `(at, seq)` position, so it dispatches exactly
+    /// where the first of the equivalent back-to-back posts would have —
+    /// and since those posts would have held consecutive seqs (they come
+    /// from a single handler invocation with nothing posted in between),
+    /// expanding the train in order reproduces the reference delivery
+    /// sequence bit-for-bit.
+    fn post_train(&mut self, now: Time, at: Time, to: ComponentId, mut msgs: Vec<M>) {
+        match msgs.len() {
+            0 => return,
+            // A one-element train is posted as a plain message so the
+            // degenerate case stays byte-identical to an unbatched post.
+            1 => return self.post(now, at, to, Event::Msg(msgs.pop().expect("len checked"))),
+            _ => {}
+        }
+        debug_assert!(at >= now, "cannot schedule in the past");
+        let n = msgs.len() as u64;
+        if at <= now {
+            self.kinds.forward += n;
+        } else {
+            self.kinds.timed_msg += n;
+        }
+        self.train_extra += n - 1;
+        self.seq += 1;
+        let s = Scheduled {
+            at,
+            seq: self.seq,
+            to,
+            payload: Payload::Train(msgs),
+        };
+        self.push_scheduled(now, s);
+    }
+
+    #[inline(always)]
+    fn push_scheduled(&mut self, now: Time, s: Scheduled<M>) {
         match &mut self.imp {
             QueueImpl::TwoTier(t) => {
-                if at <= now {
+                if s.at <= now {
                     // Zero-delay fast lane: the dominant event class
-                    // (queue→pipe→switch→host handoffs) skips the wheel and
+                    // (queue→switch→host handoffs) skips the wheel and
                     // heap entirely.
                     t.fast.push_back(s);
                 } else {
@@ -431,6 +633,17 @@ impl<M> EventQueue<M> {
         match &self.imp {
             QueueImpl::TwoTier(t) => t.is_empty(),
             QueueImpl::Classic(h) => h.is_empty(),
+        }
+    }
+
+    fn shrink_idle(&mut self) {
+        match &mut self.imp {
+            QueueImpl::TwoTier(t) => t.shrink_idle(),
+            QueueImpl::Classic(h) => {
+                if h.capacity() > 32 {
+                    h.shrink_to(32);
+                }
+            }
         }
     }
 }
@@ -477,6 +690,22 @@ impl<M> Ctx<'_, M> {
     /// preserving deterministic `(time, seq)` ordering.
     pub fn forward(&mut self, to: ComponentId, msg: M) {
         self.send(to, msg, Time::ZERO);
+    }
+
+    /// Deliver a burst of messages to `to` after `delay` as **one**
+    /// scheduler entry (burst transmission batching). Every message is
+    /// still dispatched, counted and traced individually, in order, at the
+    /// same instant — the train is exactly equivalent to calling
+    /// [`Ctx::send`] once per message back-to-back, but costs a single
+    /// wheel/heap insertion instead of one per message.
+    ///
+    /// Exactness caveat: the equivalence holds only when the replaced
+    /// individual posts would have been consecutive — i.e. the caller emits
+    /// the whole train within one handler invocation without posting
+    /// anything else in between. Callers that interleave other posts must
+    /// flush the train first (see the host's TX train buffering).
+    pub fn send_train(&mut self, to: ComponentId, msgs: Vec<M>, delay: Time) {
+        self.queue.post_train(self.now, self.now + delay, to, msgs);
     }
 
     /// Set a timer on the current component.
@@ -715,6 +944,12 @@ impl<M: 'static> World<M> {
         self.queue.post(self.now, at, to, Event::Wake(token));
     }
 
+    /// Post a same-instant message train to a component at an absolute time
+    /// as one scheduler entry (harness-level [`Ctx::send_train`]).
+    pub fn post_train(&mut self, at: Time, to: ComponentId, msgs: Vec<M>) {
+        self.queue.post_train(self.now, at, to, msgs);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.now
@@ -725,9 +960,24 @@ impl<M: 'static> World<M> {
         self.events_processed
     }
 
-    /// Total events posted so far.
+    /// Total events posted so far (train posts count one per message).
     pub fn events_posted(&self) -> u64 {
-        self.queue.seq
+        self.queue.seq + self.queue.train_extra
+    }
+
+    /// Per-kind tally of every event posted so far: zero-delay forwards,
+    /// positive-delay messages and timer wakes.
+    pub fn event_kind_counts(&self) -> EventKindCounts {
+        self.queue.kinds
+    }
+
+    /// Release burst-sized scheduler capacity accumulated since the last
+    /// traffic peak, keeping all pending events. The wheel buckets and the
+    /// due/fast lanes intentionally never shrink during a run (capacity
+    /// reuse is what keeps refills allocation-free); call this between
+    /// sweep points so a long campaign doesn't hold peak-burst memory.
+    pub fn shrink_idle(&mut self) {
+        self.queue.shrink_idle();
     }
 
     /// Run until the event queue empties or `horizon` passes.
@@ -737,34 +987,18 @@ impl<M: 'static> World<M> {
         while let Some(sched) = self.queue.pop_due(horizon) {
             debug_assert!(sched.at >= self.now, "time went backwards");
             self.now = sched.at;
-            let entry = &mut self.slots[sched.to.idx as usize];
-            if entry.gen != sched.to.gen {
-                // Stale event to a retired slot: the generation check is
-                // what makes retirement safe — the slot's next occupant
-                // never sees its predecessor's traffic.
-                self.stale_dropped += 1;
-                continue;
-            }
-            self.events_processed += 1;
-            if let Some(tr) = &mut self.trace {
-                tr.record(sched.at, sched.to, &sched.ev);
-            }
-            // Split borrow: the component slot and the event queue / RNG are
-            // disjoint fields, so dispatch hands out a `Ctx` without
-            // vacating the slot (the seed's take/re-insert dance is gone).
-            let Slot::Occupied(comp) = &mut entry.state else {
-                missing_component(sched.to)
-            };
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: sched.to,
-                queue: &mut self.queue,
-                rng: &mut self.rng,
-                deferred: &mut self.deferred,
-            };
-            comp.handle(sched.ev, &mut ctx);
-            if !self.deferred.is_empty() {
-                self.drain_deferred();
+            match sched.payload {
+                Payload::One(ev) => self.dispatch_one(sched.to, ev),
+                // A coalesced train: expand into consecutive deliveries at
+                // this instant. Per-element generation checks and deferred
+                // drains keep this bit-identical to the individual posts it
+                // replaces (a component retired mid-train drops the rest as
+                // stale, exactly as separate events would have).
+                Payload::Train(msgs) => {
+                    for m in msgs {
+                        self.dispatch_one(sched.to, Event::Msg(m));
+                    }
+                }
             }
         }
         // Advance the clock to the horizon only if we drained everything
@@ -773,6 +1007,45 @@ impl<M: 'static> World<M> {
             self.now = self.now.max(horizon);
         }
         self.events_processed - start
+    }
+
+    /// Deliver one event to one component at the current instant — the
+    /// shared hot path of [`World::run_until`] for single events and
+    /// expanded train elements. `inline(always)`: this is the old loop body
+    /// factored out for the train arm, and it must stay merged into both
+    /// call sites — an outlined call would move the (large) `Event` by
+    /// value once more per dispatched event.
+    #[inline(always)]
+    fn dispatch_one(&mut self, to: ComponentId, ev: Event<M>) {
+        let entry = &mut self.slots[to.idx as usize];
+        if entry.gen != to.gen {
+            // Stale event to a retired slot: the generation check is
+            // what makes retirement safe — the slot's next occupant
+            // never sees its predecessor's traffic.
+            self.stale_dropped += 1;
+            return;
+        }
+        self.events_processed += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(self.now, to, &ev);
+        }
+        // Split borrow: the component slot and the event queue / RNG are
+        // disjoint fields, so dispatch hands out a `Ctx` without
+        // vacating the slot (the seed's take/re-insert dance is gone).
+        let Slot::Occupied(comp) = &mut entry.state else {
+            missing_component(to)
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: to,
+            queue: &mut self.queue,
+            rng: &mut self.rng,
+            deferred: &mut self.deferred,
+        };
+        comp.handle(ev, &mut ctx);
+        if !self.deferred.is_empty() {
+            self.drain_deferred();
+        }
     }
 
     /// Drain deferred world ops before the next dispatch: attach / retire
@@ -1294,6 +1567,134 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+    }
+
+    #[test]
+    fn train_matches_individual_posts_exactly() {
+        // A coalesced train must be indistinguishable from the back-to-back
+        // posts it replaces: same delivery order, same event count, same
+        // trace hash — on both schedulers, for both the zero-delay and the
+        // timed form.
+        for kind in both_kinds() {
+            for delay in [Time::ZERO, Time::from_us(3)] {
+                let run = |train: bool| {
+                    let mut w: World<u32> = World::with_scheduler(5, kind);
+                    w.enable_trace();
+                    let id = w.add(counter());
+                    let at = Time::from_us(1) + delay;
+                    w.post(Time::from_us(1), id, 100); // unrelated earlier event
+                    if train {
+                        w.post_train(at, id, vec![1, 2, 3, 4]);
+                    } else {
+                        for v in [1, 2, 3, 4] {
+                            w.post(at, id, v);
+                        }
+                    }
+                    w.post(at, id, 200); // later seq, same instant: after the train
+                    w.run_until_idle();
+                    let msgs = w.get::<Counter>(id).msgs.clone();
+                    (
+                        msgs,
+                        w.events_processed(),
+                        w.events_posted(),
+                        w.trace_hash(),
+                    )
+                };
+                assert_eq!(run(false), run(true), "kind {kind:?} delay {delay:?}");
+                let (msgs, processed, posted, _) = run(true);
+                assert_eq!(
+                    msgs.iter().map(|m| m.1).collect::<Vec<_>>(),
+                    vec![100, 1, 2, 3, 4, 200]
+                );
+                assert_eq!(processed, 6);
+                assert_eq!(posted, 6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_trains_degenerate_cleanly() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post_train(Time::from_us(1), id, vec![]);
+            w.post_train(Time::from_us(1), id, vec![9]);
+            w.run_until_idle();
+            assert_eq!(w.get::<Counter>(id).msgs, vec![(1_000_000, 9)]);
+            assert_eq!(w.events_posted(), 1);
+        }
+    }
+
+    #[test]
+    fn train_elements_to_a_retired_slot_drop_as_stale() {
+        // A component that retires itself (via a deferred op) on its first
+        // message must not see the rest of the train.
+        struct SelfRetire {
+            got: u32,
+        }
+        impl Component<u32> for SelfRetire {
+            fn handle(&mut self, _ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+                self.got += 1;
+                let me = ctx.self_id();
+                ctx.defer(move |w| {
+                    w.retire(me);
+                });
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(SelfRetire { got: 0 });
+            w.post_train(Time::from_us(1), id, vec![1, 2, 3]);
+            w.run_until_idle();
+            assert_eq!(w.events_processed(), 1);
+            assert_eq!(w.stale_events_dropped(), 2);
+        }
+    }
+
+    #[test]
+    fn event_kind_counters_track_posts() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post(Time::from_us(1), id, 0); // timed msg (now == 0 < at)
+            w.post_wake(Time::from_us(2), id, 7); // wake
+            w.post(Time::ZERO, id, 1); // at == now: forward lane
+            w.post_train(Time::from_us(3), id, vec![1, 2, 3]); // 3 timed msgs
+            w.run_until_idle();
+            let k = w.event_kind_counts();
+            assert_eq!(k.forward, 1);
+            assert_eq!(k.timed_msg, 4);
+            assert_eq!(k.wake, 1);
+            assert_eq!(k.total(), 6);
+            assert_eq!(w.events_posted(), 6);
+        }
+    }
+
+    #[test]
+    fn shrink_idle_preserves_pending_events() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            // A burst well past the shrink floor, spread over the wheel,
+            // the overflow tier and the fast lane.
+            for i in 0..500u64 {
+                w.post(Time::from_ns(10 + i * 70), id, i as u32);
+            }
+            w.post(Time::from_ms(50), id, 9999);
+            w.run_until(Time::from_ns(10 + 120 * 70));
+            w.shrink_idle();
+            w.run_until_idle();
+            let got: Vec<u32> = w.get::<Counter>(id).msgs.iter().map(|m| m.1).collect();
+            let mut want: Vec<u32> = (0..500).collect();
+            want.push(9999);
+            assert_eq!(got, want, "shrinking mid-run must not drop or reorder");
         }
     }
 

@@ -24,6 +24,7 @@ use ndp_sim::{ComponentId, Speed, Time, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::routes::TableRouter;
 use crate::spec::QueueSpec;
 use crate::topology::{push_links_1d, push_links_2d, Hop, LinkRef, Topology};
 
@@ -56,6 +57,11 @@ pub struct FatTreeCfg {
     /// Return-to-sender on header-queue overflow (NDP only, §3.2.4).
     pub rts: bool,
     pub host_latency: HostLatency,
+    /// Fold wire propagation into each queue's TX-done post (one scheduled
+    /// event per hop instead of queue→`Pipe`→next). Identical timing and
+    /// RNG behaviour; disable to reproduce the seed's explicit-`Pipe`
+    /// event schedule (golden traces, A/B comparisons).
+    pub fused: bool,
 }
 
 impl FatTreeCfg {
@@ -73,11 +79,18 @@ impl FatTreeCfg {
             route_mode: RouteMode::SourceTag,
             rts: true,
             host_latency: HostLatency::default(),
+            fused: true,
         }
     }
 
     pub fn with_fabric(mut self, fabric: QueueSpec) -> FatTreeCfg {
         self.fabric = fabric;
+        self
+    }
+
+    /// Wire explicit `Pipe` components instead of fused hops.
+    pub fn unfused(mut self) -> FatTreeCfg {
+        self.fused = false;
         self
     }
 
@@ -120,28 +133,85 @@ impl FtIndex {
     }
 }
 
+/// Table marker: destination is in this pod but under another ToR.
+const INTRA: u16 = u16::MAX - 1;
+/// Table marker: destination is in another pod.
+const INTER: u16 = u16::MAX;
+
+/// ToR router with the dst → decision precomputed: a local destination's
+/// downlink port, or which tag → uplink rule applies. One table load
+/// replaces the three per-packet integer divisions of the arithmetic form
+/// (see `crate::routes` for the rationale).
 struct TorRouter {
     ix: FtIndex,
-    pod: usize,
-    tor_in_pod: usize,
     mode: RouteMode,
+    /// dst → downlink port, or [`INTRA`] / [`INTER`].
+    table: Vec<u16>,
+    /// Source tag → agg offset for intra-pod tags (`tag % half`), covering
+    /// the fabric's tag space `[0, half²)`; larger tags fall back to the
+    /// arithmetic.
+    up_intra: Vec<u16>,
+    /// Source tag → agg offset for inter-pod tags (`(tag / half) % half`).
+    up_inter: Vec<u16>,
+}
+
+impl TorRouter {
+    fn new(
+        ix: FtIndex,
+        n_hosts: usize,
+        pod: usize,
+        tor_in_pod: usize,
+        mode: RouteMode,
+    ) -> TorRouter {
+        crate::routes::check_table_range(n_hosts);
+        let table = (0..n_hosts as HostId)
+            .map(|d| {
+                if ix.pod_of(d) != pod {
+                    INTER
+                } else if ix.tor_in_pod_of(d) != tor_in_pod {
+                    INTRA
+                } else {
+                    ix.idx_in_tor(d) as u16
+                }
+            })
+            .collect();
+        let tags = ix.half * ix.half;
+        let up_intra = (0..tags).map(|t| (t % ix.half) as u16).collect();
+        let up_inter = (0..tags)
+            .map(|t| ((t / ix.half) % ix.half) as u16)
+            .collect();
+        TorRouter {
+            ix,
+            mode,
+            table,
+            up_intra,
+            up_inter,
+        }
+    }
 }
 
 impl Router for TorRouter {
     fn route(&self, pkt: &Packet, rng: &mut SmallRng) -> usize {
-        let dst = pkt.dst;
-        if self.ix.pod_of(dst) == self.pod && self.ix.tor_in_pod_of(dst) == self.tor_in_pod {
-            return self.ix.idx_in_tor(dst);
+        let e = self.table[pkt.dst as usize];
+        if e < INTRA {
+            return e as usize;
         }
         let up = match self.mode {
             RouteMode::RandomUplinks => rng.gen_range(0..self.ix.half),
             RouteMode::SourceTag => {
-                if self.ix.pod_of(dst) == self.pod {
+                let tag = pkt.path as usize;
+                if e == INTRA {
                     // Intra-pod: tag in [0, half) picks the aggregation switch.
-                    pkt.path as usize % self.ix.half
+                    match self.up_intra.get(tag) {
+                        Some(&v) => v as usize,
+                        None => tag % self.ix.half,
+                    }
                 } else {
                     // Inter-pod: tag is the core index; agg = tag / half.
-                    (pkt.path as usize / self.ix.half) % self.ix.half
+                    match self.up_inter.get(tag) {
+                        Some(&v) => v as usize,
+                        None => (tag / self.ix.half) % self.ix.half,
+                    }
                 }
             }
         };
@@ -149,33 +219,58 @@ impl Router for TorRouter {
     }
 }
 
+/// Aggregation router: pod-local destinations map straight to their ToR
+/// port; anything else takes uplink `half + tag % half`.
 struct AggRouter {
     ix: FtIndex,
-    pod: usize,
     mode: RouteMode,
+    /// dst → ToR port, or [`INTER`].
+    table: Vec<u16>,
+    /// Source tag → uplink offset (`tag % half`) over `[0, half²)`.
+    up: Vec<u16>,
+}
+
+impl AggRouter {
+    fn new(ix: FtIndex, n_hosts: usize, pod: usize, mode: RouteMode) -> AggRouter {
+        crate::routes::check_table_range(n_hosts);
+        let table = (0..n_hosts as HostId)
+            .map(|d| {
+                if ix.pod_of(d) == pod {
+                    ix.tor_in_pod_of(d) as u16
+                } else {
+                    INTER
+                }
+            })
+            .collect();
+        let up = (0..ix.half * ix.half)
+            .map(|t| (t % ix.half) as u16)
+            .collect();
+        AggRouter {
+            ix,
+            mode,
+            table,
+            up,
+        }
+    }
 }
 
 impl Router for AggRouter {
     fn route(&self, pkt: &Packet, rng: &mut SmallRng) -> usize {
-        let dst = pkt.dst;
-        if self.ix.pod_of(dst) == self.pod {
-            return self.ix.tor_in_pod_of(dst);
+        let e = self.table[pkt.dst as usize];
+        if e != INTER {
+            return e as usize;
         }
         let up = match self.mode {
             RouteMode::RandomUplinks => rng.gen_range(0..self.ix.half),
-            RouteMode::SourceTag => pkt.path as usize % self.ix.half,
+            RouteMode::SourceTag => {
+                let tag = pkt.path as usize;
+                match self.up.get(tag) {
+                    Some(&v) => v as usize,
+                    None => tag % self.ix.half,
+                }
+            }
         };
         self.ix.half + up
-    }
-}
-
-struct CoreRouter {
-    ix: FtIndex,
-}
-
-impl Router for CoreRouter {
-    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
-        self.ix.pod_of(pkt.dst)
     }
 }
 
@@ -224,13 +319,23 @@ impl FatTree {
 
         let mk_link =
             |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &FatTreeCfg| {
-                let pipe = world.add(Pipe::new(cfg.link_delay, to));
                 let policy = if class == LinkClass::HostNic {
                     cfg.fabric.build_host_nic(cfg.mtu)
                 } else {
                     cfg.fabric.build(cfg.mtu)
                 };
-                world.add(Queue::new(cfg.link_speed, pipe, class, policy))
+                if cfg.fused {
+                    world.add(Queue::fused(
+                        cfg.link_speed,
+                        to,
+                        cfg.link_delay,
+                        class,
+                        policy,
+                    ))
+                } else {
+                    let pipe = world.add(Pipe::new(cfg.link_delay, to));
+                    world.add(Queue::new(cfg.link_speed, pipe, class, policy))
+                }
             };
 
         // Host <-> ToR links.
@@ -289,12 +394,7 @@ impl FatTree {
                     tors[tor],
                     Switch::new(
                         ports,
-                        Box::new(TorRouter {
-                            ix,
-                            pod,
-                            tor_in_pod: t,
-                            mode: cfg.route_mode,
-                        }),
+                        Box::new(TorRouter::new(ix, n_hosts, pod, t, cfg.route_mode)),
                     ),
                 );
             }
@@ -306,11 +406,7 @@ impl FatTree {
                     aggs[agg],
                     Switch::new(
                         ports,
-                        Box::new(AggRouter {
-                            ix,
-                            pod,
-                            mode: cfg.route_mode,
-                        }),
+                        Box::new(AggRouter::new(ix, n_hosts, pod, cfg.route_mode)),
                     ),
                 );
             }
@@ -318,7 +414,10 @@ impl FatTree {
         for c in 0..n_cores {
             world.install(
                 cores[c],
-                Switch::new(core_down[c].clone(), Box::new(CoreRouter { ix })),
+                Switch::new(
+                    core_down[c].clone(),
+                    Box::new(TableRouter::new(n_hosts, |d| ix.pod_of(d as HostId))),
+                ),
             );
         }
 

@@ -19,9 +19,10 @@ use ndp_net::host::{Host, HostLatency};
 use ndp_net::packet::{HostId, Packet};
 use ndp_net::pipe::Pipe;
 use ndp_net::queue::{LinkClass, Queue};
-use ndp_net::switch::{Router, Switch};
+use ndp_net::switch::Switch;
 use ndp_sim::{ComponentId, Speed, Time, World};
-use rand::rngs::SmallRng;
+
+use crate::routes::{LeafRouter, TableRouter};
 
 use crate::spec::QueueSpec;
 use crate::topology::{push_links_1d, push_links_2d, Hop, LinkRef, Topology};
@@ -44,6 +45,9 @@ pub struct LeafSpineCfg {
     /// Return-to-sender on header-queue overflow (NDP only).
     pub rts: bool,
     pub host_latency: HostLatency,
+    /// Fold wire propagation into each queue's TX-done post (see
+    /// [`crate::fattree::FatTreeCfg::fused`]).
+    pub fused: bool,
 }
 
 impl LeafSpineCfg {
@@ -62,11 +66,18 @@ impl LeafSpineCfg {
             fabric: QueueSpec::ndp_default(),
             rts: true,
             host_latency: HostLatency::default(),
+            fused: true,
         }
     }
 
     pub fn with_fabric(mut self, fabric: QueueSpec) -> LeafSpineCfg {
         self.fabric = fabric;
+        self
+    }
+
+    /// Wire explicit `Pipe` components instead of fused hops.
+    pub fn unfused(mut self) -> LeafSpineCfg {
+        self.fused = false;
         self
     }
 
@@ -89,33 +100,6 @@ impl LeafSpineCfg {
     pub fn oversub_ratio(&self) -> f64 {
         (self.hosts_per_tor as f64 * self.host_speed.as_bps() as f64)
             / (self.n_spines as f64 * self.uplink_speed.as_bps() as f64)
-    }
-}
-
-struct LsTorRouter {
-    hpt: usize,
-    tor: usize,
-    n_spines: usize,
-}
-
-impl Router for LsTorRouter {
-    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
-        let dst = pkt.dst as usize;
-        if dst / self.hpt == self.tor {
-            dst % self.hpt
-        } else {
-            self.hpt + pkt.path as usize % self.n_spines
-        }
-    }
-}
-
-struct LsSpineRouter {
-    hpt: usize,
-}
-
-impl Router for LsSpineRouter {
-    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
-        pkt.dst as usize / self.hpt
     }
 }
 
@@ -149,13 +133,17 @@ impl LeafSpine {
                   class: LinkClass,
                   speed: Speed,
                   cfg: &LeafSpineCfg| {
-            let pipe = world.add(Pipe::new(cfg.link_delay, to));
             let policy = if class == LinkClass::HostNic {
                 cfg.fabric.build_host_nic(cfg.mtu)
             } else {
                 cfg.fabric.build(cfg.mtu)
             };
-            world.add(Queue::new(speed, pipe, class, policy))
+            if cfg.fused {
+                world.add(Queue::fused(speed, to, cfg.link_delay, class, policy))
+            } else {
+                let pipe = world.add(Pipe::new(cfg.link_delay, to));
+                world.add(Queue::new(speed, pipe, class, policy))
+            }
         };
 
         let mut host_nic = Vec::with_capacity(n_hosts);
@@ -191,18 +179,17 @@ impl LeafSpine {
                 tors[tor],
                 Switch::new(
                     ports,
-                    Box::new(LsTorRouter {
-                        hpt,
-                        tor,
-                        n_spines: cfg.n_spines,
-                    }),
+                    Box::new(LeafRouter::new(n_hosts, hpt, tor, cfg.n_spines)),
                 ),
             );
         }
         for s in 0..cfg.n_spines {
             world.install(
                 spines[s],
-                Switch::new(spine_down[s].clone(), Box::new(LsSpineRouter { hpt })),
+                Switch::new(
+                    spine_down[s].clone(),
+                    Box::new(TableRouter::new(n_hosts, |d| d / hpt)),
+                ),
             );
         }
         for h in 0..n_hosts {

@@ -19,6 +19,7 @@
 
 pub mod fattree;
 pub mod leafspine;
+mod routes;
 pub mod small;
 pub mod spec;
 pub mod topology;

@@ -1,0 +1,139 @@
+//! Precomputed forwarding tables for the per-packet routing hot path.
+//!
+//! Every switch dispatch calls `Router::route` once, and the arithmetic
+//! routers spend that call on runtime integer divisions (`dst / hpt`,
+//! `dst % hpt`, `tag % n_spines`) — each a ~30-cycle instruction on the
+//! hottest path in the simulator. The fabric is static, so the whole
+//! dst → port decision can be tabulated once at build time: routing then
+//! costs one L1 load for local deliveries plus one more for the tag →
+//! uplink map. Tables are u16 (ports and tags are tiny) and sized by host
+//! count, a few hundred bytes per switch even at paper scale.
+
+use ndp_net::packet::Packet;
+use ndp_net::switch::Router;
+use rand::rngs::SmallRng;
+
+/// Table marker for "not attached here: take an uplink".
+pub(crate) const NONLOCAL: u16 = u16::MAX;
+
+/// Guard: ports, pod ids and host counts must stay clear of the markers.
+pub(crate) fn check_table_range(n: usize) {
+    assert!(n < NONLOCAL as usize - 1, "fabric too large for u16 tables");
+}
+
+/// Leaf (ToR) router of a two-tier fabric: hosts `[tor*hpt, (tor+1)*hpt)`
+/// map to their downlink port, everything else takes uplink
+/// `hpt + tag % n_spines`.
+pub(crate) struct LeafRouter {
+    /// dst → downlink port, or [`NONLOCAL`].
+    table: Vec<u16>,
+    /// path tag → uplink port, covering the fabric's tag space
+    /// `[0, n_spines)`; larger tags fall back to the modulo.
+    up: Vec<u16>,
+    hpt: usize,
+    n_spines: usize,
+}
+
+impl LeafRouter {
+    pub(crate) fn new(n_hosts: usize, hpt: usize, tor: usize, n_spines: usize) -> LeafRouter {
+        check_table_range(n_hosts);
+        check_table_range(hpt + n_spines);
+        let table = (0..n_hosts)
+            .map(|d| {
+                if d / hpt == tor {
+                    (d % hpt) as u16
+                } else {
+                    NONLOCAL
+                }
+            })
+            .collect();
+        let up = (0..n_spines).map(|t| (hpt + t) as u16).collect();
+        LeafRouter {
+            table,
+            up,
+            hpt,
+            n_spines,
+        }
+    }
+}
+
+impl Router for LeafRouter {
+    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
+        let e = self.table[pkt.dst as usize];
+        if e != NONLOCAL {
+            return e as usize;
+        }
+        let tag = pkt.path as usize;
+        match self.up.get(tag) {
+            Some(&port) => port as usize,
+            None => self.hpt + tag % self.n_spines,
+        }
+    }
+}
+
+/// A router whose whole decision is a function of the destination —
+/// spine/core tiers, where the port is `dst`'s pod or ToR.
+pub(crate) struct TableRouter {
+    table: Vec<u16>,
+}
+
+impl TableRouter {
+    pub(crate) fn new(n_hosts: usize, port_of: impl Fn(usize) -> usize) -> TableRouter {
+        check_table_range(n_hosts);
+        let table = (0..n_hosts)
+            .map(|d| {
+                let p = port_of(d);
+                check_table_range(p);
+                p as u16
+            })
+            .collect();
+        TableRouter { table }
+    }
+}
+
+impl Router for TableRouter {
+    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
+        self.table[pkt.dst as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::packet::{HostId, Packet};
+    use rand::SeedableRng;
+
+    fn pkt(dst: HostId, path: u32) -> Packet {
+        let mut p = Packet::data(0, dst, 1, 0, 1000);
+        p.path = path;
+        p
+    }
+
+    #[test]
+    fn leaf_router_matches_arithmetic_form() {
+        let (n_hosts, hpt, n_spines) = (24, 4, 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for tor in 0..n_hosts / hpt {
+            let r = LeafRouter::new(n_hosts, hpt, tor, n_spines);
+            for dst in 0..n_hosts {
+                for tag in 0..2 * n_spines as u32 {
+                    let want = if dst / hpt == tor {
+                        dst % hpt
+                    } else {
+                        hpt + tag as usize % n_spines
+                    };
+                    assert_eq!(r.route(&pkt(dst as HostId, tag), &mut rng), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_router_is_the_tabulated_function() {
+        let r = TableRouter::new(12, |d| d / 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for dst in 0..12 {
+            assert_eq!(r.route(&pkt(dst as HostId, 0), &mut rng), dst / 4);
+        }
+    }
+}

@@ -12,6 +12,7 @@ use ndp_sim::{ComponentId, Speed, Time, World};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::routes::{LeafRouter, TableRouter};
 use crate::spec::QueueSpec;
 use crate::topology::{push_links_1d, push_links_2d, Hop, LinkRef, Topology};
 
@@ -33,16 +34,47 @@ impl BackToBack {
         fabric: QueueSpec,
         latency: HostLatency,
     ) -> BackToBack {
+        Self::build_wired(world, link_speed, link_delay, mtu, fabric, latency, true)
+    }
+
+    /// [`BackToBack::build`] with explicit `Pipe` components instead of
+    /// fused hops (A/B comparisons against the seed's event schedule).
+    pub fn build_unfused(
+        world: &mut World<Packet>,
+        link_speed: Speed,
+        link_delay: Time,
+        mtu: u32,
+        fabric: QueueSpec,
+        latency: HostLatency,
+    ) -> BackToBack {
+        Self::build_wired(world, link_speed, link_delay, mtu, fabric, latency, false)
+    }
+
+    fn build_wired(
+        world: &mut World<Packet>,
+        link_speed: Speed,
+        link_delay: Time,
+        mtu: u32,
+        fabric: QueueSpec,
+        latency: HostLatency,
+        fused: bool,
+    ) -> BackToBack {
         let h0 = world.reserve();
         let h1 = world.reserve();
         let mk = |world: &mut World<Packet>, to: ComponentId| {
-            let pipe = world.add(Pipe::new(link_delay, to));
-            world.add(Queue::new(
-                link_speed,
-                pipe,
-                LinkClass::HostNic,
-                fabric.build_host_nic(mtu),
-            ))
+            let policy = fabric.build_host_nic(mtu);
+            if fused {
+                world.add(Queue::fused(
+                    link_speed,
+                    to,
+                    link_delay,
+                    LinkClass::HostNic,
+                    policy,
+                ))
+            } else {
+                let pipe = world.add(Pipe::new(link_delay, to));
+                world.add(Queue::new(link_speed, pipe, LinkClass::HostNic, policy))
+            }
         };
         let nic0 = mk(world, h1);
         let nic1 = mk(world, h0);
@@ -119,6 +151,9 @@ pub struct TwoTierCfg {
     pub fabric: QueueSpec,
     pub rts: bool,
     pub host_latency: HostLatency,
+    /// Fold wire propagation into each queue's TX-done post (see
+    /// [`crate::fattree::FatTreeCfg::fused`]).
+    pub fused: bool,
 }
 
 impl TwoTierCfg {
@@ -135,6 +170,7 @@ impl TwoTierCfg {
             fabric: QueueSpec::ndp_default(),
             rts: true,
             host_latency: HostLatency::default(),
+            fused: true,
         }
     }
 
@@ -167,32 +203,11 @@ impl TwoTierCfg {
         self.fabric = fabric;
         self
     }
-}
 
-struct TtTorRouter {
-    hpt: usize,
-    tor: usize,
-    n_spines: usize,
-}
-
-impl Router for TtTorRouter {
-    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
-        let dst = pkt.dst as usize;
-        if dst / self.hpt == self.tor {
-            dst % self.hpt
-        } else {
-            self.hpt + pkt.path as usize % self.n_spines
-        }
-    }
-}
-
-struct TtSpineRouter {
-    hpt: usize,
-}
-
-impl Router for TtSpineRouter {
-    fn route(&self, pkt: &Packet, _rng: &mut SmallRng) -> usize {
-        pkt.dst as usize / self.hpt
+    /// Wire explicit `Pipe` components instead of fused hops.
+    pub fn unfused(mut self) -> TwoTierCfg {
+        self.fused = false;
+        self
     }
 }
 
@@ -221,13 +236,23 @@ impl TwoTier {
 
         let mk =
             |world: &mut World<Packet>, to: ComponentId, class: LinkClass, cfg: &TwoTierCfg| {
-                let pipe = world.add(Pipe::new(cfg.link_delay, to));
                 let policy = if class == LinkClass::HostNic {
                     cfg.fabric.build_host_nic(cfg.mtu)
                 } else {
                     cfg.fabric.build(cfg.mtu)
                 };
-                world.add(Queue::new(cfg.link_speed, pipe, class, policy))
+                if cfg.fused {
+                    world.add(Queue::fused(
+                        cfg.link_speed,
+                        to,
+                        cfg.link_delay,
+                        class,
+                        policy,
+                    ))
+                } else {
+                    let pipe = world.add(Pipe::new(cfg.link_delay, to));
+                    world.add(Queue::new(cfg.link_speed, pipe, class, policy))
+                }
             };
 
         let mut host_nic = Vec::new();
@@ -257,18 +282,17 @@ impl TwoTier {
                 tors[tor],
                 Switch::new(
                     ports,
-                    Box::new(TtTorRouter {
-                        hpt,
-                        tor,
-                        n_spines: cfg.n_spines,
-                    }),
+                    Box::new(LeafRouter::new(n_hosts, hpt, tor, cfg.n_spines)),
                 ),
             );
         }
         for s in 0..cfg.n_spines {
             world.install(
                 spines[s],
-                Switch::new(spine_down[s].clone(), Box::new(TtSpineRouter { hpt })),
+                Switch::new(
+                    spine_down[s].clone(),
+                    Box::new(TableRouter::new(n_hosts, |d| d / hpt)),
+                ),
             );
         }
         for h in 0..n_hosts {

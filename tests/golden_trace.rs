@@ -22,13 +22,30 @@ use ndp::topology::{FatTree, FatTreeCfg};
 
 /// The pinned trace of `mixed_world` (hash, dispatched-event count).
 /// Computed on the seed's event ordering contract: ascending
-/// `(time, posting-seq)` over every dispatched event.
+/// `(time, posting-seq)` over every dispatched event, with explicit
+/// `Pipe` components on every link (the seed's unfused wiring).
 const GOLDEN: (u64, u64) = (0x2659_0E36_D8C8_83F0, 9_014);
 
+/// The pinned trace of the same scenario on fused hops (the default
+/// wiring since the hot-path overhaul): wire propagation folds into each
+/// queue's TX-done post, so the trace legitimately contains no `Pipe`
+/// dispatches and fewer events. Pinned separately so fused-mode
+/// determinism regressions are caught just as early.
+const GOLDEN_FUSED: (u64, u64) = (0xA11C_6039_EE14_D5C6, 6_788);
+
 fn mixed_world(kind: SchedulerKind) -> (u64, u64) {
+    mixed_world_wired(kind, false)
+}
+
+fn mixed_world_wired(kind: SchedulerKind, fused: bool) -> (u64, u64) {
     let mut w: World<Packet> = World::with_scheduler(11, kind);
     w.enable_trace();
-    let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+    let cfg = if fused {
+        FatTreeCfg::new(4)
+    } else {
+        FatTreeCfg::new(4).unfused()
+    };
+    let ft = FatTree::build(&mut w, cfg);
     // Three NDP flows (multipath, trimming fabric is NDP-default).
     for (i, &(src, dst)) in [(0u32, 9u32), (3, 12), (7, 2)].iter().enumerate() {
         let cfg = NdpFlowCfg {
@@ -89,5 +106,30 @@ fn golden_trace_matches_committed_hash() {
         got, GOLDEN,
         "event trace diverged from the committed golden hash; \
          if intentional, rerun with NDP_PRINT_TRACE_HASH=1 and update GOLDEN"
+    );
+}
+
+#[test]
+fn golden_trace_fused_matches_committed_hash_on_both_schedulers() {
+    let two_tier = mixed_world_wired(SchedulerKind::TwoTier, true);
+    let classic = mixed_world_wired(SchedulerKind::Classic, true);
+    assert_eq!(
+        two_tier, classic,
+        "fused wiring must also be scheduler-independent"
+    );
+    if std::env::var("NDP_PRINT_TRACE_HASH").is_ok() {
+        println!(
+            "golden fused trace: (0x{:016X}, {})",
+            two_tier.0, two_tier.1
+        );
+    }
+    assert_eq!(
+        two_tier, GOLDEN_FUSED,
+        "fused event trace diverged from the committed golden hash; \
+         if intentional, rerun with NDP_PRINT_TRACE_HASH=1 and update GOLDEN_FUSED"
+    );
+    assert!(
+        two_tier.1 < GOLDEN.1,
+        "hop fusion must dispatch strictly fewer events than the piped wiring"
     );
 }

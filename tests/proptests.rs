@@ -242,6 +242,88 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Fused-vs-unfused A/B: folding wire propagation into the upstream queue's
+// TX-done post must be observationally invisible — identical completion
+// times, ordering and throughput — on every registered topology shape.
+
+mod fused_unfused_ab {
+    use ndp::experiments::harness::{incast_run, permutation_run};
+    use ndp::experiments::{Proto, TopoSpec};
+    use ndp::sim::{Speed, Time};
+    use ndp::topology::{FatTreeCfg, LeafSpineCfg, TwoTierCfg};
+    use proptest::prelude::*;
+
+    /// (fused, unfused) spec pairs mirroring all six registry entries at
+    /// quick scale (smaller where quick scale would make a dev-profile
+    /// proptest case too slow).
+    fn spec_pair(ti: usize) -> (TopoSpec, TopoSpec) {
+        match ti {
+            0 => (
+                TopoSpec::fattree(FatTreeCfg::new(4)),
+                TopoSpec::fattree(FatTreeCfg::new(4).unfused()),
+            ),
+            1 => (
+                TopoSpec::leafspine(LeafSpineCfg::new(4, 4, 4)),
+                TopoSpec::leafspine(LeafSpineCfg::new(4, 4, 4).unfused()),
+            ),
+            2 => (
+                TopoSpec::fattree(FatTreeCfg::new(4).with_hosts_per_tor(8)),
+                TopoSpec::fattree(FatTreeCfg::new(4).with_hosts_per_tor(8).unfused()),
+            ),
+            3 => (
+                TopoSpec::leafspine(LeafSpineCfg::new(4, 4, 4).with_uplink_speed(Speed::gbps(5))),
+                TopoSpec::leafspine(
+                    LeafSpineCfg::new(4, 4, 4)
+                        .with_uplink_speed(Speed::gbps(5))
+                        .unfused(),
+                ),
+            ),
+            4 => (
+                TopoSpec::twotier(TwoTierCfg::testbed()),
+                TopoSpec::twotier(TwoTierCfg::testbed().unfused()),
+            ),
+            _ => (TopoSpec::backtoback(), TopoSpec::backtoback_unfused()),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Incast completion times (and their order) are bit-identical
+        /// with and without hop fusion, for every protocol family's
+        /// fabric via NDP (the trimming fabric exercises the RNG-coupled
+        /// paths hardest: trim coins, pull spraying, RTS bounces).
+        #[test]
+        fn incast_fcts_identical(ti in 0usize..6, seed in 0u64..1000) {
+            let (fused, unfused) = spec_pair(ti);
+            let n = (fused.n_hosts() - 1).min(8);
+            let horizon = Time::from_ms(500);
+            let a = incast_run(Proto::Ndp, fused, n, 45_000, None, seed, horizon);
+            let b = incast_run(Proto::Ndp, unfused, n, 45_000, None, seed, horizon);
+            prop_assert_eq!(a.incomplete, b.incomplete);
+            prop_assert_eq!(a.fcts, b.fcts, "arrival-driven completions must match exactly");
+        }
+
+        /// Permutation throughput (per-flow goodput and utilization) is
+        /// bit-identical with and without hop fusion.
+        #[test]
+        fn permutation_goodput_identical(ti in 0usize..6, seed in 0u64..1000) {
+            let (fused, unfused) = spec_pair(ti);
+            let dur = Time::from_us(500);
+            let a = permutation_run(Proto::Ndp, fused, dur, seed, Some(12));
+            let b = permutation_run(Proto::Ndp, unfused, dur, seed, Some(12));
+            prop_assert_eq!(a.per_flow_gbps, b.per_flow_gbps);
+            prop_assert_eq!(a.utilization, b.utilization);
+            prop_assert!(
+                a.events_processed < b.events_processed,
+                "fusion must dispatch fewer events ({} vs {})",
+                a.events_processed, b.events_processed
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Topology-registry invariants: every registered fabric shape must uphold the
 // `Topology` contract the experiment harnesses build on.
 

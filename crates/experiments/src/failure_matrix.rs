@@ -1,0 +1,628 @@
+//! The `failure_matrix` experiment family: open-loop traffic through a
+//! scheduled fabric failure, per transport × topology.
+//!
+//! Each cell runs one seeded world through four windows: `warmup`
+//! (unmeasured), `pre` (healthy baseline), `during` (one core-tier link
+//! pair is down, both directions), and `post` (link restored). The
+//! failure is executed inside simulated time by a
+//! [`ndp_topology::ChaosController`] walking a [`FabricEvent`] schedule —
+//! the same machinery `ndp run` exposes for ad-hoc campaigns — so the
+//! switch port masks flip, buffered packets are lost, and multipath
+//! senders must re-spray around the hole while single-path transports
+//! lean on retransmission.
+//!
+//! Every completed flow is attributed to the phase its *arrival* fell in
+//! (a flow that starts healthy and finishes mid-failure is a `pre` flow
+//! whose slowdown absorbs the failure), and each phase reports
+//! p50/p99/p999 slowdown. The cell also reports `stuck_flows` (measured
+//! flows that never completed within the drain cap — the survivability
+//! claim is that NDP has zero), `reroutes` (packets the switches steered
+//! off dead ports), and the controller's per-kind link-event tally.
+
+use std::sync::Arc;
+
+use ndp_metrics::{SlowdownBins, Table};
+use ndp_net::packet::{HostId, Packet};
+use ndp_net::switch::Switch;
+use ndp_net::{CompletionSink, Host};
+use ndp_sim::{SchedulerKind, Time, World};
+use ndp_topology::{link_index, ChaosController, ChaosTally, FabricEvent, FabricOp, Topology};
+use ndp_workloads::{ArrivalProcess, DynamicWorkload};
+
+use crate::harness::{Proto, Scale};
+use crate::openloop::{DistKind, Spawner, SWEEP_PROTOS};
+use crate::sweep::SweepSpec;
+use crate::topo::{registered, TopoEntry, TopoSpec};
+
+/// The default topology axis: one three-tier and one two-tier fabric, so
+/// the failure exercises both the Agg→Core and the ToR→Spine reroute
+/// arithmetic.
+pub const MATRIX_TOPOS: &[&str] = &["fattree", "leafspine"];
+
+/// The phase labels, in timeline order.
+pub const PHASES: &[&str] = &["pre", "during", "post"];
+
+/// One (transport, topology) failure-injection simulation.
+#[derive(Clone, Debug)]
+pub struct FailurePoint {
+    pub proto: Proto,
+    pub topo: TopoSpec,
+    pub dist: DistKind,
+    pub load: f64,
+    pub seed: u64,
+    pub warmup: Time,
+    /// Healthy baseline window (measured).
+    pub pre: Time,
+    /// Failure window: the victim link pair is down throughout.
+    pub during: Time,
+    /// Recovery window after the link comes back.
+    pub post: Time,
+    /// Drain cap after arrivals stop.
+    pub drain: Time,
+    /// Engine scheduler override (`None` = the process default), used by
+    /// the determinism tests to A/B the two scheduler implementations.
+    pub sched: Option<SchedulerKind>,
+}
+
+/// One cell's results.
+pub struct FailureResult {
+    pub proto: Proto,
+    pub topo: &'static str,
+    /// Per-phase slowdown samples, indexed like [`PHASES`].
+    pub phases: [SlowdownBins; 3],
+    /// Flows whose start fell in the measurement window.
+    pub measured: usize,
+    /// Measured flows that did not complete within the drain cap.
+    pub stuck_flows: usize,
+    pub offered: usize,
+    /// Directional links taken down at the failure instant.
+    pub failed_links: usize,
+    /// Packets steered off dead ports, summed over every switch.
+    pub reroutes: u64,
+    /// The chaos controller's per-kind event tally.
+    pub tally: ChaosTally,
+    pub events_processed: u64,
+    pub event_kinds: ndp_sim::EventKindCounts,
+    pub peak_live_components: usize,
+    pub peak_live_flows: usize,
+}
+
+impl FailureResult {
+    /// Phase percentile, NaN when the phase has no samples.
+    pub fn percentile(&self, phase: usize, p: f64) -> f64 {
+        let all = self.phases[phase].overall();
+        if all.is_empty() {
+            f64::NAN
+        } else {
+            all.percentile(p)
+        }
+    }
+}
+
+/// The victim: the first core-tier link pair the fabric has, by label —
+/// `agg_up[0][0]`/`core_down[0][0]` on three-tier shapes,
+/// `tor_up[0][0]`/`spine_down[0][0]` on two-tier ones. Both directions
+/// die together, like a real transceiver failure. Fabrics with neither
+/// (back-to-back) get no failure: the matrix still runs, as a control.
+fn victim_links(topo: &dyn Topology) -> Vec<usize> {
+    let links = topo.links();
+    for pair in [
+        ["agg_up[0][0]", "core_down[0][0]"],
+        ["tor_up[0][0]", "spine_down[0][0]"],
+    ] {
+        let found: Vec<usize> = pair
+            .iter()
+            .filter_map(|label| link_index(&links, label))
+            .collect();
+        if found.len() == pair.len() {
+            return found;
+        }
+    }
+    Vec::new()
+}
+
+/// The simulation behind one [`FailurePoint`]: the open-loop pipeline
+/// (lazy [`Spawner`], streaming completions, drain-to-idle) plus a
+/// [`ChaosController`] that kills the victim link pair for the `during`
+/// window. Builds its own seeded world, so sweep cells stay
+/// bit-reproducible regardless of `NDP_THREADS`.
+pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
+    let mut world: World<Packet> = match point.sched {
+        Some(kind) => World::with_scheduler(point.seed, kind),
+        None => World::new(point.seed),
+    };
+    let topo: Arc<dyn Topology> = Arc::from(point.topo.build(&mut world, point.proto.fabric()));
+    let n = topo.n_hosts();
+    let sink = world.add(CompletionSink::totals_only());
+    for h in 0..n {
+        world
+            .get_mut::<Host>(topo.host(h as HostId))
+            .set_completion_sink(sink);
+    }
+
+    let pre_end = point.warmup + point.pre;
+    let during_end = pre_end + point.during;
+    let arrivals_end = during_end + point.post;
+    let victims = victim_links(topo.as_ref());
+    let mut schedule = Vec::with_capacity(victims.len() * 2);
+    for &link in &victims {
+        schedule.push(FabricEvent {
+            at: pre_end,
+            op: FabricOp::LinkDown { link },
+        });
+        schedule.push(FabricEvent {
+            at: during_end,
+            op: FabricOp::LinkUp { link },
+        });
+    }
+    let ctrl = (!schedule.is_empty())
+        .then(|| ChaosController::install_into(&mut world, topo.as_ref(), schedule));
+
+    let sizes = point.dist.cdf();
+    let process = ArrivalProcess::poisson_for_load(
+        point.load,
+        topo.host_link_speed().as_bps(),
+        sizes.mean_size(),
+    );
+    let workload =
+        DynamicWorkload::new(n, process, sizes, point.seed ^ 0xD15C, arrivals_end.as_ps());
+    let sp = Spawner::install_into(
+        &mut world,
+        point.proto,
+        topo.clone(),
+        workload,
+        point.warmup,
+    );
+
+    // Phase of a measured flow, by its arrival instant.
+    let phase_of = |start: Time| -> usize {
+        if start < pre_end {
+            0
+        } else if start < during_end {
+            1
+        } else {
+            2
+        }
+    };
+
+    let cap = arrivals_end + point.drain;
+    let chunk = Time::from_ps(((arrivals_end.as_ps() / 8).max(Time::from_ms(1).as_ps())).max(1));
+    // Note: SlowdownBins::default() has no bins — `new()` is the
+    // shape-stable constructor.
+    let mut phases: [SlowdownBins; 3] = [
+        SlowdownBins::new(),
+        SlowdownBins::new(),
+        SlowdownBins::new(),
+    ];
+    let mut done = false;
+    let mut target = Time::ZERO;
+    while !done {
+        target = (target.max(world.now()) + chunk).min(cap);
+        done = target == cap;
+        world.run_until(target);
+        let batch = std::mem::take(&mut world.get_mut::<Spawner>(sp).completed);
+        for c in &batch {
+            if c.measured {
+                phases[phase_of(c.start)].add(c.bytes, c.slowdown);
+            }
+        }
+        if world.now() >= arrivals_end && world.get::<Spawner>(sp).live_flows() == 0 {
+            done = true;
+        }
+        world.shrink_idle();
+    }
+
+    let (stragglers, offered, measured, peak_live_flows) = {
+        let s = world.get_mut::<Spawner>(sp);
+        (
+            s.drain_live(),
+            s.started as usize,
+            s.measured_arrivals,
+            s.peak_live,
+        )
+    };
+    let mut stuck_flows = 0usize;
+    for (flow, src, dst, flow_measured) in stragglers {
+        if flow_measured {
+            stuck_flows += 1;
+        }
+        point
+            .proto
+            .transport()
+            .detach(&mut world, topo.host(src), topo.host(dst), flow);
+    }
+
+    let switches: Vec<_> = world.ids().collect();
+    let reroutes = switches
+        .iter()
+        .filter_map(|&id| world.try_get::<Switch>(id))
+        .map(|sw| sw.rerouted)
+        .sum();
+    let tally = ctrl.map_or(ChaosTally::default(), |c| {
+        world.get::<ChaosController>(c).tally
+    });
+
+    FailureResult {
+        proto: point.proto,
+        topo: point.topo.name(),
+        phases,
+        measured,
+        stuck_flows,
+        offered,
+        failed_links: victims.len(),
+        reroutes,
+        tally,
+        events_processed: world.events_processed(),
+        event_kinds: world.event_kind_counts(),
+        peak_live_components: world.peak_live_components(),
+        peak_live_flows,
+    }
+}
+
+pub struct Report {
+    pub load: f64,
+    pub cells: Vec<FailureResult>,
+}
+
+/// (warmup, pre, during, post, drain) windows. The drain is a *cap*, not
+/// a fixed horizon — the run ends the moment the live-flow gauge hits
+/// zero — so it is sized generously: an elephant arriving at the very end
+/// of the post window needs tens of milliseconds to finish, and counting
+/// that natural tail as "stuck" would drown the survivability signal.
+fn windows(scale: Scale) -> (Time, Time, Time, Time, Time) {
+    match scale {
+        Scale::Paper => (
+            Time::from_ms(5),
+            Time::from_ms(15),
+            Time::from_ms(15),
+            Time::from_ms(15),
+            Time::from_ms(200),
+        ),
+        Scale::Quick => (
+            Time::from_ms(2),
+            Time::from_ms(6),
+            Time::from_ms(6),
+            Time::from_ms(6),
+            Time::from_ms(120),
+        ),
+    }
+}
+
+pub fn run(scale: Scale, topo: Option<&'static TopoEntry>) -> Report {
+    let entries: Vec<&'static TopoEntry> = match topo {
+        Some(e) => vec![e],
+        None => MATRIX_TOPOS.iter().map(|n| registered(n)).collect(),
+    };
+    let (warmup, pre, during, post, drain) = windows(scale);
+    // High enough that the dead link's lost capacity visibly hurts the
+    // during-failure percentiles, low enough that every transport's
+    // recovery machinery still completes the post-failure tail.
+    let load = 0.3;
+    let points: Vec<FailurePoint> = entries
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, e)| {
+            SWEEP_PROTOS.iter().map(move |&proto| FailurePoint {
+                proto,
+                topo: e.spec(scale),
+                dist: DistKind::WebSearch,
+                load,
+                // One seed per topology, shared across protocols: paired
+                // arrival sequences within each fabric column.
+                seed: 0xFA11 + ti as u64,
+                warmup,
+                pre,
+                during,
+                post,
+                drain,
+                sched: None,
+            })
+        })
+        .collect();
+    let cells = SweepSpec::new("failure_matrix", points).run(failure_world_run);
+    Report { load, cells }
+}
+
+fn fmt_or_dash(x: f64, prec: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.prec$}")
+    } else {
+        "-".into()
+    }
+}
+
+impl Report {
+    /// One cell's phase p99, NaN when missing.
+    pub fn p99(&self, topo: &str, proto: Proto, phase: usize) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.topo == topo && c.proto == proto)
+            .map(|c| c.percentile(phase, 0.99))
+            .unwrap_or(f64::NAN)
+    }
+
+    pub fn stuck(&self, topo: &str, proto: Proto) -> usize {
+        self.cells
+            .iter()
+            .find(|c| c.topo == topo && c.proto == proto)
+            .map(|c| c.stuck_flows)
+            .unwrap_or(usize::MAX)
+    }
+
+    pub fn headline(&self) -> String {
+        let topos: Vec<&str> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.topo) {
+                    seen.push(c.topo);
+                }
+            }
+            seen
+        };
+        let per_topo: Vec<String> = topos
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{t}: NDP p99 {}→{}→{}, {} stuck",
+                    fmt_or_dash(self.p99(t, Proto::Ndp, 0), 1),
+                    fmt_or_dash(self.p99(t, Proto::Ndp, 1), 1),
+                    fmt_or_dash(self.p99(t, Proto::Ndp, 2), 1),
+                    self.stuck(t, Proto::Ndp),
+                )
+            })
+            .collect();
+        format!(
+            "link failure mid-run @{:.0}% load, pre→during→post slowdown — {}",
+            self.load * 100.0,
+            per_topo.join("; ")
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec![
+            "topology".to_string(),
+            "protocol".into(),
+            "flows".into(),
+            "stuck".into(),
+            "reroutes".into(),
+            "events".into(),
+        ];
+        for phase in PHASES {
+            header.push(format!("{phase} p50/p99/p999"));
+        }
+        let mut t = Table::new(header);
+        for c in &self.cells {
+            let mut row = vec![
+                c.topo.to_string(),
+                c.proto.label().to_string(),
+                c.measured.to_string(),
+                c.stuck_flows.to_string(),
+                c.reroutes.to_string(),
+                c.tally.applied().to_string(),
+            ];
+            for phase in 0..PHASES.len() {
+                row.push(format!(
+                    "{}/{}/{}",
+                    fmt_or_dash(c.percentile(phase, 0.50), 1),
+                    fmt_or_dash(c.percentile(phase, 0.99), 1),
+                    fmt_or_dash(c.percentile(phase, 0.999), 1)
+                ));
+            }
+            t.row(row);
+        }
+        write!(
+            f,
+            "Failure matrix — one core-tier link pair down mid-run @{:.0}% load\n{}",
+            self.load * 100.0,
+            t.render()
+        )
+    }
+}
+
+/// Registry entry.
+pub struct FailureMatrix;
+
+impl crate::registry::Experiment for FailureMatrix {
+    fn id(&self) -> &'static str {
+        "failure_matrix"
+    }
+    fn title(&self) -> &'static str {
+        "Transport x topology matrix through a scheduled link failure"
+    }
+    fn description(&self) -> &'static str {
+        "Open-loop websearch traffic while a core-tier link pair dies and \
+         recovers mid-run; per-phase (pre/during/post) p50/p99/p999 \
+         slowdown, stuck flows and reroute counts for NDP vs DCTCP vs \
+         pHost across {fattree, leafspine} (or the fabric named by --topo)"
+    }
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
+        Box::new(run(scale, topo))
+    }
+}
+
+impl crate::registry::Report for Report {
+    fn headline(&self) -> String {
+        self.headline()
+    }
+
+    fn run_stats(&self) -> crate::registry::RunStats {
+        crate::registry::RunStats {
+            events_processed: Some(self.cells.iter().map(|c| c.events_processed).sum()),
+            event_kinds: Some(self.cells.iter().map(|c| c.event_kinds).sum()),
+            peak_live_components: self
+                .cells
+                .iter()
+                .map(|c| c.peak_live_components as u64)
+                .max(),
+            peak_live_flows: self.cells.iter().map(|c| c.peak_live_flows as u64).max(),
+            link_events_applied: Some(self.cells.iter().map(|c| c.tally.applied()).sum()),
+            reroutes: Some(self.cells.iter().map(|c| c.reroutes).sum()),
+            stuck_flows: Some(self.cells.iter().map(|c| c.stuck_flows as u64).sum()),
+        }
+    }
+
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("load", Json::num(self.load)),
+            ("phases", Json::arr(PHASES.iter().map(|&p| Json::str(p)))),
+            (
+                "cells",
+                Json::arr(self.cells.iter().map(|c| {
+                    Json::obj([
+                        ("topo", Json::str(c.topo)),
+                        ("proto", Json::str(c.proto.label())),
+                        ("measured", Json::num(c.measured as f64)),
+                        ("stuck_flows", Json::num(c.stuck_flows as f64)),
+                        ("failed_links", Json::num(c.failed_links as f64)),
+                        ("reroutes", Json::num(c.reroutes as f64)),
+                        (
+                            "link_events",
+                            Json::obj([
+                                ("applied", Json::num(c.tally.applied() as f64)),
+                                ("link_down", Json::num(c.tally.link_down as f64)),
+                                ("link_up", Json::num(c.tally.link_up as f64)),
+                            ]),
+                        ),
+                        (
+                            "phases",
+                            Json::arr((0..PHASES.len()).map(|ph| {
+                                Json::obj([
+                                    ("phase", Json::str(PHASES[ph])),
+                                    ("n", Json::num(c.phases[ph].overall().len() as f64)),
+                                    ("p50", Json::num(c.percentile(ph, 0.50))),
+                                    ("p99", Json::num(c.percentile(ph, 0.99))),
+                                    ("p999", Json::num(c.percentile(ph, 0.999))),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_point(topo: &str, proto: Proto, seed: u64) -> FailurePoint {
+        let (warmup, pre, during, post, drain) = windows(Scale::Quick);
+        FailurePoint {
+            proto,
+            topo: registered(topo).spec(Scale::Quick),
+            dist: DistKind::WebSearch,
+            load: 0.3,
+            seed,
+            warmup,
+            pre,
+            during,
+            post,
+            drain,
+            sched: None,
+        }
+    }
+
+    fn fingerprint(r: &FailureResult) -> Vec<u64> {
+        let mut v = vec![
+            r.measured as u64,
+            r.stuck_flows as u64,
+            r.offered as u64,
+            r.reroutes,
+            r.tally.applied(),
+            r.events_processed,
+        ];
+        for (ph, bins) in r.phases.iter().enumerate() {
+            v.push(bins.overall().len() as u64);
+            v.push(r.percentile(ph, 0.99).to_bits());
+        }
+        v
+    }
+
+    #[test]
+    fn ndp_survives_a_core_link_failure_with_zero_stuck_flows() {
+        let r = failure_world_run(&quick_point("fattree", Proto::Ndp, 0xFA11));
+        assert_eq!(r.failed_links, 2, "both directions of the victim die");
+        assert_eq!(r.tally.applied(), 4, "2x LinkDown + 2x LinkUp");
+        for (ph, bins) in r.phases.iter().enumerate() {
+            assert!(
+                !bins.is_empty(),
+                "phase {} measured no completions",
+                PHASES[ph]
+            );
+        }
+        // The survivability claim: every measured flow completes.
+        assert_eq!(r.stuck_flows, 0, "NDP must strand no flows");
+        // The during-failure window visibly hurts vs. the healthy baseline
+        // (respray + retransmission around the hole cost real time).
+        let (pre, during) = (r.percentile(0, 0.99), r.percentile(1, 0.99));
+        assert!(
+            during > pre,
+            "failure should degrade p99: pre {pre:.2} vs during {during:.2}"
+        );
+        // The reroute path actually fired while the link was down.
+        assert!(r.reroutes > 0, "no packets were steered off the dead port");
+    }
+
+    #[test]
+    fn failure_run_is_bit_identical_across_threads_and_schedulers() {
+        let points = vec![
+            quick_point("fattree", Proto::Ndp, 7),
+            quick_point("leafspine", Proto::Dctcp, 7),
+        ];
+        let spec = SweepSpec::new("det", points.clone());
+        let serial: Vec<_> = spec
+            .run_with_threads(1, failure_world_run)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let threaded: Vec<_> = spec
+            .run_with_threads(7, failure_world_run)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        assert_eq!(serial, threaded, "thread count changed results");
+        for (kind, point) in [
+            (SchedulerKind::TwoTier, &points[0]),
+            (SchedulerKind::Classic, &points[0]),
+        ] {
+            let mut p = point.clone();
+            p.sched = Some(kind);
+            assert_eq!(
+                fingerprint(&failure_world_run(&p)),
+                serial[0],
+                "{kind:?} scheduler diverged from the default"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_covers_both_axes_and_reports_chaos_counters() {
+        let rep = run(Scale::Quick, None);
+        assert_eq!(rep.cells.len(), MATRIX_TOPOS.len() * SWEEP_PROTOS.len());
+        for c in &rep.cells {
+            assert!(
+                c.measured > 0,
+                "{}/{}: no measured flows",
+                c.topo,
+                c.proto.label()
+            );
+            assert_eq!(c.tally.applied(), 4, "{}: wrong event tally", c.topo);
+        }
+        // The registry envelope carries the chaos counters.
+        let stats = crate::registry::Report::run_stats(&rep);
+        assert_eq!(stats.link_events_applied, Some(4 * rep.cells.len() as u64));
+        assert!(stats.stuck_flows.is_some());
+        assert!(stats.reroutes.is_some());
+    }
+}

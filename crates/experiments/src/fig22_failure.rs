@@ -10,7 +10,9 @@ use ndp_metrics::Table;
 use ndp_net::packet::{HostId, Packet};
 use ndp_net::queue::LinkClass;
 use ndp_sim::{Speed, Time, World};
-use ndp_topology::{FatTree, FatTreeCfg, Topology};
+use ndp_topology::{
+    link_index, ChaosController, FabricEvent, FabricOp, FatTree, FatTreeCfg, Topology,
+};
 
 use crate::harness::{attach_on, delivered_bytes, FlowSpec, Proto, Scale, LONG_FLOW};
 
@@ -28,17 +30,30 @@ fn trial(proto: Proto, scale: Scale, seed: u64) -> Vec<f64> {
     let mut world: World<Packet> = World::new(seed);
     let ft = FatTree::build(&mut world, cfg);
     // Degrade pod 0, agg 0, uplink 0 in both directions, through the
-    // generic Topology failure-injection surface: pick the two
-    // directional links by label from the fabric's link enumeration.
-    for label in ["agg_up[0][0]", "core_down[0][0]"] {
-        let link = ft
-            .links()
-            .into_iter()
-            .find(|l| l.label == label)
-            .expect("k>=4 FatTree has the degraded core link");
-        debug_assert!(matches!(link.class, LinkClass::AggUp | LinkClass::CoreDown));
-        ft.set_link_speed(&mut world, link.queue, Speed::gbps(1));
-    }
+    // fabric-chaos machinery: two `LinkDegrade` events at t=0 walked by a
+    // `ChaosController`. The controller's wake is posted before any
+    // traffic exists, so the renegotiated speed applies before the first
+    // packet is serialized — same outcome as degrading the queues by
+    // hand, one less ad-hoc failure path.
+    let links = ft.links();
+    let schedule: Vec<FabricEvent> = ["agg_up[0][0]", "core_down[0][0]"]
+        .iter()
+        .map(|label| {
+            let link = link_index(&links, label).expect("k>=4 FatTree has the degraded core link");
+            debug_assert!(matches!(
+                links[link].class,
+                LinkClass::AggUp | LinkClass::CoreDown
+            ));
+            FabricEvent {
+                at: Time::ZERO,
+                op: FabricOp::LinkDegrade {
+                    link,
+                    speed: Speed::gbps(1),
+                },
+            }
+        })
+        .collect();
+    ChaosController::install_into(&mut world, &ft, schedule);
     let n = ft.n_hosts();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
     let dsts = ndp_workloads::permutation(n, &mut rng);

@@ -95,6 +95,9 @@ struct LiveFlow {
 /// streaming drain.
 #[derive(Clone, Copy, Debug)]
 pub struct CompletedFlow {
+    /// Arrival instant — phase-windowed reports (the failure matrix)
+    /// attribute each sample to the phase its flow *started* in.
+    pub start: Time,
     pub bytes: u64,
     pub slowdown: f64,
     pub measured: bool,
@@ -165,6 +168,15 @@ impl Spawner {
         self.live.len()
     }
 
+    /// Take every still-live flow — the stragglers a runner detaches when
+    /// its drain cap expires: `(flow, src, dst, measured)`.
+    pub fn drain_live(&mut self) -> Vec<(FlowId, HostId, HostId, bool)> {
+        self.live
+            .drain()
+            .map(|(flow, m)| (flow, m.src, m.dst, m.measured))
+            .collect()
+    }
+
     /// Attach one arrival (now due) through the deferred-op path.
     fn spawn(&mut self, ev: FlowEvent, ctx: &mut Ctx<'_, Packet>) {
         let flow = self.next_flow;
@@ -209,6 +221,7 @@ impl Spawner {
         let fct = ctx.now() - meta.start;
         let ideal = self.topo.ideal_fct(meta.src, meta.dst, meta.bytes);
         self.completed.push(CompletedFlow {
+            start: meta.start,
             bytes: meta.bytes,
             slowdown: fct.as_ps() as f64 / ideal.as_ps() as f64,
             measured: meta.measured,
@@ -616,6 +629,7 @@ impl crate::registry::Report for LoadSweepReport {
                 .map(|r| r.peak_live_components as u64)
                 .max(),
             peak_live_flows: self.rows.iter().map(|r| r.peak_live_flows as u64).max(),
+            ..Default::default()
         }
     }
 

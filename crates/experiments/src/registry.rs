@@ -24,6 +24,14 @@ pub struct RunStats {
     pub peak_live_components: Option<u64>,
     /// Highest in-flight flow count any world reached.
     pub peak_live_flows: Option<u64>,
+    /// Fabric-chaos events applied (link/switch down/up/degrade), summed
+    /// over every world the run built. `None` when no chaos ran.
+    pub link_events_applied: Option<u64>,
+    /// Packets steered off dead ports onto live equivalents by the
+    /// switches' reroute path.
+    pub reroutes: Option<u64>,
+    /// Measured flows that never completed within the drain window.
+    pub stuck_flows: Option<u64>,
 }
 
 /// What every experiment returns: human-readable (`Display` prints the
@@ -101,6 +109,7 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &crate::openloop::LoadDatamining,
     &crate::openloop::OversubLoad,
     &crate::topo_matrix::TopoMatrix,
+    &crate::failure_matrix::FailureMatrix,
     &crate::inline_results::Inline,
     &crate::quick::Quickstart,
 ];
@@ -173,6 +182,9 @@ pub fn document(
                 ("event_kinds", event_kinds),
                 ("peak_live_components", opt(stats.peak_live_components)),
                 ("peak_live_flows", opt(stats.peak_live_flows)),
+                ("link_events_applied", opt(stats.link_events_applied)),
+                ("reroutes", opt(stats.reroutes)),
+                ("stuck_flows", opt(stats.stuck_flows)),
             ]),
         ),
         ("data", report.to_json()),
@@ -184,8 +196,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twenty_four_experiments_with_unique_ids() {
-        assert_eq!(EXPERIMENTS.len(), 24);
+    fn twenty_five_experiments_with_unique_ids() {
+        assert_eq!(EXPERIMENTS.len(), 25);
         let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         let before = ids.len();
@@ -219,6 +231,7 @@ mod tests {
             "load_datamining",
             "oversub_load",
             "topo_matrix",
+            "failure_matrix",
         ] {
             let e = find(id).unwrap_or_else(|| panic!("{id} not registered"));
             assert!(e.supports_topo(), "{id} should accept --topo");

@@ -310,6 +310,7 @@ impl crate::registry::Report for Report {
                 .iter()
                 .map(|c| c.openloop.peak_live_flows as u64)
                 .max(),
+            ..Default::default()
         }
     }
 

@@ -44,6 +44,11 @@ impl Pipe {
     pub fn delay(&self) -> Time {
         self.delay
     }
+
+    /// The component this wire delivers into.
+    pub fn next_hop(&self) -> ComponentId {
+        self.next
+    }
 }
 
 impl Component<Packet> for Pipe {

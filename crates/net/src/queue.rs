@@ -63,6 +63,10 @@ pub struct QueueStats {
     pub ecn_marked: u64,
     pub xoff_sent: u64,
     pub max_occupancy_bytes: u64,
+    /// Packets lost to a down link: buffered packets flushed when the link
+    /// failed, the packet on the wire at the failure instant, and arrivals
+    /// while down that could not be bounced back to their sender.
+    pub dropped_down: u64,
 }
 
 /// The queueing discipline of one egress port.
@@ -216,6 +220,14 @@ impl Policy {
 /// raw-injection tests and paths without an upstream serializer.
 pub struct Queue {
     rate: Speed,
+    /// Construction-time rate, so a failed or degraded link can renegotiate
+    /// back to its original speed on recovery ([`Queue::restore`]).
+    nominal: Speed,
+    /// Administratively down: nothing serializes, buffered packets were
+    /// flushed at the failure instant, and new arrivals are dropped — or,
+    /// on an RTS-capable NDP queue, trimmed and returned to their sender so
+    /// multipath sources re-spray around the dead link immediately.
+    down: bool,
     next: ComponentId,
     class: LinkClass,
     policy: Policy,
@@ -237,6 +249,8 @@ impl Queue {
     pub fn new(rate: Speed, next: ComponentId, class: LinkClass, policy: Policy) -> Queue {
         Queue {
             rate,
+            nominal: rate,
+            down: false,
             next,
             class,
             policy,
@@ -286,6 +300,45 @@ impl Queue {
     /// being serialized finishes at the old rate.
     pub fn set_rate(&mut self, rate: Speed) {
         self.rate = rate;
+    }
+
+    /// The rate this queue was built with — what a recovered link
+    /// renegotiates back to.
+    pub fn nominal_rate(&self) -> Speed {
+        self.nominal
+    }
+
+    /// The downstream component transmitted packets are handed to (the
+    /// owning switch's neighbour when fused, the link's `Pipe` otherwise).
+    pub fn next_hop(&self) -> ComponentId {
+        self.next
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Hard-fail or revive the link. Going down flushes every buffered
+    /// packet (the buffer dies with the port) and the packet currently on
+    /// the wire is lost at its TX-done instant; while down, arrivals are
+    /// dropped or bounced (see [`Queue`] field docs). Coming back up leaves
+    /// the rate untouched — use [`Queue::restore`] for full recovery. A
+    /// lossless queue that paused its upstreams keeps them paused until the
+    /// first packet transits the revived link (the Xon check lives on the
+    /// dequeue path), which errs on the side of more collateral damage.
+    pub fn set_down(&mut self, down: bool) {
+        if down && !self.down {
+            while self.pop_next().is_some() {
+                self.stats.dropped_down += 1;
+            }
+        }
+        self.down = down;
+    }
+
+    /// Full recovery: link up at its construction-time rate.
+    pub fn restore(&mut self) {
+        self.down = false;
+        self.rate = self.nominal;
     }
 
     /// Enable return-to-sender on header-queue overflow (NDP software
@@ -383,8 +436,34 @@ impl Queue {
         }
     }
 
+    /// Down-link admission: data packets on an RTS-capable NDP queue are
+    /// trimmed and returned to their sender (the same §3.2.4 mechanism as a
+    /// header-queue overflow, so the source's path penalty reacts at RTT
+    /// timescales); everything else is dropped.
+    fn drop_or_bounce_down(&mut self, pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
+        if let Policy::Ndp {
+            bounce_to: Some(sw),
+            ..
+        } = &self.policy
+        {
+            if pkt.kind == PacketKind::Data && !pkt.is_rts() {
+                let sw = *sw;
+                let mut b = pkt;
+                if !b.is_trimmed() {
+                    b.trim();
+                    self.stats.trimmed += 1;
+                }
+                b.bounce_to_sender();
+                self.stats.bounced += 1;
+                ctx.forward(sw, b);
+                return;
+            }
+        }
+        self.stats.dropped_down += 1;
+    }
+
     fn start_tx_if_possible(&mut self, ctx: &mut Ctx<'_, Packet>) {
-        if self.in_service.is_some() || self.paused > 0 {
+        if self.in_service.is_some() || self.paused > 0 || self.down {
             return;
         }
         if let Some(pkt) = self.pop_next() {
@@ -395,6 +474,10 @@ impl Queue {
     }
 
     fn enqueue(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
+        if self.down {
+            self.drop_or_bounce_down(pkt, ctx);
+            return;
+        }
         match &mut self.policy {
             Policy::DropTail {
                 q,
@@ -598,6 +681,11 @@ impl Component<Packet> for Queue {
                     .in_service
                     .take()
                     .expect("TX_DONE without packet in service");
+                if self.down {
+                    // The wire died while this packet was on it.
+                    self.stats.dropped_down += 1;
+                    return;
+                }
                 self.stats.forwarded_pkts += 1;
                 self.stats.forwarded_bytes += pkt.size as u64;
                 if pkt.kind == PacketKind::Data && !pkt.is_trimmed() {
@@ -1026,6 +1114,71 @@ mod tests {
             wb.get::<Queue>(qb).wire_corrupted
         );
         assert!(wb.get::<Queue>(qb).wire_corrupted > 0);
+    }
+
+    #[test]
+    fn down_link_loses_buffered_and_in_flight_packets() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail(100 * 9000));
+        for i in 0..3 {
+            w.post(Time::ZERO, q, Packet::data(0, 1, 0, i, 9000));
+        }
+        // At 10us: #0 delivered (7.2us), #1 on the wire, #2 buffered.
+        w.run_until(Time::from_us(10));
+        w.get_mut::<Queue>(q).set_down(true);
+        assert_eq!(w.get::<Queue>(q).stats.dropped_down, 1, "buffer flushed");
+        // A packet arriving while down is dropped, not queued.
+        w.post(Time::from_us(11), q, Packet::data(0, 1, 0, 9, 9000));
+        w.run_until_idle();
+        let qq = w.get::<Queue>(q);
+        assert_eq!(qq.stats.dropped_down, 3, "wire victim + arrival counted");
+        assert_eq!(qq.queued_packets(), 0);
+        assert_eq!(w.get::<Sink>(sink).got.len(), 1, "only #0 survived");
+    }
+
+    #[test]
+    fn restored_link_comes_back_at_nominal_rate() {
+        let (mut w, q, sink) = world_with_queue(Policy::droptail(100 * 9000));
+        {
+            let qq = w.get_mut::<Queue>(q);
+            qq.set_rate(Speed::gbps(1)); // degraded...
+            qq.set_down(true); // ...then hard down...
+            qq.restore(); // ...then recovered.
+            assert!(!qq.is_down());
+            assert_eq!(qq.rate(), qq.nominal_rate());
+        }
+        w.post(Time::ZERO, q, Packet::data(0, 1, 0, 0, 9000));
+        w.run_until_idle();
+        // 9 KB at the nominal 10 Gb/s again, not the degraded 1 Gb/s.
+        assert_eq!(w.get::<Sink>(sink).times, vec![Time::from_ns(7_200)]);
+    }
+
+    #[test]
+    fn down_ndp_queue_bounces_data_and_drops_control() {
+        let mut w: World<Packet> = World::new(5);
+        let sink = w.add(Sink::new());
+        let swid = w.add(Sink::new()); // stands in for the owning switch
+        let mut qq = Queue::new(
+            Speed::gbps(10),
+            sink,
+            LinkClass::TorDown,
+            Policy::ndp(8, 9000),
+        );
+        qq.set_bounce_to(swid);
+        qq.set_down(true);
+        let q = w.add(qq);
+        w.post(Time::ZERO, q, Packet::data(3, 7, 1, 0, 9000));
+        w.post(Time::ZERO, q, Packet::control(3, 7, 1, PacketKind::Ack));
+        w.run_until_idle();
+        let bounced = &w.get::<Sink>(swid).got;
+        assert_eq!(bounced.len(), 1, "data comes back as an RTS header");
+        assert!(bounced[0].is_rts() && bounced[0].is_trimmed());
+        assert_eq!((bounced[0].src, bounced[0].dst), (7, 3));
+        let st = &w.get::<Queue>(q).stats;
+        assert_eq!(st.dropped_down, 1, "the ACK is gone");
+        assert!(
+            w.get::<Sink>(sink).got.is_empty(),
+            "nothing crosses a dead link"
+        );
     }
 
     #[test]

@@ -217,6 +217,12 @@ impl Router for TorRouter {
         };
         self.ix.hpt + up
     }
+
+    fn reroute(&self, _pkt: &Packet, chosen: usize, up: &[bool]) -> Option<usize> {
+        // Any aggregation switch reaches every pod (and every in-pod ToR),
+        // so a dead uplink's traffic can take any live one.
+        crate::routes::next_live_uplink(chosen, self.ix.hpt, self.ix.half, up)
+    }
 }
 
 /// Aggregation router: pod-local destinations map straight to their ToR
@@ -271,6 +277,11 @@ impl Router for AggRouter {
             }
         };
         self.ix.half + up
+    }
+
+    fn reroute(&self, _pkt: &Packet, chosen: usize, up: &[bool]) -> Option<usize> {
+        // Every core switch connects to every pod: uplinks are equivalent.
+        crate::routes::next_live_uplink(chosen, self.ix.half, self.ix.half, up)
     }
 }
 

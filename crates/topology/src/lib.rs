@@ -17,6 +17,7 @@
 //! by experiments (hosts for endpoint registration, queues for statistics
 //! harvesting and failure injection).
 
+pub mod chaos;
 pub mod fattree;
 pub mod leafspine;
 mod routes;
@@ -24,8 +25,11 @@ pub mod small;
 pub mod spec;
 pub mod topology;
 
+pub use chaos::{
+    link_index, poisson_campaign, CampaignCfg, ChaosController, ChaosTally, FabricEvent, FabricOp,
+};
 pub use fattree::{FatTree, FatTreeCfg, RouteMode};
 pub use leafspine::{LeafSpine, LeafSpineCfg};
 pub use small::{BackToBack, SingleBottleneck, TwoTier, TwoTierCfg};
 pub use spec::QueueSpec;
-pub use topology::{ideal_fct_over, Hop, LinkRef, Topology, FAILED_LINK_SPEED};
+pub use topology::{ideal_fct_over, mask_link, Hop, LinkRef, Topology};

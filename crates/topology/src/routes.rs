@@ -21,6 +21,23 @@ pub(crate) fn check_table_range(n: usize) {
     assert!(n < NONLOCAL as usize - 1, "fabric too large for u16 tables");
 }
 
+/// The live-reroute primitive shared by every uplink-bearing router: scan
+/// the uplink port range `[lo, lo + n)` starting just past the dead choice
+/// and wrapping, and return the first live port. Deterministic (no RNG) and
+/// only called while some port is actually masked. Uplinks in all our tree
+/// fabrics are interchangeable for delivery — down-routing above this tier
+/// is purely destination-based — so any live substitute still reaches the
+/// destination; only the path tag's spreading is bent around the dead link.
+/// Returns `None` when `chosen` is not an uplink (a dead downlink has no
+/// equivalent: the packet keeps heading for the dead queue, which drops or
+/// bounces it) or when every uplink is down.
+pub(crate) fn next_live_uplink(chosen: usize, lo: usize, n: usize, up: &[bool]) -> Option<usize> {
+    if chosen < lo || chosen >= lo + n {
+        return None;
+    }
+    (1..n).map(|i| lo + (chosen - lo + i) % n).find(|&p| up[p])
+}
+
 /// Leaf (ToR) router of a two-tier fabric: hosts `[tor*hpt, (tor+1)*hpt)`
 /// map to their downlink port, everything else takes uplink
 /// `hpt + tag % n_spines`.
@@ -68,6 +85,10 @@ impl Router for LeafRouter {
             Some(&port) => port as usize,
             None => self.hpt + tag % self.n_spines,
         }
+    }
+
+    fn reroute(&self, _pkt: &Packet, chosen: usize, up: &[bool]) -> Option<usize> {
+        next_live_uplink(chosen, self.hpt, self.n_spines, up)
     }
 }
 
@@ -126,6 +147,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn leaf_reroute_skips_dead_uplinks_and_leaves_downlinks_alone() {
+        let r = LeafRouter::new(24, 4, 0, 3); // ports: 0..4 down, 4..7 up
+        let mut up = vec![true; 7];
+        up[5] = false;
+        assert_eq!(r.reroute(&pkt(9, 1), 5, &up), Some(6), "next uplink");
+        up[6] = false;
+        assert_eq!(r.reroute(&pkt(9, 1), 5, &up), Some(4), "wraps around");
+        up[4] = false;
+        assert_eq!(r.reroute(&pkt(9, 1), 5, &up), None, "all uplinks dead");
+        assert_eq!(
+            r.reroute(&pkt(1, 0), 1, &[true; 7]),
+            None,
+            "downlinks have no equivalent"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use ndp_net::packet::{HostId, Packet, HEADER_BYTES};
 use ndp_net::queue::{LinkClass, Queue, QueueStats};
+use ndp_net::switch::Switch;
 use ndp_sim::{ComponentId, Speed, Time, World};
 
 /// One hop of a path: the link's speed and one-way propagation delay.
@@ -44,11 +45,26 @@ pub struct LinkRef {
     pub label: String,
 }
 
-/// What [`Topology::fail_link`] degrades a link to: a renegotiated-down
-/// crawl (10 Mb/s), not a hard cut — a zero-rate queue would wedge the
-/// simulation, and real failures the paper studies (Figure 22) are
-/// renegotiations, not fiber cuts.
-pub const FAILED_LINK_SPEED: Speed = Speed::mbps(10);
+/// Flip the live-mask bit for `queue`'s port on its owning switch, if a
+/// switch owns it (host-NIC queues have no owner — nothing can reroute
+/// around a dead NIC). Walks the arena, so it is O(world); fine for rare
+/// failure events, while the scheduled-campaign path
+/// ([`crate::ChaosController`]) resolves owners once at install time.
+pub fn mask_link(world: &mut World<Packet>, queue: ComponentId, up: bool) {
+    let switches: Vec<ComponentId> = world
+        .ids()
+        .filter(|&id| world.try_get::<Switch>(id).is_some())
+        .collect();
+    for id in switches {
+        let port = world
+            .try_get::<Switch>(id)
+            .and_then(|sw| sw.ports().iter().position(|&q| q == queue));
+        if let Some(p) = port {
+            world.get_mut::<Switch>(id).set_port_up(p, up);
+            return;
+        }
+    }
+}
 
 /// Ideal (unloaded-network, store-and-forward) completion time of a
 /// `bytes` flow: every wire byte serializes once through `bulk` — the
@@ -162,9 +178,23 @@ pub trait Topology: Send + Sync {
         world.get_mut::<Queue>(queue).set_rate(speed);
     }
 
-    /// Degrade one directional link to [`FAILED_LINK_SPEED`].
+    /// Hard-fail one directional link: buffered packets are lost, arrivals
+    /// drop (or bounce back to their sender on an RTS-capable NDP queue),
+    /// and the owning switch's live-mask is updated so its router steers
+    /// traffic onto equivalent live ports where any exist. The link's
+    /// original rate is remembered; [`Topology::restore_link`] brings it
+    /// back. (Before the fabric-chaos subsystem this merely renegotiated
+    /// the rate down to a 10 Mb/s crawl and forgot the original speed.)
     fn fail_link(&self, world: &mut World<Packet>, queue: ComponentId) {
-        self.set_link_speed(world, queue, FAILED_LINK_SPEED);
+        world.get_mut::<Queue>(queue).set_down(true);
+        mask_link(world, queue, false);
+    }
+
+    /// Recover a failed (or degraded) link: back up at its construction-time
+    /// nominal rate, and the owning switch's live-mask bit is cleared.
+    fn restore_link(&self, world: &mut World<Packet>, queue: ComponentId) {
+        world.get_mut::<Queue>(queue).restore();
+        mask_link(world, queue, true);
     }
 
     /// Aggregate queue statistics by link class over this topology's own
@@ -203,6 +233,7 @@ pub(crate) fn accumulate_stats(
     slot.dropped_ctrl += st.dropped_ctrl;
     slot.ecn_marked += st.ecn_marked;
     slot.xoff_sent += st.xoff_sent;
+    slot.dropped_down += st.dropped_down;
     slot.max_occupancy_bytes = slot.max_occupancy_bytes.max(st.max_occupancy_bytes);
 }
 
@@ -345,8 +376,38 @@ mod tests {
     }
 
     #[test]
-    fn failed_link_speed_is_a_crawl_not_a_cut() {
-        assert!(FAILED_LINK_SPEED.as_bps() > 0);
-        assert!(FAILED_LINK_SPEED < Speed::gbps(1));
+    fn fail_and_restore_round_trip_masks_port_and_recovers_nominal_rate() {
+        let mut w: World<Packet> = World::new(1);
+        let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+        let t: &dyn Topology = &ft;
+        let link = t
+            .links()
+            .into_iter()
+            .find(|l| l.label == "agg_up[0][0]")
+            .expect("fat-tree exposes agg uplinks");
+        let owner_port = |w: &World<Packet>| {
+            w.ids()
+                .filter_map(|id| {
+                    w.try_get::<Switch>(id)?
+                        .ports()
+                        .iter()
+                        .position(|&q| q == link.queue)
+                        .map(|p| (id, p))
+                })
+                .next()
+                .expect("an agg switch owns this uplink")
+        };
+        let nominal = w.get::<Queue>(link.queue).rate();
+        // Degrade first, then hard-fail: restore must forget both.
+        t.set_link_speed(&mut w, link.queue, Speed::gbps(1));
+        t.fail_link(&mut w, link.queue);
+        assert!(w.get::<Queue>(link.queue).is_down());
+        let (sw, p) = owner_port(&w);
+        assert!(!w.get::<Switch>(sw).port_is_up(p), "dead port masked");
+        t.restore_link(&mut w, link.queue);
+        let q = w.get::<Queue>(link.queue);
+        assert!(!q.is_down());
+        assert_eq!(q.rate(), nominal, "recovery renegotiates the original rate");
+        assert!(w.get::<Switch>(sw).port_is_up(p), "mask cleared");
     }
 }

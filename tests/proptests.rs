@@ -432,3 +432,196 @@ mod topology_invariants {
         }
     }
 }
+
+mod chaos_invariants {
+    use ndp::experiments::topo::{TopoEntry, TOPOLOGIES};
+    use ndp::experiments::Scale;
+    use ndp::net::{Host, LinkClass, Packet, Queue};
+    use ndp::sim::{Time, World};
+    use ndp::topology::{poisson_campaign, CampaignCfg, FabricOp, LinkRef, QueueSpec, Topology};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// The registry entries whose switches carry class-labeled uplinks and
+    /// reroute-capable routers — the shapes the chaos subsystem targets.
+    const MULTIPATH: &[&str] = &[
+        "fattree",
+        "leafspine",
+        "oversubscribed",
+        "leafspine-oversub",
+    ];
+
+    fn build(name: &str) -> (World<Packet>, Box<dyn Topology>) {
+        let entry: &TopoEntry = TOPOLOGIES
+            .iter()
+            .find(|e| e.name == name)
+            .expect("registered topology");
+        let mut w: World<Packet> = World::new(1);
+        let topo = entry
+            .spec(Scale::Quick)
+            .build(&mut w, QueueSpec::ndp_default());
+        (w, topo)
+    }
+
+    /// Uplink indices grouped by owning switch: the label prefix before
+    /// the final `[port]` (`"tor_up[3]"` collects all of `tor_up[3][..]`).
+    fn uplinks_by_switch(links: &[LinkRef]) -> Vec<Vec<usize>> {
+        let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (i, l) in links.iter().enumerate() {
+            if !matches!(l.class, LinkClass::TorUp | LinkClass::AggUp) {
+                continue;
+            }
+            let key = &l.label[..l.label.rfind('[').expect("uplink labels end in [port]")];
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        groups.into_iter().map(|(_, g)| g).collect()
+    }
+
+    /// A deterministic (src, dst) pair with src != dst.
+    fn pair(n: usize, seed: u64) -> (u32, u32) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let src = rng.gen_range(0..n);
+        let dst = (src + 1 + rng.gen_range(0..n - 1)) % n;
+        (src as u32, dst as u32)
+    }
+
+    /// Inject one raw tagged packet per path of (src, dst) and run the
+    /// world dry. With no endpoints registered, deliveries land in the
+    /// destination host's unknown-flow counter — a proof per tag.
+    fn inject_all_tags(
+        w: &mut World<Packet>,
+        topo: &dyn Topology,
+        src: u32,
+        dst: u32,
+        base_flow: u64,
+    ) {
+        let at = w.now();
+        for tag in 0..topo.n_paths(src, dst) {
+            let pkt = Packet::data(src, dst, base_flow + tag as u64, 0, topo.mtu()).with_path(tag);
+            w.post(at, topo.host_nic(src), pkt);
+        }
+        w.run_until_idle();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// After failing ANY strict per-switch subset of the uplinks, every
+        /// path tag still delivers src -> dst (the switches reroute around
+        /// the masked ports); after restoring, delivery still holds and the
+        /// failed queues are back up at their nominal rates.
+        #[test]
+        fn every_path_delivers_during_failures_and_after_recovery(
+            ni in 0usize..MULTIPATH.len(),
+            seed in 0u64..10_000,
+        ) {
+            let (mut w, topo) = build(MULTIPATH[ni]);
+            let links = topo.links();
+            let groups = uplinks_by_switch(&links);
+            prop_assert!(!groups.is_empty(), "{} exposes no uplinks", MULTIPATH[ni]);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xC4A0);
+            let mut failed: Vec<usize> = Vec::new();
+            for g in &groups {
+                // A strict subset per switch: one uplink always survives,
+                // so the reroute contract (a live equivalent exists) holds.
+                let keep = rng.gen_range(0..g.len());
+                for (i, &li) in g.iter().enumerate() {
+                    if i != keep && rng.gen_bool(0.5) {
+                        failed.push(li);
+                    }
+                }
+            }
+            if failed.is_empty() {
+                // Keep the property non-vacuous: kill one uplink of the
+                // first switch that has a spare.
+                if let Some(g) = groups.iter().find(|g| g.len() >= 2) {
+                    failed.push(g[0]);
+                }
+            }
+            prop_assert!(!failed.is_empty());
+            for &li in &failed {
+                topo.fail_link(&mut w, links[li].queue);
+            }
+            let (src, dst) = pair(topo.n_hosts(), seed);
+            let n_paths = topo.n_paths(src, dst) as u64;
+            inject_all_tags(&mut w, topo.as_ref(), src, dst, 2_000);
+            let delivered = |w: &World<Packet>| {
+                let h = w.get::<Host>(topo.host(dst));
+                h.stats().unknown_flow_drops + h.stats().timewait_rejects
+            };
+            prop_assert_eq!(
+                delivered(&w), n_paths,
+                "{}: not every tag of ({}, {}) delivered with {} uplinks down",
+                MULTIPATH[ni], src, dst, failed.len()
+            );
+            for &li in &failed {
+                topo.restore_link(&mut w, links[li].queue);
+            }
+            for &li in &failed {
+                let q = w.get::<Queue>(links[li].queue);
+                prop_assert!(!q.is_down(), "{} still down after restore", links[li].label);
+                prop_assert_eq!(
+                    q.rate(), q.nominal_rate(),
+                    "{} not back at nominal rate", links[li].label
+                );
+            }
+            inject_all_tags(&mut w, topo.as_ref(), src, dst, 3_000);
+            prop_assert_eq!(
+                delivered(&w), 2 * n_paths,
+                "{}: delivery broken after recovery", MULTIPATH[ni]
+            );
+        }
+
+        /// A Poisson campaign is (a) bit-identical per seed, (b) time-sorted,
+        /// and (c) well-formed: every `LinkDown` hits a currently-up link of
+        /// an eligible class inside [start, end), and is paired with a later
+        /// `LinkUp` on the same link.
+        #[test]
+        fn poisson_campaigns_are_seed_deterministic_and_well_formed(
+            seed in 0u64..u64::MAX,
+            mtbf_us in 100u64..5_000,
+            horizon_us in 500u64..20_000,
+        ) {
+            let (_w, topo) = build("fattree");
+            let links = topo.links();
+            let cfg = CampaignCfg {
+                classes: vec![LinkClass::TorUp, LinkClass::AggUp],
+                mtbf: Time::from_us(mtbf_us),
+                mttr: Time::from_us(mtbf_us / 3 + 1),
+                start: Time::ZERO,
+                end: Time::from_us(horizon_us),
+                seed,
+            };
+            let a = poisson_campaign(&links, &cfg);
+            let b = poisson_campaign(&links, &cfg);
+            prop_assert_eq!(&a, &b, "same seed must give the same schedule");
+            let mut down: Vec<usize> = Vec::new();
+            let mut last = Time::ZERO;
+            for ev in &a {
+                prop_assert!(ev.at >= last, "schedule must be time-sorted");
+                last = ev.at;
+                match ev.op {
+                    FabricOp::LinkDown { link } => {
+                        prop_assert!(ev.at < cfg.end, "failures only arrive in [start, end)");
+                        prop_assert!(
+                            matches!(links[link].class, LinkClass::TorUp | LinkClass::AggUp),
+                            "campaign failed an ineligible link: {}", links[link].label
+                        );
+                        prop_assert!(!down.contains(&link), "double-killed a down link");
+                        down.push(link);
+                    }
+                    FabricOp::LinkUp { link } => {
+                        let i = down.iter().position(|&l| l == link);
+                        prop_assert!(i.is_some(), "repair without a failure");
+                        down.swap_remove(i.unwrap());
+                    }
+                    other => prop_assert!(false, "campaigns only emit link events, got {:?}", other),
+                }
+            }
+            prop_assert!(down.is_empty(), "every failure must be paired with a repair");
+        }
+    }
+}

@@ -189,10 +189,10 @@ impl ndp_transport::Transport for BlastTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> ndp_transport::FlowHarvest {
-        ndp_transport::detach_endpoints::<CountSink>(world, src_host, dst_host, flow, |r| {
+        ndp_transport::detach_endpoints::<CountSink>(world, src_host, dst_host, flow, |_, r| {
             ndp_transport::FlowHarvest {
                 delivered_bytes: r.payload_bytes,
-                completion_time: None,
+                ..Default::default()
             }
         })
     }

@@ -401,10 +401,12 @@ impl ndp_transport::Transport for DcqcnTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> ndp_transport::FlowHarvest {
-        ndp_transport::detach_endpoints::<DcqcnReceiver>(world, src_host, dst_host, flow, |r| {
+        ndp_transport::detach_endpoints::<DcqcnReceiver>(world, src_host, dst_host, flow, |_, r| {
             ndp_transport::FlowHarvest {
                 delivered_bytes: r.payload_bytes,
                 completion_time: r.completion_time,
+                first_data: r.first_arrival,
+                ..Default::default()
             }
         })
     }

@@ -546,12 +546,23 @@ impl ndp_transport::Transport for MptcpTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> ndp_transport::FlowHarvest {
-        ndp_transport::detach_endpoints::<MptcpReceiver>(world, src_host, dst_host, flow, |r| {
-            ndp_transport::FlowHarvest {
-                delivered_bytes: r.payload_bytes,
-                completion_time: r.completion_time,
-            }
-        })
+        ndp_transport::detach_endpoints::<MptcpReceiver>(
+            world,
+            src_host,
+            dst_host,
+            flow,
+            |tx, r| {
+                let s = tx.get::<MptcpSender>();
+                ndp_transport::FlowHarvest {
+                    delivered_bytes: r.payload_bytes,
+                    completion_time: r.completion_time,
+                    first_data: r.first_arrival,
+                    retransmissions: s.map_or(0, |s| s.stats.fast_retransmits + s.stats.timeouts),
+                    timeouts: s.map_or(0, |s| s.stats.timeouts),
+                    ..Default::default()
+                }
+            },
+        )
     }
 }
 

@@ -414,12 +414,23 @@ impl ndp_transport::Transport for PHostTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> ndp_transport::FlowHarvest {
-        ndp_transport::detach_endpoints::<PHostReceiver>(world, src_host, dst_host, flow, |r| {
-            ndp_transport::FlowHarvest {
-                delivered_bytes: r.payload_bytes,
-                completion_time: r.completion_time,
-            }
-        })
+        ndp_transport::detach_endpoints::<PHostReceiver>(
+            world,
+            src_host,
+            dst_host,
+            flow,
+            |tx, r| {
+                let s = tx.get::<PHostSender>();
+                ndp_transport::FlowHarvest {
+                    delivered_bytes: r.payload_bytes,
+                    completion_time: r.completion_time,
+                    first_data: r.first_arrival,
+                    retransmissions: s.map_or(0, |s| s.stats.retransmissions),
+                    timeouts: r.timeout_credits,
+                    ..Default::default()
+                }
+            },
+        )
     }
 }
 

@@ -668,10 +668,15 @@ impl ndp_transport::Transport for TcpTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> ndp_transport::FlowHarvest {
-        ndp_transport::detach_endpoints::<TcpReceiver>(world, src_host, dst_host, flow, |r| {
+        ndp_transport::detach_endpoints::<TcpReceiver>(world, src_host, dst_host, flow, |tx, r| {
+            let s = tx.get::<TcpSender>();
             ndp_transport::FlowHarvest {
                 delivered_bytes: r.payload_bytes,
                 completion_time: r.completion_time,
+                first_data: r.first_arrival,
+                retransmissions: s.map_or(0, |s| s.stats.fast_retransmits + s.stats.timeouts),
+                timeouts: s.map_or(0, |s| s.stats.timeouts),
+                ..Default::default()
             }
         })
     }

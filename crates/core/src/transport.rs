@@ -88,10 +88,16 @@ impl Transport for NdpTransport {
         dst_host: ComponentId,
         flow: FlowId,
     ) -> FlowHarvest {
-        ndp_transport::detach_endpoints::<NdpReceiver>(world, src_host, dst_host, flow, |r| {
+        ndp_transport::detach_endpoints::<NdpReceiver>(world, src_host, dst_host, flow, |tx, r| {
+            let s = tx.get::<crate::sender::NdpSender>();
             FlowHarvest {
                 delivered_bytes: r.stats.payload_bytes,
                 completion_time: r.stats.completion_time,
+                first_data: r.stats.first_arrival,
+                retransmissions: s.map_or(0, |s| s.stats.retransmissions),
+                timeouts: s.map_or(0, |s| s.stats.rtx_rto),
+                trimmed_headers: r.stats.headers,
+                rts_events: s.map_or(0, |s| s.stats.rts_received),
             }
         })
     }

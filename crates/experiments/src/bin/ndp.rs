@@ -19,6 +19,7 @@ use ndp_experiments::json::Json;
 use ndp_experiments::registry::{self, Experiment};
 use ndp_experiments::topo::{self, TopoEntry};
 use ndp_experiments::Scale;
+use ndp_telemetry::{PointTelemetry, TelemetryConfig};
 
 const USAGE: &str = "\
 usage: ndp <command>
@@ -27,11 +28,17 @@ commands:
   list                                 list experiment ids and titles
   topos                                list registered topologies
   run <id>|all [--scale paper|quick] [--topo <name>] [--json]
+      [--trace <path>]
                                        run one (or every) experiment;
                                        --topo overrides the fabric of
                                        topology-neutral experiments;
                                        --json emits a machine-readable
-                                       document instead of tables
+                                       document instead of tables;
+                                       --trace records in-sim telemetry
+                                       (probes, flow spans, packet flight
+                                       records) as NDJSON at <path> plus
+                                       a Chrome trace-event file next to
+                                       it (Perfetto-loadable)
 
 scale defaults to $NDP_SCALE (quick when unset); topology defaults to
 $NDP_TOPO (each experiment's own fabric when unset).";
@@ -80,10 +87,17 @@ fn run(args: &[String]) {
     let mut scale: Option<Scale> = None;
     let mut topo_flag: Option<&'static TopoEntry> = None;
     let mut json = false;
+    let mut trace: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--trace" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trace needs a path"));
+                trace = Some(v);
+            }
             "--scale" => {
                 let v = it
                     .next()
@@ -140,6 +154,7 @@ fn run(args: &[String]) {
         }
     }
     let mut documents = Vec::new();
+    let mut trace_points: Vec<PointTelemetry> = Vec::new();
     for exp in &selected {
         let topo = topo_flag.or(topo_env).filter(|_| exp.supports_topo());
         if !json {
@@ -154,26 +169,89 @@ fn run(args: &[String]) {
                 suffix
             );
         }
+        // One telemetry session per experiment: its key-sorted points feed
+        // that experiment's envelope block, then accumulate (in registry
+        // order) into the session-wide trace files.
+        if trace.is_some() {
+            ndp_telemetry::session::begin(TelemetryConfig::default());
+        }
         let started = std::time::Instant::now();
         let report = exp.run(scale, topo);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let points = if trace.is_some() {
+            ndp_telemetry::session::end().map_or(Vec::new(), |(_, p)| p)
+        } else {
+            Vec::new()
+        };
         if json {
-            documents.push(registry::document(
+            let tele = trace.map(|_| telemetry_json(&points));
+            documents.push(registry::document_with_telemetry(
                 *exp,
                 scale,
                 topo,
                 report.as_ref(),
                 wall_ms,
+                tele,
             ));
         } else {
             println!("{report}");
             println!("headline: {}", report.headline());
         }
+        trace_points.extend(points);
+    }
+    if let Some(path) = trace {
+        write_trace_files(path, &trace_points, json);
     }
     if json {
         match documents.as_mut_slice() {
             [single] => println!("{}", std::mem::replace(single, Json::Null).render()),
             _ => println!("{}", Json::Arr(documents).render()),
         }
+    }
+}
+
+/// The `telemetry` envelope block: the session summary for one
+/// experiment's points.
+fn telemetry_json(points: &[PointTelemetry]) -> Json {
+    let s = ndp_telemetry::summarize(points);
+    Json::obj([
+        ("points", Json::num(s.points as f64)),
+        ("gauge_records", Json::num(s.gauge_records as f64)),
+        ("span_records", Json::num(s.span_records as f64)),
+        ("hop_records", Json::num(s.hop_records as f64)),
+        ("gauges_evicted", Json::num(s.gauges_evicted as f64)),
+        ("hops_evicted", Json::num(s.hops_evicted as f64)),
+        ("peak_queue_bytes", Json::num(s.peak_queue_bytes as f64)),
+        ("max_span_gap_ps", Json::num(s.max_span_gap_ps as f64)),
+        ("stuck_spans", Json::num(s.stuck_spans as f64)),
+    ])
+}
+
+/// `<path>` gets the NDJSON stream; the Chrome trace-event document goes
+/// next to it (`.ndjson` → `.chrome.json`, else `<path>.chrome.json`).
+fn chrome_path(path: &str) -> String {
+    match path.strip_suffix(".ndjson") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{path}.chrome.json"),
+    }
+}
+
+fn write_trace_files(path: &str, points: &[PointTelemetry], json: bool) {
+    let ndjson = ndp_telemetry::write_ndjson(points);
+    if let Err(e) = std::fs::write(path, &ndjson) {
+        eprintln!("ndp: cannot write trace '{path}': {e}");
+        std::process::exit(1);
+    }
+    let chrome = chrome_path(path);
+    if let Err(e) = std::fs::write(&chrome, ndp_telemetry::write_chrome_trace(points)) {
+        eprintln!("ndp: cannot write trace '{chrome}': {e}");
+        std::process::exit(1);
+    }
+    if !json {
+        let s = ndp_telemetry::summarize(points);
+        eprintln!(
+            "trace: {} points, {} gauges, {} spans ({} stuck), {} hops -> {path} + {chrome}",
+            s.points, s.gauge_records, s.span_records, s.stuck_spans, s.hop_records
+        );
     }
 }

@@ -19,13 +19,17 @@
 //! claim is that NDP has zero), `reroutes` (packets the switches steered
 //! off dead ports), and the controller's per-kind link-event tally.
 
-use std::sync::Arc;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
 
 use ndp_metrics::{SlowdownBins, Table};
+use ndp_net::flight::{FlightHook, FlightRecorder};
 use ndp_net::packet::{HostId, Packet};
+use ndp_net::queue::Queue;
 use ndp_net::switch::Switch;
 use ndp_net::{CompletionSink, Host};
 use ndp_sim::{SchedulerKind, Time, World};
+use ndp_telemetry::{Probe, ProbeSpec, SampleRing, SpanLog};
 use ndp_topology::{link_index, ChaosController, ChaosTally, FabricEvent, FabricOp, Topology};
 use ndp_workloads::{ArrivalProcess, DynamicWorkload};
 
@@ -79,6 +83,9 @@ pub struct FailureResult {
     pub failed_links: usize,
     /// Packets steered off dead ports, summed over every switch.
     pub reroutes: u64,
+    /// Packets lost to down links (flushed, on-the-wire, or unbounceable
+    /// arrivals), summed over every queue.
+    pub dropped_down: u64,
     /// The chaos controller's per-kind event tally.
     pub tally: ChaosTally,
     pub events_processed: u64,
@@ -88,14 +95,10 @@ pub struct FailureResult {
 }
 
 impl FailureResult {
-    /// Phase percentile, NaN when the phase has no samples.
+    /// Phase percentile, NaN when the phase has no samples (the shared
+    /// nearest-rank helper in `ndp_metrics::percentile`).
     pub fn percentile(&self, phase: usize, p: f64) -> f64 {
-        let all = self.phases[phase].overall();
-        if all.is_empty() {
-            f64::NAN
-        } else {
-            all.percentile(p)
-        }
+        self.phases[phase].overall().percentile_or_nan(p)
     }
 }
 
@@ -173,6 +176,74 @@ pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
         workload,
         point.warmup,
     );
+    let cap = arrivals_end + point.drain;
+
+    // Telemetry wiring (opt-in, gated on an active session): flight
+    // recorder on the victim queues plus reroute hooks on every switch,
+    // a sampling probe over the same targets, per-flow spans from the
+    // spawner. With no session none of this exists — the event stream and
+    // golden hashes are untouched.
+    let tele_cfg = ndp_telemetry::session::active();
+    let mut tele_tags: Vec<String> = Vec::new();
+    let mut tele_recorder: Option<Arc<Mutex<FlightRecorder>>> = None;
+    let mut tele_ring: Option<Arc<Mutex<SampleRing>>> = None;
+    let mut tele_spans: Option<SpanLog> = None;
+    if let Some(cfg) = tele_cfg {
+        let links = topo.links();
+        let recorder = Arc::new(Mutex::new(FlightRecorder::new(cfg.flight_capacity)));
+        let mut probe_queues = Vec::new();
+        for &li in &victims {
+            let l = &links[li];
+            let tag = tele_tags.len() as u32;
+            tele_tags.push(l.label.clone());
+            probe_queues.push((l.queue, tag));
+            if cfg.flight {
+                let hook = FlightHook::new(Arc::clone(&recorder), tag);
+                world.get_mut::<Queue>(l.queue).set_flight_hook(Some(hook));
+            }
+        }
+        let mut probe_switches = Vec::new();
+        let ids: Vec<_> = world.ids().collect();
+        for id in ids {
+            if world.try_get::<Switch>(id).is_none() {
+                continue;
+            }
+            let tag = tele_tags.len() as u32;
+            tele_tags.push(format!("switch[{}]", probe_switches.len()));
+            probe_switches.push((id, tag));
+            if cfg.flight {
+                let hook = FlightHook::new(Arc::clone(&recorder), tag);
+                world.get_mut::<Switch>(id).set_flight_hook(Some(hook));
+            }
+        }
+        let live_gauge = Arc::new(AtomicU64::new(0));
+        if cfg.spans {
+            let spans = ndp_telemetry::span::span_log();
+            let s = world.get_mut::<Spawner>(sp);
+            s.set_span_log(spans.clone());
+            s.set_live_gauge(Arc::clone(&live_gauge));
+            tele_spans = Some(spans);
+        }
+        // Sample through the measured windows only: the drain tail is
+        // near-constant, and letting it tick would evict the failure
+        // window from the bounded ring on stuck-flow cells that run to
+        // the full drain cap.
+        let (_, ring) = Probe::install_into(
+            &mut world,
+            ProbeSpec {
+                tick: cfg.probe_tick,
+                until: arrivals_end,
+                capacity: cfg.gauge_capacity,
+                queues: probe_queues,
+                switches: probe_switches,
+                live_flows: Some(live_gauge),
+            },
+        );
+        tele_ring = Some(ring);
+        if cfg.flight {
+            tele_recorder = Some(recorder);
+        }
+    }
 
     // Phase of a measured flow, by its arrival instant.
     let phase_of = |start: Time| -> usize {
@@ -185,7 +256,6 @@ pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
         }
     };
 
-    let cap = arrivals_end + point.drain;
     let chunk = Time::from_ps(((arrivals_end.as_ps() / 8).max(Time::from_ms(1).as_ps())).max(1));
     // Note: SlowdownBins::default() has no bins — `new()` is the
     // shape-stable constructor.
@@ -222,25 +292,66 @@ pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
         )
     };
     let mut stuck_flows = 0usize;
-    for (flow, src, dst, flow_measured) in stragglers {
-        if flow_measured {
+    for (flow, meta) in stragglers {
+        if meta.measured {
             stuck_flows += 1;
         }
-        point
-            .proto
-            .transport()
-            .detach(&mut world, topo.host(src), topo.host(dst), flow);
+        let harvest = point.proto.transport().detach(
+            &mut world,
+            topo.host(meta.src),
+            topo.host(meta.dst),
+            flow,
+        );
+        if let Some(spans) = &tele_spans {
+            let mut span =
+                ndp_telemetry::FlowSpan::open(flow, meta.src, meta.dst, meta.bytes, meta.start);
+            span.measured = meta.measured;
+            span.stuck = true;
+            span.absorb(&harvest);
+            ndp_telemetry::span::push_span(spans, span);
+        }
     }
 
-    let switches: Vec<_> = world.ids().collect();
-    let reroutes = switches
+    let ids: Vec<_> = world.ids().collect();
+    let reroutes = ids
         .iter()
         .filter_map(|&id| world.try_get::<Switch>(id))
         .map(|sw| sw.rerouted)
         .sum();
+    let dropped_down = ids
+        .iter()
+        .filter_map(|&id| world.try_get::<Queue>(id))
+        .map(|q| q.stats.dropped_down)
+        .sum();
     let tally = ctrl.map_or(ChaosTally::default(), |c| {
         world.get::<ChaosController>(c).tally
     });
+
+    if tele_cfg.is_some() {
+        let (gauges, gauges_evicted) = tele_ring.map_or((Vec::new(), 0), |r| {
+            let mut g = match r.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (g.take(), g.evicted)
+        });
+        let (hops, hops_evicted) = tele_recorder.map_or((Vec::new(), 0), |r| {
+            let mut g = match r.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (g.take(), g.evicted)
+        });
+        ndp_telemetry::session::submit(ndp_telemetry::PointTelemetry {
+            key: format!("{}/{}", point.topo.name(), point.proto.label()),
+            tags: tele_tags,
+            gauges,
+            gauges_evicted,
+            spans: tele_spans.map_or(Vec::new(), |s| ndp_telemetry::span::take_spans(&s)),
+            hops,
+            hops_evicted,
+        });
+    }
 
     FailureResult {
         proto: point.proto,
@@ -251,6 +362,7 @@ pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
         offered,
         failed_links: victims.len(),
         reroutes,
+        dropped_down,
         tally,
         events_processed: world.events_processed(),
         event_kinds: world.event_kind_counts(),
@@ -467,6 +579,7 @@ impl crate::registry::Report for Report {
             link_events_applied: Some(self.cells.iter().map(|c| c.tally.applied()).sum()),
             reroutes: Some(self.cells.iter().map(|c| c.reroutes).sum()),
             stuck_flows: Some(self.cells.iter().map(|c| c.stuck_flows as u64).sum()),
+            dropped_down: Some(self.cells.iter().map(|c| c.dropped_down).sum()),
         }
     }
 
@@ -485,6 +598,7 @@ impl crate::registry::Report for Report {
                         ("stuck_flows", Json::num(c.stuck_flows as f64)),
                         ("failed_links", Json::num(c.failed_links as f64)),
                         ("reroutes", Json::num(c.reroutes as f64)),
+                        ("dropped_down", Json::num(c.dropped_down as f64)),
                         (
                             "link_events",
                             Json::obj([

@@ -40,6 +40,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ndp_metrics::{SlowdownBins, Table, SLOWDOWN_BIN_LABELS};
@@ -82,13 +83,13 @@ const SPAWN_TICK: u64 = u64::MAX;
 
 /// One in-flight flow's bookkeeping, dropped the instant it completes.
 #[derive(Clone, Copy, Debug)]
-struct LiveFlow {
-    start: Time,
-    bytes: u64,
-    src: HostId,
-    dst: HostId,
+pub(crate) struct LiveFlow {
+    pub(crate) start: Time,
+    pub(crate) bytes: u64,
+    pub(crate) src: HostId,
+    pub(crate) dst: HostId,
     /// Did the flow arrive inside the measurement window?
-    measured: bool,
+    pub(crate) measured: bool,
 }
 
 /// A finished flow's slowdown sample, buffered until the runner's next
@@ -128,6 +129,12 @@ pub struct Spawner {
     pub measured_arrivals: usize,
     /// High-water mark of concurrently live flows.
     pub peak_live: usize,
+    /// Optional telemetry span sink: when set, every detached flow's
+    /// harvest is folded into a [`ndp_telemetry::FlowSpan`]. `None` (the
+    /// default) records nothing and costs nothing.
+    spans: Option<ndp_telemetry::SpanLog>,
+    /// Optional live-flow gauge published for the telemetry probe.
+    live_gauge: Option<Arc<AtomicU64>>,
 }
 
 impl Spawner {
@@ -156,6 +163,8 @@ impl Spawner {
             started: 0,
             measured_arrivals: 0,
             peak_live: 0,
+            spans: None,
+            live_gauge: None,
         });
         if let Some(at) = first {
             world.post_wake(at, id, SPAWN_TICK);
@@ -168,13 +177,32 @@ impl Spawner {
         self.live.len()
     }
 
+    /// Record a [`ndp_telemetry::FlowSpan`] for every flow this spawner
+    /// detaches. Telemetry-only; the spawner's event behaviour is
+    /// identical with or without a sink.
+    pub fn set_span_log(&mut self, log: ndp_telemetry::SpanLog) {
+        self.spans = Some(log);
+    }
+
+    /// Publish the live-flow count into `gauge` after every change, for
+    /// the telemetry probe's world samples.
+    pub fn set_live_gauge(&mut self, gauge: Arc<AtomicU64>) {
+        gauge.store(self.live.len() as u64, Ordering::Relaxed);
+        self.live_gauge = Some(gauge);
+    }
+
+    fn publish_live(&self) {
+        if let Some(g) = &self.live_gauge {
+            g.store(self.live.len() as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Take every still-live flow — the stragglers a runner detaches when
-    /// its drain cap expires: `(flow, src, dst, measured)`.
-    pub fn drain_live(&mut self) -> Vec<(FlowId, HostId, HostId, bool)> {
-        self.live
-            .drain()
-            .map(|(flow, m)| (flow, m.src, m.dst, m.measured))
-            .collect()
+    /// its drain cap expires.
+    pub(crate) fn drain_live(&mut self) -> Vec<(FlowId, LiveFlow)> {
+        let out = self.live.drain().collect();
+        self.publish_live();
+        out
     }
 
     /// Attach one arrival (now due) through the deferred-op path.
@@ -199,6 +227,7 @@ impl Spawner {
             },
         );
         self.peak_live = self.peak_live.max(self.live.len());
+        self.publish_live();
         let mut spec = FlowSpec::new(flow, ev.src, ev.dst, ev.bytes);
         spec.start = start;
         spec.notify = Some((ctx.self_id(), flow));
@@ -218,19 +247,30 @@ impl Spawner {
         let Some(meta) = self.live.remove(&flow) else {
             return; // duplicate notify — already retired
         };
+        self.publish_live();
         let fct = ctx.now() - meta.start;
         let ideal = self.topo.ideal_fct(meta.src, meta.dst, meta.bytes);
+        let slowdown = fct.as_ps() as f64 / ideal.as_ps() as f64;
         self.completed.push(CompletedFlow {
             start: meta.start,
             bytes: meta.bytes,
-            slowdown: fct.as_ps() as f64 / ideal.as_ps() as f64,
+            slowdown,
             measured: meta.measured,
         });
         let proto = self.proto;
         let src = self.topo.host(meta.src);
         let dst = self.topo.host(meta.dst);
+        let spans = self.spans.clone();
         ctx.defer(move |w| {
-            proto.transport().detach(w, src, dst, flow);
+            let harvest = proto.transport().detach(w, src, dst, flow);
+            if let Some(log) = spans {
+                let mut span =
+                    ndp_telemetry::FlowSpan::open(flow, meta.src, meta.dst, meta.bytes, meta.start);
+                span.measured = meta.measured;
+                span.slowdown = slowdown;
+                span.absorb(&harvest);
+                ndp_telemetry::span::push_span(&log, span);
+            }
         });
     }
 }
@@ -528,18 +568,13 @@ impl LoadSweepReport {
         }
     }
 
-    /// Overall p99 slowdown for (proto, load), NaN when nothing completed.
+    /// Overall p99 slowdown for (proto, load), NaN when nothing completed
+    /// (the shared nearest-rank helper in `ndp_metrics::percentile`).
     pub fn p99(&self, proto: Proto, load: f64) -> f64 {
         self.rows
             .iter()
             .find(|r| r.proto == proto && r.load == load)
-            .map(|r| {
-                if r.slowdown.is_empty() {
-                    f64::NAN
-                } else {
-                    r.slowdown.overall().percentile(0.99)
-                }
-            })
+            .map(|r| r.slowdown.overall().percentile_or_nan(0.99))
             .unwrap_or(f64::NAN)
     }
 

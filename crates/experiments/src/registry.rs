@@ -32,6 +32,10 @@ pub struct RunStats {
     pub reroutes: Option<u64>,
     /// Measured flows that never completed within the drain window.
     pub stuck_flows: Option<u64>,
+    /// Packets lost to down links (buffered packets flushed at the
+    /// failure instant, the packet on the wire, and arrivals while down
+    /// that could not be bounced), summed over every queue.
+    pub dropped_down: Option<u64>,
 }
 
 /// What every experiment returns: human-readable (`Display` prints the
@@ -152,6 +156,20 @@ pub fn document(
     report: &dyn Report,
     wall_ms: f64,
 ) -> Json {
+    document_with_telemetry(exp, scale, topo, report, wall_ms, None)
+}
+
+/// [`document`] with an optional `telemetry` block (the `--trace`
+/// session summary). `None` renders as `"telemetry": null`, so the
+/// envelope schema is stable whether or not a trace was captured.
+pub fn document_with_telemetry(
+    exp: &dyn Experiment,
+    scale: Scale,
+    topo: Option<&'static TopoEntry>,
+    report: &dyn Report,
+    wall_ms: f64,
+    telemetry: Option<Json>,
+) -> Json {
     let stats = report.run_stats();
     let opt = |v: Option<u64>| v.map_or(Json::Null, |x| Json::num(x as f64));
     // Wall-clock throughput, derivable only when the run tracked its event
@@ -185,8 +203,10 @@ pub fn document(
                 ("link_events_applied", opt(stats.link_events_applied)),
                 ("reroutes", opt(stats.reroutes)),
                 ("stuck_flows", opt(stats.stuck_flows)),
+                ("dropped_down", opt(stats.dropped_down)),
             ]),
         ),
+        ("telemetry", telemetry.unwrap_or(Json::Null)),
         ("data", report.to_json()),
     ])
 }

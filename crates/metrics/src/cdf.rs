@@ -33,9 +33,14 @@ impl Cdf {
     /// p in [0,1]; nearest-rank percentile.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "percentile of empty CDF");
-        let p = p.clamp(0.0, 1.0);
-        let idx = ((self.sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
-        self.sorted[idx.min(self.sorted.len() - 1)]
+        crate::percentile::percentile(&self.sorted, p)
+    }
+
+    /// Nearest-rank percentile that yields NaN on an empty CDF instead of
+    /// panicking — the "no samples" convention reports render as `-` and
+    /// the JSON writer turns into `null`.
+    pub fn percentile_or_nan(&self, p: f64) -> f64 {
+        crate::percentile::percentile(&self.sorted, p)
     }
 
     pub fn median(&self) -> f64 {

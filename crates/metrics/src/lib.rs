@@ -7,11 +7,13 @@
 //! print "the same rows/series the paper reports".
 
 pub mod cdf;
+pub mod percentile;
 pub mod series;
 pub mod slowdown;
 pub mod table;
 
 pub use cdf::Cdf;
+pub use percentile::percentile;
 pub use series::TimeSeries;
 pub use slowdown::{size_bin, SlowdownBins, SLOWDOWN_BIN_EDGES, SLOWDOWN_BIN_LABELS};
 pub use table::Table;

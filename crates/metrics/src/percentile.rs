@@ -1,0 +1,63 @@
+//! The one nearest-rank percentile implementation.
+//!
+//! Every percentile the repo reports — figure CDFs, slowdown bins, the
+//! failure matrix's per-phase p50/p99/p999 — reduces to the same
+//! nearest-rank rule over a sorted sample vector. Centralizing it here
+//! keeps the empty-sample convention uniform too: an empty sample yields
+//! NaN, which renderers print as `-` and the JSON writer emits as `null`.
+
+/// Nearest-rank percentile of an ascending-sorted slice; `p` in [0, 1]
+/// (clamped). Empty input yields NaN — the repo-wide "no samples" value.
+///
+/// The rank rule matches the classic definition: the smallest element
+/// such that at least `ceil(n * p)` samples are ≤ it (with `p = 0`
+/// mapping to the minimum).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[], 0.0).is_nan());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile(&[7.0], p), 7.0);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_on_a_ramp() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.999), 100.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -1.0), 1.0);
+        assert_eq!(percentile(&v, 2.0), 3.0);
+    }
+
+    #[test]
+    fn p999_needs_a_thousand_samples_to_leave_the_max() {
+        let v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.999), 999.0);
+    }
+}

@@ -63,14 +63,10 @@ impl SlowdownBins {
     }
 
     /// Percentile of bin `i`, or NaN when the bin is empty (callers
-    /// render NaN as `-` / JSON null).
+    /// render NaN as `-` / JSON null). Delegates to the shared
+    /// nearest-rank helper in [`crate::percentile`].
     pub fn percentile(&self, i: usize, p: f64) -> f64 {
-        let c = &self.bins[i];
-        if c.is_empty() {
-            f64::NAN
-        } else {
-            c.percentile(p)
-        }
+        self.bins[i].percentile_or_nan(p)
     }
 
     /// Total samples recorded.

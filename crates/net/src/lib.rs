@@ -22,6 +22,7 @@
 //! connections terminating at a host: the single pull queue and its pacer.
 
 pub mod completion;
+pub mod flight;
 pub mod host;
 pub mod p4;
 pub mod packet;
@@ -30,6 +31,7 @@ pub mod queue;
 pub mod switch;
 
 pub use completion::{CompletionSink, FlowDone};
+pub use flight::{FlightFilter, FlightHook, FlightRecorder, HopKind, HopRecord};
 pub use host::{Endpoint, EndpointCtx, Host, HostLatency, PullPriority};
 pub use packet::{Flags, FlowId, HostId, Packet, PacketKind, PathTag, HEADER_BYTES};
 pub use pipe::Pipe;

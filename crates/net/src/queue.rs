@@ -243,6 +243,9 @@ pub struct Queue {
     wire_corrupt_prob: f64,
     pub wire_corrupted: u64,
     pub stats: QueueStats,
+    /// Opt-in flight recorder hook (see [`crate::flight`]): `None` — the
+    /// default — costs one branch per record site and never posts events.
+    flight: Option<crate::flight::FlightHook>,
 }
 
 impl Queue {
@@ -260,7 +263,15 @@ impl Queue {
             wire_corrupt_prob: 0.0,
             wire_corrupted: 0,
             stats: QueueStats::default(),
+            flight: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a flight-recorder hook. Purely
+    /// observational: hooks post no events and draw no RNG, so attaching
+    /// one cannot change a run's golden trace.
+    pub fn set_flight_hook(&mut self, hook: Option<crate::flight::FlightHook>) {
+        self.flight = hook;
     }
 
     /// A queue with the wire folded in: transmitted packets arrive at
@@ -452,14 +463,23 @@ impl Queue {
                 if !b.is_trimmed() {
                     b.trim();
                     self.stats.trimmed += 1;
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Trim, ctx.now(), &b);
+                    }
                 }
                 b.bounce_to_sender();
                 self.stats.bounced += 1;
+                if let Some(h) = &self.flight {
+                    h.record(crate::flight::HopKind::Bounce, ctx.now(), &b);
+                }
                 ctx.forward(sw, b);
                 return;
             }
         }
         self.stats.dropped_down += 1;
+        if let Some(h) = &self.flight {
+            h.record(crate::flight::HopKind::DropDown, ctx.now(), &pkt);
+        }
     }
 
     fn start_tx_if_possible(&mut self, ctx: &mut Ctx<'_, Packet>) {
@@ -474,6 +494,9 @@ impl Queue {
     }
 
     fn enqueue(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
+        if let Some(h) = &self.flight {
+            h.record(crate::flight::HopKind::Enqueue, ctx.now(), &pkt);
+        }
         if self.down {
             self.drop_or_bounce_down(pkt, ctx);
             return;
@@ -491,12 +514,18 @@ impl Queue {
                     } else {
                         self.stats.dropped_data += 1;
                     }
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Drop, ctx.now(), &pkt);
+                    }
                     return;
                 }
                 if let Some(k) = ecn_thresh_bytes {
                     if *bytes > *k && pkt.flags.has(crate::packet::Flags::ECT) {
                         pkt.flags = pkt.flags.with(crate::packet::Flags::CE);
                         self.stats.ecn_marked += 1;
+                        if let Some(h) = &self.flight {
+                            h.record(crate::flight::HopKind::EcnMark, ctx.now(), &pkt);
+                        }
                     }
                 }
                 *bytes += pkt.size as u64;
@@ -514,12 +543,18 @@ impl Queue {
                 {
                     pkt.trim();
                     self.stats.trimmed += 1;
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Trim, ctx.now(), &pkt);
+                    }
                 }
                 if *bytes + pkt.size as u64 > *cap_bytes {
                     if pkt.is_control() {
                         self.stats.dropped_ctrl += 1;
                     } else {
                         self.stats.dropped_data += 1;
+                    }
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Drop, ctx.now(), &pkt);
                     }
                     return;
                 }
@@ -558,6 +593,9 @@ impl Queue {
                     };
                     victim.trim();
                     self.stats.trimmed += 1;
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Trim, ctx.now(), &victim);
+                    }
                     to_hdr = Some(victim);
                 }
                 if let Some(h) = to_hdr {
@@ -574,11 +612,19 @@ impl Queue {
                         let mut b = h;
                         b.bounce_to_sender();
                         self.stats.bounced += 1;
+                        if let Some(fh) = &self.flight {
+                            fh.record(crate::flight::HopKind::Bounce, ctx.now(), &b);
+                        }
                         ctx.forward(sw, b);
-                    } else if h.is_control() {
-                        self.stats.dropped_ctrl += 1;
                     } else {
-                        self.stats.dropped_data += 1;
+                        if h.is_control() {
+                            self.stats.dropped_ctrl += 1;
+                        } else {
+                            self.stats.dropped_data += 1;
+                        }
+                        if let Some(fh) = &self.flight {
+                            fh.record(crate::flight::HopKind::Drop, ctx.now(), &h);
+                        }
                     }
                 }
             }
@@ -597,12 +643,18 @@ impl Queue {
                     // With correctly-sized skid buffers this cannot happen;
                     // counted so tests can assert losslessness.
                     self.stats.dropped_data += 1;
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::Drop, ctx.now(), &pkt);
+                    }
                     return;
                 }
                 if let Some(k) = ecn_thresh_bytes {
                     if *bytes > *k && pkt.flags.has(crate::packet::Flags::ECT) {
                         pkt.flags = pkt.flags.with(crate::packet::Flags::CE);
                         self.stats.ecn_marked += 1;
+                        if let Some(h) = &self.flight {
+                            h.record(crate::flight::HopKind::EcnMark, ctx.now(), &pkt);
+                        }
                     }
                 }
                 *bytes += pkt.size as u64;
@@ -684,12 +736,18 @@ impl Component<Packet> for Queue {
                 if self.down {
                     // The wire died while this packet was on it.
                     self.stats.dropped_down += 1;
+                    if let Some(h) = &self.flight {
+                        h.record(crate::flight::HopKind::DropDown, ctx.now(), &pkt);
+                    }
                     return;
                 }
                 self.stats.forwarded_pkts += 1;
                 self.stats.forwarded_bytes += pkt.size as u64;
                 if pkt.kind == PacketKind::Data && !pkt.is_trimmed() {
                     self.stats.payload_bytes += pkt.payload as u64;
+                }
+                if let Some(h) = &self.flight {
+                    h.record(crate::flight::HopKind::Dequeue, ctx.now(), &pkt);
                 }
                 self.deliver_downstream(pkt, ctx);
                 self.after_dequeue(ctx);

@@ -56,6 +56,9 @@ pub struct Switch {
     pub rx_pkts: u64,
     /// Packets steered off a dead port onto a live equivalent.
     pub rerouted: u64,
+    /// Opt-in flight recorder hook (see [`crate::flight`]): records each
+    /// reroute. `None` by default; purely observational.
+    flight: Option<crate::flight::FlightHook>,
 }
 
 impl Switch {
@@ -68,7 +71,14 @@ impl Switch {
             router,
             rx_pkts: 0,
             rerouted: 0,
+            flight: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a flight-recorder hook. Hooks post
+    /// no events and draw no RNG, so they cannot change a golden trace.
+    pub fn set_flight_hook(&mut self, hook: Option<crate::flight::FlightHook>) {
+        self.flight = hook;
     }
 
     pub fn ports(&self) -> &[ComponentId] {
@@ -98,6 +108,9 @@ impl Component<Packet> for Switch {
             if let Some(alt) = self.router.reroute(&pkt, port, &self.port_up) {
                 debug_assert!(alt < self.ports.len() && self.port_up[alt]);
                 self.rerouted += 1;
+                if let Some(h) = &self.flight {
+                    h.record(crate::flight::HopKind::Reroute, ctx.now(), &pkt);
+                }
                 port = alt;
             }
         }

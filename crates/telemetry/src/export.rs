@@ -1,0 +1,428 @@
+//! Deterministic serialisation of collected telemetry.
+//!
+//! Two formats, both hand-formatted so the bytes are a pure function of
+//! the collected data (no map iteration order, no float locale):
+//!
+//! * **NDJSON** — one object per line. Every line carries `"type"`
+//!   (`point` | `gauge` | `span` | `hop`) and `"point"` (the sweep-point
+//!   key). Timestamps are integer picoseconds (`*_ps`), which keeps the
+//!   bytes identical across platforms and thread counts.
+//! * **Chrome trace-event JSON** — loadable in Perfetto / `chrome://
+//!   tracing`. Each sweep point becomes a process; queues and switches
+//!   become counter tracks, completed flow spans become `X` slices on a
+//!   per-flow track, hops and stuck spans become instants.
+
+use crate::probe::Gauge;
+use crate::session::PointTelemetry;
+use crate::span::FlowSpan;
+use ndp_net::flight::HopRecord;
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_ps(t: Option<ndp_sim::Time>) -> String {
+    match t {
+        Some(t) => t.as_ps().to_string(),
+        None => "null".into(),
+    }
+}
+
+fn opt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn tag_label(tags: &[String], tag: u32) -> String {
+    tags.get(tag as usize)
+        .map_or_else(|| format!("tag{tag}"), |s| esc(s))
+}
+
+fn push_gauge_line(out: &mut String, key: &str, tags: &[String], g: &Gauge) {
+    match *g {
+        Gauge::Queue {
+            at,
+            tag,
+            occ_bytes,
+            occ_pkts,
+            forwarded,
+            trimmed,
+            bounced,
+            dropped,
+            dropped_down,
+            ecn_marked,
+        } => out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"point\":\"{key}\",\"gauge\":\"queue\",\"at_ps\":{},\
+             \"target\":\"{}\",\"occ_bytes\":{occ_bytes},\"occ_pkts\":{occ_pkts},\
+             \"forwarded\":{forwarded},\"trimmed\":{trimmed},\"bounced\":{bounced},\
+             \"dropped\":{dropped},\"dropped_down\":{dropped_down},\"ecn_marked\":{ecn_marked}}}\n",
+            at.as_ps(),
+            tag_label(tags, tag),
+        )),
+        Gauge::Switch {
+            at,
+            tag,
+            rx_pkts,
+            rerouted,
+        } => out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"point\":\"{key}\",\"gauge\":\"switch\",\"at_ps\":{},\
+             \"target\":\"{}\",\"rx_pkts\":{rx_pkts},\"rerouted\":{rerouted}}}\n",
+            at.as_ps(),
+            tag_label(tags, tag),
+        )),
+        Gauge::World {
+            at,
+            live_components,
+            live_flows,
+            events,
+        } => out.push_str(&format!(
+            "{{\"type\":\"gauge\",\"point\":\"{key}\",\"gauge\":\"world\",\"at_ps\":{},\
+             \"live_components\":{live_components},\"live_flows\":{live_flows},\
+             \"events\":{events}}}\n",
+            at.as_ps(),
+        )),
+    }
+}
+
+fn push_span_line(out: &mut String, key: &str, s: &FlowSpan) {
+    out.push_str(&format!(
+        "{{\"type\":\"span\",\"point\":\"{key}\",\"flow\":{},\"src\":{},\"dst\":{},\
+         \"bytes\":{},\"arrival_ps\":{},\"first_data_ps\":{},\"completion_ps\":{},\
+         \"slowdown\":{},\"measured\":{},\"stuck\":{},\"retransmissions\":{},\
+         \"timeouts\":{},\"trimmed_headers\":{},\"rts_events\":{}}}\n",
+        s.flow,
+        s.src,
+        s.dst,
+        s.bytes,
+        s.arrival.as_ps(),
+        opt_ps(s.first_data),
+        opt_ps(s.completion),
+        opt_f64(s.slowdown),
+        s.measured,
+        s.stuck,
+        s.retransmissions,
+        s.timeouts,
+        s.trimmed_headers,
+        s.rts_events,
+    ));
+}
+
+fn push_hop_line(out: &mut String, key: &str, tags: &[String], h: &HopRecord) {
+    out.push_str(&format!(
+        "{{\"type\":\"hop\",\"point\":\"{key}\",\"at_ps\":{},\"target\":\"{}\",\
+         \"kind\":\"{}\",\"flow\":{},\"src\":{},\"dst\":{},\"seq\":{},\"size\":{}}}\n",
+        h.at.as_ps(),
+        tag_label(tags, h.tag),
+        h.kind.name(),
+        h.flow,
+        h.src,
+        h.dst,
+        h.seq,
+        h.size,
+    ));
+}
+
+/// Serialise all points as NDJSON. Line order: per point (already
+/// key-sorted by [`crate::session::end`]) a `point` header line, then
+/// gauges, spans, hops in recorded order.
+pub fn write_ndjson(points: &[PointTelemetry]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let key = esc(&p.key);
+        let tags: Vec<String> = p.tags.iter().map(|t| format!("\"{}\"", esc(t))).collect();
+        out.push_str(&format!(
+            "{{\"type\":\"point\",\"point\":\"{key}\",\"tags\":[{}],\"gauges\":{},\
+             \"spans\":{},\"hops\":{},\"gauges_evicted\":{},\"hops_evicted\":{}}}\n",
+            tags.join(","),
+            p.gauges.len(),
+            p.spans.len(),
+            p.hops.len(),
+            p.gauges_evicted,
+            p.hops_evicted,
+        ));
+        for g in &p.gauges {
+            push_gauge_line(&mut out, &key, &p.tags, g);
+        }
+        for s in &p.spans {
+            push_span_line(&mut out, &key, s);
+        }
+        for h in &p.hops {
+            push_hop_line(&mut out, &key, &p.tags, h);
+        }
+    }
+    out
+}
+
+/// Picoseconds → microseconds with six fractional digits, as a string.
+/// Integer math throughout so the bytes are platform-independent.
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+fn chrome_event(out: &mut Vec<String>, body: String) {
+    out.push(format!("{{{body}}}"));
+}
+
+/// Serialise all points as a Chrome trace-event JSON document.
+pub fn write_chrome_trace(points: &[PointTelemetry]) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    for (pid, p) in points.iter().enumerate() {
+        let key = esc(&p.key);
+        chrome_event(
+            &mut ev,
+            format!(
+                "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{key}\"}}"
+            ),
+        );
+        for g in &p.gauges {
+            match *g {
+                Gauge::Queue {
+                    at, tag, occ_bytes, ..
+                } => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"C\",\"name\":\"queue {}\",\"pid\":{pid},\"ts\":{},\
+                         \"args\":{{\"occ_bytes\":{occ_bytes}}}",
+                        tag_label(&p.tags, tag),
+                        us(at.as_ps()),
+                    ),
+                ),
+                Gauge::Switch {
+                    at, tag, rerouted, ..
+                } => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"C\",\"name\":\"reroutes {}\",\"pid\":{pid},\"ts\":{},\
+                         \"args\":{{\"rerouted\":{rerouted}}}",
+                        tag_label(&p.tags, tag),
+                        us(at.as_ps()),
+                    ),
+                ),
+                Gauge::World { at, live_flows, .. } => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"C\",\"name\":\"live_flows\",\"pid\":{pid},\"ts\":{},\
+                         \"args\":{{\"live_flows\":{live_flows}}}",
+                        us(at.as_ps()),
+                    ),
+                ),
+            }
+        }
+        for s in &p.spans {
+            match s.completion {
+                Some(done) => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"X\",\"cat\":\"flow\",\"name\":\"flow {}\",\"pid\":{pid},\
+                         \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"bytes\":{},\
+                         \"slowdown\":{},\"retransmissions\":{},\"trimmed_headers\":{}}}",
+                        s.flow,
+                        s.flow,
+                        us(s.arrival.as_ps()),
+                        us(done.as_ps().saturating_sub(s.arrival.as_ps())),
+                        s.bytes,
+                        opt_f64(s.slowdown),
+                        s.retransmissions,
+                        s.trimmed_headers,
+                    ),
+                ),
+                None => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"i\",\"s\":\"p\",\"cat\":\"flow\",\"name\":\"stuck flow {}\",\
+                         \"pid\":{pid},\"tid\":{},\"ts\":{},\"args\":{{\"bytes\":{}}}",
+                        s.flow,
+                        s.flow,
+                        us(s.arrival.as_ps()),
+                        s.bytes,
+                    ),
+                ),
+            }
+        }
+        for h in &p.hops {
+            chrome_event(
+                &mut ev,
+                format!(
+                    "\"ph\":\"i\",\"s\":\"t\",\"cat\":\"hop\",\"name\":\"{}\",\"pid\":{pid},\
+                     \"tid\":{},\"ts\":{},\"args\":{{\"target\":\"{}\",\"seq\":{},\
+                     \"size\":{}}}",
+                    h.kind.name(),
+                    h.flow,
+                    us(h.at.as_ps()),
+                    tag_label(&p.tags, h.tag),
+                    h.seq,
+                    h.size,
+                ),
+            );
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}\n",
+        ev.join(",")
+    )
+}
+
+/// Headline numbers for the `run --json` envelope.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    pub points: usize,
+    pub gauge_records: u64,
+    pub span_records: u64,
+    pub hop_records: u64,
+    pub gauges_evicted: u64,
+    pub hops_evicted: u64,
+    /// Max sampled queue occupancy across all points.
+    pub peak_queue_bytes: u64,
+    /// Largest arrival → first-data gap across all spans.
+    pub max_span_gap_ps: u64,
+    pub stuck_spans: u64,
+}
+
+pub fn summarize(points: &[PointTelemetry]) -> TelemetrySummary {
+    let mut s = TelemetrySummary {
+        points: points.len(),
+        ..Default::default()
+    };
+    for p in points {
+        s.gauge_records += p.gauges.len() as u64;
+        s.span_records += p.spans.len() as u64;
+        s.hop_records += p.hops.len() as u64;
+        s.gauges_evicted += p.gauges_evicted;
+        s.hops_evicted += p.hops_evicted;
+        for g in &p.gauges {
+            if let Gauge::Queue { occ_bytes, .. } = *g {
+                s.peak_queue_bytes = s.peak_queue_bytes.max(occ_bytes);
+            }
+        }
+        for sp in &p.spans {
+            if let Some(gap) = sp.gap() {
+                s.max_span_gap_ps = s.max_span_gap_ps.max(gap.as_ps());
+            }
+            if sp.stuck {
+                s.stuck_spans += 1;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndp_net::flight::{HopKind, HopRecord};
+    use ndp_sim::Time;
+
+    fn sample_point() -> PointTelemetry {
+        let mut span = FlowSpan::open(3, 0, 5, 9000, Time::from_us(2));
+        span.first_data = Some(Time::from_us(9));
+        span.completion = Some(Time::from_us(12));
+        span.slowdown = 1.5;
+        span.measured = true;
+        let mut stuck = FlowSpan::open(4, 1, 6, 9000, Time::from_us(3));
+        stuck.stuck = true;
+        PointTelemetry {
+            key: "fattree/ndp".into(),
+            tags: vec!["core_down[0][0]".into()],
+            gauges: vec![Gauge::Queue {
+                at: Time::from_us(1),
+                tag: 0,
+                occ_bytes: 18000,
+                occ_pkts: 2,
+                forwarded: 7,
+                trimmed: 1,
+                bounced: 0,
+                dropped: 0,
+                dropped_down: 2,
+                ecn_marked: 0,
+            }],
+            gauges_evicted: 0,
+            spans: vec![span, stuck],
+            hops: vec![HopRecord {
+                at: Time::from_us(4),
+                tag: 0,
+                kind: HopKind::Trim,
+                flow: 3,
+                src: 0,
+                dst: 5,
+                seq: 1,
+                size: 64,
+            }],
+            hops_evicted: 0,
+        }
+    }
+
+    #[test]
+    fn ndjson_lines_have_type_and_point() {
+        let nd = write_ndjson(&[sample_point()]);
+        let lines: Vec<&str> = nd.lines().collect();
+        // 1 point + 1 gauge + 2 spans + 1 hop.
+        assert_eq!(lines.len(), 5);
+        for l in &lines {
+            assert!(l.starts_with("{\"type\":\""), "line {l}");
+            assert!(l.contains("\"point\":\"fattree/ndp\""), "line {l}");
+            assert!(l.ends_with('}'), "line {l}");
+        }
+        assert!(lines[1].contains("\"dropped_down\":2"));
+        assert!(lines[2].contains("\"slowdown\":1.5"));
+        assert!(lines[3].contains("\"slowdown\":null"));
+        assert!(lines[4].contains("\"kind\":\"trim\""));
+    }
+
+    #[test]
+    fn chrome_trace_wraps_trace_events() {
+        let tr = write_chrome_trace(&[sample_point()]);
+        assert!(tr.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(tr.contains("\"ph\":\"C\""));
+        assert!(tr.contains("\"ph\":\"X\""));
+        assert!(tr.contains("\"stuck flow 4\""));
+        assert!(tr.contains("\"ts\":2.000000"));
+    }
+
+    #[test]
+    fn summary_finds_peaks_and_stuck() {
+        let s = summarize(&[sample_point()]);
+        assert_eq!(s.points, 1);
+        assert_eq!(s.gauge_records, 1);
+        assert_eq!(s.span_records, 2);
+        assert_eq!(s.hop_records, 1);
+        assert_eq!(s.peak_queue_bytes, 18000);
+        assert_eq!(s.max_span_gap_ps, Time::from_us(7).as_ps());
+        assert_eq!(s.stuck_spans, 1);
+    }
+
+    #[test]
+    fn exported_bytes_are_reproducible() {
+        let a = write_ndjson(&[sample_point()]);
+        let b = write_ndjson(&[sample_point()]);
+        assert_eq!(a, b);
+        assert_eq!(
+            write_chrome_trace(&[sample_point()]),
+            write_chrome_trace(&[sample_point()])
+        );
+    }
+
+    #[test]
+    fn escapes_hostile_labels() {
+        let mut p = sample_point();
+        p.key = "bad\"key\\\n".into();
+        let nd = write_ndjson(&[p]);
+        assert!(nd.contains("bad\\\"key\\\\\\n"));
+    }
+}

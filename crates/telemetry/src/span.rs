@@ -1,0 +1,151 @@
+//! Per-flow spans: the life of one flow as three timestamps and a
+//! handful of pathology tallies.
+//!
+//! A span opens when the open-loop spawner starts a flow and closes when
+//! the flow's endpoints are detached (normally at completion; at
+//! shutdown for stragglers, which are marked `stuck`). The tallies come
+//! from [`ndp_transport::FlowHarvest`], so every transport that can
+//! report retransmissions or trimmed headers feeds them for free.
+
+use std::sync::{Arc, Mutex};
+
+use ndp_net::packet::{FlowId, HostId};
+use ndp_sim::Time;
+use ndp_transport::FlowHarvest;
+
+/// One flow's recorded lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpan {
+    pub flow: FlowId,
+    pub src: HostId,
+    pub dst: HostId,
+    /// Requested transfer size in bytes.
+    pub bytes: u64,
+    /// When the spawner started the flow.
+    pub arrival: Time,
+    /// First data byte accepted by the receiver, if any arrived.
+    pub first_data: Option<Time>,
+    /// Completion timestamp; `None` for stuck or unfinished flows.
+    pub completion: Option<Time>,
+    /// FCT over ideal FCT; `NaN` when the flow never completed.
+    pub slowdown: f64,
+    /// Started after warmup, so it counts toward experiment statistics.
+    pub measured: bool,
+    /// Still alive when the run ended (harvested forcibly).
+    pub stuck: bool,
+    pub retransmissions: u64,
+    pub timeouts: u64,
+    pub trimmed_headers: u64,
+    pub rts_events: u64,
+}
+
+impl FlowSpan {
+    /// Open a span with only the spawner-side facts filled in.
+    pub fn open(flow: FlowId, src: HostId, dst: HostId, bytes: u64, arrival: Time) -> FlowSpan {
+        FlowSpan {
+            flow,
+            src,
+            dst,
+            bytes,
+            arrival,
+            first_data: None,
+            completion: None,
+            slowdown: f64::NAN,
+            measured: false,
+            stuck: false,
+            retransmissions: 0,
+            timeouts: 0,
+            trimmed_headers: 0,
+            rts_events: 0,
+        }
+    }
+
+    /// Fold a detach-time harvest into the span.
+    pub fn absorb(&mut self, h: &FlowHarvest) {
+        self.first_data = h.first_data;
+        self.completion = h.completion_time;
+        self.retransmissions = h.retransmissions;
+        self.timeouts = h.timeouts;
+        self.trimmed_headers = h.trimmed_headers;
+        self.rts_events = h.rts_events;
+    }
+
+    /// Startup gap: time from arrival to the first delivered data byte.
+    /// `None` when no data ever arrived (fully stuck flow).
+    pub fn gap(&self) -> Option<Time> {
+        let fd = self.first_data?;
+        Some(Time(fd.as_ps().saturating_sub(self.arrival.as_ps())))
+    }
+}
+
+/// Shared, thread-safe span sink handed to a world's spawner.
+pub type SpanLog = Arc<Mutex<Vec<FlowSpan>>>;
+
+/// Fresh empty span log.
+pub fn span_log() -> SpanLog {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Append to a span log, surviving a poisoned lock (a panicking worker
+/// must not cascade into every other point's telemetry).
+pub fn push_span(log: &SpanLog, span: FlowSpan) {
+    let mut g = match log.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    g.push(span);
+}
+
+/// Drain a span log into a plain vector.
+pub fn take_spans(log: &SpanLog) -> Vec<FlowSpan> {
+    let mut g = match log.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    std::mem::take(&mut *g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_is_first_data_minus_arrival() {
+        let mut s = FlowSpan::open(1, 0, 1, 9000, Time::from_us(10));
+        assert_eq!(s.gap(), None);
+        s.absorb(&FlowHarvest {
+            first_data: Some(Time::from_us(25)),
+            ..Default::default()
+        });
+        assert_eq!(s.gap(), Some(Time::from_us(15)));
+    }
+
+    #[test]
+    fn absorb_copies_tallies() {
+        let mut s = FlowSpan::open(7, 2, 3, 1_000_000, Time::ZERO);
+        s.absorb(&FlowHarvest {
+            delivered_bytes: 1_000_000,
+            completion_time: Some(Time::from_ms(1)),
+            first_data: Some(Time::from_us(5)),
+            retransmissions: 4,
+            timeouts: 1,
+            trimmed_headers: 9,
+            rts_events: 2,
+        });
+        assert_eq!(s.completion, Some(Time::from_ms(1)));
+        assert_eq!(s.retransmissions, 4);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.trimmed_headers, 9);
+        assert_eq!(s.rts_events, 2);
+    }
+
+    #[test]
+    fn span_log_round_trips() {
+        let log = span_log();
+        push_span(&log, FlowSpan::open(1, 0, 1, 100, Time::ZERO));
+        push_span(&log, FlowSpan::open(2, 1, 0, 200, Time::from_us(1)));
+        let spans = take_spans(&log);
+        assert_eq!(spans.len(), 2);
+        assert!(take_spans(&log).is_empty());
+    }
+}

@@ -58,18 +58,52 @@ pub fn flow_hash_path(flow: FlowId) -> u32 {
     (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32
 }
 
-/// Final receiver-side accounting for one flow, returned by
-/// [`Transport::detach`] as the endpoints are freed.
+/// Final per-flow accounting, returned by [`Transport::detach`] as the
+/// endpoints are freed. The first two fields are receiver-side goodput;
+/// the rest are the span tallies the telemetry layer attributes tail
+/// flows with. A transport without a given notion leaves the field at
+/// its default (`None`/0).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlowHarvest {
     pub delivered_bytes: u64,
     /// Absolute completion instant, `None` if the flow never finished
     /// (or the transport has no completion notion, e.g. blast).
     pub completion_time: Option<Time>,
+    /// Absolute instant the receiver first saw the flow (data or header).
+    pub first_data: Option<Time>,
+    /// Sender retransmissions, however the protocol triggers them
+    /// (NACK/RTS/RTO for NDP, dupACK fast retransmit for TCP-family,
+    /// re-issued credits for pHost).
+    pub retransmissions: u64,
+    /// The subset of recovery events driven by a timer expiry — the
+    /// slowest, tail-defining recovery path.
+    pub timeouts: u64,
+    /// Trimmed headers the receiver saw (NDP fabrics; 0 elsewhere).
+    pub trimmed_headers: u64,
+    /// Return-to-sender headers the sender saw (NDP §3.2.4; 0 elsewhere).
+    pub rts_events: u64,
+}
+
+/// Read-only access to the sender endpoint being detached, handed to the
+/// harvest closure so transports can fold sender-side tallies
+/// (retransmissions, RTS arrivals) into the [`FlowHarvest`]. Wraps an
+/// `Option` because detach is idempotent and either side may already be
+/// gone.
+pub struct SenderSide<'a>(Option<&'a dyn ndp_net::Endpoint>);
+
+impl SenderSide<'_> {
+    /// Downcast to the transport's concrete sender type; `None` when the
+    /// sender endpoint no longer exists *or* is some other type (a
+    /// mis-wired transport shows up as missing tallies, not a panic —
+    /// detach must stay usable on half-torn-down flows).
+    pub fn get<S: 'static>(&self) -> Option<&S> {
+        self.0.and_then(|ep| ep.as_any().downcast_ref::<S>())
+    }
 }
 
 /// The shared body of every [`Transport::detach`]: remove the sender's
-/// endpoint, remove the receiver's, and harvest the receiver as `R`.
+/// endpoint, remove the receiver's, and harvest both — the receiver as
+/// `R`, the sender through the [`SenderSide`] accessor.
 ///
 /// A missing flow (already detached) yields the default (empty) harvest —
 /// detach is idempotent. A receiver that exists but is not an `R` panics
@@ -80,10 +114,10 @@ pub fn detach_endpoints<R: 'static>(
     src_host: ComponentId,
     dst_host: ComponentId,
     flow: FlowId,
-    harvest: impl FnOnce(&R) -> FlowHarvest,
+    harvest: impl FnOnce(SenderSide<'_>, &R) -> FlowHarvest,
 ) -> FlowHarvest {
     use ndp_net::Host;
-    world.get_mut::<Host>(src_host).remove_endpoint(flow);
+    let sender = world.get_mut::<Host>(src_host).remove_endpoint(flow);
     match world.get_mut::<Host>(dst_host).remove_endpoint(flow) {
         None => FlowHarvest::default(),
         Some(ep) => {
@@ -91,7 +125,7 @@ pub fn detach_endpoints<R: 'static>(
                 .as_any()
                 .downcast_ref::<R>()
                 .unwrap_or_else(|| panic!("receiver for flow {flow} has unexpected type"));
-            harvest(r)
+            harvest(SenderSide(sender.as_deref()), r)
         }
     }
 }

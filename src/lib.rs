@@ -12,6 +12,7 @@
 //! * [`baselines`] — TCP NewReno, DCTCP, MPTCP, DCQCN(+PFC), CP, pHost
 //! * [`workloads`] — permutation/random/incast/web traffic generators
 //! * [`metrics`] — FCT/CDF/utilization collectors and figure rendering
+//! * [`telemetry`] — sampling probes, flow spans, flight recording, trace export
 //! * [`experiments`] — one runnable harness per paper figure/table
 //!
 //! ## Quickstart
@@ -27,6 +28,7 @@ pub use ndp_experiments as experiments;
 pub use ndp_metrics as metrics;
 pub use ndp_net as net;
 pub use ndp_sim as sim;
+pub use ndp_telemetry as telemetry;
 pub use ndp_topology as topology;
 pub use ndp_transport as transport;
 pub use ndp_workloads as workloads;

@@ -1,0 +1,181 @@
+//! Telemetry subsystem integration tests.
+//!
+//! The contract under test, from both directions:
+//!
+//! * **Off ⇒ zero-cost**: flight hooks post no events and draw no RNG,
+//!   so attaching them cannot move the golden trace hash, and a run with
+//!   no active session produces bit-identical experiment results.
+//! * **On ⇒ deterministic**: with a session active, the exported NDJSON
+//!   bytes are identical across `NDP_THREADS` settings and across the
+//!   two-tier and classic schedulers.
+//!
+//! The telemetry session and the default-scheduler knob are process
+//! globals, so every test here serializes on one mutex.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ndp::core::{attach_flow, NdpFlowCfg};
+use ndp::experiments::{failure_matrix, Scale};
+use ndp::net::flight::{FlightHook, FlightRecorder, HopKind};
+use ndp::net::queue::Queue;
+use ndp::net::switch::Switch;
+use ndp::net::Packet;
+use ndp::sim::world::{set_default_scheduler, SchedulerKind};
+use ndp::sim::{Time, World};
+use ndp::telemetry::{self, session, TelemetryConfig};
+use ndp::topology::{FatTree, FatTreeCfg, Topology};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    match GUARD.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A small NDP run with the event trace enabled; optionally every queue
+/// and switch carries a flight hook. Returns the trace hash and the
+/// number of hop records captured.
+fn hooked_world(kind: SchedulerKind, hooked: bool) -> ((u64, u64), usize) {
+    let mut w: World<Packet> = World::with_scheduler(11, kind);
+    w.enable_trace();
+    let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+    let rec = Arc::new(Mutex::new(FlightRecorder::new(1 << 16)));
+    if hooked {
+        for (i, l) in ft.links().iter().enumerate() {
+            let hook = FlightHook::new(Arc::clone(&rec), i as u32);
+            w.get_mut::<Queue>(l.queue).set_flight_hook(Some(hook));
+        }
+        let ids: Vec<_> = w.ids().collect();
+        for id in ids {
+            if w.try_get::<Switch>(id).is_some() {
+                let hook = FlightHook::new(Arc::clone(&rec), u32::MAX);
+                w.get_mut::<Switch>(id).set_flight_hook(Some(hook));
+            }
+        }
+    }
+    for (i, &(src, dst)) in [(0u32, 9u32), (3, 12)].iter().enumerate() {
+        let cfg = NdpFlowCfg {
+            n_paths: ft.n_paths(src, dst),
+            ..NdpFlowCfg::new(300_000)
+        };
+        attach_flow(
+            &mut w,
+            i as u64 + 1,
+            (ft.hosts[src as usize], src),
+            (ft.hosts[dst as usize], dst),
+            cfg,
+            Time::from_us(i as u64),
+        );
+    }
+    w.run_until(Time::from_ms(10));
+    let n = match rec.lock() {
+        Ok(g) => g.len(),
+        Err(p) => p.into_inner().len(),
+    };
+    (w.trace_hash(), n)
+}
+
+#[test]
+fn flight_hooks_do_not_perturb_the_event_stream() {
+    let _g = serialize();
+    for kind in [SchedulerKind::TwoTier, SchedulerKind::Classic] {
+        let (bare, none) = hooked_world(kind, false);
+        let (instrumented, captured) = hooked_world(kind, true);
+        assert_eq!(none, 0, "unhooked world must record nothing");
+        assert!(captured > 0, "hooked world must capture hop records");
+        assert_eq!(
+            bare, instrumented,
+            "{kind:?}: attaching flight hooks moved the trace hash"
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_sees_every_forwarded_packet() {
+    let _g = serialize();
+    let mut w: World<Packet> = World::new(3);
+    let ft = FatTree::build(&mut w, FatTreeCfg::new(4));
+    let rec = Arc::new(Mutex::new(FlightRecorder::new(1 << 16)));
+    for (i, l) in ft.links().iter().enumerate() {
+        let hook = FlightHook::new(Arc::clone(&rec), i as u32);
+        w.get_mut::<Queue>(l.queue).set_flight_hook(Some(hook));
+    }
+    attach_flow(
+        &mut w,
+        1,
+        (ft.hosts[0], 0),
+        (ft.hosts[9], 9),
+        NdpFlowCfg {
+            n_paths: ft.n_paths(0, 9),
+            ..NdpFlowCfg::new(90_000)
+        },
+        Time::ZERO,
+    );
+    w.run_until(Time::from_ms(5));
+    let rec = rec.lock().unwrap();
+    let enq = rec.records().filter(|r| r.kind == HopKind::Enqueue).count();
+    let deq = rec.records().filter(|r| r.kind == HopKind::Dequeue).count();
+    assert!(enq > 0, "no enqueue hops captured");
+    assert!(deq > 0, "no dequeue hops captured");
+    // Every record belongs to the only flow in the world.
+    assert!(rec.records().all(|r| r.flow == 1));
+    // An unloaded fabric forwards everything it accepts.
+    assert_eq!(enq, deq, "enqueue/dequeue mismatch on an idle fabric");
+}
+
+/// Run the quick failure matrix under an active session and export it.
+fn capture_ndjson(threads: &str, kind: SchedulerKind) -> (String, String) {
+    std::env::set_var("NDP_THREADS", threads);
+    set_default_scheduler(kind);
+    session::begin(TelemetryConfig::default());
+    let report = failure_matrix::run(Scale::Quick, None);
+    let (_, points) = session::end().expect("session was active");
+    std::env::remove_var("NDP_THREADS");
+    set_default_scheduler(SchedulerKind::TwoTier);
+    assert!(!points.is_empty(), "failure matrix submitted no telemetry");
+    (telemetry::write_ndjson(&points), report.headline())
+}
+
+#[test]
+fn telemetry_on_trace_is_byte_identical_across_threads_and_schedulers() {
+    let _g = serialize();
+    let (serial, headline_serial) = capture_ndjson("1", SchedulerKind::TwoTier);
+    let (threaded, headline_threaded) = capture_ndjson("7", SchedulerKind::TwoTier);
+    assert_eq!(
+        serial, threaded,
+        "NDJSON bytes changed with the worker thread count"
+    );
+    assert_eq!(headline_serial, headline_threaded);
+    let (classic, _) = capture_ndjson("3", SchedulerKind::Classic);
+    assert_eq!(
+        serial, classic,
+        "NDJSON bytes changed with the engine scheduler"
+    );
+    // The capture is substantive: gauges, spans, and down-link hop
+    // records all present, so a tail flow is attributable to the failure.
+    assert!(serial.contains("\"gauge\":\"queue\""));
+    assert!(serial.contains("\"type\":\"span\""));
+    assert!(serial.contains("\"kind\":\"drop_down\""));
+}
+
+#[test]
+fn tracing_does_not_change_experiment_results() {
+    let _g = serialize();
+    std::env::set_var("NDP_THREADS", "2");
+    let plain = failure_matrix::run(Scale::Quick, None).headline();
+    session::begin(TelemetryConfig::default());
+    let traced = failure_matrix::run(Scale::Quick, None).headline();
+    let (_, points) = session::end().expect("session was active");
+    std::env::remove_var("NDP_THREADS");
+    assert_eq!(
+        plain, traced,
+        "an active telemetry session changed experiment results"
+    );
+    assert!(points.iter().any(|p| !p.spans.is_empty()));
+    assert!(points.iter().any(|p| !p.hops.is_empty()));
+    assert!(points.iter().any(|p| !p.gauges.is_empty()));
+    // No session active afterwards: the next runner sees telemetry off.
+    assert!(session::active().is_none());
+}

@@ -236,7 +236,7 @@ impl MptcpSender {
         if idx >= self.subs.len() {
             return;
         }
-        let ack = pkt.ack;
+        let ack = u64::from(pkt.ack);
         let alpha = self.lia_alpha();
         let total_cwnd: u64 = self.subs.iter().map(|s| s.cwnd).sum();
         let mss = self.mss();
@@ -413,8 +413,8 @@ impl Endpoint for MptcpReceiver {
         if self.first_arrival.is_none() {
             self.first_arrival = Some(ctx.now());
         }
-        let start = pkt.seq;
-        let end = pkt.seq + pkt.payload as u64;
+        let start = u64::from(pkt.seq);
+        let end = start + pkt.payload as u64;
         let nxt = &mut self.rcv_nxt[sf];
         let ooo = &mut self.ooo[sf];
         let before = *nxt;
@@ -439,7 +439,7 @@ impl Endpoint for MptcpReceiver {
             ctx.account_delivered(delivered);
         }
         let mut ack = Packet::control(ctx.host(), self.peer, pkt.flow, PacketKind::Ack);
-        ack.ack = self.rcv_nxt[sf];
+        ack.ack = Packet::ack32(self.rcv_nxt[sf]);
         ack.subflow = pkt.subflow;
         ack.path = pkt.path;
         ack.sent = pkt.sent;

@@ -163,7 +163,7 @@ impl Endpoint for PHostSender {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
         match pkt.kind {
             PacketKind::Ack => {
-                let seq = pkt.seq;
+                let seq = u64::from(pkt.seq);
                 if seq < self.total_pkts && !self.acked[seq as usize] {
                     self.acked[seq as usize] = true;
                     self.acked_count += 1;
@@ -173,9 +173,9 @@ impl Endpoint for PHostSender {
                     }
                 }
             }
-            PacketKind::Pull | PacketKind::Token if pkt.ack > self.token_ctr => {
-                let n = pkt.ack - self.token_ctr;
-                self.token_ctr = pkt.ack;
+            PacketKind::Pull | PacketKind::Token if u64::from(pkt.ack) > self.token_ctr => {
+                let n = u64::from(pkt.ack) - self.token_ctr;
+                self.token_ctr = u64::from(pkt.ack);
                 self.pump(n, ctx);
             }
             _ => {}
@@ -274,9 +274,9 @@ impl Endpoint for PHostReceiver {
         }
         self.last_arrival = ctx.now();
         if pkt.flags.has(Flags::FIN) {
-            self.total = Some(pkt.seq + 1);
+            self.total = Some(u64::from(pkt.seq) + 1);
         }
-        if self.mark(pkt.seq) {
+        if self.mark(u64::from(pkt.seq)) {
             self.payload_bytes += pkt.payload as u64;
             ctx.account_delivered(pkt.payload as u64);
         }

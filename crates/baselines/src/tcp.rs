@@ -281,7 +281,7 @@ impl TcpSender {
             self.send_available(ctx);
             return;
         }
-        let ack = pkt.ack;
+        let ack = u64::from(pkt.ack);
         let ece = pkt.flags.has(Flags::CE);
         if ack > self.snd_una {
             let newly = ack - self.snd_una;
@@ -500,7 +500,7 @@ impl TcpReceiver {
 
     fn send_ack(&mut self, data: &Packet, ctx: &mut EndpointCtx<'_, '_>) {
         let mut ack = Packet::control(ctx.host(), self.peer, data.flow, PacketKind::Ack);
-        ack.ack = self.rcv_nxt;
+        ack.ack = Packet::ack32(self.rcv_nxt);
         ack.seq = data.seq;
         ack.subflow = data.subflow;
         ack.path = self.path;
@@ -535,8 +535,8 @@ impl Endpoint for TcpReceiver {
             ctx.send(synack);
             return;
         }
-        let start = pkt.seq;
-        let end = pkt.seq + pkt.payload as u64;
+        let start = u64::from(pkt.seq);
+        let end = start + pkt.payload as u64;
         let before = self.rcv_nxt;
         self.absorb(start, end);
         if self.rcv_nxt > before {

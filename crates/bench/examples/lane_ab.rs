@@ -1,0 +1,77 @@
+//! Interleaved lanes-on/lanes-off wall-time A/B on the perf-suite
+//! workloads. Alternating configurations within one process cancels the
+//! ambient-load drift that makes back-to-back whole-suite runs
+//! incomparable on a busy box:
+//!
+//! ```sh
+//! cargo run --release -p ndp-bench --example lane_ab
+//! ```
+//!
+//! Results are bit-identical either way (pinned by the lane A/B proptests);
+//! only the wall time differs. Ratios > 1.0 mean the delay lanes win.
+
+use ndp_experiments::harness::{incast_run, permutation_run, Proto};
+use ndp_experiments::openloop::{openloop_run, DistKind};
+use ndp_experiments::sweep::OpenLoopPoint;
+use ndp_experiments::topo::TopoSpec;
+use ndp_sim::{set_default_lanes, Time};
+use ndp_topology::{FatTreeCfg, LeafSpineCfg};
+use std::time::Instant;
+
+fn ab(name: &str, rounds: usize, mut work: impl FnMut()) {
+    let mut best = [f64::INFINITY; 2]; // [lanes off, lanes on]
+    for _ in 0..rounds {
+        for lanes in [false, true] {
+            set_default_lanes(lanes);
+            let start = Instant::now();
+            work();
+            let s = start.elapsed().as_secs_f64();
+            best[lanes as usize] = best[lanes as usize].min(s);
+        }
+    }
+    set_default_lanes(true);
+    println!(
+        "{name}: best off={:.4}s on={:.4}s speedup={:.3}x",
+        best[0],
+        best[1],
+        best[0] / best[1]
+    );
+}
+
+fn main() {
+    ab("permutation_k8", 10, || {
+        let r = permutation_run(
+            Proto::Ndp,
+            TopoSpec::fattree(FatTreeCfg::new(8)),
+            Time::from_ms(2),
+            7,
+            None,
+        );
+        assert!(r.utilization > 0.5);
+    });
+    ab("incast_432", 6, || {
+        let r = incast_run(
+            Proto::Ndp,
+            TopoSpec::fattree(FatTreeCfg::new(12)),
+            431,
+            450_000,
+            None,
+            7,
+            Time::from_ms(500),
+        );
+        assert_eq!(r.incomplete, 0);
+    });
+    ab("openloop_websearch_60", 6, || {
+        let r = openloop_run(OpenLoopPoint {
+            proto: Proto::Ndp,
+            topo: TopoSpec::leafspine(LeafSpineCfg::new(8, 4, 4)),
+            dist: DistKind::WebSearch,
+            load: 0.6,
+            seed: 7,
+            warmup: Time::from_ms(2),
+            measure: Time::from_ms(20),
+            drain: Time::from_ms(20),
+        });
+        assert!(r.measured > 0);
+    });
+}

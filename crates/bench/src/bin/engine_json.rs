@@ -18,15 +18,24 @@
 //! `--check` re-measures the suite and exits non-zero if the geometric-mean
 //! events/sec regressed more than 10% below the committed
 //! `BENCH_engine.json`; commits tagged `[skip-perf-gate]` bypass it in CI.
-//! The best of `reps` runs (default 3) is reported per workload to filter
-//! scheduling noise.
+//! It also prints a per-workload delta table against the committed file and,
+//! when `GITHUB_STEP_SUMMARY` is set (as in CI), appends the same table as
+//! markdown to the job summary. The best of `reps` runs (default 3) is
+//! reported per workload to filter scheduling noise.
+//!
+//! Alongside the three end-to-end workloads the suite tracks a
+//! **scheduler-only post/pop kernel** (`sched_post_pop`): raw engine posts at
+//! hot, granule-aligned, overflow and zero delays with a no-op component, so
+//! scheduler regressions are visible even when protocol work masks them.
+//! The kernel is recorded in `BENCH_engine.json` but excluded from the gated
+//! geomean (its rate is an order of magnitude above the workloads').
 
 use ndp_experiments::harness::{incast_run, permutation_run, Proto};
 use ndp_experiments::json;
 use ndp_experiments::openloop::{openloop_run, DistKind};
 use ndp_experiments::sweep::OpenLoopPoint;
 use ndp_experiments::topo::TopoSpec;
-use ndp_sim::Time;
+use ndp_sim::{Component, Ctx, Event, Time, World};
 use ndp_topology::{FatTreeCfg, LeafSpineCfg};
 use std::time::Instant;
 
@@ -102,6 +111,71 @@ fn run_openloop(fused: bool) -> u64 {
     });
     assert!(r.measured > 0, "open-loop point measured no flows");
     r.events_processed
+}
+
+/// Scheduler-only kernel: post bursts across the delay classes the engine
+/// distinguishes — lane-hot repeats, an exact wheel granule, overflow-heap
+/// RTO-scale delays and zero-delay refeeds — against a no-op component, so
+/// the measured rate is pure post/pop cost.
+fn run_sched_micro() -> (u64, f64) {
+    struct Sink;
+    impl Component<u64> for Sink {
+        fn handle(&mut self, _ev: Event<u64>, _ctx: &mut Ctx<'_, u64>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    const ROUNDS: u64 = 40_000;
+    const BATCH: u64 = 64;
+    let mut w: World<u64> = World::new(7);
+    let sink = w.add(Sink);
+    let start = Instant::now();
+    for round in 0..ROUNDS {
+        let base = Time::from_ns(round * 1000);
+        for i in 0..8 {
+            w.post(w.now(), sink, i); // fast-lane refeed
+        }
+        for i in 0..BATCH {
+            let d = match i % 16 {
+                0..=7 => Time::from_ns(100),
+                8..=11 => Time::from_ns(250),
+                12 | 13 => Time::from_ns(777),
+                14 => Time::from_ps(65_536),
+                _ => Time::from_ms(3),
+            };
+            w.post(base + d, sink, i);
+        }
+        w.run_until(base + Time::from_ns(1000));
+    }
+    w.run_until_idle();
+    (w.events_processed(), start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` post/pop rate of the scheduler kernel.
+fn measure_sched(reps: usize) -> Row {
+    eprintln!("measuring sched_post_pop ({reps} reps)...");
+    let mut events = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (e, secs) = run_sched_micro();
+        if events != 0 {
+            assert_eq!(e, events, "sched kernel is nondeterministic");
+        }
+        events = e;
+        best = best.min(secs);
+    }
+    Row {
+        name: "sched_post_pop",
+        describe: "scheduler-only kernel: 64-post bursts over lane-hot / granule / \
+                   overflow delays plus zero-delay refeeds, no-op component, seed 7",
+        ref_events: events,
+        fused_events: events,
+        ref_secs: best,
+        best_secs: best,
+    }
 }
 
 struct Workload {
@@ -186,7 +260,7 @@ fn geomean(rates: impl Iterator<Item = f64>) -> f64 {
     (sum / n as f64).exp()
 }
 
-fn render(rows: &[Row]) -> String {
+fn render(rows: &[Row], micro: &Row) -> String {
     let g = geomean(rows.iter().map(Row::events_per_sec));
     let mut out = String::new();
     out.push_str("{\n");
@@ -214,6 +288,15 @@ fn render(rows: &[Row]) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"sched_micro\": {{ \"name\": \"{}\",\n    \"describe\": \"{}\",\n    \
+         \"events\": {}, \"secs\": {:.4}, \"post_pop_events_per_sec\": {:.0} }},\n",
+        micro.name,
+        micro.describe,
+        micro.ref_events,
+        micro.best_secs,
+        micro.events_per_sec(),
+    ));
     out.push_str(&format!("  \"geomean_events_per_sec\": {g:.0},\n"));
     out.push_str(&format!(
         "  \"speedup_vs_pre_fusion\": {:.3}\n",
@@ -221,6 +304,58 @@ fn render(rows: &[Row]) -> String {
     ));
     out.push_str("}\n");
     out
+}
+
+/// One delta-table line: measured vs the committed rate for the same name.
+fn delta_cell(committed: Option<f64>, measured: f64) -> (String, String) {
+    match committed {
+        Some(c) if c > 0.0 => (
+            format!("{c:.0}"),
+            format!("{:+.1}%", (measured / c - 1.0) * 100.0),
+        ),
+        _ => ("—".into(), "—".into()),
+    }
+}
+
+/// Per-workload markdown delta table (also readable as plain text). The
+/// same string goes to stdout and, in CI, to the job summary.
+fn delta_table(doc: &json::Json, rows: &[Row], micro: &Row, got: f64, committed: f64) -> String {
+    let committed_of = |name: &str| -> Option<f64> {
+        doc.get("workloads")?
+            .as_arr()?
+            .iter()
+            .find(|w| w.get("name").and_then(json::Json::as_str) == Some(name))?
+            .get("events_per_sec")?
+            .as_f64()
+    };
+    let mut t = String::new();
+    t.push_str("| workload | committed ev/s | measured ev/s | delta |\n");
+    t.push_str("| --- | ---: | ---: | ---: |\n");
+    for r in rows {
+        let (c, d) = delta_cell(committed_of(r.name), r.events_per_sec());
+        t.push_str(&format!(
+            "| {} | {} | {:.0} | {} |\n",
+            r.name,
+            c,
+            r.events_per_sec(),
+            d
+        ));
+    }
+    let committed_micro = doc
+        .get("sched_micro")
+        .and_then(|m| m.get("post_pop_events_per_sec"))
+        .and_then(json::Json::as_f64);
+    let (c, d) = delta_cell(committed_micro, micro.events_per_sec());
+    t.push_str(&format!(
+        "| {} (ungated) | {} | {:.0} | {} |\n",
+        micro.name,
+        c,
+        micro.events_per_sec(),
+        d
+    ));
+    let (c, d) = delta_cell(Some(committed), got);
+    t.push_str(&format!("| **geomean** | {c} | {got:.0} | {d} |\n"));
+    t
 }
 
 /// `--check`: re-measure and compare against the committed file.
@@ -233,14 +368,25 @@ fn check(reps: usize) -> ! {
         .and_then(json::Json::as_f64)
         .expect("committed suite must record geomean_events_per_sec");
     let rows: Vec<Row> = WORKLOADS.iter().map(|w| measure(w, reps)).collect();
+    let micro = measure_sched(reps);
     let got = geomean(rows.iter().map(Row::events_per_sec));
     let floor = committed_geomean * (1.0 - REGRESSION_TOLERANCE);
     println!(
         "perf gate: measured geomean {got:.0} events/sec vs committed {committed_geomean:.0} \
          (floor {floor:.0})"
     );
-    for r in &rows {
-        println!("  {:>24}: {:.0} events/sec", r.name, r.events_per_sec());
+    let table = delta_table(&doc, &rows, &micro, got, committed_geomean);
+    println!("{table}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        let summary = format!("### Engine perf gate (best of {reps})\n\n{table}\n");
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            let _ = f.write_all(summary.as_bytes());
+        }
     }
     if got < floor {
         eprintln!(
@@ -271,7 +417,8 @@ fn main() {
         check(reps);
     }
     let rows: Vec<Row> = WORKLOADS.iter().map(|w| measure(w, reps)).collect();
-    let out = render(&rows);
+    let micro = measure_sched(reps);
+    let out = render(&rows, &micro);
     // The pretty writer above must stay machine-readable: --check (and any
     // downstream tooling) reloads the committed file through the parser.
     json::parse(&out).expect("rendered suite must be valid JSON");

@@ -316,7 +316,7 @@ mod tests {
         use ndp_net::host::{Endpoint, EndpointCtx};
         use std::any::Any;
         struct Recorder {
-            sent: Vec<u64>,
+            sent: Vec<u32>,
         }
         impl Endpoint for Recorder {
             fn on_start(&mut self, _c: &mut EndpointCtx<'_, '_>) {}

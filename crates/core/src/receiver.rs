@@ -155,7 +155,7 @@ impl Endpoint for NdpReceiver {
             self.stats.first_arrival = Some(ctx.now());
         }
         if pkt.flags.has(Flags::FIN) {
-            self.total = Some(pkt.seq + 1);
+            self.total = Some(u64::from(pkt.seq) + 1);
         }
         if pkt.is_trimmed() {
             // Payload was cut: NACK so the sender readies a retransmission.
@@ -166,7 +166,7 @@ impl Endpoint for NdpReceiver {
             }
         } else {
             self.stats.data_pkts += 1;
-            if self.mark(pkt.seq) {
+            if self.mark(u64::from(pkt.seq)) {
                 self.stats.payload_bytes += pkt.payload as u64;
                 ctx.account_delivered(pkt.payload as u64);
                 if self.trace_latency {

@@ -8,7 +8,7 @@
 //! packets, i.e. corruption — the retransmission timeout.
 
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use ndp_net::host::{Endpoint, EndpointCtx};
 use ndp_net::packet::{Flags, FlowId, HostId, Packet, PacketKind, HEADER_BYTES};
@@ -17,6 +17,10 @@ use ndp_sim::{ComponentId, FxHashSet, Time};
 use crate::path::PathSet;
 
 const RTO_TOKEN: u8 = 1;
+
+/// "Not outstanding" sentinel for the dense per-seq path store (real path
+/// indices are small — a path set never approaches 2^32 entries).
+const NO_PATH: u32 = u32::MAX;
 
 /// Sender-side counters for the evaluation figures.
 #[derive(Clone, Debug, Default)]
@@ -103,8 +107,13 @@ pub struct NdpSender {
     rtx_set: FxHashSet<u64>,
     acked: Vec<bool>,
     acked_count: u64,
-    /// seq -> (send time, path) for packets awaiting ACK/NACK.
-    outstanding: BTreeMap<u64, (Time, u32)>,
+    /// Per-seq path of packets awaiting ACK/NACK ([`NO_PATH`] = not
+    /// outstanding), dense like `acked`. Insert-on-send and the three
+    /// feedback removals are the flow's hottest map traffic, so this is a
+    /// flat store instead of an ordered map; the one ordered query (oldest
+    /// outstanding seq, RTO only) scans — RTO firing is loss-rare.
+    outstanding: Vec<u32>,
+    outstanding_count: u64,
     /// Total ACK+NACK feedback received (each queues a pull at the rx).
     feedback: u64,
     /// Highest pull counter honoured.
@@ -140,7 +149,8 @@ impl NdpSender {
             rtx_set: FxHashSet::default(),
             acked: vec![false; total_pkts as usize],
             acked_count: 0,
-            outstanding: BTreeMap::new(),
+            outstanding: vec![NO_PATH; total_pkts as usize],
+            outstanding_count: 0,
             feedback: 0,
             pull_ctr: 0,
             first_window_rts: FxHashSet::default(),
@@ -176,6 +186,7 @@ impl NdpSender {
         avoid_path: Option<u32>,
         ctx: &mut EndpointCtx<'_, '_>,
     ) {
+        debug_assert!(seq < self.total_pkts, "send_data past end of flow");
         let path = match avoid_path {
             Some(p) => self.paths.next_avoiding(ctx.rng(), p),
             None => self.paths.next(ctx.rng()),
@@ -207,15 +218,28 @@ impl NdpSender {
         if self.cfg.high_priority {
             pkt.flags = pkt.flags.with(Flags::PRIO);
         }
-        self.outstanding.insert(seq, (ctx.now(), path));
+        let o = &mut self.outstanding[seq as usize];
+        if *o == NO_PATH {
+            self.outstanding_count += 1;
+        }
+        *o = path;
         self.stats.data_sent += 1;
         self.last_activity = ctx.now();
         ctx.send(pkt);
         self.arm_rto(ctx);
     }
 
+    #[inline]
+    fn clear_outstanding(&mut self, seq: u64) {
+        let o = &mut self.outstanding[seq as usize];
+        if *o != NO_PATH {
+            *o = NO_PATH;
+            self.outstanding_count -= 1;
+        }
+    }
+
     fn arm_rto(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
-        if !self.rto_armed && !self.outstanding.is_empty() {
+        if !self.rto_armed && self.outstanding_count > 0 {
             self.rto_armed = true;
             ctx.timer_in(self.cfg.rto, RTO_TOKEN);
         }
@@ -255,7 +279,7 @@ impl NdpSender {
     }
 
     fn on_ack(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
-        let seq = pkt.seq;
+        let seq = u64::from(pkt.seq);
         if seq >= self.total_pkts {
             return;
         }
@@ -263,7 +287,7 @@ impl NdpSender {
         self.paths.on_ack(pkt.path);
         self.push_recent(true);
         self.feedback += 1;
-        self.outstanding.remove(&seq);
+        self.clear_outstanding(seq);
         if !self.acked[seq as usize] {
             self.acked[seq as usize] = true;
             self.acked_count += 1;
@@ -278,7 +302,7 @@ impl NdpSender {
     }
 
     fn on_nack(&mut self, pkt: Packet, _ctx: &mut EndpointCtx<'_, '_>) {
-        let seq = pkt.seq;
+        let seq = u64::from(pkt.seq);
         if seq >= self.total_pkts {
             return;
         }
@@ -288,7 +312,7 @@ impl NdpSender {
         self.feedback += 1;
         // Feedback received: the packet is known-trimmed, stop RTO-tracking
         // it (the receiver queued a pull; retransmission will be pulled).
-        self.outstanding.remove(&seq);
+        self.clear_outstanding(seq);
         self.queue_rtx(seq);
     }
 
@@ -305,12 +329,12 @@ impl NdpSender {
     /// likely work). Otherwise queue for pulling, which keeps the pull
     /// clock going without echoing the incast.
     fn on_rts(&mut self, pkt: Packet, ctx: &mut EndpointCtx<'_, '_>) {
-        let seq = pkt.seq;
+        let seq = u64::from(pkt.seq);
         if seq >= self.total_pkts {
             return;
         }
         self.stats.rts_received += 1;
-        self.outstanding.remove(&seq);
+        self.clear_outstanding(seq);
         if self.acked[seq as usize] {
             return;
         }
@@ -333,6 +357,13 @@ impl NdpSender {
 
 impl Endpoint for NdpSender {
     fn on_start(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        // Idempotent: trigger chains can deliver duplicate start wakes
+        // (both ends of the predecessor flow notify its completion). The
+        // initial window is already out; restarting would push `next_new`
+        // past `total_pkts` and send phantom sequences.
+        if self.stats.start_time.is_some() {
+            return;
+        }
         self.stats.start_time = Some(ctx.now());
         let burst = self.cfg.iw_pkts.min(self.total_pkts);
         self.iw_sent = burst;
@@ -348,9 +379,9 @@ impl Endpoint for NdpSender {
         match pkt.kind {
             PacketKind::Ack => self.on_ack(pkt, ctx),
             PacketKind::Nack => self.on_nack(pkt, ctx),
-            PacketKind::Pull if pkt.ack > self.pull_ctr => {
-                let n = pkt.ack - self.pull_ctr;
-                self.pull_ctr = pkt.ack;
+            PacketKind::Pull if u64::from(pkt.ack) > self.pull_ctr => {
+                let n = u64::from(pkt.ack) - self.pull_ctr;
+                self.pull_ctr = u64::from(pkt.ack);
                 self.stats.pulls += n;
                 self.pump(n, ctx);
             }
@@ -364,7 +395,7 @@ impl Endpoint for NdpSender {
             return;
         }
         self.rto_armed = false;
-        if self.done || self.outstanding.is_empty() {
+        if self.done || self.outstanding_count == 0 {
             return;
         }
         let now = ctx.now();
@@ -380,7 +411,8 @@ impl Endpoint for NdpSender {
         // genuinely lost (corruption, or a dropped header). Resend the
         // oldest outstanding packet on a different path and penalize the
         // old one (§3.2.3).
-        if let Some((&seq, &(_, path))) = self.outstanding.iter().next() {
+        if let Some(i) = self.outstanding.iter().position(|&p| p != NO_PATH) {
+            let (seq, path) = (i as u64, self.outstanding[i]);
             self.paths.on_loss(path);
             self.stats.rtx_rto += 1;
             self.send_data(seq, true, Some(path), ctx);

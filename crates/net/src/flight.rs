@@ -187,7 +187,7 @@ impl FlightHook {
             flow: pkt.flow,
             src: pkt.src,
             dst: pkt.dst,
-            seq: pkt.seq,
+            seq: u64::from(pkt.seq),
             size: pkt.size,
         });
     }

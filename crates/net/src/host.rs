@@ -184,6 +184,10 @@ struct FlowPull {
 struct PullQueue {
     flows: FxHashMap<FlowId, FlowPull>,
     rr: [VecDeque<FlowId>; 2],
+    /// Sum of `pending` over all flows. `has_pending` runs on every data
+    /// packet (the pacer re-arm check), so it must not scan the flow map —
+    /// with hundreds of live flows that scan dominates the RX path.
+    pending_total: u64,
 }
 
 impl PullQueue {
@@ -199,6 +203,7 @@ impl PullQueue {
         e.cancelled = false;
         e.prio = prio;
         e.pending += 1;
+        self.pending_total += 1;
         if !e.in_rr {
             e.in_rr = true;
             self.rr[prio as usize].push_back(flow);
@@ -209,13 +214,14 @@ impl PullQueue {
     /// removes any pull packets for that sender from its pull queue.
     fn cancel(&mut self, flow: FlowId) {
         if let Some(e) = self.flows.get_mut(&flow) {
+            self.pending_total -= u64::from(e.pending);
             e.pending = 0;
             e.cancelled = true;
         }
     }
 
     fn has_pending(&self) -> bool {
-        self.flows.values().any(|f| f.pending > 0)
+        self.pending_total > 0
     }
 
     /// Drop all state for a flow (endpoint retirement), including any
@@ -223,6 +229,7 @@ impl PullQueue {
     /// with a clean single slot in its own priority class.
     fn remove(&mut self, flow: FlowId) {
         if let Some(e) = self.flows.remove(&flow) {
+            self.pending_total -= u64::from(e.pending);
             if e.in_rr {
                 for q in &mut self.rr {
                     q.retain(|&f| f != flow);
@@ -242,6 +249,7 @@ impl PullQueue {
                     continue;
                 }
                 e.pending -= 1;
+                self.pending_total -= 1;
                 e.ctr += 1;
                 let out = (flow, e.peer, e.ctr);
                 if e.pending > 0 {
@@ -275,6 +283,10 @@ struct HostCore {
     nic: ComponentId,
     link_rate: Speed,
     mtu: u32,
+    /// Memoized `link_rate.tx_time(mtu)` — the pull pacer tick. Computed
+    /// once at construction (both inputs are fixed for a host's lifetime)
+    /// so the per-pull hot path pays no division.
+    pull_tick: Time,
     latency: HostLatency,
     pull: PullQueue,
     pacer_armed: bool,
@@ -303,7 +315,7 @@ struct HostCore {
 
 impl HostCore {
     fn pull_interval(&self) -> Time {
-        self.link_rate.tx_time(self.mtu as u64)
+        self.pull_tick
     }
 
     fn emit_pull(&mut self, sim: &mut Ctx<'_, Packet>) {
@@ -311,7 +323,7 @@ impl HostCore {
             return;
         };
         let mut p = Packet::control(self.id, peer, flow, PacketKind::Pull);
-        p.ack = ctr;
+        p.ack = Packet::ack32(ctr);
         // Spray pulls across paths; routers reduce the tag modulo fan-out.
         p.path = sim.rng().gen();
         sim.send(self.nic, p, self.latency.tx_delay);
@@ -341,10 +353,11 @@ impl HostCore {
                 sim.send(self.nic, pkt, self.latency.tx_delay);
             }
             // A real burst (initial window, retransmission sweep): hand the
-            // buffer over as one scheduler train; the allocation for the
-            // next buffer amortizes over the burst.
+            // buffer over as one scheduler train and restage from the
+            // scheduler's free list, so steady-state bursts recycle spent
+            // train buffers instead of allocating.
             _ => {
-                let train = std::mem::take(&mut self.tx_train);
+                let train = std::mem::replace(&mut self.tx_train, sim.train_buf());
                 sim.send_train(self.nic, train, self.latency.tx_delay);
             }
         }
@@ -498,6 +511,7 @@ impl Host {
                 nic,
                 link_rate,
                 mtu,
+                pull_tick: link_rate.tx_time(mtu as u64),
                 latency: HostLatency::default(),
                 pull: PullQueue::default(),
                 pacer_armed: false,
@@ -612,6 +626,15 @@ impl Host {
         core.arm_pacer(sim);
     }
 
+    /// Stage a packet behind the host's modelled processing/wake delay.
+    /// Out of line: only latency-modelled hosts (Fig. 8/12 runs) take it.
+    #[inline(never)]
+    fn rx_delayed(&mut self, pkt: Packet, delay: Time, sim: &mut Ctx<'_, Packet>) {
+        let at = sim.now() + delay;
+        self.proc_q.push_back((at, pkt));
+        sim.wake_at(at, WAKE_PROC);
+    }
+
     fn deliver(&mut self, pkt: Packet, sim: &mut Ctx<'_, Packet>) {
         self.core.stats.delivered_pkts += 1;
         let flow = pkt.flow;
@@ -644,8 +667,10 @@ impl Host {
 impl Component<Packet> for Host {
     fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
         match ev {
+            // The hot arm: packet arrival. The perfect-host model (all
+            // latency artefacts zero) delivers straight to the endpoint;
+            // modelled rx/wake delays take the out-of-line staging path.
             Event::Msg(pkt) => {
-                // Host processing delay + optional deep-sleep wake penalty.
                 let lat = &self.core.latency;
                 let mut delay = lat.rx_delay;
                 if lat.wake_latency > Time::ZERO
@@ -657,9 +682,7 @@ impl Component<Packet> for Host {
                 if delay.is_zero() {
                     self.deliver(pkt, ctx);
                 } else {
-                    let at = ctx.now() + delay;
-                    self.proc_q.push_back((at, pkt));
-                    ctx.wake_at(at, WAKE_PROC);
+                    self.rx_delayed(pkt, delay, ctx);
                 }
             }
             Event::Wake(WAKE_PROC) => {
@@ -811,7 +834,7 @@ mod tests {
             assert_eq!(pulls[i] - pulls[i - 1], Time::from_ns(7_200));
         }
         // Pull counters increment per flow.
-        let ctrs: Vec<u64> = sink
+        let ctrs: Vec<u32> = sink
             .got
             .iter()
             .filter(|(_, p)| p.kind == PacketKind::Pull)

@@ -83,6 +83,13 @@ impl Flags {
 }
 
 /// A packet (or control message) traversing the simulated network.
+///
+/// Layout contract: the whole struct fits one cache line (≤ 64 bytes,
+/// statically asserted below). Every hop copies the packet by value, so
+/// its footprint is the per-event memory traffic floor — which is why
+/// `seq`/`ack` are 32-bit on the wire (checked narrowing via
+/// [`Packet::seq32`]/[`Packet::ack32`]) and the bookkeeping fields are
+/// packed small.
 #[derive(Clone, Copy, Debug)]
 pub struct Packet {
     pub src: HostId,
@@ -90,10 +97,10 @@ pub struct Packet {
     pub flow: FlowId,
     pub kind: PacketKind,
     /// Packet sequence number (NDP, pHost) or first byte sequence (TCP).
-    pub seq: u64,
+    pub seq: u32,
     /// Cumulative ACK (TCP), pull counter (NDP PULL), token id (pHost), or
     /// echoed sequence (NDP ACK/NACK carry `seq` directly).
-    pub ack: u64,
+    pub ack: u32,
     /// Bytes on the wire right now (shrinks to `HEADER_BYTES` when trimmed).
     pub size: u32,
     /// Payload bytes this packet stands for (unchanged by trimming).
@@ -107,7 +114,44 @@ pub struct Packet {
     pub sent: Time,
 }
 
+/// One cache line per packet: the event queue, the TX trains and every
+/// hop handoff move `Packet` by value, so this bound is hot-path memory
+/// bandwidth, not style.
+const _: () = assert!(std::mem::size_of::<Packet>() <= 64);
+
+#[cold]
+#[inline(never)]
+fn seq_overflow(field: &'static str, v: u64) -> ! {
+    panic!(
+        "{field} {v} overflows the packet's 32-bit wire field \
+         (flows are bounded to 2^32 packets / cumulative units; \
+         widen Packet::{field} if a workload legitimately needs more)"
+    )
+}
+
 impl Packet {
+    /// Checked narrowing for the 32-bit `seq` wire field. Sequence
+    /// bookkeeping upstream is `u64`; this is the single funnel through
+    /// which it reaches the wire, so an overflowing flow fails loudly
+    /// here instead of wrapping silently mid-simulation.
+    #[inline]
+    pub fn seq32(v: u64) -> u32 {
+        match u32::try_from(v) {
+            Ok(s) => s,
+            Err(_) => seq_overflow("seq", v),
+        }
+    }
+
+    /// Checked narrowing for the 32-bit `ack` wire field (cumulative acks,
+    /// pull counters, token ids). See [`Packet::seq32`].
+    #[inline]
+    pub fn ack32(v: u64) -> u32 {
+        match u32::try_from(v) {
+            Ok(a) => a,
+            Err(_) => seq_overflow("ack", v),
+        }
+    }
+
     /// A full data packet of `size` wire bytes (including protocol headers).
     pub fn data(src: HostId, dst: HostId, flow: FlowId, seq: u64, size: u32) -> Packet {
         Packet {
@@ -115,7 +159,7 @@ impl Packet {
             dst,
             flow,
             kind: PacketKind::Data,
-            seq,
+            seq: Packet::seq32(seq),
             ack: 0,
             size,
             payload: size.saturating_sub(HEADER_BYTES),
@@ -255,7 +299,27 @@ mod tests {
 
     #[test]
     fn packet_is_small_enough_to_copy() {
-        // Keep the hot-path message type compact; this guards regressions.
-        assert!(std::mem::size_of::<Packet>() <= 80);
+        // One cache line; the compile-time assert next to the struct is the
+        // real guard, this keeps the bound visible in test output.
+        assert!(std::mem::size_of::<Packet>() <= 64);
+    }
+
+    #[test]
+    fn seq32_and_ack32_round_trip_in_range() {
+        assert_eq!(Packet::seq32(0), 0);
+        assert_eq!(Packet::seq32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(Packet::ack32(12_345), 12_345);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the packet's 32-bit wire field")]
+    fn seq32_overflow_panics_descriptively() {
+        let _ = Packet::seq32(u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the packet's 32-bit wire field")]
+    fn ack32_overflow_panics_descriptively() {
+        let _ = Packet::ack32(1 << 40);
     }
 }

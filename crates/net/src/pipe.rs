@@ -76,7 +76,7 @@ mod tests {
     use ndp_sim::World;
 
     struct Sink {
-        got: Vec<(Time, u64)>,
+        got: Vec<(Time, u32)>,
     }
     impl Component<Packet> for Sink {
         fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
@@ -129,7 +129,7 @@ mod tests {
             w.post(Time::from_ns(i * 10), pipe, Packet::data(0, 1, 0, i, 64));
         }
         w.run_until_idle();
-        let seqs: Vec<u64> = w.get::<Sink>(sink).got.iter().map(|g| g.1).collect();
+        let seqs: Vec<u32> = w.get::<Sink>(sink).got.iter().map(|g| g.1).collect();
         assert_eq!(seqs, (0..50).collect::<Vec<_>>());
     }
 }

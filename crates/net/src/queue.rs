@@ -220,6 +220,10 @@ impl Policy {
 /// raw-injection tests and paths without an upstream serializer.
 pub struct Queue {
     rate: Speed,
+    /// Cached exact picoseconds-per-byte of `rate` (0 when inexact):
+    /// turns the per-packet serialization-time division into a multiply
+    /// on the TX hot path. Maintained by every `rate` assignment.
+    ppb: u64,
     /// Construction-time rate, so a failed or degraded link can renegotiate
     /// back to its original speed on recovery ([`Queue::restore`]).
     nominal: Speed,
@@ -252,6 +256,7 @@ impl Queue {
     pub fn new(rate: Speed, next: ComponentId, class: LinkClass, policy: Policy) -> Queue {
         Queue {
             rate,
+            ppb: rate.ps_per_byte_exact(),
             nominal: rate,
             down: false,
             next,
@@ -311,6 +316,7 @@ impl Queue {
     /// being serialized finishes at the old rate.
     pub fn set_rate(&mut self, rate: Speed) {
         self.rate = rate;
+        self.ppb = rate.ps_per_byte_exact();
     }
 
     /// The rate this queue was built with — what a recovered link
@@ -350,6 +356,7 @@ impl Queue {
     pub fn restore(&mut self) {
         self.down = false;
         self.rate = self.nominal;
+        self.ppb = self.nominal.ps_per_byte_exact();
     }
 
     /// Enable return-to-sender on header-queue overflow (NDP software
@@ -394,8 +401,10 @@ impl Queue {
         }
     }
 
-    fn note_occupancy(&mut self) {
-        let occ = self.occupancy_bytes();
+    /// Track the high-water occupancy. Enqueue arms pass the occupancy
+    /// they just computed, so the hot path never re-matches the policy.
+    #[inline]
+    fn note_occupancy(&mut self, occ: u64) {
         if occ > self.stats.max_occupancy_bytes {
             self.stats.max_occupancy_bytes = occ;
         }
@@ -451,6 +460,7 @@ impl Queue {
     /// trimmed and returned to their sender (the same §3.2.4 mechanism as a
     /// header-queue overflow, so the source's path penalty reacts at RTT
     /// timescales); everything else is dropped.
+    #[inline(never)]
     fn drop_or_bounce_down(&mut self, pkt: Packet, ctx: &mut Ctx<'_, Packet>) {
         if let Policy::Ndp {
             bounce_to: Some(sw),
@@ -482,12 +492,31 @@ impl Queue {
         }
     }
 
+    /// PFC pause/resume bookkeeping — link-local control, rare by design;
+    /// kept out of line so the per-packet dispatch body stays compact.
+    #[inline(never)]
+    fn on_pause(&mut self, xoff: bool, ctx: &mut Ctx<'_, Packet>) {
+        if xoff {
+            self.paused += 1;
+        } else {
+            debug_assert!(self.paused > 0, "resume without pause");
+            self.paused = self.paused.saturating_sub(1);
+            self.start_tx_if_possible(ctx);
+        }
+    }
+
     fn start_tx_if_possible(&mut self, ctx: &mut Ctx<'_, Packet>) {
         if self.in_service.is_some() || self.paused > 0 || self.down {
             return;
         }
         if let Some(pkt) = self.pop_next() {
-            let t = self.rate.tx_time(pkt.size as u64);
+            // Exact-rate links (all standard speeds) serialize with one
+            // multiply; the division only runs for renegotiated oddballs.
+            let t = if self.ppb != 0 {
+                Time::from_ps(pkt.size as u64 * self.ppb)
+            } else {
+                self.rate.tx_time(pkt.size as u64)
+            };
             self.in_service = Some(pkt);
             ctx.wake_in(t, TX_DONE);
         }
@@ -501,7 +530,7 @@ impl Queue {
             self.drop_or_bounce_down(pkt, ctx);
             return;
         }
-        match &mut self.policy {
+        let occ = match &mut self.policy {
             Policy::DropTail {
                 q,
                 cap_bytes,
@@ -530,6 +559,7 @@ impl Queue {
                 }
                 *bytes += pkt.size as u64;
                 q.push_back(pkt);
+                *bytes
             }
             Policy::Cp {
                 q,
@@ -560,6 +590,7 @@ impl Queue {
                 }
                 *bytes += pkt.size as u64;
                 q.push_back(pkt);
+                *bytes
             }
             Policy::Ndp {
                 data,
@@ -627,6 +658,7 @@ impl Queue {
                         }
                     }
                 }
+                *data_bytes + *hdr_bytes
             }
             Policy::Lossless {
                 q,
@@ -668,9 +700,10 @@ impl Queue {
                         ctx.send(up, pause, d);
                     }
                 }
+                *bytes
             }
-        }
-        self.note_occupancy();
+        };
+        self.note_occupancy(occ);
         self.start_tx_if_possible(ctx);
     }
 
@@ -715,16 +748,11 @@ impl Queue {
 impl Component<Packet> for Queue {
     fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
         match ev {
+            // The hot arm: a forwarded packet entering the queue. Pause
+            // frames are rare link-local control; they take the cold path.
             Event::Msg(pkt) => {
                 if let PacketKind::Pause { xoff } = pkt.kind {
-                    if xoff {
-                        self.paused += 1;
-                    } else {
-                        debug_assert!(self.paused > 0, "resume without pause");
-                        self.paused = self.paused.saturating_sub(1);
-                        self.start_tx_if_possible(ctx);
-                    }
-                    return;
+                    return self.on_pause(xoff, ctx);
                 }
                 self.enqueue(pkt, ctx);
             }
@@ -753,7 +781,7 @@ impl Component<Packet> for Queue {
                 self.after_dequeue(ctx);
                 self.start_tx_if_possible(ctx);
             }
-            Event::Wake(t) => panic!("unknown queue wake token {t}"),
+            Event::Wake(t) => unknown_wake(t),
         }
     }
 
@@ -763,6 +791,14 @@ impl Component<Packet> for Queue {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// Out-of-line panic for an unrecognized wake token, keeping the dispatch
+/// loop's hot body free of format machinery.
+#[cold]
+#[inline(never)]
+fn unknown_wake(t: u64) -> ! {
+    panic!("unknown queue wake token {t}")
 }
 
 /// Convenience: size of a trimmed header on the wire.
@@ -909,7 +945,7 @@ mod tests {
         // The 9 packets that escape untrimmed (1 in service + 8 buffered):
         // with coin flips, some should be high seq numbers (tail trimming
         // replaced older tails), i.e. the untrimmed set is not simply 0..9.
-        let untrimmed: Vec<u64> = s
+        let untrimmed: Vec<u32> = s
             .got
             .iter()
             .filter(|p| !p.is_trimmed())
@@ -1121,8 +1157,8 @@ mod tests {
         let sa = wa.get::<Sink>(sink_a);
         let sb = wb.get::<Sink>(sink_b);
         assert_eq!(sa.times, sb.times, "fused hop must preserve arrival times");
-        let seqs_a: Vec<u64> = sa.got.iter().map(|p| p.seq).collect();
-        let seqs_b: Vec<u64> = sb.got.iter().map(|p| p.seq).collect();
+        let seqs_a: Vec<u32> = sa.got.iter().map(|p| p.seq).collect();
+        let seqs_b: Vec<u32> = sb.got.iter().map(|p| p.seq).collect();
         assert_eq!(seqs_a, seqs_b, "fused hop must preserve arrival order");
         // Fused run dispatched fewer events (no pipe hops).
         assert!(wb.events_processed() < wa.events_processed());
@@ -1163,8 +1199,8 @@ mod tests {
         wb.run_until_idle();
         let sa = wa.get::<Sink>(sink_a);
         let sb = wb.get::<Sink>(sink_b);
-        let seqs_a: Vec<u64> = sa.got.iter().map(|p| p.seq).collect();
-        let seqs_b: Vec<u64> = sb.got.iter().map(|p| p.seq).collect();
+        let seqs_a: Vec<u32> = sa.got.iter().map(|p| p.seq).collect();
+        let seqs_b: Vec<u32> = sb.got.iter().map(|p| p.seq).collect();
         assert_eq!(seqs_a, seqs_b, "same survivors in the same order");
         assert_eq!(sa.times, sb.times);
         assert_eq!(

@@ -170,6 +170,20 @@ impl Speed {
     }
 
     /// Serialization time for `bytes` at this speed.
+    /// Exact picoseconds-per-byte for this rate, or 0 when the rate does
+    /// not divide a byte-picosecond evenly. Every standard rate (any whole
+    /// Mb/s) is exact, so hot paths can cache this once at wiring time and
+    /// replace the per-packet division in [`Speed::tx_time`] with one
+    /// multiply: `tx_time(bytes) == Time::from_ps(bytes * ppb)` whenever
+    /// the returned value is non-zero.
+    pub const fn ps_per_byte_exact(self) -> u64 {
+        if self.0 > 0 && 8_000_000_000_000 % self.0 == 0 {
+            8_000_000_000_000 / self.0
+        } else {
+            0
+        }
+    }
+
     pub fn tx_time(self, bytes: u64) -> Time {
         debug_assert!(self.0 > 0, "zero link speed");
         // This runs once per packet per hop (every TX start), so the wide

@@ -202,6 +202,34 @@ fn default_scheduler() -> SchedulerKind {
     }
 }
 
+/// Process-wide default for the two-tier scheduler's delay lanes:
+/// 0 = unset, 1 = on, 2 = off. Overridable via `NDP_LANES=on|off` or
+/// [`set_default_lanes`]. Lanes are a pure scheduling optimization — the
+/// golden traces and the lane A/B proptests pin that flipping this cannot
+/// change any run's results, only its speed.
+static DEFAULT_LANES: AtomicU8 = AtomicU8::new(0);
+
+/// Set whether subsequently created two-tier worlds register delay lanes.
+pub fn set_default_lanes(enabled: bool) {
+    DEFAULT_LANES.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn default_lanes() -> bool {
+    match DEFAULT_LANES.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let enabled = match std::env::var("NDP_LANES").as_deref() {
+                Err(_) | Ok("") | Ok("on") | Ok("1") => true,
+                Ok("off") | Ok("0") => false,
+                Ok(v) => panic!("NDP_LANES must be 'on' or 'off', got '{v}'"),
+            };
+            set_default_lanes(enabled);
+            enabled
+        }
+    }
+}
+
 /// Out-of-line panic for events addressed to a vacated (reserved or
 /// never-installed) slot, keeping the dispatch loop's hot body small.
 #[cold]
@@ -217,6 +245,21 @@ fn missing_component(id: ComponentId) -> ! {
 const GRAN_SHIFT: u32 = 16;
 const SLOTS: usize = 1024;
 const SLOT_MASK: u64 = SLOTS as u64 - 1;
+
+/// Per-exact-delay FIFO lanes. A workload posts the overwhelming majority
+/// of its timed events at a handful of distinct delays (wire latency,
+/// tx_time quanta, pacer spacing, the RTO); since the clock is monotone,
+/// posts of `now + D` for a fixed `D` arrive in ascending `(at, seq)`
+/// order, so each such delay can ride a plain FIFO that is pre-sorted by
+/// construction — no slot hashing, no occupancy scan, no refill.
+const MAX_LANES: usize = 16;
+/// Delays above this (10 ms, in ps) never get a lane: they are RTO-scale
+/// one-offs or `Time::MAX`-style sentinels, not hot-path quanta.
+const LANE_MAX_DELAY_PS: u64 = 10_000_000_000;
+/// Recently-missed delays remembered for promotion: a delay becomes a lane
+/// on its *second* sighting, so one-shot delays (jittered pacer re-arms,
+/// odd-sized last packets) never pin one of the [`MAX_LANES`] lane slots.
+const LANE_CANDIDATES: usize = 8;
 
 struct TwoTier<M> {
     /// Events due at the current instant, drained before everything else
@@ -242,13 +285,35 @@ struct TwoTier<M> {
     cursor: usize,
     /// Events beyond the wheel window, ordered by `(at, seq)`.
     overflow: BinaryHeap<Reverse<Scheduled<M>>>,
+    /// Per-exact-delay FIFO lanes (registered on a delay's second sighting,
+    /// at most [`MAX_LANES`]). Each lane is sorted by `(at, seq)` by
+    /// construction — see [`TwoTier::push_timed`]. The lane *keys* live in
+    /// the two packed side arrays below so the per-post scan and the
+    /// per-refill min scan touch a couple of cache lines instead of
+    /// pointer-chasing into every queue's heap buffer.
+    lanes: Vec<VecDeque<Scheduled<M>>>,
+    /// `lane_delays[i]` is lane i's exact delay (ps); slots past
+    /// `lanes.len()` are unregistered.
+    lane_delays: [u64; MAX_LANES],
+    /// `lane_fronts[i]` caches lane i's front timestamp (`u64::MAX` when
+    /// the lane is empty), maintained on every lane push and pop. The
+    /// refill's earliest-instant scan reads only this array.
+    lane_fronts: [u64; MAX_LANES],
+    /// Ring of recently-missed lane-eligible delays (promotion candidates).
+    lane_cand: [u64; LANE_CANDIDATES],
+    lane_cand_idx: usize,
+    /// Lane registration on/off (`NDP_LANES` / [`set_default_lanes`]); the
+    /// A/B contract is that flipping this cannot change any run's results.
+    lanes_enabled: bool,
 }
 
 impl<M> TwoTier<M> {
-    fn new() -> TwoTier<M> {
+    fn new(lanes_enabled: bool) -> TwoTier<M> {
         TwoTier {
-            due: VecDeque::new(),
-            fast: VecDeque::new(),
+            // Seeded at the shrink_idle floor: the first burst grows from a
+            // warm base instead of doubling up from an empty buffer.
+            due: VecDeque::with_capacity(32),
+            fast: VecDeque::with_capacity(32),
             wheel: (0..SLOTS).map(|_| Vec::new()).collect(),
             min_at: vec![Time::MAX; SLOTS],
             occ: [0; SLOTS / 64],
@@ -256,6 +321,12 @@ impl<M> TwoTier<M> {
             wheel_start: 0,
             cursor: 0,
             overflow: BinaryHeap::new(),
+            lanes: Vec::new(),
+            lane_delays: [u64::MAX; MAX_LANES],
+            lane_fronts: [u64::MAX; MAX_LANES],
+            lane_cand: [u64::MAX; LANE_CANDIDATES],
+            lane_cand_idx: 0,
+            lanes_enabled,
         }
     }
 
@@ -295,7 +366,39 @@ impl<M> TwoTier<M> {
     }
 
     #[inline]
-    fn push_timed(&mut self, s: Scheduled<M>) {
+    fn push_timed(&mut self, now: Time, s: Scheduled<M>) {
+        if self.lanes_enabled {
+            let delay = s.at.as_ps() - now.as_ps();
+            let n = self.lanes.len();
+            // Packed key scan: all registered delays fit in two cache
+            // lines, so the common hit never touches a queue it won't use.
+            for i in 0..n {
+                if self.lane_delays[i] == delay {
+                    let q = &mut self.lanes[i];
+                    // Monotone clock + fixed delay + monotone seq: the lane
+                    // stays sorted by `(at, seq)` with plain appends.
+                    debug_assert!(q.back().is_none_or(|b| (b.at, b.seq) < (s.at, s.seq)));
+                    if q.is_empty() {
+                        self.lane_fronts[i] = s.at.as_ps();
+                    }
+                    q.push_back(s);
+                    return;
+                }
+            }
+            if delay <= LANE_MAX_DELAY_PS && n < MAX_LANES {
+                if self.lane_cand.contains(&delay) {
+                    // Second sighting: promote to a lane.
+                    self.lane_delays[n] = delay;
+                    self.lane_fronts[n] = s.at.as_ps();
+                    let mut q = VecDeque::with_capacity(32);
+                    q.push_back(s);
+                    self.lanes.push(q);
+                    return;
+                }
+                self.lane_cand[self.lane_cand_idx] = delay;
+                self.lane_cand_idx = (self.lane_cand_idx + 1) % LANE_CANDIDATES;
+            }
+        }
         let slot_num = s.at.as_ps() >> GRAN_SHIFT;
         if self.in_window(slot_num) {
             let idx = (slot_num & SLOT_MASK) as usize;
@@ -339,35 +442,105 @@ impl<M> TwoTier<M> {
     /// return its first event and stage the rest (if any) in `due`.
     /// Leaves all state untouched when the next event lies beyond the
     /// horizon, so interrupted runs can resume consistently.
+    ///
+    /// With lanes on, the earliest instant is the minimum over the packed
+    /// lane-front cache and the wheel/overflow tier. The winning tier
+    /// serves the whole batch at that instant: lane runs are pre-sorted by
+    /// seq, the wheel path is the pre-lane engine unchanged, and an exact
+    /// tie merges every same-instant run by seq (two tied lanes — the
+    /// dominant shape — via [`TwoTier::merge_two_lanes`], anything wider
+    /// via [`TwoTier::merge_tied_batch`]) — so dispatch order stays
+    /// exactly ascending `(time, seq)`.
     fn refill_pop(&mut self, horizon: Time) -> Option<Scheduled<M>> {
-        let t_min;
-        if self.wheel_len == 0 {
-            // Teleport: jump the window straight to the overflow's front.
-            // The heap top is the globally earliest timed event, so it is
-            // also the earliest in the cursor slot it lands in — no scan.
-            match self.overflow.peek() {
-                Some(Reverse(top)) if top.at <= horizon => {
-                    t_min = top.at;
-                    let slot_num = top.at.as_ps() >> GRAN_SHIFT;
-                    self.commit_cursor(slot_num);
+        // Earliest lane front, and how many lanes tie at that instant.
+        // Reads only the packed front-timestamp cache — empty lanes carry
+        // `u64::MAX`, which can never win (nothing is ever scheduled at
+        // `Time::MAX` through a ≤10 ms lane delay).
+        let mut t_lane_ps = u64::MAX;
+        let mut lane_first = usize::MAX;
+        let mut lane_second = usize::MAX;
+        let mut lane_ties = 0u32;
+        for (i, &f) in self.lane_fronts[..self.lanes.len()].iter().enumerate() {
+            if f < t_lane_ps {
+                t_lane_ps = f;
+                lane_first = i;
+                lane_second = usize::MAX;
+                lane_ties = 1;
+            } else if f == t_lane_ps {
+                if lane_ties == 1 {
+                    lane_second = i;
                 }
-                _ => return None,
+                lane_ties += 1;
+            }
+        }
+        let t_lane = Time::from_ps(t_lane_ps);
+        let have_lane = lane_first != usize::MAX;
+
+        // Earliest wheel/overflow instant, computed *without* committing
+        // the cursor: a losing or beyond-horizon wheel stays untouched.
+        let mut t_wheel = Time::MAX;
+        let mut slot_num = 0u64;
+        let mut have_wheel = false;
+        if self.wheel_len == 0 {
+            if let Some(Reverse(top)) = self.overflow.peek() {
+                // Teleport target: the heap top is the earliest timed event
+                // outside the lanes, so it is also the earliest in the
+                // cursor slot it lands in — no scan.
+                t_wheel = top.at;
+                slot_num = top.at.as_ps() >> GRAN_SHIFT;
+                have_wheel = true;
             }
         } else {
-            // Slide: the occupancy bitmap hands us the next busy slot, and
-            // the bucket-min cache its batch instant — no bucket scan.
+            // Slide target: the occupancy bitmap hands us the next busy
+            // slot, and the bucket-min cache its batch instant — no bucket
+            // scan. The overflow heap cannot beat this: after every commit
+            // it only holds events at or beyond the window's end.
             let base = self.wheel_start >> GRAN_SHIFT;
             let ahead = self.first_occupied_ahead(base);
-            t_min = self.min_at[((base + ahead) & SLOT_MASK) as usize];
-            if t_min > horizon {
-                return None;
-            }
-            // The commit can only pull overflow events into slots beyond
-            // the *old* window's end — never into the cursor slot (a slot
-            // number congruent to it mod SLOTS would lie outside the new
-            // window) — so the cached `t_min` stays the cursor's minimum.
-            self.commit_cursor(base + ahead);
+            slot_num = base + ahead;
+            t_wheel = self.min_at[(slot_num & SLOT_MASK) as usize];
+            have_wheel = true;
         }
+
+        if !have_lane && !have_wheel {
+            return None;
+        }
+        let t_min = t_lane.min(t_wheel);
+        if t_min > horizon {
+            return None;
+        }
+
+        if have_lane && t_lane <= t_wheel {
+            if t_lane < t_wheel {
+                if lane_ties == 1 {
+                    // The hot lane path: one lane owns the earliest instant
+                    // outright. Its front is the next event; the rest of a
+                    // same-instant run (ascending seq by construction) is
+                    // staged in `due` so nothing posted *at* this instant
+                    // can jump ahead of it.
+                    let lane = &mut self.lanes[lane_first];
+                    let s = lane.pop_front();
+                    while lane.front().is_some_and(|f| f.at == t_lane) {
+                        let e = lane.pop_front().expect("peeked");
+                        self.due.push_back(e);
+                    }
+                    self.lane_fronts[lane_first] = lane.front().map_or(u64::MAX, |f| f.at.as_ps());
+                    return s;
+                }
+                if lane_ties == 2 {
+                    return self.merge_two_lanes(t_lane, lane_first, lane_second);
+                }
+            }
+            // Three or more lanes — or lanes and the wheel — tie.
+            return self.merge_tied_batch(t_min, have_wheel && t_wheel == t_min, slot_num);
+        }
+
+        // Wheel-only service: the pre-lane engine, unchanged.
+        // The commit can only pull overflow events into slots beyond
+        // the *old* window's end — never into the cursor slot (a slot
+        // number congruent to it mod SLOTS would lie outside the new
+        // window) — so `t_min` stays the cursor's minimum.
+        self.commit_cursor(slot_num);
         let cursor = self.cursor;
         let bucket = &mut self.wheel[cursor];
         debug_assert_eq!(
@@ -417,6 +590,96 @@ impl<M> TwoTier<M> {
         self.due.pop_front()
     }
 
+    /// Serve an instant owned by exactly two lanes — the dominant tie
+    /// shape by far (two hot delays landing on one instant; the wheel is
+    /// involved in well under 0.1% of ties). Each lane's same-instant run
+    /// ascends in seq, so a two-pointer merge restores the exact global
+    /// posting order without the generic path's full lane rescan and sort.
+    fn merge_two_lanes(&mut self, t: Time, a: usize, b: usize) -> Option<Scheduled<M>> {
+        debug_assert!(self.due.is_empty());
+        debug_assert!(a < b);
+        let (la, lb) = self.lanes.split_at_mut(b);
+        let (qa, qb) = (&mut la[a], &mut lb[0]);
+        loop {
+            let pick_a = match (qa.front(), qb.front()) {
+                (Some(x), Some(y)) if x.at == t && y.at == t => x.seq < y.seq,
+                (Some(x), _) if x.at == t => true,
+                (_, Some(y)) if y.at == t => false,
+                _ => break,
+            };
+            let e = if pick_a {
+                qa.pop_front()
+            } else {
+                qb.pop_front()
+            };
+            self.due.push_back(e.expect("peeked"));
+        }
+        self.lane_fronts[a] = qa.front().map_or(u64::MAX, |f| f.at.as_ps());
+        self.lane_fronts[b] = qb.front().map_or(u64::MAX, |f| f.at.as_ps());
+        debug_assert!(self.due.len() >= 2, "a two-lane tie has two events");
+        debug_assert!(self
+            .due
+            .iter()
+            .zip(self.due.iter().skip(1))
+            .all(|(x, y)| x.seq < y.seq));
+        self.due.pop_front()
+    }
+
+    /// Serve an instant `t` owned by several sources at once: the full
+    /// wheel batch at `t` (if `wheel_at_t`) plus every lane's same-instant
+    /// run. Each source contributes an ascending-seq run, so sorting the
+    /// merged batch by seq restores the exact global posting order. Cold:
+    /// pure two-lane ties — the overwhelming bulk of collisions — are
+    /// peeled off by [`TwoTier::merge_two_lanes`] before this runs, and
+    /// what remains (wheel involvement, 3+ lanes) is rare with tiny
+    /// batches, so a sort beats a k-way merge here.
+    #[inline(never)]
+    fn merge_tied_batch(
+        &mut self,
+        t: Time,
+        wheel_at_t: bool,
+        slot_num: u64,
+    ) -> Option<Scheduled<M>> {
+        debug_assert!(self.due.is_empty());
+        if wheel_at_t {
+            self.commit_cursor(slot_num);
+            let cursor = self.cursor;
+            let bucket = &mut self.wheel[cursor];
+            let mut rest_min = Time::MAX;
+            let before = bucket.len();
+            self.due.extend(bucket.extract_if(.., |s| {
+                if s.at == t {
+                    true
+                } else {
+                    if s.at < rest_min {
+                        rest_min = s.at;
+                    }
+                    false
+                }
+            }));
+            let bucket_len = self.wheel[cursor].len();
+            self.wheel_len -= before - bucket_len;
+            self.min_at[cursor] = rest_min;
+            if bucket_len == 0 {
+                self.clear_occupied(cursor);
+            }
+        }
+        for i in 0..self.lanes.len() {
+            if self.lane_fronts[i] != t.as_ps() {
+                continue;
+            }
+            let q = &mut self.lanes[i];
+            while q.front().is_some_and(|f| f.at == t) {
+                let e = q.pop_front().expect("peeked");
+                self.due.push_back(e);
+            }
+            self.lane_fronts[i] = q.front().map_or(u64::MAX, |f| f.at.as_ps());
+        }
+        self.due.make_contiguous().sort_unstable_by_key(|s| s.seq);
+        debug_assert!(self.due.iter().all(|s| s.at == t));
+        self.due.pop_front()
+    }
+
     fn pop_due(&mut self, horizon: Time) -> Option<Scheduled<M>> {
         if let Some(s) = self.due.pop_front() {
             return Some(s);
@@ -435,6 +698,7 @@ impl<M> TwoTier<M> {
             && self.fast.is_empty()
             && self.wheel_len == 0
             && self.overflow.is_empty()
+            && self.lanes.iter().all(|q| q.is_empty())
     }
 
     /// Release burst-sized capacity held since the last traffic peak.
@@ -460,6 +724,11 @@ impl<M> TwoTier<M> {
         }
         if self.overflow.capacity() > KEEP {
             self.overflow.shrink_to(KEEP.max(self.overflow.len()));
+        }
+        // Delay lanes keep their registration (the hot delays of the next
+        // sweep point are usually the same) but release burst capacity.
+        for q in &mut self.lanes {
+            q.shrink_to(KEEP.max(q.len()));
         }
     }
 }
@@ -514,8 +783,16 @@ struct EventQueue<M> {
     /// `events_posted = seq + train_extra` keeps counting individual events.
     train_extra: u64,
     kinds: EventKindCounts,
+    /// Free list of spent train buffers: dispatch drains a train in place
+    /// and returns the vector here, [`Ctx::train_buf`] hands it back out,
+    /// so steady-state burst flushes are allocation-free.
+    train_pool: Vec<Vec<M>>,
     imp: QueueImpl<M>,
 }
+
+/// Bound on pooled train buffers — enough for the deepest burst fan-out
+/// observed in the workloads while keeping idle retention small.
+const TRAIN_POOL_CAP: usize = 32;
 
 // One queue per world, so the variant size gap (the wheel's inline
 // occupancy bitmap) costs nothing — boxing it would put a pointer chase
@@ -527,16 +804,32 @@ enum QueueImpl<M> {
 }
 
 impl<M> EventQueue<M> {
-    fn new(kind: SchedulerKind) -> EventQueue<M> {
+    fn new(kind: SchedulerKind, lanes: bool) -> EventQueue<M> {
         let imp = match kind {
-            SchedulerKind::TwoTier => QueueImpl::TwoTier(TwoTier::new()),
+            SchedulerKind::TwoTier => QueueImpl::TwoTier(TwoTier::new(lanes)),
             SchedulerKind::Classic => QueueImpl::Classic(BinaryHeap::new()),
         };
         EventQueue {
             seq: 0,
             train_extra: 0,
             kinds: EventKindCounts::default(),
+            train_pool: Vec::new(),
             imp,
+        }
+    }
+
+    /// Hand out a pooled (empty, capacity-bearing) train buffer.
+    #[inline]
+    fn take_train_buf(&mut self) -> Vec<M> {
+        self.train_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a spent train buffer to the pool.
+    #[inline]
+    fn recycle_train(&mut self, mut buf: Vec<M>) {
+        if self.train_pool.len() < TRAIN_POOL_CAP {
+            buf.clear();
+            self.train_pool.push(buf);
         }
     }
 
@@ -574,10 +867,14 @@ impl<M> EventQueue<M> {
     /// sequence bit-for-bit.
     fn post_train(&mut self, now: Time, at: Time, to: ComponentId, mut msgs: Vec<M>) {
         match msgs.len() {
-            0 => return,
+            0 => return self.recycle_train(msgs),
             // A one-element train is posted as a plain message so the
             // degenerate case stays byte-identical to an unbatched post.
-            1 => return self.post(now, at, to, Event::Msg(msgs.pop().expect("len checked"))),
+            1 => {
+                let m = msgs.pop().expect("len checked");
+                self.recycle_train(msgs);
+                return self.post(now, at, to, Event::Msg(m));
+            }
             _ => {}
         }
         debug_assert!(at >= now, "cannot schedule in the past");
@@ -608,7 +905,7 @@ impl<M> EventQueue<M> {
                     // heap entirely.
                     t.fast.push_back(s);
                 } else {
-                    t.push_timed(s);
+                    t.push_timed(now, s);
                 }
             }
             QueueImpl::Classic(h) => h.push(Reverse(s)),
@@ -637,6 +934,7 @@ impl<M> EventQueue<M> {
     }
 
     fn shrink_idle(&mut self) {
+        self.train_pool = Vec::new();
         match &mut self.imp {
             QueueImpl::TwoTier(t) => t.shrink_idle(),
             QueueImpl::Classic(h) => {
@@ -706,6 +1004,14 @@ impl<M> Ctx<'_, M> {
     /// flush the train first (see the host's TX train buffering).
     pub fn send_train(&mut self, to: ComponentId, msgs: Vec<M>, delay: Time) {
         self.queue.post_train(self.now, self.now + delay, to, msgs);
+    }
+
+    /// An empty train buffer from the scheduler's free list (or a fresh
+    /// `Vec` when the pool is dry). Buffers handed to [`Ctx::send_train`]
+    /// return to the pool after dispatch, so a component that refills its
+    /// TX staging from here makes steady-state burst flushes alloc-free.
+    pub fn train_buf(&mut self) -> Vec<M> {
+        self.queue.take_train_buf()
     }
 
     /// Set a timer on the current component.
@@ -821,8 +1127,18 @@ impl<M: 'static> World<M> {
         World::with_scheduler(seed, default_scheduler())
     }
 
-    /// A world on an explicit scheduler implementation.
+    /// A world on an explicit scheduler implementation, with the
+    /// delay-lane optimization governed by the process default
+    /// (`NDP_LANES` / [`set_default_lanes`]).
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> World<M> {
+        World::with_scheduler_lanes(seed, kind, default_lanes())
+    }
+
+    /// A world on an explicit scheduler implementation with delay lanes
+    /// explicitly on or off — the constructor the lane-equivalence tests
+    /// use to compare both configurations deterministically. `lanes` only
+    /// affects [`SchedulerKind::TwoTier`]; the classic heap ignores it.
+    pub fn with_scheduler_lanes(seed: u64, kind: SchedulerKind, lanes: bool) -> World<M> {
         World {
             slots: Vec::new(),
             free: Vec::new(),
@@ -830,7 +1146,7 @@ impl<M: 'static> World<M> {
             peak_live: 0,
             stale_dropped: 0,
             deferred: Vec::new(),
-            queue: EventQueue::new(kind),
+            queue: EventQueue::new(kind, lanes),
             now: Time::ZERO,
             rng: SmallRng::seed_from_u64(seed),
             events_processed: 0,
@@ -994,10 +1310,11 @@ impl<M: 'static> World<M> {
                 // drains keep this bit-identical to the individual posts it
                 // replaces (a component retired mid-train drops the rest as
                 // stale, exactly as separate events would have).
-                Payload::Train(msgs) => {
-                    for m in msgs {
+                Payload::Train(mut msgs) => {
+                    for m in msgs.drain(..) {
                         self.dispatch_one(sched.to, Event::Msg(m));
                     }
+                    self.queue.recycle_train(msgs);
                 }
             }
         }
@@ -1695,6 +2012,128 @@ mod tests {
             let mut want: Vec<u32> = (0..500).collect();
             want.push(9999);
             assert_eq!(got, want, "shrinking mid-run must not drop or reorder");
+        }
+    }
+
+    #[test]
+    fn hot_delays_get_promoted_to_lanes_on_second_sighting() {
+        let mut w: World<u32> = World::with_scheduler_lanes(1, SchedulerKind::TwoTier, true);
+        let id = w.add(counter());
+        // Ten posts at one delay: the first is a candidate sighting (and
+        // lands in the wheel), the second promotes the lane, the rest ride it.
+        for i in 0..10 {
+            w.post(Time::from_ns(100), id, i);
+        }
+        {
+            let QueueImpl::TwoTier(t) = &w.queue.imp else {
+                panic!("two-tier world")
+            };
+            assert_eq!(t.lanes.len(), 1);
+            assert_eq!(t.lane_delays[0], Time::from_ns(100).as_ps());
+            assert_eq!(t.lanes[0].len(), 9, "first sighting stays in the wheel");
+            assert_eq!(
+                t.lane_fronts[0],
+                Time::from_ns(100).as_ps(),
+                "front cache must track the lane head"
+            );
+            assert_eq!(t.wheel_len, 1);
+        }
+        // The wheel event and the lane run tie at one instant: the merge
+        // must still deliver in exact posting order.
+        w.run_until_idle();
+        let got: Vec<u32> = w.get::<Counter>(id).msgs.iter().map(|m| m.1).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_shot_and_oversized_delays_never_pin_lanes() {
+        let mut w: World<u32> = World::with_scheduler_lanes(1, SchedulerKind::TwoTier, true);
+        let id = w.add(counter());
+        // Distinct delays seen once each: candidates only, no lanes.
+        for i in 1..20u64 {
+            w.post(Time::from_ns(i * 97), id, i as u32);
+        }
+        // RTO-scale and sentinel delays are lane-ineligible even repeated.
+        for _ in 0..4 {
+            w.post(Time::from_ms(50), id, 777);
+            w.post(Time::MAX, id, 888);
+        }
+        {
+            let QueueImpl::TwoTier(t) = &w.queue.imp else {
+                panic!("two-tier world")
+            };
+            assert!(t.lanes.is_empty(), "no delay repeated within the ring");
+        }
+        w.run_until_idle();
+        assert_eq!(w.get::<Counter>(id).msgs.len(), 27);
+    }
+
+    #[test]
+    fn lanes_toggle_is_results_invisible() {
+        // The A/B contract: lanes on, lanes off and the classic heap must
+        // produce byte-identical deliveries, trace hashes and counters on a
+        // workload mixing hot repeated delays, one-shots, same-instant
+        // collisions, trains, zero-delay chains, overflow-tier timers,
+        // interrupted runs and mid-run shrinks.
+        type RunResult = (Vec<(u64, u32)>, Vec<u32>, (u64, u64), u64);
+        fn run(kind: SchedulerKind, lanes: bool) -> RunResult {
+            let mut w: World<u32> = World::with_scheduler_lanes(7, kind, lanes);
+            w.enable_trace();
+            let id = w.add(counter());
+            let chain = w.add(ZeroDelayChain {
+                next: Some(id),
+                got: vec![],
+            });
+            let delays = [100u64, 100, 250, 100, 250, 65_536, 100, 777, 250, 100];
+            let mut v = 0u32;
+            for round in 0..6u64 {
+                let base = Time::from_ns(round * 300);
+                w.run_until(base); // advance `now` so delays repeat per round
+                for &d in &delays {
+                    w.post(base + Time::from_ns(d), id, v);
+                    v += 1;
+                }
+                // Same-instant collision between a laned delay and a train.
+                w.post_train(base + Time::from_ns(100), id, vec![v, v + 1, v + 2]);
+                v += 3;
+                w.post(base + Time::from_ns(100), chain, v); // fast-lane chain
+                v += 1;
+                w.post(base + Time::from_ms(3), id, v); // overflow tier
+                v += 1;
+                w.shrink_idle();
+            }
+            w.run_until_idle();
+            (
+                w.get::<Counter>(id).msgs.clone(),
+                w.get::<ZeroDelayChain>(chain).got.clone(),
+                w.trace_hash(),
+                w.events_processed(),
+            )
+        }
+        let reference = run(SchedulerKind::Classic, true);
+        assert_eq!(run(SchedulerKind::TwoTier, true), reference);
+        assert_eq!(run(SchedulerKind::TwoTier, false), reference);
+    }
+
+    #[test]
+    fn train_pool_recycles_dispatched_buffers() {
+        for kind in both_kinds() {
+            let mut w: World<u32> = World::with_scheduler(1, kind);
+            let id = w.add(counter());
+            w.post_train(Time::from_us(1), id, Vec::with_capacity(8));
+            w.post_train(Time::from_us(1), id, vec![1, 2, 3]);
+            w.run_until_idle();
+            // Both the empty train's vec and the dispatched one came back.
+            assert_eq!(w.queue.train_pool.len(), 2);
+            let buf = w.queue.take_train_buf();
+            assert!(buf.is_empty(), "pooled buffers are handed out empty");
+            assert!(buf.capacity() >= 3, "pooled buffers keep their capacity");
+            w.queue.recycle_train(buf);
+            w.shrink_idle();
+            assert!(
+                w.queue.train_pool.is_empty(),
+                "shrink_idle releases the train pool"
+            );
         }
     }
 

@@ -625,3 +625,219 @@ mod chaos_invariants {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler delay-lane equivalence: the TwoTier scheduler with per-delay FIFO
+// lanes must deliver in exactly the Classic heap's (time, posting-seq) order
+// under arbitrary interleavings of hot repeated delays, same-instant trains,
+// zero-delay forwards, partial drains, and retirement churn.
+
+mod scheduler_lanes {
+    use ndp::sim::{Component, ComponentId, Ctx, Event, SchedulerKind, Time, World};
+    use proptest::prelude::*;
+    use std::any::Any;
+
+    /// Logs every arrival; when `peer` is set, forwards each payload with
+    /// zero delay, exercising the fast lane from inside dispatch.
+    struct Echo {
+        peer: Option<ComponentId>,
+        log: Vec<(Time, u64)>,
+    }
+    impl Component<u64> for Echo {
+        fn handle(&mut self, ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+            if let Event::Msg(v) = ev {
+                self.log.push((ctx.now(), v));
+                if let Some(p) = self.peer {
+                    ctx.send(p, v, Time::ZERO);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Hot repeats (lane-promotable), one exact wheel granule, a
+    /// just-past-the-window delay, and two overflow-horizon delays.
+    fn delay(r: u64) -> Time {
+        match r % 9 {
+            0 | 1 => Time::from_ns(100),
+            2 | 3 => Time::from_ns(250),
+            4 => Time::from_ns(777),
+            5 => Time::from_ps(65_536),
+            6 => Time::from_us(80),
+            7 => Time::from_ms(3),
+            _ => Time::from_secs(30),
+        }
+    }
+
+    /// Everything observable about a run: per-component delivery logs
+    /// (time + payload, in order), the trace hash, the dispatched-event
+    /// count, and the stale-drop count.
+    type Outcome = (Vec<Vec<(Time, u64)>>, (u64, u64), u64, u64);
+
+    fn run(kind: SchedulerKind, lanes: bool, ops: &[u16]) -> Outcome {
+        let mut w: World<u64> = World::with_scheduler_lanes(7, kind, lanes);
+        w.enable_trace();
+        let sink = w.add(Echo {
+            peer: None,
+            log: vec![],
+        });
+        let fwd = w.add(Echo {
+            peer: Some(sink),
+            log: vec![],
+        });
+        let mut retired: Vec<ComponentId> = Vec::new();
+        let mut base = Time::ZERO;
+        let mut tag = 0u64;
+        for &x in ops {
+            tag += 1;
+            let (op, r) = (x % 12, (x / 12) as u64);
+            match op {
+                0..=2 => w.post(base + delay(r), sink, tag),
+                // Through the forwarder: arrival triggers a zero-delay hop
+                // from inside dispatch.
+                3 | 4 => w.post(base + delay(r), fwd, tag),
+                // Same-instant train; routed through the forwarder half the
+                // time so one train spawns a run of zero-delay hops.
+                5 | 6 => {
+                    let to = if op == 6 { fwd } else { sink };
+                    let msgs: Vec<u64> = (0..r % 4 + 1).map(|i| tag * 1000 + i).collect();
+                    w.post_train(base + delay(r), to, msgs);
+                }
+                // Spawn-and-retire churn: the pre-retire post goes stale.
+                7 => {
+                    let victim = w.add(Echo {
+                        peer: None,
+                        log: vec![],
+                    });
+                    w.post(base + delay(r), victim, tag);
+                    assert!(w.retire(victim));
+                    retired.push(victim);
+                }
+                // Post to an already-retired id: stale on arrival.
+                8 => {
+                    if let Some(&id) = retired.last() {
+                        w.post(base + delay(r), id, tag);
+                    }
+                }
+                // Partial drain, then advance the posting base.
+                9 | 10 => {
+                    let h = base + Time::from_ns(1 + r * 7);
+                    w.run_until(h);
+                    base = h;
+                }
+                _ => w.shrink_idle(),
+            }
+        }
+        w.run_until_idle();
+        let logs = vec![
+            w.get::<Echo>(sink).log.clone(),
+            w.get::<Echo>(fwd).log.clone(),
+        ];
+        (
+            logs,
+            w.trace_hash(),
+            w.events_processed(),
+            w.stale_events_dropped(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Three worlds — Classic, TwoTier with lanes, TwoTier without —
+        /// fed the same op script must agree on every delivery (time and
+        /// order), the trace hash, the event count and the stale count.
+        #[test]
+        fn lanes_preserve_exact_delivery_order(
+            ops in proptest::collection::vec(0u16..u16::MAX, 1..120),
+        ) {
+            let classic = run(SchedulerKind::Classic, false, &ops);
+            let lanes_on = run(SchedulerKind::TwoTier, true, &ops);
+            let lanes_off = run(SchedulerKind::TwoTier, false, &ops);
+            prop_assert_eq!(&lanes_on, &classic, "TwoTier+lanes diverged from Classic");
+            prop_assert_eq!(&lanes_off, &classic, "TwoTier w/o lanes diverged from Classic");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-on vs lane-off A/B at the experiment level: delay lanes are a pure
+// scheduler-internal reshuffling, so FCTs, goodput and even the dispatched
+// event count must be bit-identical on every registered topology entry.
+
+mod lane_ab {
+    use ndp::experiments::harness::{incast_run, permutation_run};
+    use ndp::experiments::{Proto, TopoSpec};
+    use ndp::sim::{set_default_lanes, Speed, Time};
+    use ndp::topology::{FatTreeCfg, LeafSpineCfg, TwoTierCfg};
+    use proptest::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes sections that flip the process-wide lane default, so the
+    /// A and B runs of one case can't interleave with another case's flip.
+    static LANE_TOGGLE: Mutex<()> = Mutex::new(());
+
+    /// All six registered topology entries at quick scale.
+    fn spec(ti: usize) -> TopoSpec {
+        match ti {
+            0 => TopoSpec::fattree(FatTreeCfg::new(4)),
+            1 => TopoSpec::leafspine(LeafSpineCfg::new(4, 4, 4)),
+            2 => TopoSpec::fattree(FatTreeCfg::new(4).with_hosts_per_tor(8)),
+            3 => TopoSpec::leafspine(LeafSpineCfg::new(4, 4, 4).with_uplink_speed(Speed::gbps(5))),
+            4 => TopoSpec::twotier(TwoTierCfg::testbed()),
+            _ => TopoSpec::backtoback(),
+        }
+    }
+
+    /// Runs `f` twice — lanes on, then off — restoring the on default.
+    fn ab<T>(f: impl Fn() -> T) -> (T, T) {
+        let _guard = LANE_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        set_default_lanes(true);
+        let a = f();
+        set_default_lanes(false);
+        let b = f();
+        set_default_lanes(true);
+        (a, b)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// Incast completion times are bit-identical with lanes on and
+        /// off, on all six registered topology entries.
+        #[test]
+        fn incast_fcts_lane_invariant(seed in 0u64..1000) {
+            for ti in 0..6 {
+                let s = spec(ti);
+                let n = (s.n_hosts() - 1).min(8);
+                let horizon = Time::from_ms(500);
+                let (a, b) =
+                    ab(|| incast_run(Proto::Ndp, spec(ti), n, 45_000, None, seed, horizon));
+                prop_assert_eq!(a.incomplete, b.incomplete, "topology {}", ti);
+                prop_assert_eq!(a.fcts, b.fcts, "lane toggle changed FCTs on topology {}", ti);
+                prop_assert_eq!(
+                    a.events_processed, b.events_processed,
+                    "lanes reorder nothing, so event counts must match (topology {})", ti
+                );
+            }
+        }
+
+        /// Permutation goodput and utilization are bit-identical with
+        /// lanes on and off, on all six registered topology entries.
+        #[test]
+        fn permutation_goodput_lane_invariant(seed in 0u64..1000) {
+            for ti in 0..6 {
+                let dur = Time::from_us(500);
+                let (a, b) = ab(|| permutation_run(Proto::Ndp, spec(ti), dur, seed, Some(12)));
+                prop_assert_eq!(&a.per_flow_gbps, &b.per_flow_gbps, "topology {}", ti);
+                prop_assert_eq!(a.utilization, b.utilization, "topology {}", ti);
+                prop_assert_eq!(a.events_processed, b.events_processed, "topology {}", ti);
+            }
+        }
+    }
+}

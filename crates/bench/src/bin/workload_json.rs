@@ -1,7 +1,13 @@
-//! Regenerate `BENCH_workload.json`: throughput of the open-loop
-//! dynamic-traffic runner on a fixed quick-scale point (NDP, web-search
-//! flow sizes, 30 % offered load, k=4 FatTree), reported as offered
-//! flows/sec and engine events/sec of wall-clock time.
+//! Regenerate `BENCH_workload.json`: two workload-layer kernels, each
+//! reported as best-of-`reps` wall-clock throughput.
+//!
+//! * `open_loop` — the open-loop dynamic-traffic runner on a fixed
+//!   quick-scale point (NDP, web-search flow sizes, 30 % offered load,
+//!   k=4 FatTree): offered flows/sec and engine events/sec.
+//! * `rpc_generation` — pure request-tree generation: one fan-out-8 RPC
+//!   tenant's Poisson stream drained to its horizon (no simulation),
+//!   requests/sec and legs/sec. This is the workload half of the RPC
+//!   serving subsystem, isolated from the engine.
 //!
 //! Usage: `cargo run --release -p ndp-bench --bin workload_json [reps]`
 //! from the repository root; writes `BENCH_workload.json` to the current
@@ -13,6 +19,7 @@ use ndp_experiments::topo::TopoSpec;
 use ndp_experiments::Proto;
 use ndp_sim::Time;
 use ndp_topology::FatTreeCfg;
+use ndp_workloads::{ArrivalProcess, EmpiricalCdf, RpcProfile, RpcWorkload, TenantMix, TreeShape};
 use std::time::Instant;
 
 fn point() -> OpenLoopPoint {
@@ -28,19 +35,41 @@ fn point() -> OpenLoopPoint {
     }
 }
 
+fn rpc_workload() -> RpcWorkload {
+    let profile = RpcProfile {
+        name: "bench_rpc",
+        shape: TreeShape::FanIn,
+        fanout: 8,
+        leg_sizes: EmpiricalCdf::websearch(),
+        response_sizes: Some(EmpiricalCdf::fixed("rsp", 1_460)),
+        arrivals: ArrivalProcess::Poisson { rate_hz: 100_000.0 },
+        closed_loop_width: 1,
+        slo_ps: 1_000_000,
+        clients: None,
+    };
+    RpcWorkload::new(
+        256,
+        TenantMix::new(vec![profile]),
+        7,
+        Time::from_secs(2).as_ps(),
+    )
+}
+
 fn main() {
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(3);
-    let mut best = f64::INFINITY;
+
+    // Kernel 1: open-loop simulation runner.
+    let mut ol_best = f64::INFINITY;
     let mut last: Option<OpenLoopResult> = None;
     for _ in 0..reps {
         let start = Instant::now();
         let r = openloop_run(point());
         let secs = start.elapsed().as_secs_f64();
         assert!(r.measured > 0 && !r.slowdown.is_empty(), "degenerate point");
-        best = best.min(secs);
+        ol_best = ol_best.min(secs);
         last = Some(r);
     }
     let r = last.expect("at least one rep");
@@ -48,24 +77,65 @@ fn main() {
         r.live_components_end, r.live_components_baseline,
         "live components must drain back to the pre-traffic baseline"
     );
+
+    // Kernel 2: RPC request-tree generation, no engine in the loop.
+    let mut rpc_best = f64::INFINITY;
+    let mut requests = 0u64;
+    let mut legs = 0u64;
+    let mut leg_bytes = 0u64;
+    for _ in 0..reps {
+        let wl = rpc_workload();
+        requests = 0;
+        legs = 0;
+        leg_bytes = 0;
+        let start = Instant::now();
+        for req in wl {
+            requests += 1;
+            legs += req.legs.len() as u64;
+            leg_bytes += req.legs.iter().map(|l| l.bytes).sum::<u64>();
+            if let Some(rsp) = &req.response {
+                legs += 1;
+                leg_bytes += rsp.bytes;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert!(requests > 100_000, "degenerate RPC stream: {requests}");
+        rpc_best = rpc_best.min(secs);
+    }
+
     let json = format!(
-        "{{\n  \"workload\": \"open-loop NDP, websearch sizes, 30% load, k=4 FatTree, 21 ms simulated, seed 7\",\n  \
-           \"offered_flows\": {},\n  \
-           \"events\": {},\n  \
-           \"best_secs\": {:.4},\n  \
-           \"flows_per_sec\": {:.0},\n  \
-           \"events_per_sec\": {:.0},\n  \
-           \"peak_live_flows\": {},\n  \
-           \"peak_live_components\": {},\n  \
-           \"live_components_baseline\": {}\n}}\n",
+        "{{\n  \"open_loop\": {{\n    \
+           \"workload\": \"open-loop NDP, websearch sizes, 30% load, k=4 FatTree, 21 ms simulated, seed 7\",\n    \
+           \"offered_flows\": {},\n    \
+           \"events\": {},\n    \
+           \"best_secs\": {:.4},\n    \
+           \"flows_per_sec\": {:.0},\n    \
+           \"events_per_sec\": {:.0},\n    \
+           \"peak_live_flows\": {},\n    \
+           \"peak_live_components\": {},\n    \
+           \"live_components_baseline\": {}\n  }},\n  \
+           \"rpc_generation\": {{\n    \
+           \"workload\": \"fan-out-8 RPC trees, websearch shard sizes, 100k req/s Poisson, 2 s horizon, 256 hosts, seed 7\",\n    \
+           \"requests\": {},\n    \
+           \"legs\": {},\n    \
+           \"leg_bytes\": {},\n    \
+           \"best_secs\": {:.4},\n    \
+           \"requests_per_sec\": {:.0},\n    \
+           \"legs_per_sec\": {:.0}\n  }}\n}}\n",
         r.offered,
         r.events_processed,
-        best,
-        r.offered as f64 / best,
-        r.events_processed as f64 / best,
+        ol_best,
+        r.offered as f64 / ol_best,
+        r.events_processed as f64 / ol_best,
         r.peak_live_flows,
         r.peak_live_components,
         r.live_components_baseline,
+        requests,
+        legs,
+        leg_bytes,
+        rpc_best,
+        requests as f64 / rpc_best,
+        legs as f64 / rpc_best,
     );
     print!("{json}");
     std::fs::write("BENCH_workload.json", json).expect("write BENCH_workload.json");

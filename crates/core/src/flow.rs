@@ -363,6 +363,77 @@ mod tests {
     use ndp_net::packet::PacketKind;
 
     #[test]
+    fn lost_tail_pull_stalls_stock_sender_but_liveness_net_recovers() {
+        // A NACKed packet leaves the RTO's jurisdiction (nothing is
+        // outstanding) and waits for a PULL. If that pull — the last one
+        // the receiver owes — is lost, the stock sender stalls forever:
+        // `pull_liveness` is the opt-in net that self-clocks after a full
+        // RTO of silence.
+        use ndp_net::host::{Endpoint, EndpointCtx};
+        use std::any::Any;
+        struct Recorder {
+            data_seqs: Vec<u32>,
+        }
+        impl Endpoint for Recorder {
+            fn on_start(&mut self, _c: &mut EndpointCtx<'_, '_>) {}
+            fn on_packet(&mut self, p: Packet, _c: &mut EndpointCtx<'_, '_>) {
+                if p.kind == PacketKind::Data {
+                    self.data_seqs.push(p.seq);
+                }
+            }
+            fn on_timer(&mut self, _t: u8, _c: &mut EndpointCtx<'_, '_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        for liveness in [false, true] {
+            let (mut w, b) = b2b(8);
+            let cfg = NdpFlowCfg {
+                iw_pkts: 2,
+                n_paths: 1,
+                pull_liveness: liveness,
+                ..NdpFlowCfg::new(2 * 8936)
+            };
+            let sender = NdpSender::new(1, 1, cfg);
+            w.get_mut::<Host>(b.hosts[0])
+                .add_endpoint(1, Box::new(sender));
+            w.get_mut::<Host>(b.hosts[1])
+                .add_endpoint(1, Box::new(Recorder { data_seqs: vec![] }));
+            w.post_wake(Time::ZERO, b.hosts[0], 1 << 8);
+            w.run_until(Time::from_us(50));
+            // Hand-feed the feedback the silent Recorder never sends:
+            // seq 1 ACKed, seq 0 trimmed (NACK). The pull that the NACK
+            // implies is "lost" — no pull ever arrives.
+            let mut ack = Packet::control(1, 0, 1, PacketKind::Ack);
+            ack.seq = 1;
+            w.post(Time::from_us(60), b.hosts[0], ack);
+            let mut nack = Packet::control(1, 0, 1, PacketKind::Nack);
+            nack.seq = 0;
+            w.post(Time::from_us(61), b.hosts[0], nack);
+            w.run_until(Time::from_ms(20));
+            let h = w.get::<Host>(b.hosts[0]);
+            let s: &NdpSender = h.endpoint(1);
+            if liveness {
+                assert!(
+                    s.stats.rtx_rto >= 1,
+                    "liveness net must fire for the lost pull"
+                );
+                let r: &Recorder = w.get::<Host>(b.hosts[1]).endpoint(1);
+                assert!(
+                    r.data_seqs.iter().skip(2).any(|&q| q == 0),
+                    "seq 0 must be retransmitted, got {:?}",
+                    r.data_seqs
+                );
+            } else {
+                assert_eq!(
+                    s.stats.retransmissions, 0,
+                    "stock sender has no recovery path for a lost tail pull"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn determinism_same_seed_same_fct() {
         fn run(seed: u64) -> Time {
             let mut w: World<Packet> = World::new(seed);

@@ -67,6 +67,19 @@ pub struct NdpFlowCfg {
     pub path_penalty: bool,
     /// Receiver pulls this flow with strict priority.
     pub high_priority: bool,
+    /// Opt-in recovery net for lost PULL packets. The stock RTO (§3.2.4)
+    /// only tracks *outstanding* data: once every sent packet has ACK or
+    /// NACK feedback, all remaining transmissions wait on the receiver's
+    /// pull clock. Pulls carry a cumulative counter, so a lost pull is
+    /// normally repaired by the next one — but if the *last* pull the
+    /// receiver owed us is lost, no later pull exists, the receiver has no
+    /// timer, and the flow stalls forever. With this flag set, a full RTO
+    /// of total silence with work still queued self-clocks one packet to
+    /// restart the feedback loop. Off by default: the net can fire
+    /// spuriously when a pull queue is more than an RTO deep (massive
+    /// incast), so only request-serving workloads that need every leg to
+    /// complete opt in.
+    pub pull_liveness: bool,
     /// Completion notification: (component, token) woken when done.
     pub notify: Option<(ComponentId, u64)>,
 }
@@ -81,6 +94,7 @@ impl NdpFlowCfg {
             n_paths: 1,
             path_penalty: true,
             high_priority: false,
+            pull_liveness: false,
             notify: None,
         }
     }
@@ -353,6 +367,40 @@ impl NdpSender {
             self.queue_rtx(seq);
         }
     }
+
+    /// RTO expiry with nothing outstanding. Stock behaviour: stay quiet —
+    /// every remaining transmission is the pull clock's job. With
+    /// [`NdpFlowCfg::pull_liveness`] set, a full RTO of total silence with
+    /// work still queued means the pull clock itself died (the tail pull
+    /// was lost); self-clock one packet so feedback starts flowing again.
+    /// The packet goes out via [`NdpSender::send_data`], becomes
+    /// outstanding, and re-arms the regular RTO, so repeated losses keep
+    /// being retried.
+    fn pull_liveness_timer(&mut self, ctx: &mut EndpointCtx<'_, '_>) {
+        if !self.cfg.pull_liveness {
+            return;
+        }
+        if self.rtx_q.is_empty() && self.next_new >= self.total_pkts {
+            return;
+        }
+        let now = ctx.now();
+        let deadline = self.last_activity + self.cfg.rto;
+        if now < deadline {
+            // Feedback flowed more recently than a full RTO ago: the pull
+            // may simply be queued. Keep the net armed and check again.
+            self.rto_armed = true;
+            ctx.timer_in(deadline - now, RTO_TOKEN);
+            return;
+        }
+        self.stats.rtx_rto += 1;
+        if let Some(seq) = self.pop_rtx() {
+            self.send_data(seq, true, None, ctx);
+        } else {
+            let seq = self.next_new;
+            self.next_new += 1;
+            self.send_data(seq, false, None, ctx);
+        }
+    }
 }
 
 impl Endpoint for NdpSender {
@@ -395,7 +443,11 @@ impl Endpoint for NdpSender {
             return;
         }
         self.rto_armed = false;
-        if self.done || self.outstanding_count == 0 {
+        if self.done {
+            return;
+        }
+        if self.outstanding_count == 0 {
+            self.pull_liveness_timer(ctx);
             return;
         }
         let now = ctx.now();

@@ -218,12 +218,14 @@ fn telemetry_json(points: &[PointTelemetry]) -> Json {
         ("points", Json::num(s.points as f64)),
         ("gauge_records", Json::num(s.gauge_records as f64)),
         ("span_records", Json::num(s.span_records as f64)),
+        ("request_records", Json::num(s.request_records as f64)),
         ("hop_records", Json::num(s.hop_records as f64)),
         ("gauges_evicted", Json::num(s.gauges_evicted as f64)),
         ("hops_evicted", Json::num(s.hops_evicted as f64)),
         ("peak_queue_bytes", Json::num(s.peak_queue_bytes as f64)),
         ("max_span_gap_ps", Json::num(s.max_span_gap_ps as f64)),
         ("stuck_spans", Json::num(s.stuck_spans as f64)),
+        ("stuck_requests", Json::num(s.stuck_requests as f64)),
     ])
 }
 
@@ -250,8 +252,15 @@ fn write_trace_files(path: &str, points: &[PointTelemetry], json: bool) {
     if !json {
         let s = ndp_telemetry::summarize(points);
         eprintln!(
-            "trace: {} points, {} gauges, {} spans ({} stuck), {} hops -> {path} + {chrome}",
-            s.points, s.gauge_records, s.span_records, s.stuck_spans, s.hop_records
+            "trace: {} points, {} gauges, {} spans ({} stuck), {} requests ({} stuck), \
+             {} hops -> {path} + {chrome}",
+            s.points,
+            s.gauge_records,
+            s.span_records,
+            s.stuck_spans,
+            s.request_records,
+            s.stuck_requests,
+            s.hop_records
         );
     }
 }

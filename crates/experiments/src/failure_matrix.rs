@@ -348,6 +348,7 @@ pub(crate) fn failure_world_run(point: &FailurePoint) -> FailureResult {
             gauges,
             gauges_evicted,
             spans: tele_spans.map_or(Vec::new(), |s| ndp_telemetry::span::take_spans(&s)),
+            requests: Vec::new(),
             hops,
             hops_evicted,
         });

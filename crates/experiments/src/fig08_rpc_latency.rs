@@ -7,13 +7,17 @@
 //! C-state wake-up the paper found dominates the gap. Expected ordering:
 //! NDP ≪ TFO(no sleep) < TCP(no sleep) < TFO < TCP.
 
+use std::sync::Arc;
+
 use ndp_metrics::{Cdf, Table};
 use ndp_net::host::HostLatency;
 use ndp_net::packet::Packet;
-use ndp_sim::{ComponentId, Speed, Time, World};
-use ndp_topology::{BackToBack, QueueSpec};
+use ndp_sim::{Speed, Time, World};
+use ndp_topology::{BackToBack, QueueSpec, Topology};
+use ndp_workloads::{ArrivalProcess, EmpiricalCdf, RpcProfile, RpcWorkload, TenantMix, TreeShape};
 
-use crate::harness::{attach_generic, FlowSpec, Proto, Scale, Trigger};
+use crate::harness::{Proto, Scale};
+use crate::rpc::RpcDriver;
 use ndp_baselines::tcp::Handshake;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,8 +88,14 @@ pub struct Report {
 }
 
 /// One request/response pair per RPC: client sends 1 KB, server replies
-/// 1 KB when the request completes. RPCs repeat with a 1 ms think time
+/// 1 KB when the request completes. RPCs repeat with a ~1 ms think time
 /// (long enough for deep sleep to kick in, as in the paper's testbed).
+///
+/// The RPC loop is one closed-loop [`RpcProfile`] (ping-pong shape, chain
+/// width 1) driven by the [`RpcDriver`]; the TCP/TFO handshake variants
+/// ride the driver's pluggable attach hook instead of the generic
+/// per-protocol path, so the only bespoke piece left is the per-stack
+/// host latency model.
 fn run_stack(stack: Stack, n_rpcs: usize) -> Cdf {
     let mut world: World<Packet> = World::new(99);
     let b2b = BackToBack::build(
@@ -99,106 +109,58 @@ fn run_stack(stack: Stack, n_rpcs: usize) -> Cdf {
         },
         stack.latency_model(),
     );
-    let trig: ComponentId = world.reserve();
-    let mut trigger = Trigger::new();
-    let think = Time::from_ms(1);
-    for i in 0..n_rpcs {
-        let req_flow = (2 * i + 1) as u64;
-        let rsp_flow = (2 * i + 2) as u64;
-        // Request: client (host0) -> server (host1). All flows are armed
-        // far in the future; the trigger chain (and one explicit kick for
-        // the first request) provides the actual start times.
-        let mut req = FlowSpec::new(req_flow, 0, 1, 1_000);
-        req.notify = Some((trig, req_flow));
-        req.start = Time::MAX;
-        // The response flow is started by the trigger when the request
-        // completes; the *next* request starts when the response completes.
-        let mut rsp = FlowSpec::new(rsp_flow, 1, 0, 1_000);
-        rsp.notify = Some((trig, rsp_flow));
-        rsp.start = Time::MAX;
-        match stack.proto() {
-            Proto::Ndp => {
-                attach_generic(
-                    &mut world,
-                    Proto::Ndp,
-                    &req,
-                    (b2b.hosts[0], 0),
-                    (b2b.hosts[1], 1),
-                    1,
-                    1500,
-                );
-                attach_generic(
-                    &mut world,
-                    Proto::Ndp,
-                    &rsp,
-                    (b2b.hosts[1], 1),
-                    (b2b.hosts[0], 0),
-                    1,
-                    1500,
-                );
-            }
-            _ => {
-                let mk = |spec: &FlowSpec, src: u32, dst: u32| {
-                    let mut cfg = ndp_baselines::tcp::TcpCfg::new(spec.size);
-                    cfg.mtu = 1500;
-                    cfg.handshake = stack.handshake();
-                    cfg.notify = spec.notify;
-                    (cfg, src, dst)
-                };
-                let (cfg, _, _) = mk(&req, 0, 1);
+    let hosts = b2b.hosts;
+    let topo: Arc<dyn Topology> = Arc::new(b2b);
+    let profile = RpcProfile {
+        name: "fig08_rpc",
+        shape: TreeShape::PingPong,
+        fanout: 1,
+        leg_sizes: EmpiricalCdf::fixed("req", 1_000),
+        response_sizes: Some(EmpiricalCdf::fixed("rsp", 1_000)),
+        arrivals: ArrivalProcess::ClosedLoop {
+            median_gap_ps: Time::from_ms(1).as_ps(),
+        },
+        closed_loop_width: 1,
+        slo_ps: Time::from_ms(1).as_ps(),
+        clients: Some(vec![0]),
+    };
+    let horizon = Time::from_secs(30);
+    let workload = RpcWorkload::new(2, TenantMix::new(vec![profile]), 99, horizon.as_ps());
+    let drv = RpcDriver::install_into(&mut world, stack.proto(), topo, workload, Time::ZERO);
+    if stack.proto() != Proto::Ndp {
+        // Kernel-stack variants: same driver, but legs attach as TCP
+        // flows with the stack's handshake model.
+        let handshake = stack.handshake();
+        world
+            .get_mut::<RpcDriver>(drv)
+            .set_attach(Arc::new(move |w, spec| {
+                let mut cfg = ndp_baselines::tcp::TcpCfg::new(spec.size);
+                cfg.mtu = 1500;
+                cfg.handshake = handshake;
+                cfg.notify = spec.notify;
                 ndp_baselines::tcp::attach_tcp_flow(
-                    &mut world,
-                    req_flow,
-                    (b2b.hosts[0], 0),
-                    (b2b.hosts[1], 1),
+                    w,
+                    spec.flow,
+                    (hosts[spec.src as usize], spec.src),
+                    (hosts[spec.dst as usize], spec.dst),
                     cfg,
-                    Time::MAX, // started by trigger
+                    spec.start,
                 );
-                let (cfg, _, _) = mk(&rsp, 1, 0);
-                ndp_baselines::tcp::attach_tcp_flow(
-                    &mut world,
-                    rsp_flow,
-                    (b2b.hosts[1], 1),
-                    (b2b.hosts[0], 0),
-                    cfg,
-                    Time::MAX,
-                );
-            }
-        }
-        // request done -> start response immediately.
-        trigger.on(req_flow, Time::ZERO, vec![(b2b.hosts[1], rsp_flow << 8)]);
-        // response done -> start next request after think time.
-        if i + 1 < n_rpcs {
-            let next_req = (2 * (i + 1) + 1) as u64;
-            trigger.on(rsp_flow, think, vec![(b2b.hosts[0], next_req << 8)]);
-        }
+            }));
     }
-    world.install(trig, trigger);
-    // Kick off the first request.
-    world.post_wake(Time::ZERO, b2b.hosts[0], 1u64 << 8);
-    world.run_until(Time::from_secs(30));
-    // NDP flows get started by attach at their `start` time; we posted
-    // Time::ZERO starts for flow 1 only — NDP attach also posted start
-    // wakes, which for requests >1 must be ignored until triggered. To keep
-    // this simple, NDP RPCs are measured from the trigger log instead.
-    let trig_ref = world.get::<Trigger>(trig);
-    let mut samples = Vec::new();
-    let mut prev_rsp_done: Option<Time> = None;
-    for i in 0..n_rpcs {
-        let req_flow = (2 * i + 1) as u64;
-        let rsp_flow = (2 * i + 2) as u64;
-        let (Some(_req_done), Some(rsp_done)) =
-            (trig_ref.fired_at(req_flow), trig_ref.fired_at(rsp_flow))
-        else {
-            continue;
-        };
-        let started = match prev_rsp_done {
-            None => Time::ZERO,
-            Some(t) => t + think,
-        };
-        prev_rsp_done = Some(rsp_done);
-        samples.push((rsp_done - started).as_us());
+    let chunk = Time::from_ms(5);
+    let mut target = Time::ZERO;
+    while world.get::<RpcDriver>(drv).completed.len() < n_rpcs && target < horizon {
+        target = (target + chunk).min(horizon);
+        world.run_until(target);
     }
+    let samples: Vec<f64> = world
+        .get::<RpcDriver>(drv)
+        .completed
+        .iter()
+        .take(n_rpcs)
+        .map(|c| c.latency.as_us())
+        .collect();
     Cdf::from_samples(samples)
 }
 

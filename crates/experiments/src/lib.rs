@@ -25,6 +25,7 @@ pub mod json;
 pub mod openloop;
 pub mod quick;
 pub mod registry;
+pub mod rpc;
 pub mod sweep;
 pub mod topo;
 pub mod topo_matrix;

@@ -114,6 +114,8 @@ pub static EXPERIMENTS: &[&dyn Experiment] = &[
     &crate::openloop::OversubLoad,
     &crate::topo_matrix::TopoMatrix,
     &crate::failure_matrix::FailureMatrix,
+    &crate::rpc::RpcSweep,
+    &crate::rpc::RpcTenantMix,
     &crate::inline_results::Inline,
     &crate::quick::Quickstart,
 ];
@@ -216,8 +218,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn twenty_five_experiments_with_unique_ids() {
-        assert_eq!(EXPERIMENTS.len(), 25);
+    fn twenty_seven_experiments_with_unique_ids() {
+        assert_eq!(EXPERIMENTS.len(), 27);
         let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         let before = ids.len();
@@ -252,6 +254,8 @@ mod tests {
             "oversub_load",
             "topo_matrix",
             "failure_matrix",
+            "rpc_sweep",
+            "rpc_tenant_mix",
         ] {
             let e = find(id).unwrap_or_else(|| panic!("{id} not registered"));
             assert!(e.supports_topo(), "{id} should accept --topo");

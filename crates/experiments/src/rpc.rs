@@ -1,0 +1,1636 @@
+//! The RPC serving subsystem: fan-out/fan-in request trees graded by
+//! end-to-end request latency, not per-flow FCT.
+//!
+//! # Driver
+//!
+//! [`RpcDriver`] is the request-tree counterpart of the open-loop
+//! [`crate::openloop::Spawner`]: one self-wake chain walks the merged
+//! request stream of an [`RpcWorkload`] inside simulated time. At each
+//! request's arrival instant it attaches *all* shard legs through the
+//! engine's deferred-op path (the response path is a natural N:1 incast
+//! onto the client ToR); each leg's `FlowSpec.notify` points back at the
+//! driver, so fan-in completion is tracked exactly — a request is done
+//! when its *last* flow is done, optionally after a sequential upstream
+//! response flow. Completions feed per-tenant request-latency digests
+//! ([`ndp_metrics::TenantDigest`]): p50/p99/p999 with sample-size
+//! confidence gates, SLO attainment against the tenant deadline, and
+//! straggler attribution. Closed-loop tenants are self-clocked: each
+//! completion asks the workload for the chain's next request.
+//!
+//! # Experiments
+//!
+//! * `rpc_sweep` — request latency vs. client load × fan-out degree on a
+//!   leaf-spine fabric, NDP vs DCTCP vs pHost. The paper's §5 serving
+//!   claim in request terms: fan-in trees are exactly where trimming
+//!   beats drop-tail loss recovery, because one timed-out straggler leg
+//!   blows the whole request deadline.
+//! * `rpc_tenant_mix` — a web-search RPC tenant, a data-mining bulk
+//!   tenant and a bursty background tenant sharing one fabric; per-tenant
+//!   SLO attainment in the mix vs. each tenant alone quantifies
+//!   cross-tenant interference per protocol.
+//!
+//! Both are `--topo`-neutral: tenant arrival rates are declared as
+//! *loads* ([`ArrivalSpec`]) and resolved against the built topology's
+//! host count and NIC speed, so the same experiment runs on any
+//! registered fabric. With `--trace`, request spans (and the
+//! `FlowSpan.request` back-links on their legs) surface the fan-out trees
+//! in the NDJSON/Perfetto exports.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ndp_metrics::{Table, TenantDigest};
+use ndp_net::packet::{FlowId, HostId, Packet};
+use ndp_net::{CompletionSink, Host};
+use ndp_sim::{Component, ComponentId, Ctx, Event, EventKindCounts, SchedulerKind, Time, World};
+use ndp_topology::Topology;
+use ndp_workloads::{
+    ArrivalProcess, EmpiricalCdf, FlowLeg, RpcProfile, RpcRequest, RpcWorkload, TenantMix,
+    TreeShape,
+};
+
+use crate::harness::{FlowSpec, Proto, Scale};
+use crate::openloop::SWEEP_PROTOS;
+use crate::sweep::SweepSpec;
+use crate::topo::{registered, TopoEntry, TopoSpec};
+
+/// The driver's self-wake token. Completion wakes carry the flow id, and
+/// flow ids start at 1 and count up, so `u64::MAX` can never collide.
+const SPAWN_TICK: u64 = u64::MAX;
+
+/// Pluggable flow-attach hook: how the driver turns a due [`FlowSpec`]
+/// into live endpoints. `None` uses the standard
+/// [`crate::harness::attach_generic`] path; the Figure 8 port substitutes
+/// its handshake-variant TCP attach here.
+pub type AttachFn = Arc<dyn Fn(&mut World<Packet>, &FlowSpec) + Send + Sync>;
+
+/// Which flow of a request tree a live flow is.
+#[derive(Clone, Copy, Debug)]
+enum LegRef {
+    /// Parallel shard leg `i`.
+    Leg(u32),
+    /// The sequential follow-up flow.
+    Response,
+}
+
+/// One in-flight flow's bookkeeping, keyed by flow id.
+#[derive(Clone, Copy, Debug)]
+struct FlowRef {
+    req: u64,
+    leg: LegRef,
+    src: HostId,
+    dst: HostId,
+    bytes: u64,
+    start: Time,
+}
+
+/// One in-flight request tree, dropped the instant its last flow is done.
+#[derive(Clone, Debug)]
+struct LiveRequest {
+    tenant: u32,
+    seq: u64,
+    client: HostId,
+    start: Time,
+    measured: bool,
+    /// Shard legs still in flight; the fan-in completes at zero.
+    legs_left: usize,
+    fanout: u32,
+    max_leg_bytes: u64,
+    /// Index and size of the last shard leg to finish (the straggler).
+    last_leg: u32,
+    last_leg_bytes: u64,
+    /// Deferred sequential stage, taken when the fan-in completes.
+    response: Option<FlowLeg>,
+}
+
+/// A finished request's sample, buffered until the runner's next
+/// streaming drain.
+#[derive(Clone, Copy, Debug)]
+pub struct CompletedRequest {
+    pub tenant: u32,
+    pub seq: u64,
+    pub start: Time,
+    /// End-to-end: request arrival to last-flow completion.
+    pub latency: Time,
+    pub straggler_leg: u32,
+    pub straggler_was_largest: bool,
+    pub measured: bool,
+}
+
+/// Closed-loop follow-ups waiting for their think-time instant, ordered
+/// like the workload's open-loop merge: `(time, tenant, seq)`.
+struct QueuedRequest(RpcRequest);
+
+impl PartialEq for QueuedRequest {
+    fn eq(&self, other: &QueuedRequest) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueuedRequest {}
+impl PartialOrd for QueuedRequest {
+    fn partial_cmp(&self, other: &QueuedRequest) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedRequest {
+    fn cmp(&self, other: &QueuedRequest) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl QueuedRequest {
+    fn key(&self) -> (u64, u32, u64) {
+        (self.0.start_ps, self.0.tenant, self.0.seq)
+    }
+}
+
+/// What the fan-in bookkeeping decided a finished flow triggers.
+enum AfterFlow {
+    Nothing,
+    Response(u64, FlowLeg),
+    Complete(u64),
+}
+
+/// Still-live flows and requests handed back by [`RpcDriver::drain_live`]
+/// when a runner's drain cap expires.
+type DrainedLive = (Vec<(FlowId, FlowRef)>, Vec<(u64, LiveRequest)>);
+
+/// Drives request trees through their whole lifecycle inside simulated
+/// time — the [`crate::openloop::Spawner`] pattern lifted from flows to
+/// requests. Live state is O(requests in flight), never O(requests ever
+/// offered): legs attach lazily at the request's arrival instant and both
+/// endpoints detach the moment each leg completes.
+pub struct RpcDriver {
+    proto: Proto,
+    topo: Arc<dyn Topology>,
+    workload: RpcWorkload,
+    /// Next open-loop arrival, pulled from the stream but not yet due.
+    pending_open: Option<RpcRequest>,
+    /// Closed-loop follow-ups not yet due.
+    pending_closed: BinaryHeap<Reverse<QueuedRequest>>,
+    next_flow: FlowId,
+    next_req: u64,
+    warmup: Time,
+    live: HashMap<u64, LiveRequest>,
+    flows: HashMap<FlowId, FlowRef>,
+    /// Completed-request samples since the runner's last drain.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests spawned so far.
+    pub started: u64,
+    /// Requests that arrived inside the measurement window.
+    pub measured_arrivals: usize,
+    /// Per-tenant measured arrivals — each tenant digest's `offered`.
+    pub measured_per_tenant: Vec<u64>,
+    pub peak_live_requests: usize,
+    pub peak_live_flows: usize,
+    /// Attach override; `None` = the generic per-protocol path.
+    attach: Option<AttachFn>,
+    spans: Option<ndp_telemetry::SpanLog>,
+    requests_log: Option<ndp_telemetry::RequestLog>,
+    live_gauge: Option<Arc<AtomicU64>>,
+}
+
+impl RpcDriver {
+    /// Install a driver over a request workload and arm its first wake.
+    /// Seeds every closed-loop tenant's initial chains, then pulls the
+    /// open-loop stream lazily.
+    pub fn install_into(
+        world: &mut World<Packet>,
+        proto: Proto,
+        topo: Arc<dyn Topology>,
+        mut workload: RpcWorkload,
+        warmup: Time,
+    ) -> ComponentId {
+        let mut pending_closed = BinaryHeap::new();
+        for req in workload.initial_closed_loop() {
+            pending_closed.push(Reverse(QueuedRequest(req)));
+        }
+        let pending_open = workload.next();
+        let first_open = pending_open.as_ref().map(|r| r.start_ps);
+        let first_closed = pending_closed.peek().map(|Reverse(q)| q.0.start_ps);
+        let first = match (first_open, first_closed) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let id = world.add(RpcDriver {
+            proto,
+            topo,
+            workload,
+            pending_open,
+            pending_closed,
+            next_flow: 1,
+            next_req: 0,
+            warmup,
+            live: HashMap::new(),
+            flows: HashMap::new(),
+            completed: Vec::new(),
+            started: 0,
+            measured_arrivals: 0,
+            measured_per_tenant: Vec::new(),
+            peak_live_requests: 0,
+            peak_live_flows: 0,
+            attach: None,
+            spans: None,
+            requests_log: None,
+            live_gauge: None,
+        });
+        if let Some(at) = first {
+            world.post_wake(Time::from_ps(at), id, SPAWN_TICK);
+        }
+        id
+    }
+
+    /// Flows currently in flight (across all live requests).
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Requests currently in flight.
+    pub fn live_requests(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Replace the generic attach path (the Figure 8 handshake variants).
+    pub fn set_attach(&mut self, attach: AttachFn) {
+        self.attach = Some(attach);
+    }
+
+    /// Record a [`ndp_telemetry::FlowSpan`] (tagged with its request id)
+    /// for every leg this driver detaches.
+    pub fn set_span_log(&mut self, log: ndp_telemetry::SpanLog) {
+        self.spans = Some(log);
+    }
+
+    /// Record a [`ndp_telemetry::RequestSpan`] for every completed
+    /// request.
+    pub fn set_request_log(&mut self, log: ndp_telemetry::RequestLog) {
+        self.requests_log = Some(log);
+    }
+
+    /// Publish the live-flow count into `gauge` after every change, for
+    /// the telemetry probe's world samples.
+    pub fn set_live_gauge(&mut self, gauge: Arc<AtomicU64>) {
+        gauge.store(self.flows.len() as u64, Ordering::Relaxed);
+        self.live_gauge = Some(gauge);
+    }
+
+    fn publish_live(&self) {
+        if let Some(g) = &self.live_gauge {
+            g.store(self.flows.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The next due request across both streams, or the instant to sleep
+    /// until. Ties are broken `(time, tenant, seq)` exactly like the
+    /// workload's own merge.
+    fn pop_due(&mut self, now: Time) -> Result<Option<RpcRequest>, Time> {
+        let open_key = self
+            .pending_open
+            .as_ref()
+            .map(|r| (r.start_ps, r.tenant, r.seq));
+        let closed_key = self.pending_closed.peek().map(|Reverse(q)| q.key());
+        let take_open = match (open_key, closed_key) {
+            (None, None) => return Ok(None),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(o), Some(c)) => o < c,
+        };
+        let at = if take_open {
+            open_key.unwrap().0
+        } else {
+            closed_key.unwrap().0
+        };
+        if Time::from_ps(at) > now {
+            return Err(Time::from_ps(at));
+        }
+        Ok(Some(if take_open {
+            let req = self.pending_open.take().unwrap();
+            self.pending_open = self.workload.next();
+            req
+        } else {
+            self.pending_closed.pop().unwrap().0 .0
+        }))
+    }
+
+    /// Start one request: book the tree, attach every shard leg.
+    fn spawn(&mut self, req: RpcRequest, ctx: &mut Ctx<'_, Packet>) {
+        let rid = self.next_req;
+        self.next_req += 1;
+        let start = ctx.now();
+        debug_assert_eq!(start.as_ps(), req.start_ps, "spawn wake drifted");
+        let measured = start >= self.warmup;
+        self.started += 1;
+        if measured {
+            self.measured_arrivals += 1;
+            let t = req.tenant as usize;
+            if self.measured_per_tenant.len() <= t {
+                self.measured_per_tenant.resize(t + 1, 0);
+            }
+            self.measured_per_tenant[t] += 1;
+        }
+        self.live.insert(
+            rid,
+            LiveRequest {
+                tenant: req.tenant,
+                seq: req.seq,
+                client: req.client,
+                start,
+                measured,
+                legs_left: req.legs.len(),
+                fanout: req.legs.len() as u32,
+                max_leg_bytes: req.legs.iter().map(|l| l.bytes).max().unwrap_or(0),
+                last_leg: 0,
+                last_leg_bytes: 0,
+                response: req.response,
+            },
+        );
+        self.peak_live_requests = self.peak_live_requests.max(self.live.len());
+        for (i, leg) in req.legs.iter().enumerate() {
+            self.start_flow(rid, LegRef::Leg(i as u32), *leg, ctx);
+        }
+    }
+
+    /// Attach one flow of a request through the deferred-op path.
+    fn start_flow(&mut self, rid: u64, leg: LegRef, fl: FlowLeg, ctx: &mut Ctx<'_, Packet>) {
+        let flow = self.next_flow;
+        self.next_flow += 1;
+        let start = ctx.now();
+        self.flows.insert(
+            flow,
+            FlowRef {
+                req: rid,
+                leg,
+                src: fl.src,
+                dst: fl.dst,
+                bytes: fl.bytes,
+                start,
+            },
+        );
+        self.peak_live_flows = self.peak_live_flows.max(self.flows.len());
+        self.publish_live();
+        let mut spec = FlowSpec::new(flow, fl.src, fl.dst, fl.bytes);
+        spec.start = start;
+        spec.notify = Some((ctx.self_id(), flow));
+        // A request only completes when *every* leg does, so arm the
+        // transport's stall-recovery net (NDP: the lost-PULL liveness
+        // timer) — one stuck leg would otherwise wedge the whole request.
+        spec.liveness = true;
+        match &self.attach {
+            Some(f) => {
+                let f = Arc::clone(f);
+                ctx.defer(move |w| f(w, &spec));
+            }
+            None => {
+                let proto = self.proto;
+                let src = (self.topo.host(fl.src), fl.src);
+                let dst = (self.topo.host(fl.dst), fl.dst);
+                let n_paths = self.topo.n_paths(fl.src, fl.dst);
+                let mtu = self.topo.mtu();
+                ctx.defer(move |w| {
+                    crate::harness::attach_generic(w, proto, &spec, src, dst, n_paths, mtu);
+                });
+            }
+        }
+    }
+
+    /// One of a request's flows completed: detach it, advance the fan-in.
+    fn finish(&mut self, flow: FlowId, ctx: &mut Ctx<'_, Packet>) {
+        let Some(fr) = self.flows.remove(&flow) else {
+            return; // duplicate notify — already retired
+        };
+        self.publish_live();
+        let measured = self.live.get(&fr.req).is_some_and(|r| r.measured);
+        let proto = self.proto;
+        let src = self.topo.host(fr.src);
+        let dst = self.topo.host(fr.dst);
+        let ideal = self.topo.ideal_fct(fr.src, fr.dst, fr.bytes);
+        let slowdown = (ctx.now() - fr.start).as_ps() as f64 / ideal.as_ps() as f64;
+        let spans = self.spans.clone();
+        ctx.defer(move |w| {
+            let harvest = proto.transport().detach(w, src, dst, flow);
+            if let Some(log) = spans {
+                let mut span =
+                    ndp_telemetry::FlowSpan::open(flow, fr.src, fr.dst, fr.bytes, fr.start);
+                span.request = Some(fr.req);
+                span.measured = measured;
+                span.slowdown = slowdown;
+                span.absorb(&harvest);
+                ndp_telemetry::span::push_span(&log, span);
+            }
+        });
+        let after = {
+            let Some(lr) = self.live.get_mut(&fr.req) else {
+                return;
+            };
+            match fr.leg {
+                LegRef::Leg(i) => {
+                    lr.legs_left -= 1;
+                    lr.last_leg = i;
+                    lr.last_leg_bytes = fr.bytes;
+                    if lr.legs_left > 0 {
+                        AfterFlow::Nothing
+                    } else {
+                        // Fan-in complete: the sequential stage, if any.
+                        match lr.response.take() {
+                            Some(rsp) => AfterFlow::Response(fr.req, rsp),
+                            None => AfterFlow::Complete(fr.req),
+                        }
+                    }
+                }
+                LegRef::Response => AfterFlow::Complete(fr.req),
+            }
+        };
+        match after {
+            AfterFlow::Nothing => {}
+            AfterFlow::Response(rid, rsp) => self.start_flow(rid, LegRef::Response, rsp, ctx),
+            AfterFlow::Complete(rid) => self.complete(rid, ctx),
+        }
+    }
+
+    /// A request's last flow is done: book its end-to-end latency and, for
+    /// closed-loop tenants, queue the chain's next request.
+    fn complete(&mut self, rid: u64, ctx: &mut Ctx<'_, Packet>) {
+        let Some(lr) = self.live.remove(&rid) else {
+            return;
+        };
+        let now = ctx.now();
+        let latency = now - lr.start;
+        self.completed.push(CompletedRequest {
+            tenant: lr.tenant,
+            seq: lr.seq,
+            start: lr.start,
+            latency,
+            straggler_leg: lr.last_leg,
+            straggler_was_largest: lr.last_leg_bytes == lr.max_leg_bytes,
+            measured: lr.measured,
+        });
+        if let Some(log) = &self.requests_log {
+            ndp_telemetry::span::push_request(
+                log,
+                ndp_telemetry::RequestSpan {
+                    request: rid,
+                    tenant: lr.tenant,
+                    seq: lr.seq,
+                    client: lr.client,
+                    fanout: lr.fanout,
+                    arrival: lr.start,
+                    completion: Some(now),
+                    straggler_leg: lr.last_leg,
+                    measured: lr.measured,
+                    slo_met: latency.as_ps() <= self.workload.slo_ps(lr.tenant),
+                },
+            );
+        }
+        if let Some(next) = self.workload.on_complete(lr.tenant, now.as_ps()) {
+            let at = Time::from_ps(next.start_ps);
+            self.pending_closed.push(Reverse(QueuedRequest(next)));
+            ctx.wake_at(at, SPAWN_TICK);
+        }
+    }
+
+    /// Take every still-live flow and request — the stragglers a runner
+    /// detaches when its drain cap expires.
+    fn drain_live(&mut self) -> DrainedLive {
+        let flows = self.flows.drain().collect();
+        let reqs = self.live.drain().collect();
+        self.publish_live();
+        (flows, reqs)
+    }
+}
+
+impl Component<Packet> for RpcDriver {
+    fn handle(&mut self, ev: Event<Packet>, ctx: &mut Ctx<'_, Packet>) {
+        match ev {
+            Event::Wake(SPAWN_TICK) => loop {
+                match self.pop_due(ctx.now()) {
+                    Ok(Some(req)) => self.spawn(req, ctx),
+                    Ok(None) => break,
+                    Err(at) => {
+                        ctx.wake_at(at, SPAWN_TICK);
+                        break;
+                    }
+                }
+            },
+            Event::Wake(flow) => self.finish(flow, ctx),
+            Event::Msg(_) => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// How a tenant's request arrivals are declared — loads, not rates, so a
+/// point is `--topo`-neutral. Resolved against the built fabric's NIC
+/// speed and host count by [`resolve_mix`].
+#[derive(Clone, Debug)]
+pub enum ArrivalSpec {
+    /// Poisson at the rate that offers this fraction of the average
+    /// client NIC on the fan-in path
+    /// (see [`RpcProfile::rate_for_client_load`]).
+    Load(f64),
+    /// Diurnal-burst arrivals swinging between two such loads: `base`
+    /// for `1 - burst_frac` of each period, `peak` for the rest.
+    DiurnalLoad {
+        base: f64,
+        peak: f64,
+        period: Time,
+        burst_frac: f64,
+    },
+    /// Closed-loop think time: the tenant keeps `width` request chains
+    /// outstanding, each following its previous completion by a
+    /// log-uniform gap around the median.
+    Closed { median_gap: Time, width: usize },
+}
+
+/// One tenant of an RPC experiment, declaratively.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    pub name: &'static str,
+    pub shape: TreeShape,
+    pub fanout: usize,
+    pub leg_sizes: EmpiricalCdf,
+    pub response_sizes: Option<EmpiricalCdf>,
+    pub arrivals: ArrivalSpec,
+    /// End-to-end deadline the tenant's SLO attainment is graded against.
+    pub slo: Time,
+}
+
+/// Resolve declarative tenant specs into an [`TenantMix`] for the built
+/// topology: loads become Poisson rates on this fabric's NIC speed and
+/// host count.
+pub fn resolve_mix(tenants: &[TenantSpec], topo: &dyn Topology) -> TenantMix {
+    let link_bps = topo.host_link_speed().as_bps();
+    let n = topo.n_hosts();
+    let profiles = tenants
+        .iter()
+        .map(|t| {
+            let mut p = RpcProfile {
+                name: t.name,
+                shape: t.shape,
+                fanout: t.fanout,
+                leg_sizes: t.leg_sizes.clone(),
+                response_sizes: t.response_sizes.clone(),
+                arrivals: ArrivalProcess::ClosedLoop { median_gap_ps: 1 },
+                closed_loop_width: 1,
+                slo_ps: t.slo.as_ps(),
+                clients: None,
+            };
+            let (arrivals, width) = match t.arrivals {
+                ArrivalSpec::Load(load) => (
+                    ArrivalProcess::Poisson {
+                        rate_hz: p.rate_for_client_load(load, link_bps, n),
+                    },
+                    1,
+                ),
+                ArrivalSpec::DiurnalLoad {
+                    base,
+                    peak,
+                    period,
+                    burst_frac,
+                } => (
+                    ArrivalProcess::diurnal_burst(
+                        p.rate_for_client_load(base, link_bps, n),
+                        p.rate_for_client_load(peak, link_bps, n),
+                        period.as_ps(),
+                        burst_frac,
+                    ),
+                    1,
+                ),
+                ArrivalSpec::Closed { median_gap, width } => (
+                    ArrivalProcess::ClosedLoop {
+                        median_gap_ps: median_gap.as_ps(),
+                    },
+                    width,
+                ),
+            };
+            p.arrivals = arrivals;
+            p.closed_loop_width = width;
+            p
+        })
+        .collect();
+    TenantMix::new(profiles)
+}
+
+/// One RPC simulation point.
+#[derive(Clone)]
+pub struct RpcPoint {
+    pub proto: Proto,
+    pub topo: TopoSpec,
+    pub tenants: Vec<TenantSpec>,
+    pub seed: u64,
+    pub warmup: Time,
+    pub measure: Time,
+    pub drain: Time,
+    /// Scheduler override for determinism A/B tests; `None` = default.
+    pub sched: Option<SchedulerKind>,
+    /// Telemetry point key suffix (distinguishes grid cells).
+    pub key: String,
+}
+
+/// Per-tenant results of one point, fully summarised (percentiles
+/// resolved through the sample-size confidence gate — `None` means the
+/// sample cannot support the estimate and reports print `null`).
+#[derive(Clone, Debug)]
+pub struct TenantSummary {
+    pub name: &'static str,
+    pub slo_us: f64,
+    /// Requests that arrived inside the measurement window.
+    pub offered: u64,
+    pub completed: u64,
+    pub incomplete: u64,
+    pub mean_us: Option<f64>,
+    pub p50_us: Option<f64>,
+    pub p99_us: Option<f64>,
+    pub p999_us: Option<f64>,
+    pub slo_attainment: Option<f64>,
+    pub straggler_largest_frac: Option<f64>,
+    /// Bit-exact digest fingerprint — the determinism witness.
+    pub fingerprint: u64,
+}
+
+impl TenantSummary {
+    fn from_digest(d: &mut TenantDigest) -> TenantSummary {
+        TenantSummary {
+            name: d.name,
+            slo_us: d.slo_us,
+            offered: d.offered,
+            completed: d.n() as u64,
+            incomplete: d.incomplete,
+            mean_us: d.mean_us(),
+            p50_us: d.latency_us(0.50),
+            p99_us: d.latency_us(0.99),
+            p999_us: d.latency_us(0.999),
+            slo_attainment: d.slo_attainment(),
+            straggler_largest_frac: d.straggler_largest_frac(),
+            fingerprint: d.fingerprint(),
+        }
+    }
+}
+
+/// One finished RPC point.
+pub struct RpcPointResult {
+    pub proto: Proto,
+    pub tenants: Vec<TenantSummary>,
+    /// All requests spawned (warmup + measured).
+    pub offered: usize,
+    pub measured: usize,
+    pub events_processed: u64,
+    pub event_kinds: EventKindCounts,
+    pub peak_live_flows: usize,
+    pub peak_live_requests: usize,
+    pub live_components_baseline: usize,
+    pub live_components_end: usize,
+    pub peak_live_components: usize,
+}
+
+/// Run one RPC point in its own seeded world — the request-tree
+/// counterpart of [`crate::openloop::openloop_world_run`].
+pub fn rpc_world_run(point: &RpcPoint) -> RpcPointResult {
+    let mut world: World<Packet> = match point.sched {
+        Some(kind) => World::with_scheduler(point.seed, kind),
+        None => World::new(point.seed),
+    };
+    let topo: Arc<dyn Topology> = Arc::from(point.topo.build(&mut world, point.proto.fabric()));
+    let n = topo.n_hosts();
+    let sink = world.add(CompletionSink::totals_only());
+    for h in 0..n {
+        world
+            .get_mut::<Host>(topo.host(h as HostId))
+            .set_completion_sink(sink);
+    }
+    let live_components_baseline = world.live_components();
+
+    let arrivals_end = point.warmup + point.measure;
+    let mix = resolve_mix(&point.tenants, topo.as_ref());
+    // The request stream is a function of (seed, tenants) only — every
+    // protocol and scheduler at the same point sees the identical request
+    // trees, so comparisons are paired.
+    let workload = RpcWorkload::new(n, mix, point.seed ^ 0x52BC, arrivals_end.as_ps());
+    let names = workload.tenant_names();
+    let slos: Vec<u64> = (0..names.len() as u32)
+        .map(|t| workload.slo_ps(t))
+        .collect();
+    let drv = RpcDriver::install_into(
+        &mut world,
+        point.proto,
+        topo.clone(),
+        workload,
+        point.warmup,
+    );
+
+    // Telemetry wiring (opt-in, gated on an active session): request and
+    // leg spans from the driver plus a world-gauge probe over the live
+    // flow count. With no session none of this exists — the event stream
+    // and golden hashes are untouched.
+    let tele_cfg = ndp_telemetry::session::active();
+    let mut tele_ring = None;
+    let mut tele_spans: Option<ndp_telemetry::SpanLog> = None;
+    let mut tele_requests: Option<ndp_telemetry::RequestLog> = None;
+    let mut probe_id = None;
+    if let Some(cfg) = tele_cfg {
+        let live_gauge = Arc::new(AtomicU64::new(0));
+        if cfg.spans {
+            let spans = ndp_telemetry::span::span_log();
+            let requests = ndp_telemetry::span::request_log();
+            let d = world.get_mut::<RpcDriver>(drv);
+            d.set_span_log(spans.clone());
+            d.set_request_log(requests.clone());
+            tele_spans = Some(spans);
+            tele_requests = Some(requests);
+        }
+        world
+            .get_mut::<RpcDriver>(drv)
+            .set_live_gauge(Arc::clone(&live_gauge));
+        let (pid, ring) = ndp_telemetry::Probe::install_into(
+            &mut world,
+            ndp_telemetry::ProbeSpec {
+                tick: cfg.probe_tick,
+                until: arrivals_end,
+                capacity: cfg.gauge_capacity,
+                queues: Vec::new(),
+                switches: Vec::new(),
+                live_flows: Some(live_gauge),
+            },
+        );
+        probe_id = Some(pid);
+        tele_ring = Some(ring);
+    }
+
+    let mut digests: Vec<TenantDigest> = names
+        .iter()
+        .zip(&slos)
+        .map(|(&name, &slo)| TenantDigest::new(name, slo as f64 / 1e6))
+        .collect();
+
+    // Chunked stepping, streaming each chunk's completed requests into
+    // the digests; the drain cap bounds the tail but the run ends as soon
+    // as the last in-flight flow lands.
+    let cap = arrivals_end + point.drain;
+    let chunk = Time::from_ps((point.measure.as_ps() / 8).max(Time::from_ms(1).as_ps()));
+    let mut done = false;
+    let mut target = Time::ZERO;
+    while !done {
+        target = (target.max(world.now()) + chunk).min(cap);
+        done = target == cap;
+        world.run_until(target);
+        let batch = std::mem::take(&mut world.get_mut::<RpcDriver>(drv).completed);
+        for c in &batch {
+            if c.measured {
+                digests[c.tenant as usize].record(
+                    c.latency.as_ps() as f64 / 1e6,
+                    c.straggler_leg as usize,
+                    c.straggler_was_largest,
+                );
+            }
+        }
+        if world.now() >= arrivals_end && world.get::<RpcDriver>(drv).live_flows() == 0 {
+            done = true;
+        }
+        world.shrink_idle();
+    }
+
+    // Requests still live at the cap are the incomplete ones (graded as
+    // SLO misses); detach their flows so the world drains to baseline.
+    let (straggler_flows, straggler_reqs, offered, measured, peak_live_flows, peak_live_requests) = {
+        let d = world.get_mut::<RpcDriver>(drv);
+        for (t, digest) in digests.iter_mut().enumerate() {
+            digest.offered = d.measured_per_tenant.get(t).copied().unwrap_or(0);
+        }
+        let (fl, rq) = d.drain_live();
+        (
+            fl,
+            rq,
+            d.started as usize,
+            d.measured_arrivals,
+            d.peak_live_flows,
+            d.peak_live_requests,
+        )
+    };
+    for (flow, fr) in straggler_flows {
+        point
+            .proto
+            .transport()
+            .detach(&mut world, topo.host(fr.src), topo.host(fr.dst), flow);
+    }
+    for (rid, lr) in &straggler_reqs {
+        if lr.measured {
+            digests[lr.tenant as usize].incomplete += 1;
+        }
+        if let Some(log) = &tele_requests {
+            ndp_telemetry::span::push_request(
+                log,
+                ndp_telemetry::RequestSpan {
+                    request: *rid,
+                    tenant: lr.tenant,
+                    seq: lr.seq,
+                    client: lr.client,
+                    fanout: lr.fanout,
+                    arrival: lr.start,
+                    completion: None,
+                    straggler_leg: 0,
+                    measured: lr.measured,
+                    slo_met: false,
+                },
+            );
+        }
+    }
+    world.retire(drv);
+    if let Some(pid) = probe_id {
+        world.retire(pid);
+    }
+
+    if tele_cfg.is_some() {
+        let (gauges, gauges_evicted) = tele_ring.map_or((Vec::new(), 0), |r| {
+            let mut g = match r.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (g.take(), g.evicted)
+        });
+        ndp_telemetry::session::submit(ndp_telemetry::PointTelemetry {
+            key: format!(
+                "{}/{}/{}",
+                point.topo.name(),
+                point.proto.label(),
+                point.key
+            ),
+            tags: Vec::new(),
+            gauges,
+            gauges_evicted,
+            spans: tele_spans.map_or(Vec::new(), |s| ndp_telemetry::span::take_spans(&s)),
+            requests: tele_requests.map_or(Vec::new(), |r| ndp_telemetry::span::take_requests(&r)),
+            hops: Vec::new(),
+            hops_evicted: 0,
+        });
+    }
+
+    RpcPointResult {
+        proto: point.proto,
+        tenants: digests.iter_mut().map(TenantSummary::from_digest).collect(),
+        offered,
+        measured,
+        events_processed: world.events_processed(),
+        event_kinds: world.event_kind_counts(),
+        peak_live_flows,
+        peak_live_requests,
+        live_components_baseline,
+        live_components_end: world.live_components(),
+        peak_live_components: world.peak_live_components(),
+    }
+}
+
+/// Run an RPC sweep; element `i` of the result matches point `i`.
+pub fn sweep_rpc(spec: &SweepSpec<RpcPoint>) -> Vec<RpcPointResult> {
+    spec.run(rpc_world_run)
+}
+
+// ---------------------------------------------------------------------------
+// Shared experiment plumbing
+// ---------------------------------------------------------------------------
+
+/// The shard-answer size distribution RPC tenants draw legs from: mice
+/// with a modest tail (mean ≈ 9 KB), so quick-scale windows still resolve
+/// p999 with thousands of requests.
+pub fn rpc_leg_sizes() -> EmpiricalCdf {
+    EmpiricalCdf::new(
+        "rpc-shard",
+        vec![
+            (0.0, 1_000.0),
+            (0.5, 4_000.0),
+            (0.9, 16_000.0),
+            (1.0, 64_000.0),
+        ],
+    )
+}
+
+fn fmt_us(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.0}"),
+        None => "-".into(),
+    }
+}
+
+fn fmt_frac(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".into(),
+    }
+}
+
+fn opt_num(v: Option<f64>) -> crate::json::Json {
+    crate::json::Json::num(v.unwrap_or(f64::NAN))
+}
+
+fn tenant_json(t: &TenantSummary) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("tenant", Json::str(t.name)),
+        ("slo_us", Json::num(t.slo_us)),
+        ("offered", Json::num(t.offered as f64)),
+        ("completed", Json::num(t.completed as f64)),
+        ("incomplete", Json::num(t.incomplete as f64)),
+        ("mean_us", opt_num(t.mean_us)),
+        ("p50_us", opt_num(t.p50_us)),
+        ("p99_us", opt_num(t.p99_us)),
+        ("p999_us", opt_num(t.p999_us)),
+        ("slo_attainment", opt_num(t.slo_attainment)),
+        ("straggler_largest_frac", opt_num(t.straggler_largest_frac)),
+    ])
+}
+
+fn sum_stats(rows: &[&RpcPointResult]) -> crate::registry::RunStats {
+    crate::registry::RunStats {
+        events_processed: Some(rows.iter().map(|r| r.events_processed).sum()),
+        event_kinds: Some(rows.iter().map(|r| r.event_kinds).sum()),
+        peak_live_components: rows.iter().map(|r| r.peak_live_components as u64).max(),
+        peak_live_flows: rows.iter().map(|r| r.peak_live_flows as u64).max(),
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rpc_sweep: load × fan-out × protocol
+// ---------------------------------------------------------------------------
+
+struct SweepCell {
+    load: f64,
+    fanout: usize,
+    result: RpcPointResult,
+}
+
+/// `rpc_sweep` report: request latency and SLO attainment per
+/// (protocol, client load, fan-out degree).
+pub struct RpcSweepReport {
+    topo_override: Option<&'static str>,
+    topo_name: &'static str,
+    loads: Vec<f64>,
+    fanouts: Vec<usize>,
+    rows: Vec<SweepCell>,
+}
+
+fn sweep_tenant(load: f64, fanout: usize) -> TenantSpec {
+    TenantSpec {
+        name: "rpc",
+        shape: TreeShape::FanIn,
+        fanout,
+        leg_sizes: rpc_leg_sizes(),
+        response_sizes: None,
+        arrivals: ArrivalSpec::Load(load),
+        // Fan-in serialization grows with degree; grade each cell against
+        // a deadline proportional to its own ideal fan-in time.
+        slo: Time::from_us(100 + 25 * fanout as u64),
+    }
+}
+
+impl RpcSweepReport {
+    fn run(scale: Scale, seed: u64, topo: Option<&'static TopoEntry>) -> RpcSweepReport {
+        let (loads, fanouts): (Vec<f64>, Vec<usize>) = match scale {
+            Scale::Paper => (vec![0.2, 0.4, 0.6], vec![4, 16, 32]),
+            Scale::Quick => (vec![0.2, 0.5], vec![4, 8]),
+        };
+        let (warmup, measure, drain) = match scale {
+            Scale::Paper => (Time::from_ms(2), Time::from_ms(40), Time::from_ms(40)),
+            Scale::Quick => (Time::from_ms(1), Time::from_ms(10), Time::from_ms(20)),
+        };
+        let entry = topo.unwrap_or(registered("leafspine"));
+        let spec = entry.spec(scale);
+        let mut points = Vec::new();
+        for (li, &load) in loads.iter().enumerate() {
+            for &fanout in &fanouts {
+                for &proto in SWEEP_PROTOS {
+                    points.push(RpcPoint {
+                        proto,
+                        topo: spec.clone(),
+                        tenants: vec![sweep_tenant(load, fanout)],
+                        // One seed per (load, fanout): protocols replay
+                        // identical request trees.
+                        seed: seed + li as u64 * 37 + fanout as u64,
+                        warmup,
+                        measure,
+                        drain,
+                        sched: None,
+                        key: format!("load{:02}x{}", (load * 100.0) as u32, fanout),
+                    });
+                }
+            }
+        }
+        let spec_pts = SweepSpec::new("rpc_sweep", points);
+        let results = sweep_rpc(&spec_pts);
+        let rows = spec_pts
+            .points
+            .iter()
+            .zip(results)
+            .map(|(p, result)| SweepCell {
+                load: match p.tenants[0].arrivals {
+                    ArrivalSpec::Load(l) => l,
+                    _ => unreachable!("sweep tenants are load-driven"),
+                },
+                fanout: p.tenants[0].fanout,
+                result,
+            })
+            .collect();
+        RpcSweepReport {
+            topo_override: topo.map(|e| e.name),
+            topo_name: entry.name,
+            loads,
+            fanouts,
+            rows,
+        }
+    }
+
+    fn cell(&self, proto: Proto, load: f64, fanout: usize) -> Option<&TenantSummary> {
+        self.rows
+            .iter()
+            .find(|c| c.result.proto == proto && c.load == load && c.fanout == fanout)
+            .map(|c| &c.result.tenants[0])
+    }
+}
+
+impl std::fmt::Display for RpcSweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new([
+            "protocol",
+            "load",
+            "fanout",
+            "requests",
+            "incompl",
+            "p50us",
+            "p99us",
+            "p999us",
+            "SLO",
+            "strag=big",
+        ]);
+        for c in &self.rows {
+            let s = &c.result.tenants[0];
+            t.row(vec![
+                c.result.proto.label().to_string(),
+                format!("{:.0}%", c.load * 100.0),
+                c.fanout.to_string(),
+                s.completed.to_string(),
+                s.incomplete.to_string(),
+                fmt_us(s.p50_us),
+                fmt_us(s.p99_us),
+                fmt_us(s.p999_us),
+                fmt_frac(s.slo_attainment),
+                fmt_frac(s.straggler_largest_frac),
+            ]);
+        }
+        write!(
+            f,
+            "RPC serving sweep on {} — end-to-end request latency vs. client load and fan-out\n{}",
+            self.topo_name,
+            t.render()
+        )
+    }
+}
+
+impl crate::registry::Report for RpcSweepReport {
+    fn headline(&self) -> String {
+        let &load = self.loads.last().expect("loads");
+        let &fanout = self.fanouts.last().expect("fanouts");
+        let per_proto: Vec<String> = SWEEP_PROTOS
+            .iter()
+            .map(|&p| {
+                let s = self.cell(p, load, fanout);
+                format!(
+                    "{} {}",
+                    p.label(),
+                    fmt_us(s.and_then(|s| s.p99_us.or(s.mean_us)))
+                )
+            })
+            .collect();
+        format!(
+            "rpc fan-out {fanout} @{:.0}% client load: p99 request latency (us) {}",
+            load * 100.0,
+            per_proto.join(", ")
+        )
+    }
+
+    fn run_stats(&self) -> crate::registry::RunStats {
+        sum_stats(&self.rows.iter().map(|c| &c.result).collect::<Vec<_>>())
+    }
+
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("topo", Json::str(self.topo_name)),
+            (
+                "topo_override",
+                self.topo_override.map_or(Json::Null, Json::str),
+            ),
+            ("loads", Json::arr(self.loads.iter().map(|&l| Json::num(l)))),
+            (
+                "fanouts",
+                Json::arr(self.fanouts.iter().map(|&f| Json::num(f as f64))),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|c| {
+                    let s = &c.result.tenants[0];
+                    Json::obj([
+                        ("proto", Json::str(c.result.proto.label())),
+                        ("load", Json::num(c.load)),
+                        ("fanout", Json::num(c.fanout as f64)),
+                        ("summary", tenant_json(s)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rpc_tenant_mix: three tenants sharing one fabric, vs each alone
+// ---------------------------------------------------------------------------
+
+fn mix_tenants() -> Vec<TenantSpec> {
+    vec![
+        // Latency-critical serving tier: wide fan-in of shard answers.
+        TenantSpec {
+            name: "websearch_rpc",
+            shape: TreeShape::FanIn,
+            fanout: 8,
+            leg_sizes: rpc_leg_sizes(),
+            response_sizes: Some(EmpiricalCdf::fixed("rpc-upstream", 1460)),
+            arrivals: ArrivalSpec::Load(0.35),
+            slo: Time::from_us(500),
+        },
+        // Bulk analytics: few requests, elephant flows, loose deadline.
+        TenantSpec {
+            name: "datamining_bulk",
+            shape: TreeShape::FanIn,
+            fanout: 1,
+            leg_sizes: EmpiricalCdf::datamining(),
+            response_sizes: None,
+            arrivals: ArrivalSpec::Load(0.08),
+            slo: Time::from_ms(50),
+        },
+        // Bursty background traffic swinging between quiet and blast.
+        TenantSpec {
+            name: "background_blast",
+            shape: TreeShape::FanIn,
+            fanout: 4,
+            leg_sizes: EmpiricalCdf::fixed("blast", 8_192),
+            response_sizes: None,
+            arrivals: ArrivalSpec::DiurnalLoad {
+                base: 0.1,
+                peak: 0.5,
+                period: Time::from_ms(2),
+                burst_frac: 0.3,
+            },
+            slo: Time::from_us(300),
+        },
+    ]
+}
+
+struct MixRow {
+    proto: Proto,
+    mix: RpcPointResult,
+    /// `solo[t]` ran tenant `t` alone on the same fabric and seed.
+    solo: Vec<RpcPointResult>,
+}
+
+/// `rpc_tenant_mix` report: per-tenant SLO attainment in the shared mix
+/// vs. alone, per protocol.
+pub struct RpcTenantMixReport {
+    topo_override: Option<&'static str>,
+    topo_name: &'static str,
+    tenants: Vec<&'static str>,
+    rows: Vec<MixRow>,
+}
+
+impl RpcTenantMixReport {
+    fn run(scale: Scale, seed: u64, topo: Option<&'static TopoEntry>) -> RpcTenantMixReport {
+        let (warmup, measure, drain) = match scale {
+            Scale::Paper => (Time::from_ms(2), Time::from_ms(40), Time::from_ms(60)),
+            Scale::Quick => (Time::from_ms(1), Time::from_ms(16), Time::from_ms(30)),
+        };
+        let entry = topo.unwrap_or(registered("fattree"));
+        let spec = entry.spec(scale);
+        let tenants = mix_tenants();
+        let names: Vec<&'static str> = tenants.iter().map(|t| t.name).collect();
+        let mut points = Vec::new();
+        for &proto in SWEEP_PROTOS {
+            points.push(RpcPoint {
+                proto,
+                topo: spec.clone(),
+                tenants: tenants.clone(),
+                seed,
+                warmup,
+                measure,
+                drain,
+                sched: None,
+                key: "mix".into(),
+            });
+            for (t, tenant) in tenants.iter().enumerate() {
+                points.push(RpcPoint {
+                    proto,
+                    topo: spec.clone(),
+                    tenants: vec![tenant.clone()],
+                    // Same seed as the mix run: the solo baseline is the
+                    // identical fabric and seed minus the other tenants
+                    // (the per-tenant streams are SplitMix-independent,
+                    // but the solo world re-subseeds from tenant 0, so
+                    // the comparison is distributional, not paired).
+                    seed: seed + 1 + t as u64,
+                    warmup,
+                    measure,
+                    drain,
+                    sched: None,
+                    key: format!("solo-{}", tenant.name),
+                });
+            }
+        }
+        let spec_pts = SweepSpec::new("rpc_tenant_mix", points);
+        let mut results = sweep_rpc(&spec_pts).into_iter();
+        let mut rows = Vec::new();
+        for &proto in SWEEP_PROTOS {
+            let mix = results.next().expect("mix row");
+            let solo: Vec<RpcPointResult> = (0..tenants.len())
+                .map(|_| results.next().expect("solo row"))
+                .collect();
+            debug_assert_eq!(mix.proto, proto);
+            rows.push(MixRow { proto, mix, solo });
+        }
+        RpcTenantMixReport {
+            topo_override: topo.map(|e| e.name),
+            topo_name: entry.name,
+            tenants: names,
+            rows,
+        }
+    }
+}
+
+/// p99-latency interference ratio: shared-fabric p99 over alone p99
+/// (falls back to means when a tail is unresolvable). > 1 means the mix
+/// hurt the tenant.
+fn interference(mix: &TenantSummary, solo: &TenantSummary) -> Option<f64> {
+    let m = mix.p99_us.or(mix.mean_us)?;
+    let s = solo.p99_us.or(solo.mean_us)?;
+    (s > 0.0).then_some(m / s)
+}
+
+impl std::fmt::Display for RpcTenantMixReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new([
+            "protocol",
+            "tenant",
+            "requests",
+            "p50us",
+            "p99us",
+            "p999us",
+            "SLO mix",
+            "SLO alone",
+            "interf",
+        ]);
+        for row in &self.rows {
+            for (i, s) in row.mix.tenants.iter().enumerate() {
+                let solo = &row.solo[i].tenants[0];
+                t.row(vec![
+                    row.proto.label().to_string(),
+                    s.name.to_string(),
+                    s.completed.to_string(),
+                    fmt_us(s.p50_us),
+                    fmt_us(s.p99_us),
+                    fmt_us(s.p999_us),
+                    fmt_frac(s.slo_attainment),
+                    fmt_frac(solo.slo_attainment),
+                    match interference(s, solo) {
+                        Some(r) => format!("{r:.2}x"),
+                        None => "-".into(),
+                    },
+                ]);
+            }
+        }
+        write!(
+            f,
+            "RPC tenant mix on {} — SLO attainment shared vs. alone\n{}",
+            self.topo_name,
+            t.render()
+        )
+    }
+}
+
+impl crate::registry::Report for RpcTenantMixReport {
+    fn headline(&self) -> String {
+        // The serving tenant's SLO attainment under the shared fabric is
+        // the claim: NDP holds the deadline where the baselines shed it.
+        let per_proto: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {}",
+                    r.proto.label(),
+                    fmt_frac(r.mix.tenants[0].slo_attainment)
+                )
+            })
+            .collect();
+        format!(
+            "{} SLO attainment in shared mix: {}",
+            self.tenants[0],
+            per_proto.join(", ")
+        )
+    }
+
+    fn run_stats(&self) -> crate::registry::RunStats {
+        let mut all: Vec<&RpcPointResult> = Vec::new();
+        for r in &self.rows {
+            all.push(&r.mix);
+            all.extend(r.solo.iter());
+        }
+        sum_stats(&all)
+    }
+
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("topo", Json::str(self.topo_name)),
+            (
+                "topo_override",
+                self.topo_override.map_or(Json::Null, Json::str),
+            ),
+            (
+                "tenants",
+                Json::arr(self.tenants.iter().map(|&t| Json::str(t))),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("proto", Json::str(r.proto.label())),
+                        ("mix", Json::arr(r.mix.tenants.iter().map(tenant_json))),
+                        (
+                            "solo",
+                            Json::arr(r.solo.iter().map(|s| tenant_json(&s.tenants[0]))),
+                        ),
+                        (
+                            "interference_p99",
+                            Json::arr(
+                                r.mix
+                                    .tenants
+                                    .iter()
+                                    .zip(&r.solo)
+                                    .map(|(m, s)| opt_num(interference(m, &s.tenants[0]))),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// Registry entries.
+pub struct RpcSweep;
+pub struct RpcTenantMix;
+
+impl crate::registry::Experiment for RpcSweep {
+    fn id(&self) -> &'static str {
+        "rpc_sweep"
+    }
+    fn title(&self) -> &'static str {
+        "End-to-end RPC request latency vs. client load and fan-out"
+    }
+    fn description(&self) -> &'static str {
+        "Fan-out/fan-in request trees (N shard answers converging on the \
+         client NIC) swept over offered client load and fan-out degree; \
+         NDP vs DCTCP vs pHost request p50/p99/p999 and SLO attainment"
+    }
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
+        Box::new(RpcSweepReport::run(scale, 0xE400, topo))
+    }
+}
+
+impl crate::registry::Experiment for RpcTenantMix {
+    fn id(&self) -> &'static str {
+        "rpc_tenant_mix"
+    }
+    fn title(&self) -> &'static str {
+        "Multi-tenant RPC mix: per-tenant SLO attainment shared vs. alone"
+    }
+    fn description(&self) -> &'static str {
+        "A web-search RPC tier, a data-mining bulk tenant and a bursty \
+         background tenant sharing one fabric; per-tenant request-latency \
+         SLO attainment and cross-tenant interference per protocol"
+    }
+    fn supports_topo(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        scale: Scale,
+        topo: Option<&'static TopoEntry>,
+    ) -> Box<dyn crate::registry::Report> {
+        Box::new(RpcTenantMixReport::run(scale, 0xF500, topo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_point(proto: Proto, seed: u64) -> RpcPoint {
+        RpcPoint {
+            proto,
+            topo: registered("leafspine").spec(Scale::Quick),
+            tenants: vec![sweep_tenant(0.3, 4)],
+            seed,
+            warmup: Time::from_ms(1),
+            measure: Time::from_ms(6),
+            drain: Time::from_ms(15),
+            sched: None,
+            key: "test".into(),
+        }
+    }
+
+    #[test]
+    fn rpc_point_books_request_latencies_and_drains() {
+        let r = rpc_world_run(&quick_point(Proto::Ndp, 7));
+        let s = &r.tenants[0];
+        assert!(s.completed > 100, "only {} completed requests", s.completed);
+        assert_eq!(s.offered, s.completed + s.incomplete);
+        assert!(s.mean_us.unwrap() > 0.0);
+        // A 4-leg fan-in moves >= 4 KB; even unloaded it cannot finish in
+        // under a microsecond, and the p50 should sit near the ideal
+        // fan-in time (tens of microseconds), far under a millisecond.
+        assert!(s.p50_us.unwrap() > 1.0, "p50 {:?}", s.p50_us);
+        assert!(s.p50_us.unwrap() < 1_000.0, "p50 {:?}", s.p50_us);
+        assert!(r.peak_live_requests >= 1);
+        assert!(r.peak_live_flows >= 4, "legs attach in parallel");
+        assert_eq!(
+            r.live_components_end, r.live_components_baseline,
+            "arena must drain to baseline"
+        );
+    }
+
+    #[test]
+    fn request_latency_is_the_fan_in_max_not_the_leg_mean() {
+        // Attach a span log directly (no session) and check the fan-in
+        // invariant: request latency == max leg completion - arrival.
+        let point = quick_point(Proto::Ndp, 11);
+        let mut world: World<Packet> = World::new(point.seed);
+        let topo: Arc<dyn Topology> = Arc::from(point.topo.build(&mut world, point.proto.fabric()));
+        let n = topo.n_hosts();
+        let sink = world.add(CompletionSink::totals_only());
+        for h in 0..n {
+            world
+                .get_mut::<Host>(topo.host(h as HostId))
+                .set_completion_sink(sink);
+        }
+        let arrivals_end = point.warmup + point.measure;
+        let mix = resolve_mix(&point.tenants, topo.as_ref());
+        let workload = RpcWorkload::new(n, mix, point.seed ^ 0x52BC, arrivals_end.as_ps());
+        let drv = RpcDriver::install_into(
+            &mut world,
+            point.proto,
+            topo.clone(),
+            workload,
+            point.warmup,
+        );
+        let spans = ndp_telemetry::span::span_log();
+        let requests = ndp_telemetry::span::request_log();
+        {
+            let d = world.get_mut::<RpcDriver>(drv);
+            d.set_span_log(spans.clone());
+            d.set_request_log(requests.clone());
+        }
+        world.run_until(arrivals_end + point.drain);
+        let spans = ndp_telemetry::span::take_spans(&spans);
+        let reqs = ndp_telemetry::span::take_requests(&requests);
+        assert!(reqs.len() > 50, "want a real sample, got {}", reqs.len());
+        assert!(spans.iter().all(|s| s.request.is_some()));
+        for r in &reqs {
+            let legs: Vec<_> = spans
+                .iter()
+                .filter(|s| s.request == Some(r.request))
+                .collect();
+            assert_eq!(legs.len(), r.fanout as usize, "no response flows here");
+            let last = legs
+                .iter()
+                .filter_map(|s| s.completion)
+                .max()
+                .expect("completed request has completed legs");
+            assert_eq!(
+                r.completion,
+                Some(last),
+                "request completes exactly when its slowest leg does"
+            );
+            assert!(legs.iter().all(|s| s.arrival == r.arrival));
+        }
+    }
+
+    #[test]
+    fn rpc_runs_are_bit_identical_across_threads_and_schedulers() {
+        let base = quick_point(Proto::Ndp, 21);
+        let mut classic = base.clone();
+        classic.sched = Some(SchedulerKind::Classic);
+        let mut twotier = base.clone();
+        twotier.sched = Some(SchedulerKind::TwoTier);
+        let points = vec![base, classic, twotier];
+        let spec = SweepSpec::new("det", points);
+        let fp = |rs: &[RpcPointResult]| -> Vec<u64> {
+            rs.iter().map(|r| r.tenants[0].fingerprint).collect()
+        };
+        let serial = fp(&spec.run_with_threads(1, rpc_world_run));
+        let threaded = fp(&spec.run_with_threads(7, rpc_world_run));
+        assert_eq!(serial, threaded, "thread count changed results");
+        assert_eq!(
+            serial[0], serial[1],
+            "Classic scheduler must replay the default exactly"
+        );
+        assert_eq!(serial[1], serial[2], "schedulers diverged");
+    }
+
+    #[test]
+    fn protocols_replay_identical_request_trees() {
+        let a = rpc_world_run(&quick_point(Proto::Ndp, 3));
+        let b = rpc_world_run(&quick_point(Proto::Dctcp, 3));
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.measured, b.measured);
+    }
+
+    #[test]
+    fn closed_loop_tenant_self_clocks_through_the_driver() {
+        let point = RpcPoint {
+            proto: Proto::Ndp,
+            topo: registered("leafspine").spec(Scale::Quick),
+            tenants: vec![TenantSpec {
+                name: "pingpong",
+                shape: TreeShape::PingPong,
+                fanout: 1,
+                leg_sizes: EmpiricalCdf::fixed("req", 64),
+                response_sizes: Some(EmpiricalCdf::fixed("rsp", 4_096)),
+                arrivals: ArrivalSpec::Closed {
+                    median_gap: Time::from_us(20),
+                    width: 2,
+                },
+                slo: Time::from_us(500),
+            }],
+            seed: 5,
+            warmup: Time::ZERO,
+            measure: Time::from_ms(4),
+            drain: Time::from_ms(10),
+            sched: None,
+            key: "closed".into(),
+        };
+        let r = rpc_world_run(&point);
+        let s = &r.tenants[0];
+        // Two chains, each ping-ponging with ~20us think time over a ~10us
+        // RTT: the window fits hundreds of requests, and closed-loop flow
+        // control keeps the live set at the chain width.
+        assert!(
+            s.completed > 50,
+            "chains stalled: {} completed",
+            s.completed
+        );
+        assert!(r.peak_live_requests <= 2, "width must cap outstanding");
+        assert_eq!(r.live_components_end, r.live_components_baseline);
+    }
+
+    #[test]
+    fn heavy_fan_in_point_drains_completely() {
+        // Regression for the lost-PULL stall: this exact point (50% load,
+        // fan-out 8) used to leave 47 NDP flows permanently wedged — every
+        // packet had NACK feedback, so the stock RTO never re-armed, and
+        // the dropped pull meant no event would ever touch the flow again.
+        // The driver arms `FlowSpec::liveness`, so every request must now
+        // complete within the drain window.
+        let mut point = quick_point(Proto::Ndp, 0);
+        point.seed = 0xE400 + 37 + 8;
+        point.tenants = vec![sweep_tenant(0.5, 8)];
+        point.measure = Time::from_ms(10);
+        point.drain = Time::from_ms(20);
+        let r = rpc_world_run(&point);
+        let incomplete: u64 = r.tenants.iter().map(|t| t.incomplete).sum();
+        assert_eq!(incomplete, 0, "liveness net must unstick every request");
+        assert!(r.tenants[0].completed > 1000, "point should be busy");
+        assert_eq!(r.live_components_end, r.live_components_baseline);
+    }
+
+    #[test]
+    fn mix_solo_reduction_matches_tenant_list() {
+        // Smoke the tenant-mix wiring at tiny scale: tenants stay in
+        // declared order and every solo row carries its own tenant.
+        let tenants = mix_tenants();
+        assert_eq!(tenants.len(), 3);
+        let names: Vec<_> = tenants.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec!["websearch_rpc", "datamining_bulk", "background_blast"]
+        );
+    }
+}

@@ -8,12 +8,14 @@
 
 pub mod cdf;
 pub mod percentile;
+pub mod rpc;
 pub mod series;
 pub mod slowdown;
 pub mod table;
 
 pub use cdf::Cdf;
-pub use percentile::percentile;
+pub use percentile::{percentile, percentile_checked};
+pub use rpc::TenantDigest;
 pub use series::TimeSeries;
 pub use slowdown::{size_bin, SlowdownBins, SLOWDOWN_BIN_EDGES, SLOWDOWN_BIN_LABELS};
 pub use table::Table;

@@ -21,6 +21,28 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// [`percentile`] with a sample-size confidence gate: `None` when the
+/// sample cannot resolve `p` at all.
+///
+/// Nearest-rank on `n` samples pins the `p`-quantile to the maximum
+/// whenever `n × (1 − p) < 1` — a p999 over 50 requests silently reports
+/// the worst observation, which reads as a tail estimate but is not one.
+/// This variant refuses to fabricate: it yields the estimate only when
+/// the rank is distinguishable from the max (`n × (1 − p) ≥ 1`; p999
+/// needs n ≥ 1000, p99 needs n ≥ 100). `p = 1.0` (the maximum itself) is
+/// always well-defined on non-empty input. Report writers surface `None`
+/// as JSON `null`, never a fabricated value.
+pub fn percentile_checked(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    if p < 1.0 && sorted.len() as f64 * (1.0 - p) < 1.0 {
+        return None;
+    }
+    Some(percentile(sorted, p))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +81,35 @@ mod tests {
     fn p999_needs_a_thousand_samples_to_leave_the_max() {
         let v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
         assert_eq!(percentile(&v, 0.999), 999.0);
+    }
+
+    #[test]
+    fn checked_refuses_unresolvable_tails() {
+        let small: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        assert_eq!(percentile_checked(&small, 0.5), Some(25.0));
+        assert_eq!(percentile_checked(&small, 0.98), Some(49.0));
+        assert_eq!(percentile_checked(&small, 0.99), None, "n=50 has no p99");
+        assert_eq!(percentile_checked(&small, 0.999), None);
+        assert_eq!(
+            percentile_checked(&small, 1.0),
+            Some(50.0),
+            "max always valid"
+        );
+
+        let big: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(percentile_checked(&big, 0.999), Some(999.0));
+        assert_eq!(
+            percentile_checked(&big[..999], 0.999),
+            None,
+            "n=999 just misses"
+        );
+
+        assert_eq!(percentile_checked(&[], 0.5), None);
+        assert_eq!(percentile_checked(&[], 1.0), None);
+        assert_eq!(
+            percentile_checked(&[7.0], 0.5),
+            None,
+            "one sample, no median"
+        );
     }
 }

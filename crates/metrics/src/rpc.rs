@@ -1,0 +1,201 @@
+//! Request-level latency digests for the RPC serving subsystem.
+//!
+//! Per-flow FCT slowdowns (the open-loop family) miss what serving
+//! stacks actually grade: the end-to-end latency of a *request* whose
+//! response is the fan-in of N shard answers — one straggler leg blows
+//! the deadline even when per-flow p99 looks healthy. This module books
+//! exactly that: per-tenant request-latency percentiles (p50/p99/p999
+//! with a sample-size confidence gate — see
+//! [`percentile_checked`](crate::percentile::percentile_checked)), SLO
+//! attainment against the tenant's deadline, and straggler attribution
+//! (which leg finished last, and whether it was the largest).
+
+use crate::percentile::{percentile, percentile_checked};
+
+/// One tenant's request-latency digest.
+#[derive(Clone, Debug, Default)]
+pub struct TenantDigest {
+    pub name: &'static str,
+    /// The tenant's latency deadline, microseconds.
+    pub slo_us: f64,
+    /// Requests generated inside the measurement window.
+    pub offered: u64,
+    /// Measured requests still unfinished at harvest time.
+    pub incomplete: u64,
+    /// Completed-request latencies, microseconds (sorted lazily).
+    lat_us: Vec<f64>,
+    sorted: bool,
+    /// Histogram over the index of the last-finishing leg.
+    straggler_hist: Vec<u64>,
+    /// Completions whose straggler was also the request's largest leg.
+    straggler_largest: u64,
+}
+
+impl TenantDigest {
+    pub fn new(name: &'static str, slo_us: f64) -> TenantDigest {
+        TenantDigest {
+            name,
+            slo_us,
+            ..TenantDigest::default()
+        }
+    }
+
+    /// Book one completed request: end-to-end latency, which leg finished
+    /// last, and whether that leg carried the request's largest payload.
+    pub fn record(&mut self, latency_us: f64, straggler_leg: usize, straggler_was_largest: bool) {
+        self.lat_us.push(latency_us);
+        self.sorted = false;
+        if self.straggler_hist.len() <= straggler_leg {
+            self.straggler_hist.resize(straggler_leg + 1, 0);
+        }
+        self.straggler_hist[straggler_leg] += 1;
+        if straggler_was_largest {
+            self.straggler_largest += 1;
+        }
+    }
+
+    /// Completed requests in the digest.
+    pub fn n(&self) -> usize {
+        self.lat_us.len()
+    }
+
+    fn sorted_lats(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+        &self.lat_us
+    }
+
+    /// Request-latency percentile in microseconds, `None` when the sample
+    /// cannot resolve it (see `percentile_checked`) — reports surface
+    /// that as `null`, never a fabricated tail.
+    pub fn latency_us(&mut self, p: f64) -> Option<f64> {
+        let lats = self.sorted_lats();
+        percentile_checked(lats, p)
+    }
+
+    /// Unchecked percentile (NaN on empty) for display paths that want
+    /// the raw nearest-rank value.
+    pub fn latency_us_unchecked(&mut self, p: f64) -> f64 {
+        let lats = self.sorted_lats();
+        percentile(lats, p)
+    }
+
+    /// Mean request latency in microseconds (None when empty).
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.lat_us.is_empty() {
+            return None;
+        }
+        Some(self.lat_us.iter().sum::<f64>() / self.lat_us.len() as f64)
+    }
+
+    /// Fraction of completed requests that met the tenant's deadline;
+    /// `None` when no request completed. An unfinished measured request
+    /// is a miss: attainment is computed over `completed + incomplete`.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let total = self.lat_us.len() as u64 + self.incomplete;
+        if total == 0 {
+            return None;
+        }
+        let met = self.lat_us.iter().filter(|&&l| l <= self.slo_us).count();
+        Some(met as f64 / total as f64)
+    }
+
+    /// Straggler attribution: `(leg index, completions where that leg
+    /// finished last)`, zero-padded to the tenant's widest fan-out.
+    pub fn straggler_hist(&self) -> &[u64] {
+        &self.straggler_hist
+    }
+
+    /// Fraction of completions whose straggler was also the largest leg
+    /// (`None` when no request completed). Near 1.0 means tails are
+    /// size-bound; near `1/fanout` means tails come from fabric luck —
+    /// the incast-collapse signature.
+    pub fn straggler_largest_frac(&self) -> Option<f64> {
+        if self.lat_us.is_empty() {
+            return None;
+        }
+        Some(self.straggler_largest as f64 / self.lat_us.len() as f64)
+    }
+
+    /// Fingerprint over the exact latency bit patterns — the determinism
+    /// tests' equality witness.
+    pub fn fingerprint(&mut self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.offered);
+        mix(self.incomplete);
+        mix(self.straggler_largest);
+        for &c in &self.straggler_hist {
+            mix(c);
+        }
+        for &l in self.sorted_lats() {
+            mix(l.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_gate_on_sample_size() {
+        let mut d = TenantDigest::new("t", 100.0);
+        for i in 0..50 {
+            d.record(i as f64, 0, false);
+        }
+        assert_eq!(d.n(), 50);
+        assert_eq!(d.latency_us(0.5), Some(24.0));
+        assert_eq!(d.latency_us(0.99), None, "n=50 cannot resolve p99");
+        assert_eq!(d.latency_us(0.999), None);
+        assert!(
+            d.latency_us_unchecked(0.999) == 49.0,
+            "unchecked clamps to max"
+        );
+        for i in 50..2000 {
+            d.record(i as f64, 0, false);
+        }
+        assert_eq!(d.latency_us(0.999), Some(1997.0));
+    }
+
+    #[test]
+    fn slo_counts_incomplete_requests_as_misses() {
+        let mut d = TenantDigest::new("t", 10.0);
+        assert_eq!(d.slo_attainment(), None);
+        d.record(5.0, 0, false); // met
+        d.record(9.0, 1, true); // met
+        d.record(11.0, 1, false); // missed
+        assert_eq!(d.slo_attainment(), Some(2.0 / 3.0));
+        d.incomplete = 1; // a straggling request that never finished
+        assert_eq!(d.slo_attainment(), Some(0.5));
+        assert_eq!(d.straggler_hist(), &[1, 2]);
+        assert_eq!(d.straggler_largest_frac(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_but_value_sensitive() {
+        let mut a = TenantDigest::new("t", 10.0);
+        let mut b = TenantDigest::new("t", 10.0);
+        a.record(1.0, 0, false);
+        a.record(2.0, 1, true);
+        b.record(2.0, 1, true);
+        b.record(1.0, 0, false);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "booking order must not matter"
+        );
+        let mut c = TenantDigest::new("t", 10.0);
+        c.record(1.0, 0, false);
+        c.record(2.5, 1, true);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

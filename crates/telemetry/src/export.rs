@@ -4,18 +4,25 @@
 //! the collected data (no map iteration order, no float locale):
 //!
 //! * **NDJSON** — one object per line. Every line carries `"type"`
-//!   (`point` | `gauge` | `span` | `hop`) and `"point"` (the sweep-point
-//!   key). Timestamps are integer picoseconds (`*_ps`), which keeps the
-//!   bytes identical across platforms and thread counts.
+//!   (`point` | `gauge` | `span` | `request` | `hop`) and `"point"` (the
+//!   sweep-point key). Timestamps are integer picoseconds (`*_ps`), which
+//!   keeps the bytes identical across platforms and thread counts.
 //! * **Chrome trace-event JSON** — loadable in Perfetto / `chrome://
 //!   tracing`. Each sweep point becomes a process; queues and switches
 //!   become counter tracks, completed flow spans become `X` slices on a
-//!   per-flow track, hops and stuck spans become instants.
+//!   per-flow track, hops and stuck spans become instants. RPC requests
+//!   become `X` slices on their own track band, and their leg flows carry
+//!   a `request` arg, so a fan-out tree reads as one request slice with N
+//!   leg slices nested under the same id.
 
 use crate::probe::Gauge;
 use crate::session::PointTelemetry;
-use crate::span::FlowSpan;
+use crate::span::{FlowSpan, RequestSpan};
 use ndp_net::flight::HopRecord;
+
+/// Chrome-trace track offset for request slices, so request lanes never
+/// collide with per-flow lanes (flow ids count up from 1).
+const REQUEST_TID_BASE: u64 = 1 << 32;
 
 /// Escape a string for embedding in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -103,12 +110,14 @@ fn push_gauge_line(out: &mut String, key: &str, tags: &[String], g: &Gauge) {
 fn push_span_line(out: &mut String, key: &str, s: &FlowSpan) {
     out.push_str(&format!(
         "{{\"type\":\"span\",\"point\":\"{key}\",\"flow\":{},\"src\":{},\"dst\":{},\
-         \"bytes\":{},\"arrival_ps\":{},\"first_data_ps\":{},\"completion_ps\":{},\
+         \"request\":{},\"bytes\":{},\"arrival_ps\":{},\"first_data_ps\":{},\
+         \"completion_ps\":{},\
          \"slowdown\":{},\"measured\":{},\"stuck\":{},\"retransmissions\":{},\
          \"timeouts\":{},\"trimmed_headers\":{},\"rts_events\":{}}}\n",
         s.flow,
         s.src,
         s.dst,
+        s.request.map_or_else(|| "null".into(), |r| r.to_string()),
         s.bytes,
         s.arrival.as_ps(),
         opt_ps(s.first_data),
@@ -120,6 +129,25 @@ fn push_span_line(out: &mut String, key: &str, s: &FlowSpan) {
         s.timeouts,
         s.trimmed_headers,
         s.rts_events,
+    ));
+}
+
+fn push_request_line(out: &mut String, key: &str, r: &RequestSpan) {
+    out.push_str(&format!(
+        "{{\"type\":\"request\",\"point\":\"{key}\",\"request\":{},\"tenant\":{},\
+         \"seq\":{},\"client\":{},\"fanout\":{},\"arrival_ps\":{},\"completion_ps\":{},\
+         \"latency_ps\":{},\"straggler_leg\":{},\"measured\":{},\"slo_met\":{}}}\n",
+        r.request,
+        r.tenant,
+        r.seq,
+        r.client,
+        r.fanout,
+        r.arrival.as_ps(),
+        opt_ps(r.completion),
+        opt_ps(r.latency()),
+        r.straggler_leg,
+        r.measured,
+        r.slo_met,
     ));
 }
 
@@ -140,7 +168,7 @@ fn push_hop_line(out: &mut String, key: &str, tags: &[String], h: &HopRecord) {
 
 /// Serialise all points as NDJSON. Line order: per point (already
 /// key-sorted by [`crate::session::end`]) a `point` header line, then
-/// gauges, spans, hops in recorded order.
+/// gauges, spans, requests, hops in recorded order.
 pub fn write_ndjson(points: &[PointTelemetry]) -> String {
     let mut out = String::new();
     for p in points {
@@ -148,10 +176,12 @@ pub fn write_ndjson(points: &[PointTelemetry]) -> String {
         let tags: Vec<String> = p.tags.iter().map(|t| format!("\"{}\"", esc(t))).collect();
         out.push_str(&format!(
             "{{\"type\":\"point\",\"point\":\"{key}\",\"tags\":[{}],\"gauges\":{},\
-             \"spans\":{},\"hops\":{},\"gauges_evicted\":{},\"hops_evicted\":{}}}\n",
+             \"spans\":{},\"requests\":{},\"hops\":{},\"gauges_evicted\":{},\
+             \"hops_evicted\":{}}}\n",
             tags.join(","),
             p.gauges.len(),
             p.spans.len(),
+            p.requests.len(),
             p.hops.len(),
             p.gauges_evicted,
             p.hops_evicted,
@@ -161,6 +191,9 @@ pub fn write_ndjson(points: &[PointTelemetry]) -> String {
         }
         for s in &p.spans {
             push_span_line(&mut out, &key, s);
+        }
+        for r in &p.requests {
+            push_request_line(&mut out, &key, r);
         }
         for h in &p.hops {
             push_hop_line(&mut out, &key, &p.tags, h);
@@ -226,13 +259,16 @@ pub fn write_chrome_trace(points: &[PointTelemetry]) -> String {
             }
         }
         for s in &p.spans {
+            let req_arg = s
+                .request
+                .map_or(String::new(), |r| format!(",\"request\":{r}"));
             match s.completion {
                 Some(done) => chrome_event(
                     &mut ev,
                     format!(
                         "\"ph\":\"X\",\"cat\":\"flow\",\"name\":\"flow {}\",\"pid\":{pid},\
                          \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"bytes\":{},\
-                         \"slowdown\":{},\"retransmissions\":{},\"trimmed_headers\":{}}}",
+                         \"slowdown\":{},\"retransmissions\":{},\"trimmed_headers\":{}{req_arg}}}",
                         s.flow,
                         s.flow,
                         us(s.arrival.as_ps()),
@@ -252,6 +288,42 @@ pub fn write_chrome_trace(points: &[PointTelemetry]) -> String {
                         s.flow,
                         us(s.arrival.as_ps()),
                         s.bytes,
+                    ),
+                ),
+            }
+        }
+        for r in &p.requests {
+            match r.completion {
+                Some(done) => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"X\",\"cat\":\"request\",\"name\":\"t{} req {}\",\"pid\":{pid},\
+                         \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"request\":{},\
+                         \"fanout\":{},\"client\":{},\"straggler_leg\":{},\"slo_met\":{}}}",
+                        r.tenant,
+                        r.seq,
+                        REQUEST_TID_BASE + r.request,
+                        us(r.arrival.as_ps()),
+                        us(done.as_ps().saturating_sub(r.arrival.as_ps())),
+                        r.request,
+                        r.fanout,
+                        r.client,
+                        r.straggler_leg,
+                        r.slo_met,
+                    ),
+                ),
+                None => chrome_event(
+                    &mut ev,
+                    format!(
+                        "\"ph\":\"i\",\"s\":\"p\",\"cat\":\"request\",\
+                         \"name\":\"stuck t{} req {}\",\"pid\":{pid},\"tid\":{},\"ts\":{},\
+                         \"args\":{{\"request\":{},\"fanout\":{}}}",
+                        r.tenant,
+                        r.seq,
+                        REQUEST_TID_BASE + r.request,
+                        us(r.arrival.as_ps()),
+                        r.request,
+                        r.fanout,
                     ),
                 ),
             }
@@ -285,6 +357,7 @@ pub struct TelemetrySummary {
     pub points: usize,
     pub gauge_records: u64,
     pub span_records: u64,
+    pub request_records: u64,
     pub hop_records: u64,
     pub gauges_evicted: u64,
     pub hops_evicted: u64,
@@ -293,6 +366,7 @@ pub struct TelemetrySummary {
     /// Largest arrival → first-data gap across all spans.
     pub max_span_gap_ps: u64,
     pub stuck_spans: u64,
+    pub stuck_requests: u64,
 }
 
 pub fn summarize(points: &[PointTelemetry]) -> TelemetrySummary {
@@ -303,6 +377,7 @@ pub fn summarize(points: &[PointTelemetry]) -> TelemetrySummary {
     for p in points {
         s.gauge_records += p.gauges.len() as u64;
         s.span_records += p.spans.len() as u64;
+        s.request_records += p.requests.len() as u64;
         s.hop_records += p.hops.len() as u64;
         s.gauges_evicted += p.gauges_evicted;
         s.hops_evicted += p.hops_evicted;
@@ -317,6 +392,11 @@ pub fn summarize(points: &[PointTelemetry]) -> TelemetrySummary {
             }
             if sp.stuck {
                 s.stuck_spans += 1;
+            }
+        }
+        for r in &p.requests {
+            if r.completion.is_none() {
+                s.stuck_requests += 1;
             }
         }
     }
@@ -335,8 +415,21 @@ mod tests {
         span.completion = Some(Time::from_us(12));
         span.slowdown = 1.5;
         span.measured = true;
+        span.request = Some(11);
         let mut stuck = FlowSpan::open(4, 1, 6, 9000, Time::from_us(3));
         stuck.stuck = true;
+        let request = crate::span::RequestSpan {
+            request: 11,
+            tenant: 0,
+            seq: 7,
+            client: 5,
+            fanout: 2,
+            arrival: Time::from_us(2),
+            completion: Some(Time::from_us(12)),
+            straggler_leg: 1,
+            measured: true,
+            slo_met: true,
+        };
         PointTelemetry {
             key: "fattree/ndp".into(),
             tags: vec!["core_down[0][0]".into()],
@@ -354,6 +447,7 @@ mod tests {
             }],
             gauges_evicted: 0,
             spans: vec![span, stuck],
+            requests: vec![request],
             hops: vec![HopRecord {
                 at: Time::from_us(4),
                 tag: 0,
@@ -372,8 +466,8 @@ mod tests {
     fn ndjson_lines_have_type_and_point() {
         let nd = write_ndjson(&[sample_point()]);
         let lines: Vec<&str> = nd.lines().collect();
-        // 1 point + 1 gauge + 2 spans + 1 hop.
-        assert_eq!(lines.len(), 5);
+        // 1 point + 1 gauge + 2 spans + 1 request + 1 hop.
+        assert_eq!(lines.len(), 6);
         for l in &lines {
             assert!(l.starts_with("{\"type\":\""), "line {l}");
             assert!(l.contains("\"point\":\"fattree/ndp\""), "line {l}");
@@ -381,8 +475,13 @@ mod tests {
         }
         assert!(lines[1].contains("\"dropped_down\":2"));
         assert!(lines[2].contains("\"slowdown\":1.5"));
+        assert!(lines[2].contains("\"request\":11"), "leg links its tree");
+        assert!(lines[3].contains("\"request\":null"));
         assert!(lines[3].contains("\"slowdown\":null"));
-        assert!(lines[4].contains("\"kind\":\"trim\""));
+        assert!(lines[4].contains("\"type\":\"request\""));
+        assert!(lines[4].contains("\"latency_ps\":10000000"), "10 us tree");
+        assert!(lines[4].contains("\"slo_met\":true"));
+        assert!(lines[5].contains("\"kind\":\"trim\""));
     }
 
     #[test]
@@ -393,6 +492,12 @@ mod tests {
         assert!(tr.contains("\"ph\":\"X\""));
         assert!(tr.contains("\"stuck flow 4\""));
         assert!(tr.contains("\"ts\":2.000000"));
+        assert!(tr.contains("\"cat\":\"request\""));
+        assert!(tr.contains("\"t0 req 7\""));
+        assert!(
+            tr.contains(&format!("\"tid\":{}", REQUEST_TID_BASE + 11)),
+            "request slices live on their own track band"
+        );
     }
 
     #[test]
@@ -401,10 +506,12 @@ mod tests {
         assert_eq!(s.points, 1);
         assert_eq!(s.gauge_records, 1);
         assert_eq!(s.span_records, 2);
+        assert_eq!(s.request_records, 1);
         assert_eq!(s.hop_records, 1);
         assert_eq!(s.peak_queue_bytes, 18000);
         assert_eq!(s.max_span_gap_ps, Time::from_us(7).as_ps());
         assert_eq!(s.stuck_spans, 1);
+        assert_eq!(s.stuck_requests, 0);
     }
 
     #[test]

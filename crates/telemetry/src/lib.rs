@@ -30,4 +30,4 @@ pub mod span;
 pub use export::{summarize, write_chrome_trace, write_ndjson, TelemetrySummary};
 pub use probe::{Gauge, Probe, ProbeSpec, SampleRing};
 pub use session::{PointTelemetry, TelemetryConfig};
-pub use span::{FlowSpan, SpanLog};
+pub use span::{FlowSpan, RequestLog, RequestSpan, SpanLog};

@@ -12,7 +12,7 @@ use ndp_net::flight::HopRecord;
 use ndp_sim::Time;
 
 use crate::probe::Gauge;
-use crate::span::FlowSpan;
+use crate::span::{FlowSpan, RequestSpan};
 
 /// Knobs for an active telemetry session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +51,8 @@ pub struct PointTelemetry {
     pub gauges: Vec<Gauge>,
     pub gauges_evicted: u64,
     pub spans: Vec<FlowSpan>,
+    /// RPC request spans — empty for experiments without a request layer.
+    pub requests: Vec<RequestSpan>,
     pub hops: Vec<HopRecord>,
     pub hops_evicted: u64,
 }

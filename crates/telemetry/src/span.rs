@@ -19,6 +19,9 @@ pub struct FlowSpan {
     pub flow: FlowId,
     pub src: HostId,
     pub dst: HostId,
+    /// The RPC request this flow is a leg of, if any — links fan-out
+    /// trees in trace viewers back to their [`RequestSpan`].
+    pub request: Option<u64>,
     /// Requested transfer size in bytes.
     pub bytes: u64,
     /// When the spawner started the flow.
@@ -46,6 +49,7 @@ impl FlowSpan {
             flow,
             src,
             dst,
+            request: None,
             bytes,
             arrival,
             first_data: None,
@@ -78,6 +82,45 @@ impl FlowSpan {
     }
 }
 
+/// One RPC request's recorded lifetime: the fan-out tree as a unit.
+///
+/// Where a [`FlowSpan`] books one flow, a request span books the whole
+/// tree — N shard legs plus an optional response — from the instant the
+/// client issued it to the instant the last constituent flow finished.
+/// Leg spans point back here via [`FlowSpan::request`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSpan {
+    /// Run-unique request id (shared namespace with `FlowSpan::request`).
+    pub request: u64,
+    /// Tenant index within the run's mix.
+    pub tenant: u32,
+    /// Per-tenant request sequence number.
+    pub seq: u64,
+    /// Host that issued the request (the fan-in point).
+    pub client: HostId,
+    /// Number of shard legs in the tree.
+    pub fanout: u32,
+    /// When the client issued the request.
+    pub arrival: Time,
+    /// When the last constituent flow finished; `None` if still live at
+    /// harvest time (a stuck request).
+    pub completion: Option<Time>,
+    /// Index of the leg that finished last (the straggler).
+    pub straggler_leg: u32,
+    /// Issued after warmup, so it counts toward experiment statistics.
+    pub measured: bool,
+    /// Completed within the tenant's SLO deadline.
+    pub slo_met: bool,
+}
+
+impl RequestSpan {
+    /// End-to-end request latency; `None` for stuck requests.
+    pub fn latency(&self) -> Option<Time> {
+        let c = self.completion?;
+        Some(Time(c.as_ps().saturating_sub(self.arrival.as_ps())))
+    }
+}
+
 /// Shared, thread-safe span sink handed to a world's spawner.
 pub type SpanLog = Arc<Mutex<Vec<FlowSpan>>>;
 
@@ -98,6 +141,32 @@ pub fn push_span(log: &SpanLog, span: FlowSpan) {
 
 /// Drain a span log into a plain vector.
 pub fn take_spans(log: &SpanLog) -> Vec<FlowSpan> {
+    let mut g = match log.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    std::mem::take(&mut *g)
+}
+
+/// Shared, thread-safe request-span sink handed to an RPC driver.
+pub type RequestLog = Arc<Mutex<Vec<RequestSpan>>>;
+
+/// Fresh empty request log.
+pub fn request_log() -> RequestLog {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Append to a request log, surviving a poisoned lock.
+pub fn push_request(log: &RequestLog, span: RequestSpan) {
+    let mut g = match log.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    g.push(span);
+}
+
+/// Drain a request log into a plain vector.
+pub fn take_requests(log: &RequestLog) -> Vec<RequestSpan> {
     let mut g = match log.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
@@ -137,6 +206,30 @@ mod tests {
         assert_eq!(s.timeouts, 1);
         assert_eq!(s.trimmed_headers, 9);
         assert_eq!(s.rts_events, 2);
+    }
+
+    #[test]
+    fn request_latency_and_log_round_trip() {
+        let mut r = RequestSpan {
+            request: 3,
+            tenant: 0,
+            seq: 3,
+            client: 5,
+            fanout: 8,
+            arrival: Time::from_us(100),
+            completion: None,
+            straggler_leg: 0,
+            measured: true,
+            slo_met: false,
+        };
+        assert_eq!(r.latency(), None, "stuck request has no latency");
+        r.completion = Some(Time::from_us(340));
+        assert_eq!(r.latency(), Some(Time::from_us(240)));
+
+        let log = request_log();
+        push_request(&log, r);
+        assert_eq!(take_requests(&log), vec![r]);
+        assert!(take_requests(&log).is_empty());
     }
 
     #[test]

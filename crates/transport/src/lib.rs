@@ -36,6 +36,14 @@ pub struct FlowSpec {
     /// Override the transport's initial window in packets (None = its
     /// default; NDP's paper default is 30).
     pub iw: Option<u64>,
+    /// Arm the transport's stall-recovery net, if it has one. Request
+    /// serving cares about *every* leg completing, so drivers that book
+    /// end-to-end request latency set this; open-loop FCT sweeps leave it
+    /// off so the paper experiments' event streams are unchanged. For NDP
+    /// this covers the lost-PULL hole (see `NdpFlowCfg::pull_liveness`);
+    /// transports whose reliability already covers all state (TCP-family
+    /// RTO) ignore it.
+    pub liveness: bool,
 }
 
 impl FlowSpec {
@@ -49,6 +57,7 @@ impl FlowSpec {
             prio: false,
             notify: None,
             iw: None,
+            liveness: false,
         }
     }
 }
@@ -205,6 +214,6 @@ mod tests {
     fn flow_spec_defaults() {
         let s = FlowSpec::new(1, 2, 3, 100);
         assert_eq!(s.start, Time::ZERO);
-        assert!(!s.prio && s.notify.is_none() && s.iw.is_none());
+        assert!(!s.prio && s.notify.is_none() && s.iw.is_none() && !s.liveness);
     }
 }

@@ -29,7 +29,7 @@ pub struct FlowEvent {
 
 /// SplitMix64 finalizer: decorrelates per-host RNG seeds so host streams
 /// are independent even for adjacent master seeds.
-fn mix_seed(seed: u64, host: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, host: u64) -> u64 {
     let mut z = seed ^ host.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -80,7 +80,7 @@ impl DynamicWorkload {
                     let gap = process.mean_gap_ps() as u64;
                     gap + gap * h as u64 / n_hosts as u64
                 }
-                _ => process.next_gap_ps(rng),
+                _ => process.next_gap_at_ps(0, rng),
             };
             if first < horizon_ps {
                 heap.push(Reverse(Pending {
@@ -114,7 +114,7 @@ impl Iterator for DynamicWorkload {
         let bytes = self.sizes.sample(rng);
         let src = host as usize;
         let dst = uniform_where(self.n_hosts as usize, rng, |d| d != src) as u32;
-        let next = at_ps.saturating_add(self.process.next_gap_ps(rng));
+        let next = at_ps.saturating_add(self.process.next_gap_at_ps(at_ps, rng));
         if next < self.horizon_ps {
             self.heap.push(Reverse(Pending { at_ps: next, host }));
         }

@@ -95,6 +95,14 @@ impl EmpiricalCdf {
         )
     }
 
+    /// A degenerate point-mass distribution: every draw is `bytes`.
+    /// Lets fixed-size traffic (RPC ping-pong requests, background blast
+    /// flows) flow through the same sampling plumbing as empirical mixes.
+    pub fn fixed(name: &'static str, bytes: u64) -> EmpiricalCdf {
+        let b = bytes as f64;
+        EmpiricalCdf::new(name, vec![(0.0, b), (1.0, b)])
+    }
+
     pub fn name(&self) -> &'static str {
         self.name
     }

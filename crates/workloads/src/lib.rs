@@ -21,14 +21,26 @@
 //!   mining* distributions are the literature's standard load-sweep mixes.
 //! * [`DynamicWorkload`] — merges per-host streams into one time-ordered
 //!   iterator of `(start, src, dst, bytes)` events.
+//!
+//! RPC serving traffic (requests are *trees* of flows):
+//!
+//! * [`RpcProfile`] / [`TenantMix`] — per-tenant fan-out degree, leg and
+//!   response size distributions, arrival process and SLO deadline.
+//! * [`RpcWorkload`] — time-ordered stream of [`RpcRequest`] trees:
+//!   N shard fetches fanning in on the client plus an optional upstream
+//!   response flow, with open- and closed-loop (think-time) tenants.
+//! * [`ArrivalProcess::time_varying`] — piecewise-rate / diurnal-burst
+//!   arrival schedules for sustained load-swing campaigns.
 
 pub mod arrival;
 pub mod dynamic;
 pub mod empirical;
+pub mod rpc;
 
-pub use arrival::{closed_loop_gap_ps, ArrivalProcess};
+pub use arrival::{closed_loop_gap_ps, ArrivalProcess, RateSegment};
 pub use dynamic::{DynamicWorkload, FlowEvent};
 pub use empirical::EmpiricalCdf;
+pub use rpc::{FlowLeg, RpcProfile, RpcRequest, RpcWorkload, TenantMix, TreeShape};
 
 use rand::rngs::SmallRng;
 use rand::Rng;

@@ -1,0 +1,124 @@
+//! RPC soak: the serving subsystem's O(concurrent) claim over a
+//! multi-second mixed-tenant campaign.
+//!
+//! Runs a 2-second simulated mix — a fan-out-8 web-search RPC tenant at
+//! steady load plus a bursty background tenant whose diurnal arrival
+//! schedule swings between 10 % and 50 % load every 2 ms — on the quick
+//! fat-tree, then asserts the invariants that make multi-second request
+//! campaigns affordable:
+//!
+//! * peak in-flight flows stay far below total legs offered (request
+//!   trees attach lazily at their arrival instant and every leg detaches
+//!   on completion — live state tracks concurrency, not history);
+//! * peak in-flight *requests* likewise stay far below requests offered;
+//! * the component arena returns to its pre-traffic baseline after the
+//!   drain (every endpoint was freed);
+//! * no request is left incomplete: the NDP legs run with the lost-PULL
+//!   liveness net armed, so a dropped tail pull cannot wedge a tree.
+//!
+//! ```sh
+//! cargo run --release --example rpc_soak
+//! ```
+//!
+//! CI runs this and fails on any violated invariant (exit code != 0).
+
+use ndp::experiments::rpc::{rpc_leg_sizes, rpc_world_run, ArrivalSpec, RpcPoint, TenantSpec};
+use ndp::experiments::topo::TopoSpec;
+use ndp::experiments::Proto;
+use ndp::sim::Time;
+use ndp::topology::FatTreeCfg;
+use ndp::workloads::{EmpiricalCdf, TreeShape};
+
+fn main() {
+    let point = RpcPoint {
+        proto: Proto::Ndp,
+        topo: TopoSpec::fattree(FatTreeCfg::new(4)),
+        tenants: vec![
+            TenantSpec {
+                name: "websearch_rpc",
+                shape: TreeShape::FanIn,
+                fanout: 8,
+                leg_sizes: rpc_leg_sizes(),
+                response_sizes: Some(EmpiricalCdf::fixed("rpc-response", 1_460)),
+                arrivals: ArrivalSpec::Load(0.30),
+                slo: Time::from_us(500),
+            },
+            TenantSpec {
+                name: "background_blast",
+                shape: TreeShape::FanIn,
+                fanout: 4,
+                leg_sizes: EmpiricalCdf::fixed("blast-chunk", 8_192),
+                arrivals: ArrivalSpec::DiurnalLoad {
+                    base: 0.10,
+                    peak: 0.50,
+                    period: Time::from_ms(2),
+                    burst_frac: 0.3,
+                },
+                response_sizes: None,
+                slo: Time::from_us(300),
+            },
+        ],
+        seed: 7,
+        warmup: Time::from_ms(2),
+        measure: Time::from_secs(2),
+        drain: Time::from_ms(40),
+        sched: None,
+        key: "soak".into(),
+    };
+    let started = std::time::Instant::now();
+    let r = rpc_world_run(&point);
+    let wall = started.elapsed().as_secs_f64();
+
+    let completed: u64 = r.tenants.iter().map(|t| t.completed).sum();
+    let incomplete: u64 = r.tenants.iter().map(|t| t.incomplete).sum();
+    println!("rpc soak: 2-tenant mix, 2.042 s simulated, NDP on k=4 fat-tree");
+    println!("  requests offered     : {}", r.offered);
+    println!("  measured / incomplete: {} / {incomplete}", r.measured);
+    println!("  events processed     : {}", r.events_processed);
+    println!("  peak live requests   : {}", r.peak_live_requests);
+    println!("  peak live flows      : {}", r.peak_live_flows);
+    println!(
+        "  live components      : baseline {} -> peak {} -> end {}",
+        r.live_components_baseline, r.peak_live_components, r.live_components_end
+    );
+    println!("  wall clock           : {wall:.2}s");
+    for t in &r.tenants {
+        println!(
+            "  {:<16} p99 {:>8} us, SLO {:>6}",
+            t.name,
+            t.p99_us.map_or("-".into(), |v| format!("{v:.0}")),
+            t.slo_attainment
+                .map_or("-".into(), |v| format!("{:.1}%", 100.0 * v)),
+        );
+    }
+
+    assert!(r.offered > 10_000, "soak must offer a long request stream");
+    assert!(
+        r.peak_live_requests * 20 < r.offered,
+        "peak live requests {} must be << requests offered {}",
+        r.peak_live_requests,
+        r.offered
+    );
+    // Legs offered >= fanout * completed requests for the fan-out-8
+    // tenant alone; live flows must never approach that.
+    assert!(
+        (r.peak_live_flows as u64) * 20 < completed * 4,
+        "peak live flows {} must be << legs offered (~{})",
+        r.peak_live_flows,
+        completed * 6
+    );
+    assert_eq!(
+        incomplete, 0,
+        "liveness net + drain must complete every request"
+    );
+    assert_eq!(
+        r.live_components_end, r.live_components_baseline,
+        "arena must return to the pre-traffic baseline after the drain"
+    );
+    assert_eq!(
+        r.peak_live_components,
+        r.live_components_baseline + 1,
+        "traffic must not grow the arena (only the driver is added)"
+    );
+    println!("ok: live state is O(concurrent requests), arena drained to baseline");
+}
